@@ -1,0 +1,43 @@
+"""Ablation X1: automaton construction cost.
+
+The SES automaton for an event set pattern with ``|V1| = n`` variables
+has ``2^n`` states (Section 4.2.1), so construction is exponential in the
+set size while *execution* is what the paper's theorems bound.  This
+bench quantifies the build cost across set sizes and pattern shapes to
+confirm construction stays negligible at query-compile time for the
+set sizes the paper evaluates (n ≤ 6).
+"""
+
+import pytest
+
+from repro.automaton.builder import build_automaton
+from repro.data import experiment1_pattern, query_q1
+from repro.lang import parse_pattern
+
+
+@pytest.mark.parametrize("n_vars", [2, 3, 4, 5, 6])
+def test_build_experiment1_automaton(benchmark, n_vars):
+    """Build the (<{c,...},{b}>, Θ1, 264) automaton."""
+    pattern = experiment1_pattern(n_vars, exclusive=True)
+    automaton = benchmark(build_automaton, pattern)
+    assert len(automaton.states) == 2 ** n_vars + 1
+
+
+def test_build_query_q1(benchmark):
+    """Build the running example's automaton (Figure 5)."""
+    pattern = query_q1()
+    automaton = benchmark(build_automaton, pattern)
+    assert len(automaton.states) == 9
+    assert len(automaton.transitions) == 17
+
+
+def test_parse_and_compile_dsl(benchmark):
+    """Full front end: parse the PERMUTE query text and build the pattern."""
+    text = """
+        PATTERN PERMUTE(c, p+, d) THEN b
+        WHERE c.L = 'C' AND p.L = 'P' AND d.L = 'D' AND b.L = 'B'
+          AND c.ID = p.ID AND c.ID = d.ID AND d.ID = b.ID
+        WITHIN 264 HOURS
+    """
+    pattern = benchmark(parse_pattern, text)
+    assert pattern == query_q1()

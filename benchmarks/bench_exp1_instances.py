@@ -1,0 +1,83 @@
+"""Experiment 1 (Figure 11 and Table 1): SES automaton vs brute force.
+
+Reproduces the paper's first experiment: the maximal number of
+simultaneously active automaton instances for patterns
+
+* P1 = ``(<{c,d,p,v,r,l},{b}>, Θ1, 264)`` — pairwise mutually exclusive;
+* P2 = ``(<{c,d,p,v,r,l},{b}>, Θ2, 264)`` — all variables the same type;
+
+with ``|V1|`` varied from 2 up to the profile's maximum, evaluated by the
+single SES automaton and by the brute force set of ``|V1|!`` sequential
+automata (Section 5.2).
+
+Expected shape (paper Section 5.3): with P1 the brute force instance
+count exceeds the SES count by a factor approaching ``(|V1|-1)!``
+(Table 1); with P2 the SES automaton creates 9–20 % fewer instances.
+The timing of each engine is captured by pytest-benchmark; the instance
+counts are printed and asserted.
+"""
+
+import pytest
+
+from repro.baseline import BruteForceMatcher
+from repro.bench import print_experiment1, run_experiment1
+from repro.core.matcher import Matcher
+from repro.data import experiment1_pattern
+
+
+def _var_counts(profile):
+    return list(range(2, profile.exp1_max_vars + 1))
+
+
+@pytest.mark.parametrize("n_vars", [2, 3, 4, 5, 6])
+@pytest.mark.parametrize("exclusive", [True, False], ids=["P1", "P2"])
+class TestEngines:
+    def test_ses(self, benchmark, exp1_relation, profile, n_vars, exclusive):
+        """Time the SES automaton on P1/P2 at each |V1|."""
+        if n_vars > profile.exp1_max_vars:
+            pytest.skip("beyond profile's variable budget")
+        matcher = Matcher(experiment1_pattern(n_vars, exclusive=exclusive),
+                          selection="accepted")
+        result = benchmark.pedantic(matcher.run, args=(exp1_relation,),
+                                    rounds=1, iterations=1)
+        benchmark.extra_info["max_instances"] = (
+            result.stats.max_simultaneous_instances)
+
+    def test_brute_force(self, benchmark, exp1_relation, profile, n_vars,
+                         exclusive):
+        """Time the brute force baseline on P1/P2 at each |V1|."""
+        if n_vars > profile.exp1_max_vars:
+            pytest.skip("beyond profile's variable budget")
+        matcher = BruteForceMatcher(
+            experiment1_pattern(n_vars, exclusive=exclusive),
+            use_filter=True, selection="accepted")
+        result = benchmark.pedantic(matcher.run, args=(exp1_relation,),
+                                    rounds=1, iterations=1)
+        benchmark.extra_info["max_instances"] = (
+            result.stats.max_simultaneous_instances)
+        benchmark.extra_info["automata"] = matcher.automaton_count
+
+
+def test_figure11_and_table1(exp1_relation, profile, capsys):
+    """Run the full sweep, print the paper-style tables, assert the shapes."""
+    rows = run_experiment1(exp1_relation, max_vars=profile.exp1_max_vars)
+    with capsys.disabled():
+        print_experiment1(rows)
+
+    p1 = {r["n_vars"]: r for r in rows if r["pattern"] == "P1"}
+    p2 = {r["n_vars"]: r for r in rows if r["pattern"] == "P2"}
+
+    # Figure 11: brute force dominates SES increasingly with |V1| under P1.
+    top = profile.exp1_max_vars
+    assert p1[top]["bf_instances"] > 10 * p1[top]["ses_instances"]
+    ratios = [p1[n]["ratio"] for n in sorted(p1)]
+    assert ratios == sorted(ratios), "BF/SES ratio must grow with |V1|"
+
+    # Table 1: the ratio approaches (|V1|-1)!.
+    for n, row in p1.items():
+        if n >= 3:
+            assert 0.5 * row["factorial"] <= row["ratio"] <= 1.5 * row["factorial"]
+
+    # P2: SES produces fewer instances than BF, by a modest margin.
+    for n, row in p2.items():
+        assert row["ses_instances"] <= row["bf_instances"] * 1.05

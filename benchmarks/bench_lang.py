@@ -1,0 +1,46 @@
+"""Ablation X3: query language front-end throughput.
+
+Measures the lexer, parser, and compiler separately so front-end cost can
+be attributed.  Parsing happens once per query, so these numbers only
+matter for workloads with very high query churn; they confirm the front
+end is microseconds-scale.
+"""
+
+from repro.lang import compile_query, parse, parse_pattern, tokenize
+
+Q1_TEXT = """
+    PATTERN PERMUTE(c, p+, d) THEN b
+    WHERE c.L = 'C' AND p.L = 'P' AND d.L = 'D' AND b.L = 'B'
+      AND c.ID = p.ID AND c.ID = d.ID AND d.ID = b.ID
+    WITHIN 264 HOURS
+"""
+
+WIDE_TEXT = ("PATTERN PERMUTE(" + ", ".join(f"v{i}" for i in range(12)) + ")"
+             + " WHERE " + " AND ".join(f"v{i}.kind = 'K{i}'" for i in range(12))
+             + " WITHIN 100")
+
+
+def test_tokenize_q1(benchmark):
+    tokens = benchmark(tokenize, Q1_TEXT)
+    assert tokens[-1].value is None  # EOF
+
+
+def test_parse_q1(benchmark):
+    query = benchmark(parse, Q1_TEXT)
+    assert len(query.sets) == 2
+
+
+def test_compile_q1(benchmark):
+    query = parse(Q1_TEXT)
+    pattern = benchmark(compile_query, query)
+    assert pattern.tau == 264
+
+
+def test_end_to_end_q1(benchmark):
+    pattern = benchmark(parse_pattern, Q1_TEXT)
+    assert len(pattern.conditions) == 7
+
+
+def test_end_to_end_wide_pattern(benchmark):
+    pattern = benchmark(parse_pattern, WIDE_TEXT)
+    assert len(pattern.variables) == 12

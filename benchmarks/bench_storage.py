@@ -1,0 +1,63 @@
+"""Ablation X4: embedded event store throughput.
+
+Measures insert and query rates of the storage substrate to confirm the
+store is never the bottleneck in the end-to-end experiments (the paper
+reads its events from Oracle once per run; our store plays that role).
+"""
+
+import pytest
+
+from repro.data import CHEMO_SCHEMA, base_dataset
+from repro.storage import EventTable
+
+
+@pytest.fixture(scope="module")
+def relation():
+    return base_dataset(patients=8, cycles=2)
+
+
+@pytest.fixture()
+def loaded_table(relation):
+    table = EventTable("Event", CHEMO_SCHEMA, indexes=["ID", "L"])
+    table.insert_many(relation)
+    return table
+
+
+def test_insert_throughput(benchmark, relation):
+    """Bulk insert with two hash indexes maintained."""
+    def build():
+        table = EventTable("Event", CHEMO_SCHEMA, indexes=["ID", "L"])
+        table.insert_many(relation)
+        return table
+
+    table = benchmark(build)
+    assert len(table) == len(relation)
+
+
+def test_indexed_equality_query(benchmark, loaded_table):
+    """Point query through the hash index."""
+    result = benchmark(lambda: loaded_table.query()
+                       .where("ID", "=", 1).where("L", "=", "P").execute())
+    assert len(result) > 0
+
+
+def test_unindexed_range_query(benchmark, loaded_table):
+    """Predicate scan without index support."""
+    result = benchmark(lambda: loaded_table.query()
+                       .where("V", ">", 100.0).execute())
+    assert len(result) > 0
+
+
+def test_time_slice_scan(benchmark, loaded_table):
+    """Time-range scan through the time index."""
+    result = benchmark(lambda: list(loaded_table.scan(100, 400)))
+    assert result
+
+
+def test_match_over_store(benchmark, loaded_table):
+    """End-to-end: SES match running straight off a stored table."""
+    from repro.data import query_q1
+    result = benchmark.pedantic(
+        lambda: loaded_table.query().match(query_q1(), selection="accepted"),
+        rounds=1, iterations=1)
+    assert result.stats.events_read == len(loaded_table)

@@ -1,0 +1,58 @@
+"""Ablation X6: streaming throughput.
+
+Measures events/second through the continuous matchers — single pattern,
+multi-pattern shared pass, and per-key partitioned — over the synthetic
+chemotherapy stream.  Expected shape: partitioned streaming sustains the
+highest rate on join-partitionable patterns (small per-key populations);
+the multi-pattern matcher costs roughly the sum of its patterns.
+"""
+
+import pytest
+
+from repro.data import base_dataset, pattern_p3, query_q1
+from repro.stream import (ContinuousMatcher, MultiPatternMatcher,
+                          PartitionedContinuousMatcher, from_relation)
+
+
+@pytest.fixture(scope="module")
+def relation():
+    return base_dataset(patients=8, cycles=2)
+
+
+def _drain(matcher, relation):
+    matcher.push_many(from_relation(relation))
+    matcher.close()
+    return matcher
+
+
+def test_single_pattern_stream(benchmark, relation):
+    matcher = benchmark.pedantic(
+        lambda: _drain(ContinuousMatcher(query_q1()), relation),
+        rounds=1, iterations=1)
+    assert len(matcher.matches) > 0
+    benchmark.extra_info["events"] = len(relation)
+    benchmark.extra_info["matches"] = len(matcher.matches)
+
+
+def test_partitioned_stream(benchmark, relation):
+    matcher = benchmark.pedantic(
+        lambda: _drain(PartitionedContinuousMatcher(query_q1()), relation),
+        rounds=1, iterations=1)
+    assert len(matcher.matches) > 0
+    benchmark.extra_info["partitions"] = len(matcher.partitions)
+
+
+def test_heavy_pattern_partitioned_stream(benchmark, relation):
+    """P3 (group variable, non-exclusive) is where partitioning pays."""
+    matcher = benchmark.pedantic(
+        lambda: _drain(PartitionedContinuousMatcher(pattern_p3()), relation),
+        rounds=1, iterations=1)
+    benchmark.extra_info["active_end"] = matcher.active_instances
+
+
+def test_multi_pattern_stream(benchmark, relation):
+    patterns = {"q1": query_q1(), "p3": pattern_p3()}
+    matcher = benchmark.pedantic(
+        lambda: _drain(MultiPatternMatcher(patterns), relation),
+        rounds=1, iterations=1)
+    assert len(matcher.matches("q1")) > 0

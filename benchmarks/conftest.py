@@ -1,0 +1,38 @@
+"""Shared fixtures for the benchmark suite.
+
+The benchmarks default to the ``quick`` scale profile so that
+``pytest benchmarks/ --benchmark-only`` completes in minutes; export
+``REPRO_BENCH_PROFILE=default`` (or ``large``) for bigger runs, and see
+``python -m repro.bench`` for the full paper-style report.
+"""
+
+import os
+
+import pytest
+
+from repro.bench import resolve_profile
+
+
+@pytest.fixture(scope="session")
+def profile():
+    """The active scale profile (defaults to ``quick`` for benchmarks)."""
+    return resolve_profile(os.environ.get("REPRO_BENCH_PROFILE", "quick"))
+
+
+@pytest.fixture(scope="session")
+def exp1_relation(profile):
+    """The Experiment 1 relation."""
+    return profile.exp1_relation()
+
+
+@pytest.fixture(scope="session")
+def exp23_base(profile):
+    """The D1 base relation for Experiments 2 and 3."""
+    return profile.exp23_base()
+
+
+@pytest.fixture(scope="session")
+def exp23_datasets(profile, exp23_base):
+    """D1..Dn keyed by duplication factor."""
+    from repro.data import duplicated_datasets
+    return duplicated_datasets(exp23_base, profile.factors)

@@ -1,0 +1,69 @@
+"""repro — sequenced event set (SES) pattern matching.
+
+A complete reproduction of *Sequenced Event Set Pattern Matching*
+(Cadonna, Gamper, Böhlen; EDBT 2011): the SES pattern model, the
+automaton-based evaluation algorithm with event filtering, the brute-force
+baseline, the declarative Definition-2 oracle, executable complexity
+bounds, a PERMUTE query language, an embedded event store, streaming
+execution, and the full benchmark harness for the paper's experiments.
+
+Quickstart::
+
+    from repro import Event, EventRelation, SESPattern, match
+
+    relation = EventRelation([
+        Event(ts=1, eid="a1", kind="A"),
+        Event(ts=2, eid="b1", kind="B"),
+        Event(ts=3, eid="c1", kind="C"),
+    ])
+    pattern = SESPattern(
+        sets=[["a", "b"], ["c"]],
+        conditions=["a.kind = 'A'", "b.kind = 'B'", "c.kind = 'C'"],
+        tau=10,
+    )
+    for substitution in match(pattern, relation):
+        print(substitution)
+"""
+
+from .core.conditions import Attr, Condition, Const, attr, const
+from .core.events import Attribute, Event, EventSchema, SchemaError
+from .core.matcher import Matcher, match
+from .core.pattern import PatternError, SESPattern
+from .core.relation import EventRelation
+from .core.substitution import Substitution
+from .core.variables import Variable, group, var
+
+from .automaton.automaton import SESAutomaton
+from .automaton.builder import build_automaton
+from .automaton.executor import MatchResult, SESExecutor, execute
+from .automaton.filtering import EventFilter
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Attribute",
+    "Attr",
+    "Condition",
+    "Const",
+    "Event",
+    "EventFilter",
+    "EventRelation",
+    "EventSchema",
+    "MatchResult",
+    "Matcher",
+    "PatternError",
+    "SESAutomaton",
+    "SESExecutor",
+    "SESPattern",
+    "SchemaError",
+    "Substitution",
+    "Variable",
+    "attr",
+    "build_automaton",
+    "const",
+    "execute",
+    "group",
+    "match",
+    "var",
+    "__version__",
+]

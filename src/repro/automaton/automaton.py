@@ -1,0 +1,137 @@
+"""The SES automaton (Definition 3).
+
+A SES automaton is a five-tuple ``N = (Q, Δ, qs, qf, τ)``: a finite set of
+states (subsets of the pattern's variables), a finite set of transitions,
+a start state, an accepting state, and the maximal duration τ.  Executing
+an automaton maintains *automaton instances*, each enriched with a match
+buffer β collecting variable bindings (see :mod:`repro.automaton.instance`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Tuple
+
+from ..core.variables import Variable
+from .states import State, state_label, state_sort_key
+from .transitions import Transition
+
+__all__ = ["SESAutomaton", "AutomatonError"]
+
+
+class AutomatonError(ValueError):
+    """Raised when an automaton is structurally invalid."""
+
+
+class SESAutomaton:
+    """A SES automaton ``N = (Q, Δ, qs, qf, τ)``.
+
+    Parameters
+    ----------
+    states:
+        The state set ``Q``; every transition endpoint must be included.
+    transitions:
+        The transition set ``Δ``.
+    start:
+        Start state ``qs``.
+    accepting:
+        Accepting state ``qf``.
+    tau:
+        Maximal duration spanned by the events in a match buffer.
+    """
+
+    def __init__(self, states: Iterable[State], transitions: Iterable[Transition],
+                 start: State, accepting: State, tau):
+        self.states: FrozenSet[State] = frozenset(frozenset(s) for s in states)
+        self.transitions: Tuple[Transition, ...] = tuple(transitions)
+        self.start: State = frozenset(start)
+        self.accepting: State = frozenset(accepting)
+        self.tau = tau
+        self._validate()
+        self._outgoing: Dict[State, Tuple[Transition, ...]] = {}
+        by_source: Dict[State, List[Transition]] = {}
+        for t in self.transitions:
+            by_source.setdefault(t.source, []).append(t)
+        for state in self.states:
+            self._outgoing[state] = tuple(by_source.get(state, ()))
+
+    def _validate(self) -> None:
+        if self.start not in self.states:
+            raise AutomatonError("start state not in state set")
+        if self.accepting not in self.states:
+            raise AutomatonError("accepting state not in state set")
+        for t in self.transitions:
+            if t.source not in self.states:
+                raise AutomatonError(f"transition source missing from Q: {t!r}")
+            if t.target not in self.states:
+                raise AutomatonError(f"transition target missing from Q: {t!r}")
+
+    # ------------------------------------------------------------------
+    # Navigation
+    # ------------------------------------------------------------------
+    def outgoing(self, state: State) -> Tuple[Transition, ...]:
+        """Transitions whose source is ``state``."""
+        try:
+            return self._outgoing[state]
+        except KeyError:
+            raise AutomatonError(f"unknown state {state_label(state)}") from None
+
+    def loops_at(self, state: State) -> Tuple[Transition, ...]:
+        """The looping transitions at ``state``."""
+        return tuple(t for t in self.outgoing(state) if t.is_loop)
+
+    @property
+    def variables(self) -> FrozenSet[Variable]:
+        """All variables bound by some transition."""
+        return frozenset(t.variable for t in self.transitions)
+
+    def is_accepting(self, state: State) -> bool:
+        """True iff ``state`` is the accepting state."""
+        return state == self.accepting
+
+    # ------------------------------------------------------------------
+    # Introspection / rendering
+    # ------------------------------------------------------------------
+    def sorted_states(self) -> List[State]:
+        """States in a deterministic order (size, then label)."""
+        return sorted(self.states, key=state_sort_key)
+
+    def describe(self) -> str:
+        """Multi-line description mirroring the paper's figures."""
+        lines = [
+            f"SES automaton: {len(self.states)} states, "
+            f"{len(self.transitions)} transitions, τ={self.tau}",
+            f"  start: {state_label(self.start)}",
+            f"  accepting: {state_label(self.accepting)}",
+        ]
+        for state in self.sorted_states():
+            for t in sorted(self.outgoing(state),
+                            key=lambda t: (state_sort_key(t.target), t.variable.name)):
+                conds = ", ".join(repr(c) for c in t.conditions)
+                lines.append(
+                    f"  {state_label(state)} --{t.variable!r}--> "
+                    f"{state_label(t.target)}  {{{conds}}}"
+                )
+        return "\n".join(lines)
+
+    def to_dot(self) -> str:
+        """Render as Graphviz DOT (for documentation and debugging)."""
+        lines = ["digraph SES {", "  rankdir=LR;"]
+        for state in self.sorted_states():
+            label = state_label(state)
+            shape = "doublecircle" if state == self.accepting else "circle"
+            lines.append(f'  "{label}" [shape={shape}];')
+        lines.append(f'  __start [shape=point];')
+        lines.append(f'  __start -> "{state_label(self.start)}";')
+        for t in self.transitions:
+            conds = ", ".join(repr(c) for c in t.conditions)
+            lines.append(
+                f'  "{state_label(t.source)}" -> "{state_label(t.target)}" '
+                f'[label="{t.variable!r} {conds}"];'
+            )
+        lines.append("}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (f"SESAutomaton(|Q|={len(self.states)}, |Δ|={len(self.transitions)}, "
+                f"qs={state_label(self.start)}, qf={state_label(self.accepting)}, "
+                f"τ={self.tau})")

@@ -1,0 +1,142 @@
+"""Construction of SES automata from SES patterns (Section 4.2).
+
+The construction is the paper's two-step process:
+
+1. **Translation** (Section 4.2.1): each event set pattern ``Vi`` becomes an
+   automaton whose states are *all subsets* of ``Vi``.  From every state
+   ``q`` there is a transition binding each unbound variable ``v ∈ Vi \\ q``
+   (target ``q ∪ {v}``) and a looping transition for each group variable
+   ``v+ ∈ q``.  A transition's condition set ``Θδ`` collects the conditions
+   of Θ that constrain ``v`` against a constant, against itself, or against
+   variables guaranteed to be bound already (preceding event set patterns
+   and the source state).
+
+2. **Concatenation** (Section 4.2.2): the per-set automata are chained in
+   pattern order.  States of the later automaton are renamed by uniting
+   them with all preceding variables, which automatically merges the
+   accepting state of the earlier automaton with the start state of the
+   later one.  Transitions leaving the merged state gain time constraints
+   ``v'.T < v.T`` for every preceding variable ``v'``, enforcing that all
+   events of a later set occur strictly after all events of earlier sets.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import FrozenSet, List, Tuple
+
+from ..core.conditions import Attr, Condition
+from ..core.pattern import SESPattern
+from ..core.variables import Variable
+from .automaton import SESAutomaton
+from .states import State, make_state
+from .transitions import Transition
+
+__all__ = ["build_set_automaton", "concatenate", "build_automaton"]
+
+
+def _powerset(variables: FrozenSet[Variable]) -> List[State]:
+    """All subsets of ``variables`` as states."""
+    items = sorted(variables)
+    states: List[State] = []
+    for k in range(len(items) + 1):
+        for combo in itertools.combinations(items, k):
+            states.append(make_state(combo))
+    return states
+
+
+def _transition_conditions(pattern: SESPattern, set_index: int,
+                           source: State, variable: Variable
+                           ) -> Tuple[Condition, ...]:
+    """The condition set ``Θδ`` for binding ``variable`` from ``source``.
+
+    Per Section 4.2.1: all conditions from Θ of the form ``v.A φ C``, plus
+    two-variable conditions ``v.A φ v'.A'`` whose partner ``v'`` lies in a
+    preceding event set pattern, in the source state, or is ``v`` itself.
+    """
+    allowed = set(pattern.preceding_variables(set_index)) | set(source) | {variable}
+    selected: List[Condition] = []
+    for condition in pattern.conditions:
+        if not condition.mentions(variable):
+            continue
+        other = condition.other_variable(variable)
+        if other is None or other in allowed:
+            selected.append(condition)
+    return tuple(selected)
+
+
+def build_set_automaton(pattern: SESPattern, set_index: int) -> SESAutomaton:
+    """Translate the event set pattern ``pattern.sets[set_index]``.
+
+    The returned automaton considers the set *in isolation* but routes
+    conditions with full pattern context, so conditions whose partner
+    variable belongs to a preceding set are already attached (they become
+    checkable only after concatenation).
+    """
+    variables = pattern.sets[set_index]
+    states = _powerset(variables)
+    transitions: List[Transition] = []
+    for state in states:
+        for variable in sorted(variables - state):
+            transitions.append(Transition(
+                state, variable,
+                _transition_conditions(pattern, set_index, state, variable),
+            ))
+        for variable in sorted(state):
+            if variable.is_group:
+                transitions.append(Transition(
+                    state, variable,
+                    _transition_conditions(pattern, set_index, state, variable),
+                ))
+    return SESAutomaton(
+        states=states,
+        transitions=transitions,
+        start=make_state(),
+        accepting=make_state(variables),
+        tau=pattern.tau,
+    )
+
+
+def concatenate(first: SESAutomaton, second: SESAutomaton) -> SESAutomaton:
+    """Concatenate two SES automata (Section 4.2.2).
+
+    The accepting state of ``first`` becomes the start state of the renamed
+    ``second``; transitions leaving it into the second automaton receive
+    the inter-set time constraints ``v'.T < v.T`` for every variable ``v'``
+    of ``first``'s accepting state.
+    """
+    prefix = first.accepting
+    renamed_states = {frozenset(q | prefix) for q in second.states}
+    states = set(first.states) | renamed_states
+
+    transitions: List[Transition] = list(first.transitions)
+    for t in second.transitions:
+        source = frozenset(t.source | prefix)
+        conditions: Tuple[Condition, ...] = t.conditions
+        if t.source == second.start:
+            time_constraints = tuple(
+                Condition(Attr(v_prev, "T"), "<", Attr(t.variable, "T"))
+                for v_prev in sorted(prefix)
+            )
+            conditions = conditions + time_constraints
+        transitions.append(Transition(source, t.variable, conditions))
+
+    return SESAutomaton(
+        states=states,
+        transitions=transitions,
+        start=first.start,
+        accepting=frozenset(second.accepting | prefix),
+        tau=first.tau,
+    )
+
+
+def build_automaton(pattern: SESPattern) -> SESAutomaton:
+    """Build the full SES automaton for ``pattern``.
+
+    Translates each event set pattern and concatenates left to right:
+    ``((N1 N2) N3) ...`` in the order of the pattern's sets.
+    """
+    automaton = build_set_automaton(pattern, 0)
+    for i in range(1, len(pattern)):
+        automaton = concatenate(automaton, build_set_automaton(pattern, i))
+    return automaton

@@ -1,0 +1,353 @@
+"""Execution of SES automata (Section 4.3, Algorithms 1 and 2).
+
+:class:`SESExecutor` maintains the set Ω of active automaton instances.
+For every input event it
+
+1. adds a fresh instance in the start state (Algorithm 1, line 4);
+2. expires instances whose window would overrun, emitting the buffer of an
+   expired instance that sits in the accepting state (lines 7–10);
+3. lets every surviving instance consume the event (Algorithm 2): each
+   enabled transition yields a successor instance; several enabled
+   transitions branch nondeterministically; an instance with no enabled
+   transition survives unchanged unless it still sits in the start state.
+
+For finite relations the executor additionally *flushes* accepting
+instances at end of input — Algorithm 1 as printed only reports a match
+once the window expires, which would silently drop matches completing in
+the last τ time units of the data.
+
+Result selection
+----------------
+Accepted buffers are candidates; Definition 2's skip-till-next-match and
+maximality conditions (4 and 5) are then applied across the accepted set,
+duplicates are removed, and (for the default ``selection="paper"``)
+overlapping later matches are suppressed, yielding the paper's intended
+results.  ``selection="all-starts"`` keeps one match per start position;
+``selection="accepted"`` returns the raw accepted buffers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence
+
+from ..core.events import Event
+from ..core.semantics import select_matches
+from ..core.substitution import Substitution
+from .automaton import SESAutomaton
+from .buffer import EMPTY_BUFFER
+from .filtering import EventFilter
+from .instance import AutomatonInstance
+from .metrics import ExecutionStats
+
+__all__ = ["SESExecutor", "MatchResult", "execute"]
+
+#: Valid result-selection policies: ``"paper"`` applies Definition 2's
+#: conditions 4–5 plus greedy non-overlap (the paper's intended results),
+#: ``"all-starts"`` keeps one match per start position (overlaps allowed),
+#: ``"accepted"`` returns the raw accepted buffers.
+SELECTIONS = ("paper", "all-starts", "accepted")
+
+#: Event-consumption modes.  ``"greedy"`` is Algorithm 2 as published
+#: (skip-till-next-match: an instance whose transitions fire is replaced
+#: by its successors).  ``"exhaustive"`` additionally keeps the original
+#: instance alive (skip-till-any-match), so every candidate substitution
+#: of conditions 1–3 is explored; combined with result selection this
+#: yields exactly the declarative Definition 2 semantics, at an
+#: exponential worst-case cost — an oracle-grade mode, not the paper's
+#: algorithm.  ``"contiguous"`` is the strict-contiguity strategy of
+#: SASE-style engines: an instance that cannot consume an event ends —
+#: emitting its buffer if it already sits in the accepting state —
+#: so matched events must be adjacent in the (filtered) input.
+CONSUME_MODES = ("greedy", "exhaustive", "contiguous")
+
+
+@dataclass
+class MatchResult:
+    """Outcome of executing a SES automaton over an event relation."""
+
+    #: Matching substitutions after result selection.
+    matches: List[Substitution]
+    #: Raw accepted buffers (before conditions 4–5 and deduplication).
+    accepted: List[Substitution]
+    #: Execution counters.
+    stats: ExecutionStats = field(default_factory=ExecutionStats)
+
+    def __iter__(self):
+        return iter(self.matches)
+
+    def __len__(self) -> int:
+        return len(self.matches)
+
+    def to_rows(self) -> List[dict]:
+        """Matches as plain dicts (for tabulation/serialisation).
+
+        Each row maps variable names to the list of bound event ids (or
+        timestamps when an event has no id) and carries ``start``/``end``
+        timestamps.
+        """
+        rows: List[dict] = []
+        for substitution in self.matches:
+            row: dict = {
+                "start": substitution.min_ts(),
+                "end": substitution.max_ts(),
+            }
+            for variable in sorted(substitution.variables):
+                row[repr(variable)] = [
+                    e.eid if e.eid is not None else e.ts
+                    for e in substitution.events_of(variable)
+                ]
+            rows.append(row)
+        return rows
+
+    def __repr__(self) -> str:
+        return (f"MatchResult({len(self.matches)} matches, "
+                f"{len(self.accepted)} accepted, "
+                f"maxΩ={self.stats.max_simultaneous_instances})")
+
+
+class SESExecutor:
+    """Executes a SES automaton over a stream of time-ordered events.
+
+    Parameters
+    ----------
+    automaton:
+        The SES automaton to run.
+    event_filter:
+        Optional :class:`~repro.automaton.filtering.EventFilter` applied to
+        every input event before the instance loop (Section 4.5).
+    selection:
+        ``"paper"`` (default) post-filters accepted buffers with
+        Definition 2's conditions 4–5 and suppresses overlapping later
+        matches; ``"all-starts"`` keeps overlaps; ``"accepted"`` returns
+        raw buffers.
+
+    The executor is incremental: :meth:`feed` consumes one event and
+    returns buffers accepted *by expiry* at that event; :meth:`finish`
+    flushes end-of-input acceptances.  :meth:`run` wraps both for batch
+    use.  A single executor may be reused after :meth:`reset`.
+    """
+
+    def __init__(self, automaton: SESAutomaton,
+                 event_filter: Optional[EventFilter] = None,
+                 selection: str = "paper",
+                 expire_on_filtered: bool = False,
+                 consume_mode: str = "greedy",
+                 tracer=None,
+                 record_history: bool = False):
+        if selection not in SELECTIONS:
+            raise ValueError(
+                f"unknown selection {selection!r}; expected one of {SELECTIONS}"
+            )
+        if consume_mode not in CONSUME_MODES:
+            raise ValueError(
+                f"unknown consume_mode {consume_mode!r}; expected one of "
+                f"{CONSUME_MODES}"
+            )
+        self.automaton = automaton
+        self.event_filter = event_filter
+        self.selection = selection
+        self.consume_mode = consume_mode
+        #: Optional :class:`~repro.automaton.trace.Tracer` recording every
+        #: execution step (Figure 6 style).  Adds overhead; leave ``None``
+        #: for measurement runs.
+        self.tracer = tracer
+        #: Also run the expiry sweep for filtered events.  Algorithm 1 with
+        #: the Section 4.5 filter skips the whole instance loop, which is
+        #: fine for batch runs (results are flushed at end of input) but
+        #: delays match emission on live streams; streaming callers enable
+        #: this so expiry — and hence emission — keeps up with time even
+        #: when only irrelevant events arrive.  The accepted set is
+        #: unchanged either way (expired instances cannot consume).
+        self.expire_on_filtered = expire_on_filtered
+        #: Record a per-event (timestamp, |Ω|) timeline in
+        #: ``stats.omega_history`` (render with
+        #: :func:`repro.automaton.metrics.sparkline`).
+        self.record_history = record_history
+        self.reset()
+
+    def reset(self) -> None:
+        """Clear all execution state for a fresh run."""
+        self._omega: List[AutomatonInstance] = []
+        self._accepted: List[Substitution] = []
+        self._accepted_during_consume: List[Substitution] = []
+        self._last_ts = None
+        self.stats = ExecutionStats()
+        if getattr(self, "record_history", False):
+            self.stats.enable_history()
+
+    @property
+    def active_instances(self) -> int:
+        """Current size of Ω (number of active automaton instances)."""
+        return len(self._omega)
+
+    @property
+    def accepted_buffers(self) -> List[Substitution]:
+        """All buffers accepted so far (raw, before result selection)."""
+        return list(self._accepted)
+
+    # ------------------------------------------------------------------
+    # Incremental execution
+    # ------------------------------------------------------------------
+    def feed(self, event: Event) -> List[Substitution]:
+        """Consume one event; return buffers accepted by window expiry."""
+        stats = self.stats
+        stats.events_read += 1
+        if self._last_ts is not None and event.ts < self._last_ts:
+            raise ValueError(
+                f"events must arrive in chronological order; got T={event.ts} "
+                f"after T={self._last_ts}"
+            )
+        self._last_ts = event.ts
+
+        if self.event_filter is not None and not self.event_filter.admits(event):
+            stats.events_filtered += 1
+            if self.expire_on_filtered:
+                return self._expire_only(event)
+            return []
+        stats.events_processed += 1
+
+        automaton = self.automaton
+        tau = automaton.tau
+        accepting = automaton.accepting
+        start = automaton.start
+
+        omega = self._omega
+        fresh = AutomatonInstance(start, EMPTY_BUFFER)
+        omega.append(fresh)
+        stats.instances_created += 1
+        stats.observe_event(event.ts)
+        stats.observe_omega(len(omega))
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.record("start", event, fresh)
+
+        accepted_now: List[Substitution] = []
+        self._accepted_during_consume = accepted_now
+        next_omega: List[AutomatonInstance] = []
+        for instance in omega:
+            if instance.expired(event, tau):
+                stats.expired_instances += 1
+                if tracer is not None:
+                    tracer.record("expire", event, instance)
+                if instance.state == accepting:
+                    accepted_now.append(instance.buffer.to_substitution())
+                    stats.accepted_buffers += 1
+                    if tracer is not None:
+                        tracer.record("accept", event, instance)
+                continue
+            self._consume(instance, event, next_omega)
+        self._omega = next_omega
+        stats.observe_omega(len(next_omega))
+        self._accepted.extend(accepted_now)
+        return accepted_now
+
+    def _expire_only(self, event: Event) -> List[Substitution]:
+        """Expiry sweep without consumption (filtered events, streaming)."""
+        stats = self.stats
+        tau = self.automaton.tau
+        accepting = self.automaton.accepting
+        accepted_now: List[Substitution] = []
+        survivors: List[AutomatonInstance] = []
+        for instance in self._omega:
+            if instance.expired(event, tau):
+                stats.expired_instances += 1
+                if instance.state == accepting:
+                    accepted_now.append(instance.buffer.to_substitution())
+                    stats.accepted_buffers += 1
+            else:
+                survivors.append(instance)
+        self._omega = survivors
+        self._accepted.extend(accepted_now)
+        return accepted_now
+
+    def _consume(self, instance: AutomatonInstance, event: Event,
+                 out: List[AutomatonInstance]) -> None:
+        """Algorithm 2 (ConsumeEvent), appending survivors to ``out``.
+
+        In ``"exhaustive"`` mode the original instance also survives when
+        transitions fire, so the run may *skip* a consumable event — the
+        skip-till-any-match behaviour needed for Definition-2 exactness.
+        """
+        stats = self.stats
+        tracer = self.tracer
+        fired = 0
+        for transition in self.automaton.outgoing(instance.state):
+            if transition.admits(event, instance.buffer):
+                successor = instance.advance(
+                    transition.target, transition.variable, event)
+                out.append(successor)
+                fired += 1
+                if tracer is not None:
+                    tracer.record("transition", event, instance,
+                                  transition, successor)
+        if fired:
+            stats.transitions_fired += fired
+            if fired > 1:
+                stats.branchings += fired - 1
+                stats.instances_created += fired - 1
+            if (self.consume_mode == "exhaustive"
+                    and instance.state != self.automaton.start):
+                out.append(instance)
+                stats.instances_created += 1
+        elif instance.state != self.automaton.start:
+            if self.consume_mode == "contiguous":
+                # Strict contiguity: a non-consumable event ends the run;
+                # a run already in the accepting state is complete.
+                if instance.state == self.automaton.accepting:
+                    self._accepted_during_consume.append(
+                        instance.buffer.to_substitution())
+                    stats.accepted_buffers += 1
+                    if tracer is not None:
+                        tracer.record("accept", event, instance)
+                elif tracer is not None:
+                    tracer.record("drop", event, instance)
+                return
+            out.append(instance)
+            if tracer is not None:
+                tracer.record("skip", event, instance)
+        elif tracer is not None:
+            tracer.record("drop", event, instance)
+
+    def finish(self) -> List[Substitution]:
+        """Flush: accept buffers of instances resting in the accepting state."""
+        accepted_now: List[Substitution] = []
+        for instance in self._omega:
+            if instance.state == self.automaton.accepting:
+                accepted_now.append(instance.buffer.to_substitution())
+                self.stats.accepted_buffers += 1
+                if self.tracer is not None:
+                    self.tracer.record("flush", None, instance)
+        self._omega = []
+        self._accepted.extend(accepted_now)
+        return accepted_now
+
+    # ------------------------------------------------------------------
+    # Batch execution and result selection
+    # ------------------------------------------------------------------
+    def run(self, events: Iterable[Event]) -> MatchResult:
+        """Execute over a complete relation and select results."""
+        self.reset()
+        for event in events:
+            self.feed(event)
+        self.finish()
+        matches = self.select(self._accepted)
+        self.stats.matches = len(matches)
+        return MatchResult(matches=matches, accepted=list(self._accepted),
+                           stats=self.stats)
+
+    def select(self, accepted: Sequence[Substitution]) -> List[Substitution]:
+        """Apply the configured result selection to accepted buffers."""
+        if self.selection == "accepted":
+            return list(accepted)
+        overlap = "suppress" if self.selection == "paper" else "allow"
+        return select_matches(accepted, overlap=overlap)
+
+
+def execute(automaton: SESAutomaton, events: Iterable[Event],
+            event_filter: Optional[EventFilter] = None,
+            selection: str = "paper") -> MatchResult:
+    """One-shot convenience wrapper around :class:`SESExecutor`."""
+    executor = SESExecutor(automaton, event_filter=event_filter,
+                           selection=selection)
+    return executor.run(events)

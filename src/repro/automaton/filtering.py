@@ -1,0 +1,86 @@
+"""Event pre-filtering (Section 4.5).
+
+Events that satisfy none of the constant conditions ``v.A φ C`` of a
+pattern can never be bound by any transition, yet in Algorithm 1 every
+input event causes an iteration over all active automaton instances.  The
+paper therefore filters such events out right after they are read, which
+its Experiment 3 shows to cut execution time by about an order of
+magnitude.  Filtering does not change the set of accepted buffers, only the
+number of instance-loop iterations.
+
+Two filter modes are provided:
+
+* ``"paper"`` — the filter exactly as described: an event passes iff it
+  satisfies *at least one* constant condition from Θ.  This is only sound
+  when every variable carries at least one constant condition (otherwise
+  events intended for an unconstrained variable would be dropped); when a
+  variable has none, the filter disables itself and passes everything.
+* ``"conjunctive"`` (default) — an event passes iff there is *some variable*
+  all of whose constant conditions it satisfies.  This is always sound
+  (a variable without constant conditions accepts every event) and never
+  weaker than the paper mode.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..core.conditions import Condition
+from ..core.events import Event
+from ..core.pattern import SESPattern
+from ..core.variables import Variable
+
+__all__ = ["EventFilter"]
+
+
+class EventFilter:
+    """Pre-filter for input events, built from a pattern's Θ.
+
+    Use :meth:`admits` on each input event; events that fail can be skipped
+    without consulting any automaton instance.
+    """
+
+    def __init__(self, pattern: SESPattern, mode: str = "conjunctive"):
+        if mode not in ("paper", "conjunctive"):
+            raise ValueError(f"unknown filter mode {mode!r}")
+        self.mode = mode
+        self._by_variable: Dict[Variable, Tuple[Condition, ...]] = {
+            v: pattern.constant_conditions(v) for v in pattern.variables
+        }
+        self._all_constant: Tuple[Condition, ...] = pattern.constant_conditions()
+        unconstrained = [v for v, cs in self._by_variable.items() if not cs]
+        if mode == "paper" and unconstrained:
+            # The disjunctive filter would wrongly drop events destined for
+            # the unconstrained variables; fall back to passing everything.
+            self._effective = False
+        else:
+            self._effective = bool(self._all_constant) or bool(self._by_variable)
+        if not self._by_variable:
+            self._effective = False
+
+    @property
+    def is_effective(self) -> bool:
+        """False iff the filter passes every event (no pruning possible)."""
+        return self._effective
+
+    def admits(self, event: Event) -> bool:
+        """True iff ``event`` may be relevant to some variable."""
+        if not self._effective:
+            return True
+        if self.mode == "paper":
+            return any(self._safe(c, event) for c in self._all_constant)
+        for conditions in self._by_variable.values():
+            if all(self._safe(c, event) for c in conditions):
+                return True
+        return False
+
+    @staticmethod
+    def _safe(condition: Condition, event: Event) -> bool:
+        """Evaluate a constant condition, treating missing attributes as False."""
+        if condition.left.attribute not in event:
+            return False
+        return condition.evaluate_events(event)
+
+    def __repr__(self) -> str:
+        state = "effective" if self._effective else "pass-through"
+        return f"EventFilter(mode={self.mode!r}, {state})"

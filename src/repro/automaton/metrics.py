@@ -1,0 +1,89 @@
+"""Execution statistics for SES automaton runs.
+
+The paper's experiments measure the maximal number of simultaneously active
+automaton instances (``|Ω|`` in Algorithm 1) and wall-clock execution time.
+:class:`ExecutionStats` tracks those plus a few extra counters useful for
+ablations (transitions fired, branchings, filtered events).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+__all__ = ["ExecutionStats", "sparkline"]
+
+
+@dataclass
+class ExecutionStats:
+    """Counters collected during one execution of a SES automaton."""
+
+    #: Events read from the input relation.
+    events_read: int = 0
+    #: Events dropped by the Section 4.5 pre-filter.
+    events_filtered: int = 0
+    #: Events that reached the instance loop.
+    events_processed: int = 0
+    #: Automaton instances created (start instances + branchings).
+    instances_created: int = 0
+    #: Maximal number of simultaneously active instances (max |Ω|).
+    max_simultaneous_instances: int = 0
+    #: Transitions taken (bindings added to some buffer).
+    transitions_fired: int = 0
+    #: Extra instances spawned by nondeterministic branching.
+    branchings: int = 0
+    #: Instances dropped because their window expired.
+    expired_instances: int = 0
+    #: Buffers accepted (instance expired or flushed in the accepting state).
+    accepted_buffers: int = 0
+    #: Matches reported after result selection.
+    matches: int = 0
+    #: Optional per-event Ω population timeline (see :meth:`enable_history`).
+    omega_history: Optional[List[Tuple[object, int]]] = field(
+        default=None, repr=False)
+    #: Timestamp the next observation will be recorded under.
+    _current_ts: object = field(default=None, repr=False)
+
+    def enable_history(self) -> None:
+        """Start recording ``(timestamp, |Ω|)`` samples.
+
+        One sample is kept per observation; use
+        :func:`sparkline` to render the timeline for humans.  Costs one
+        list append per event — leave off for measurement runs.
+        """
+        if self.omega_history is None:
+            self.omega_history = []
+
+    def observe_event(self, ts) -> None:
+        """Tag subsequent Ω observations with the event timestamp."""
+        self._current_ts = ts
+
+    def observe_omega(self, size: int) -> None:
+        """Record the current size of Ω."""
+        if size > self.max_simultaneous_instances:
+            self.max_simultaneous_instances = size
+        if self.omega_history is not None:
+            self.omega_history.append((self._current_ts, size))
+
+
+#: Unicode block characters for :func:`sparkline`, lowest to highest.
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(history: List[Tuple[object, int]], width: int = 60) -> str:
+    """Render an Ω population timeline as a one-line text sparkline.
+
+    ``history`` is ``stats.omega_history``; the samples are bucketed down
+    to ``width`` columns (max per bucket) and scaled to eight levels.
+    """
+    if not history:
+        return ""
+    sizes = [s for _, s in history]
+    if len(sizes) > width:
+        bucket = len(sizes) / width
+        sizes = [max(sizes[int(i * bucket):max(int(i * bucket) + 1,
+                                               int((i + 1) * bucket))])
+                 for i in range(width)]
+    peak = max(sizes) or 1
+    levels = len(_BLOCKS) - 1
+    return "".join(_BLOCKS[round(s / peak * levels)] for s in sizes)

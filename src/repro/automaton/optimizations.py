@@ -1,0 +1,296 @@
+"""Runtime optimizations beyond the paper's algorithm.
+
+The paper's future work names "space and runtime optimizations …
+including indexing techniques for automaton instances [11]".  This module
+implements two such techniques and benchmarks them as ablations (see
+benchmarks/bench_ablation_optimizations.py).  :class:`IndexedExecutor`
+accepts exactly the buffers Algorithm 1 accepts;
+:class:`PartitionedMatcher` accepts a superset (see below).
+
+* :class:`IndexedExecutor` groups the instance population Ω by current
+  state.  Constant transition conditions depend only on the input event,
+  so they are evaluated **once per (state, transition) per event** instead
+  of once per instance; a state whose outgoing transitions all fail their
+  constant conditions lets all its instances skip the event wholesale.
+* :class:`PartitionedMatcher` splits the relation on an attribute that the
+  pattern equi-joins across *all* variables (e.g. the patient ``ID`` of
+  Query Q1) and runs one executor per partition.  Cross-partition
+  combinations are provably condition-violating, so pruning them is safe
+  and the per-partition instance populations are much smaller.  Note the
+  recall subtlety: under skip-till-next-match an unpartitioned run can be
+  *hijacked* — a greedy instance binds a cross-partition event on a
+  transition whose join conditions are not yet checkable and dies in a
+  dead end.  Partitioned execution never sees such events, so it accepts
+  a **superset** of the buffers Algorithm 1 accepts (closer to the
+  declarative Definition 2); it never loses a match.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from ..core.events import Event
+from ..core.pattern import SESPattern
+from ..core.relation import EventRelation
+from ..core.semantics import select_matches
+from ..core.substitution import Substitution
+from ..core.variables import Variable
+from .automaton import SESAutomaton
+from .buffer import EMPTY_BUFFER
+from .executor import SELECTIONS, MatchResult
+from .filtering import EventFilter
+from .instance import AutomatonInstance
+from .metrics import ExecutionStats
+from .states import State
+
+__all__ = ["IndexedExecutor", "PartitionedMatcher", "partition_attribute"]
+
+
+class IndexedExecutor:
+    """Algorithm 1 with the instance population indexed by state.
+
+    Exposes the same ``feed`` / ``finish`` / ``run`` interface as
+    :class:`~repro.automaton.executor.SESExecutor`.  Only the greedy
+    (skip-till-next-match) consumption mode is implemented — for the
+    exhaustive or contiguous modes, tracing, or Ω-history recording, use
+    the plain executor.
+    """
+
+    def __init__(self, automaton: SESAutomaton,
+                 event_filter: Optional[EventFilter] = None,
+                 selection: str = "paper"):
+        if selection not in SELECTIONS:
+            raise ValueError(f"unknown selection {selection!r}")
+        self.automaton = automaton
+        self.event_filter = event_filter
+        self.selection = selection
+        # Per transition: event-only checks (anchored conditions evaluated
+        # once per state group) and binding-dependent checks as
+        # (partner variable, anchored condition) pairs.
+        self._split_checks: Dict[int, Tuple[tuple, tuple]] = {}
+        for state in automaton.states:
+            for transition in automaton.outgoing(state):
+                event_only = []
+                dependent = []
+                for condition in transition.conditions:
+                    anchored = condition.normalised_for(transition.variable)
+                    other = condition.other_variable(transition.variable)
+                    if other is None or other == transition.variable:
+                        event_only.append(anchored)
+                    else:
+                        dependent.append((other, anchored))
+                self._split_checks[id(transition)] = (tuple(event_only),
+                                                      tuple(dependent))
+        self.reset()
+
+    def reset(self) -> None:
+        """Clear all execution state."""
+        self._by_state: Dict[State, List[AutomatonInstance]] = {}
+        self._accepted: List[Substitution] = []
+        self._population = 0
+        self._last_ts = None
+        self.stats = ExecutionStats()
+
+    @property
+    def active_instances(self) -> int:
+        """Current size of Ω."""
+        return self._population
+
+    @property
+    def accepted_buffers(self) -> List[Substitution]:
+        """Buffers accepted so far."""
+        return list(self._accepted)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def feed(self, event: Event) -> List[Substitution]:
+        """Consume one event (same contract as SESExecutor.feed)."""
+        stats = self.stats
+        stats.events_read += 1
+        if self._last_ts is not None and event.ts < self._last_ts:
+            raise ValueError("events must arrive in chronological order")
+        self._last_ts = event.ts
+        if self.event_filter is not None and not self.event_filter.admits(event):
+            stats.events_filtered += 1
+            return []
+        stats.events_processed += 1
+
+        automaton = self.automaton
+        tau = automaton.tau
+        accepting = automaton.accepting
+
+        by_state = self._by_state
+        by_state.setdefault(automaton.start, []).append(
+            AutomatonInstance(automaton.start, EMPTY_BUFFER))
+        stats.instances_created += 1
+        self._population += 1
+        stats.observe_omega(self._population)
+
+        accepted_now: List[Substitution] = []
+        next_by_state: Dict[State, List[AutomatonInstance]] = {}
+        population = 0
+
+        for state, instances in by_state.items():
+            # Evaluate event-only conditions once for the whole group.
+            enabled = []
+            for transition in automaton.outgoing(state):
+                event_only, dependent = self._split_checks[id(transition)]
+                if all(a.evaluate_events(event, event) for a in event_only):
+                    enabled.append((transition, dependent))
+            survivors = next_by_state
+            for instance in instances:
+                if instance.expired(event, tau):
+                    stats.expired_instances += 1
+                    if state == accepting:
+                        accepted_now.append(instance.buffer.to_substitution())
+                        stats.accepted_buffers += 1
+                    continue
+                buffer = instance.buffer
+                fired = 0
+                for transition, dependent in enabled:
+                    admitted = True
+                    for other, anchored in dependent:
+                        for partner in buffer.events_of(other):
+                            if not anchored.evaluate_events(event, partner):
+                                admitted = False
+                                break
+                        if not admitted:
+                            break
+                    if admitted:
+                        successor = instance.advance(
+                            transition.target, transition.variable, event)
+                        survivors.setdefault(transition.target, []).append(successor)
+                        population += 1
+                        fired += 1
+                if fired:
+                    stats.transitions_fired += fired
+                    if fired > 1:
+                        stats.branchings += fired - 1
+                        stats.instances_created += fired - 1
+                elif state != automaton.start:
+                    survivors.setdefault(state, []).append(instance)
+                    population += 1
+        self._by_state = next_by_state
+        self._population = population
+        stats.observe_omega(population)
+        self._accepted.extend(accepted_now)
+        return accepted_now
+
+    def finish(self) -> List[Substitution]:
+        """Flush accepting instances at end of input."""
+        accepted_now: List[Substitution] = []
+        for instance in self._by_state.get(self.automaton.accepting, ()):
+            accepted_now.append(instance.buffer.to_substitution())
+            self.stats.accepted_buffers += 1
+        self._by_state = {}
+        self._population = 0
+        self._accepted.extend(accepted_now)
+        return accepted_now
+
+    def run(self, events: Iterable[Event]) -> MatchResult:
+        """Batch execution with result selection."""
+        self.reset()
+        for event in events:
+            self.feed(event)
+        self.finish()
+        if self.selection == "accepted":
+            matches = list(self._accepted)
+        else:
+            overlap = "suppress" if self.selection == "paper" else "allow"
+            matches = select_matches(self._accepted, overlap=overlap)
+        self.stats.matches = len(matches)
+        return MatchResult(matches=matches, accepted=list(self._accepted),
+                           stats=self.stats)
+
+
+def partition_attribute(pattern: SESPattern) -> Optional[str]:
+    """An attribute on which the pattern equi-joins *all* its variables.
+
+    Returns the attribute name if Θ's equality conditions over a single
+    attribute connect every variable of the pattern (so events from
+    different partitions can never co-occur in a match), else ``None``.
+    """
+    candidates: Dict[str, List[Tuple[Variable, Variable]]] = {}
+    for condition in pattern.conditions:
+        if condition.is_constant or condition.op != "=":
+            continue
+        left, right = condition.left, condition.right
+        if left.attribute != right.attribute:  # type: ignore[union-attr]
+            continue
+        candidates.setdefault(left.attribute, []).append(
+            (left.variable, right.variable))  # type: ignore[union-attr]
+    variables = pattern.variables
+    for attribute, edges in sorted(candidates.items()):
+        # Union-find over the equality graph.
+        parent = {v: v for v in variables}
+
+        def find(v):
+            while parent[v] != v:
+                parent[v] = parent[parent[v]]
+                v = parent[v]
+            return v
+
+        for a, b in edges:
+            parent[find(a)] = find(b)
+        roots = {find(v) for v in variables}
+        if len(roots) == 1:
+            return attribute
+    return None
+
+
+class PartitionedMatcher:
+    """Evaluate a pattern per partition of an equi-joined attribute.
+
+    Raises :class:`ValueError` if the pattern's conditions do not connect
+    all variables through equalities on a single attribute (partitioning
+    would be unsound); pass ``attribute`` explicitly to override the
+    automatic detection (at your own risk).
+    """
+
+    def __init__(self, pattern: SESPattern, attribute: Optional[str] = None,
+                 use_filter: bool = True, selection: str = "paper"):
+        detected = partition_attribute(pattern)
+        if attribute is None:
+            attribute = detected
+        if attribute is None:
+            raise ValueError(
+                "pattern does not equi-join all variables on a single "
+                "attribute; partitioned execution would lose matches"
+            )
+        self.attribute = attribute
+        self.pattern = pattern
+        self.selection = selection
+        # Imported here: core.matcher itself imports this package.
+        from ..core.matcher import Matcher
+        self._matcher = Matcher(pattern, use_filter=use_filter,
+                                selection="accepted")
+
+    def run(self, relation: Union[EventRelation, Iterable[Event]]) -> MatchResult:
+        """Run the pattern over every partition; merge and select results."""
+        if not isinstance(relation, EventRelation):
+            relation = EventRelation(relation)
+        accepted: List[Substitution] = []
+        stats = ExecutionStats()
+        peak = 0
+        for _, part in sorted(relation.partition_by(self.attribute).items(),
+                              key=lambda kv: str(kv[0])):
+            result = self._matcher.run(part)
+            accepted.extend(result.accepted)
+            stats.events_read += result.stats.events_read
+            stats.events_filtered += result.stats.events_filtered
+            stats.events_processed += result.stats.events_processed
+            stats.instances_created += result.stats.instances_created
+            stats.transitions_fired += result.stats.transitions_fired
+            stats.branchings += result.stats.branchings
+            stats.expired_instances += result.stats.expired_instances
+            stats.accepted_buffers += result.stats.accepted_buffers
+            peak = max(peak, result.stats.max_simultaneous_instances)
+        stats.max_simultaneous_instances = peak
+        if self.selection == "accepted":
+            matches = list(accepted)
+        else:
+            overlap = "suppress" if self.selection == "paper" else "allow"
+            matches = select_matches(accepted, overlap=overlap)
+        stats.matches = len(matches)
+        return MatchResult(matches=matches, accepted=accepted, stats=stats)

@@ -1,0 +1,38 @@
+"""States of a SES automaton.
+
+A state is a subset of the pattern's event variables (Definition 3): the
+variables that have already been bound on the way to this state.  States are
+plain ``frozenset`` values wrapped with helpers for naming and ordering so
+that automata print the way the paper draws them (e.g. ``cdp+``).
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Tuple
+
+from ..core.variables import Variable
+
+__all__ = ["State", "make_state", "state_label"]
+
+#: A state is a frozen set of event variables.
+State = FrozenSet[Variable]
+
+
+def make_state(variables: Iterable[Variable] = ()) -> State:
+    """Create a state from an iterable of variables."""
+    return frozenset(variables)
+
+
+def state_label(state: State) -> str:
+    """Human-readable label: concatenated variable names, sorted.
+
+    The empty (start) state renders as ``∅`` like in the paper's figures.
+    """
+    if not state:
+        return "∅"
+    return "".join(repr(v) for v in sorted(state))
+
+
+def state_sort_key(state: State) -> Tuple[int, str]:
+    """Deterministic ordering: by size, then by label."""
+    return (len(state), state_label(state))

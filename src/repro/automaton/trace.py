@@ -1,0 +1,111 @@
+"""Execution tracing: Figure 6-style step-by-step introspection.
+
+The paper explains its algorithm with a trace of automaton instances
+consuming the running example (Figure 6).  :class:`Tracer` records the
+same information from a live :class:`~repro.automaton.executor.SESExecutor`
+— instance creation, transitions, branches, skips, expiry, acceptance —
+as structured :class:`TraceStep` records, and :func:`format_trace`
+renders them for humans::
+
+    tracer = Tracer()
+    executor = SESExecutor(automaton, tracer=tracer)
+    executor.run(relation)
+    print(format_trace(tracer.steps))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..core.events import Event
+from .instance import AutomatonInstance
+from .states import state_label
+from .transitions import Transition
+
+__all__ = ["TraceStep", "Tracer", "format_trace"]
+
+#: Step kinds, in the vocabulary of Algorithm 1 / Figure 6.
+KINDS = ("start", "transition", "skip", "drop", "expire", "accept", "flush")
+
+
+@dataclass(frozen=True)
+class TraceStep:
+    """One recorded execution step."""
+
+    #: What happened (one of :data:`KINDS`).
+    kind: str
+    #: The input event driving the step (``None`` for end-of-input flushes).
+    event: Optional[Event]
+    #: The instance before the step.
+    instance: AutomatonInstance
+    #: The transition taken (``kind == "transition"`` only).
+    transition: Optional[Transition] = None
+    #: The successor instance (``kind == "transition"`` only).
+    successor: Optional[AutomatonInstance] = None
+
+    def describe(self) -> str:
+        """Single-line human-readable rendering."""
+        event = self.event.eid or f"T={self.event.ts}" if self.event else "EOF"
+        state = state_label(self.instance.state)
+        if self.kind == "start":
+            return f"read {event}: new instance at {state}"
+        if self.kind == "transition":
+            target = state_label(self.successor.state)
+            return (f"read {event}: ({state}) --{self.transition.variable!r}--> "
+                    f"({target}) β={self.successor.buffer!r}")
+        if self.kind == "skip":
+            return f"read {event}: ignored by instance at {state}"
+        if self.kind == "drop":
+            return f"read {event}: start instance dropped (no transition)"
+        if self.kind == "expire":
+            return (f"read {event}: instance at {state} expired "
+                    f"β={self.instance.buffer!r}")
+        if self.kind in ("accept", "flush"):
+            return (f"{'flush' if self.kind == 'flush' else f'read {event}'}: "
+                    f"ACCEPT β={self.instance.buffer!r}")
+        return f"{self.kind} {event} {state}"
+
+
+class Tracer:
+    """Collects :class:`TraceStep` records from an executor.
+
+    Pass an instance as ``SESExecutor(..., tracer=...)``.  ``max_steps``
+    bounds memory on long runs (oldest steps are *not* evicted — recording
+    simply stops — so a trace is always a faithful prefix).
+    """
+
+    def __init__(self, max_steps: int = 100_000):
+        self.max_steps = max_steps
+        self.steps: List[TraceStep] = []
+
+    def record(self, kind: str, event: Optional[Event],
+               instance: AutomatonInstance,
+               transition: Optional[Transition] = None,
+               successor: Optional[AutomatonInstance] = None) -> None:
+        """Append one step (no-op once ``max_steps`` is reached)."""
+        if len(self.steps) >= self.max_steps:
+            return
+        self.steps.append(TraceStep(kind, event, instance, transition,
+                                    successor))
+
+    def clear(self) -> None:
+        """Drop all recorded steps."""
+        self.steps = []
+
+    def of_kind(self, kind: str) -> List[TraceStep]:
+        """All steps of one kind."""
+        return [s for s in self.steps if s.kind == kind]
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+
+def format_trace(steps: List[TraceStep], skip_kinds=("start", "drop")) -> str:
+    """Render steps one per line, Figure 6 style.
+
+    ``skip_kinds`` suppresses the noisiest step kinds by default (a start
+    instance is created for every event).
+    """
+    lines = [step.describe() for step in steps if step.kind not in skip_kinds]
+    return "\n".join(lines)

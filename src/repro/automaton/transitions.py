@@ -1,0 +1,113 @@
+"""Transitions of a SES automaton.
+
+A transition ``δ = (q, v, Θδ)`` (Definition 3) leads from source state ``q``
+to target state ``q ∪ {v}`` when the transition condition set ``Θδ`` is
+satisfied by the new binding together with the bindings already collected.
+For a group variable ``v+ ∈ q`` the target equals the source, i.e. the
+transition loops.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+from ..core.conditions import Condition
+from ..core.events import Event
+from ..core.substitution import Substitution
+from ..core.variables import Variable
+from .states import State, state_label
+
+__all__ = ["Transition"]
+
+
+class Transition:
+    """A transition ``δ = (q, v, Θδ)``.
+
+    Parameters
+    ----------
+    source:
+        Source state ``q``.
+    variable:
+        The event variable bound when the transition fires.
+    conditions:
+        The transition condition set ``Θδ``.
+    """
+
+    __slots__ = ("source", "variable", "conditions", "_target", "_checks")
+
+    def __init__(self, source: State, variable: Variable,
+                 conditions: Iterable[Condition] = ()):
+        self.source: State = frozenset(source)
+        self.variable = variable
+        self.conditions: Tuple[Condition, ...] = tuple(conditions)
+        self._target: State = self.source | {variable}
+        # Precompile the condition checks so admits() does no per-event
+        # normalisation: each entry is (partner_variable_or_None, anchored
+        # condition with `variable` on the left).
+        checks = []
+        for condition in self.conditions:
+            other = condition.other_variable(variable)
+            anchored = condition.normalised_for(variable)
+            if other is None or other == variable:
+                checks.append((None, anchored))
+            else:
+                checks.append((other, anchored))
+        self._checks: Tuple = tuple(checks)
+
+    @property
+    def target(self) -> State:
+        """Target state ``q ∪ {v}`` (equals ``q`` for a looping transition)."""
+        return self._target
+
+    @property
+    def is_loop(self) -> bool:
+        """True iff the transition loops (group variable already in ``q``)."""
+        return self._target == self.source
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def admits(self, event: Event, buffer: Substitution) -> bool:
+        """Evaluate ``Θδ`` for binding ``event`` to :attr:`variable`.
+
+        The check is incremental: conditions are instantiated with the new
+        binding against *every* existing binding of the other mentioned
+        variable (decomposition semantics).  Bindings already in the buffer
+        were validated when they were added, so re-checking pairs that do
+        not involve the new event is unnecessary.
+        """
+        for other, anchored in self._checks:
+            if other is None:
+                # Constant condition, or a self-condition v.A φ v.A': both
+                # evaluate on the new event alone (a decomposed substitution
+                # binds one event per variable).
+                if not anchored.evaluate_events(event, event):
+                    return False
+                continue
+            partner_events = buffer.events_of(other)
+            # An unbound partner cannot be checked on this transition; the
+            # builder only routes conditions whose partner is guaranteed
+            # bound, so this only happens for custom automata — treat as
+            # satisfied (checked later).
+            for partner in partner_events:
+                if not anchored.evaluate_events(event, partner):
+                    return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Dunder plumbing
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Transition):
+            return NotImplemented
+        return (self.source == other.source
+                and self.variable == other.variable
+                and frozenset(self.conditions) == frozenset(other.conditions))
+
+    def __hash__(self) -> int:
+        return hash((self.source, self.variable, frozenset(self.conditions)))
+
+    def __repr__(self) -> str:
+        conds = ", ".join(repr(c) for c in self.conditions)
+        return (f"({state_label(self.source)} --{self.variable!r}--> "
+                f"{state_label(self.target)} [{conds}])")

@@ -1,0 +1,11 @@
+"""Baselines: the brute force rewriting (Section 5.2) and the naive oracle."""
+
+from .bruteforce import BruteForceMatcher, brute_force_match
+from .naive import NaiveMatcher, naive_match
+from .sequences import enumerate_sequences, sequence_count, sequence_pattern
+
+__all__ = [
+    "BruteForceMatcher", "NaiveMatcher", "brute_force_match",
+    "enumerate_sequences", "naive_match", "sequence_count",
+    "sequence_pattern",
+]

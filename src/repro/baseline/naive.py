@@ -1,0 +1,60 @@
+"""Naive declarative matcher: Definition 2 executed literally.
+
+This matcher enumerates the candidate set Γ exhaustively and filters it
+with Definition 2's conditions — no automaton involved.  It is exponential
+in the relation size and exists purely as a *correctness oracle*: on any
+input small enough to enumerate, the automaton engine and the brute force
+baseline must agree with it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Union
+
+from ..core.events import Event
+from ..core.pattern import SESPattern
+from ..core.relation import EventRelation
+from ..core.semantics import matching_substitutions
+from ..core.substitution import Substitution
+
+__all__ = ["NaiveMatcher", "naive_match"]
+
+
+class NaiveMatcher:
+    """Reference matcher implementing Definition 2 by enumeration.
+
+    Parameters
+    ----------
+    pattern:
+        The SES pattern.
+    max_group_bindings:
+        Cap on events a single group variable may bind during enumeration
+        (bounds the exponential search).
+    overlap:
+        ``"suppress"`` (paper's intended results, default) or ``"allow"``.
+    """
+
+    def __init__(self, pattern: SESPattern, max_group_bindings: int = 6,
+                 overlap: str = "suppress"):
+        self.pattern = pattern
+        self.max_group_bindings = max_group_bindings
+        self.overlap = overlap
+
+    def run(self, relation: Union[EventRelation, Iterable[Event]]
+            ) -> List[Substitution]:
+        """Return the matching substitutions of the pattern in ``relation``."""
+        return matching_substitutions(
+            self.pattern, relation,
+            max_group_bindings=self.max_group_bindings,
+            overlap=self.overlap,
+        )
+
+    def __repr__(self) -> str:
+        return f"NaiveMatcher({self.pattern!r})"
+
+
+def naive_match(pattern: SESPattern,
+                relation: Union[EventRelation, Iterable[Event]],
+                overlap: str = "suppress") -> List[Substitution]:
+    """One-shot naive evaluation (see :class:`NaiveMatcher`)."""
+    return NaiveMatcher(pattern, overlap=overlap).run(relation)

@@ -1,0 +1,62 @@
+"""Enumeration of variable sequences for the brute force baseline.
+
+The brute force algorithm (Section 5.2) rewrites a SES pattern into the set
+of *all possible sequences* of its event variables: one permutation per
+event set pattern, concatenated in pattern order.  The number of sequences
+is ``|V1|! · |V2|! · ... · |Vm|!``.  Each sequence becomes an ordinary
+sequential pattern — a SES pattern whose event set patterns are all
+singletons — which existing engines (DejaVu, SASE+, Cayuga) can evaluate.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Iterator, List, Tuple
+
+from ..core.pattern import SESPattern
+from ..core.variables import Variable
+
+__all__ = ["sequence_count", "enumerate_sequences", "sequence_pattern"]
+
+
+def sequence_count(pattern: SESPattern) -> int:
+    """``|V1|! · ... · |Vm|!`` — the number of brute force sequences."""
+    count = 1
+    for vs in pattern.sets:
+        count *= math.factorial(len(vs))
+    return count
+
+
+def enumerate_sequences(pattern: SESPattern) -> Iterator[Tuple[Variable, ...]]:
+    """Yield every sequence of event variables (Section 5.2).
+
+    A sequence is the concatenation of one permutation of each event set
+    pattern, in pattern order.  Variables within each set are permuted in a
+    deterministic (sorted) base order so the enumeration is reproducible.
+    """
+    per_set = [itertools.permutations(sorted(vs)) for vs in pattern.sets]
+    for combo in itertools.product(*per_set):
+        sequence: List[Variable] = []
+        for permutation in combo:
+            sequence.extend(permutation)
+        yield tuple(sequence)
+
+
+def sequence_pattern(pattern: SESPattern,
+                     sequence: Tuple[Variable, ...]) -> SESPattern:
+    """Build the sequential SES pattern for one variable sequence.
+
+    Every variable becomes its own (singleton) event set pattern; the
+    conditions Θ and duration τ are inherited unchanged.  Note the caveat
+    the paper's related-work section raises for sequence-based rewritings:
+    a group variable in a sequence loops at a fixed position, so its
+    bindings must be *consecutive* — the rewriting is exact only for
+    patterns without group variables (which is what the paper's
+    Experiment 1 uses).
+    """
+    return SESPattern(
+        sets=[[v] for v in sequence],
+        conditions=list(pattern.conditions),
+        tau=pattern.tau,
+    )

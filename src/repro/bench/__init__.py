@@ -1,0 +1,15 @@
+"""Benchmark harness for the paper's evaluation (Section 5)."""
+
+from .experiments import (print_experiment1, print_experiment2,
+                          print_experiment3, run_experiment1, run_experiment2,
+                          run_experiment3)
+from .harness import PROFILES, Profile, resolve_profile, timed
+from .plots import bar_chart, series_chart
+from .report import format_table, print_table
+
+__all__ = [
+    "PROFILES", "Profile", "bar_chart", "format_table", "print_experiment1",
+    "print_experiment2", "print_experiment3", "print_table",
+    "resolve_profile", "run_experiment1", "run_experiment2",
+    "run_experiment3", "series_chart", "timed",
+]

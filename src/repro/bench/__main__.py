@@ -1,0 +1,35 @@
+"""Run the full evaluation: ``python -m repro.bench [profile]``.
+
+Executes Experiments 1-3 at the selected scale profile and prints the
+paper-style tables.  Profiles: quick, default, large (or set the
+``REPRO_BENCH_PROFILE`` environment variable).
+"""
+
+import sys
+
+from .experiments import (print_experiment1, print_experiment2,
+                          print_experiment3, run_experiment1, run_experiment2,
+                          run_experiment3)
+from .harness import resolve_profile
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    profile = resolve_profile(argv[0] if argv else None)
+    exp1_relation = profile.exp1_relation()
+    exp23_base = profile.exp23_base()
+    print(f"profile: {profile.name}")
+    print(f"experiment 1 relation: {len(exp1_relation)} events, "
+          f"W = {exp1_relation.window_size(264)}")
+    print(f"experiment 2/3 base:   {len(exp23_base)} events, "
+          f"W = {exp23_base.window_size(264)}")
+
+    print_experiment1(run_experiment1(exp1_relation,
+                                      max_vars=profile.exp1_max_vars))
+    print_experiment2(run_experiment2(exp23_base, factors=profile.factors))
+    print_experiment3(run_experiment3(exp23_base, factors=profile.factors))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,83 @@
+"""Benchmark harness: scale profiles, timing, and result records.
+
+The paper's workload (W = 1322 … 6610, a C implementation on a 2006
+server) is impractical to run at full size in pure Python, so the harness
+supports *scale profiles*.  All of the paper's findings are shape
+statements (ratios, growth classes, relative speedups), which are
+scale-invariant; EXPERIMENTS.md records our measurements next to the
+paper's.  Select a profile with the ``REPRO_BENCH_PROFILE`` environment
+variable (``quick`` / ``default`` / ``large``).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple
+
+from ..core.relation import EventRelation
+from ..data.chemo import generate_chemo
+
+__all__ = ["Profile", "PROFILES", "resolve_profile", "timed"]
+
+
+@dataclass(frozen=True)
+class Profile:
+    """A benchmark scale profile."""
+
+    name: str
+    #: Patients / cycles of the Experiment 1 relation.
+    exp1_patients: int
+    exp1_cycles: int
+    #: Largest |V1| for Experiment 1 (the paper uses 6).
+    exp1_max_vars: int
+    #: Patients / cycles of the Experiment 2/3 base relation (D1).
+    exp23_patients: int
+    exp23_cycles: int
+    #: Duplication factors (the paper uses 1..5 for D1..D5).
+    factors: Tuple[int, ...]
+
+    def exp1_relation(self, seed: int = 7) -> EventRelation:
+        """The relation Experiment 1 runs on."""
+        return generate_chemo(patients=self.exp1_patients,
+                              cycles=self.exp1_cycles, seed=seed)
+
+    def exp23_base(self, seed: int = 7) -> EventRelation:
+        """The D1 base relation for Experiments 2 and 3."""
+        return generate_chemo(patients=self.exp23_patients,
+                              cycles=self.exp23_cycles, seed=seed)
+
+
+PROFILES: Dict[str, Profile] = {
+    # Seconds-scale: CI and iteration.
+    "quick": Profile("quick", exp1_patients=6, exp1_cycles=2, exp1_max_vars=5,
+                     exp23_patients=6, exp23_cycles=2, factors=(1, 2, 3)),
+    # The shipping default: every experiment in a few minutes.
+    "default": Profile("default", exp1_patients=8, exp1_cycles=2,
+                       exp1_max_vars=6, exp23_patients=10, exp23_cycles=3,
+                       factors=(1, 2, 3, 4, 5)),
+    # Closer to the paper's scale; expect long runtimes in pure Python.
+    "large": Profile("large", exp1_patients=16, exp1_cycles=4,
+                     exp1_max_vars=6, exp23_patients=24, exp23_cycles=4,
+                     factors=(1, 2, 3, 4, 5)),
+}
+
+
+def resolve_profile(name: str = None) -> Profile:
+    """The profile named by ``name`` or ``$REPRO_BENCH_PROFILE`` (default
+    ``default``)."""
+    name = name or os.environ.get("REPRO_BENCH_PROFILE", "default")
+    try:
+        return PROFILES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown profile {name!r}; choose from {sorted(PROFILES)}"
+        ) from None
+
+
+def timed(fn: Callable, *args, **kwargs):
+    """Run ``fn`` and return ``(result, elapsed_seconds)``."""
+    start = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return result, time.perf_counter() - start

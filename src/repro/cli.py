@@ -1,0 +1,211 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``match``
+    Run a PERMUTE query over a CSV event relation and print the matches.
+``generate``
+    Write a synthetic chemotherapy relation to CSV.
+``explain``
+    Show the SES automaton a query compiles to (text or Graphviz DOT).
+``analyze``
+    Complexity report (Theorems 1–3) for a query and a data set or an
+    explicit window size.
+``lint``
+    Static diagnostics for a query (unsatisfiable variables, open join
+    graphs, heavy complexity classes).
+
+Event CSVs use the typed format of :mod:`repro.storage.csvio` (also what
+``generate`` writes).  Queries may be given inline with ``--query`` or
+from a file with ``--query-file``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .automaton.builder import build_automaton
+from .complexity import analyze
+from .core.diagnostics import diagnose
+from .core.matcher import match
+from .core.rewrite import close_equality_joins
+from .data.chemo import generate_chemo
+from .lang import QueryError, parse_pattern
+from .storage.csvio import load_relation, save_relation
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser for the ``repro`` command."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Sequenced event set pattern matching (EDBT 2011).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_match = sub.add_parser(
+        "match", help="run a PERMUTE query over a CSV event relation")
+    _add_query_arguments(p_match)
+    p_match.add_argument("--data", required=True, type=Path,
+                         help="event relation CSV (typed format)")
+    p_match.add_argument("--no-filter", action="store_true",
+                         help="disable the Section 4.5 event pre-filter")
+    p_match.add_argument("--selection", default="paper",
+                         choices=["paper", "all-starts", "accepted"],
+                         help="result selection policy (default: paper)")
+    p_match.add_argument("--mode", default="greedy",
+                         choices=["greedy", "exhaustive", "contiguous"],
+                         help="consumption mode (default: greedy)")
+    p_match.add_argument("--stats", action="store_true",
+                         help="also print execution statistics")
+
+    p_generate = sub.add_parser(
+        "generate", help="write a synthetic chemotherapy relation to CSV")
+    p_generate.add_argument("--out", required=True, type=Path,
+                            help="output CSV path")
+    p_generate.add_argument("--patients", type=int, default=12)
+    p_generate.add_argument("--cycles", type=int, default=4)
+    p_generate.add_argument("--seed", type=int, default=7)
+    p_generate.add_argument("--labs-per-cycle", type=int, default=30,
+                            help="background lab events per cycle")
+    p_generate.add_argument("--duplicate", type=int, default=1,
+                            metavar="FACTOR",
+                            help="repeat each event FACTOR times (D2-D5)")
+
+    p_explain = sub.add_parser(
+        "explain", help="show the SES automaton a query compiles to")
+    _add_query_arguments(p_explain)
+    p_explain.add_argument("--dot", action="store_true",
+                           help="emit Graphviz DOT instead of text")
+
+    p_lint = sub.add_parser(
+        "lint", help="static diagnostics for a query")
+    _add_query_arguments(p_lint)
+    p_lint.add_argument("--fix-joins", action="store_true",
+                        help="print the query with equality joins "
+                             "transitively closed")
+
+    p_analyze = sub.add_parser(
+        "analyze", help="complexity report (Theorems 1-3) for a query")
+    _add_query_arguments(p_analyze)
+    group = p_analyze.add_mutually_exclusive_group(required=True)
+    group.add_argument("--data", type=Path,
+                       help="compute the window size W from this CSV")
+    group.add_argument("--window", type=int,
+                       help="use this window size W directly")
+
+    return parser
+
+
+def _add_query_arguments(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_mutually_exclusive_group(required=True)
+    group.add_argument("--query", help="PERMUTE query text")
+    group.add_argument("--query-file", type=Path,
+                       help="file containing the PERMUTE query")
+
+
+def _load_pattern(args: argparse.Namespace):
+    text = args.query
+    if text is None:
+        text = args.query_file.read_text()
+    return parse_pattern(text)
+
+
+def _cmd_match(args: argparse.Namespace) -> int:
+    pattern = _load_pattern(args)
+    relation = load_relation(args.data)
+    result = match(pattern, relation,
+                   use_filter=not args.no_filter,
+                   selection=args.selection,
+                   consume_mode=args.mode)
+    print(f"{len(result)} match(es) in {len(relation)} events")
+    for i, substitution in enumerate(result, start=1):
+        bindings = ", ".join(f"{variable!r}/{event.eid or event.ts}"
+                             for variable, event in substitution)
+        print(f"  {i}. {{{bindings}}}  "
+              f"[T={substitution.min_ts()}..{substitution.max_ts()}]")
+    if args.stats:
+        stats = result.stats
+        print(f"events read:      {stats.events_read}")
+        print(f"events filtered:  {stats.events_filtered}")
+        print(f"max instances:    {stats.max_simultaneous_instances}")
+        print(f"transitions:      {stats.transitions_fired}")
+        print(f"accepted buffers: {stats.accepted_buffers}")
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    relation = generate_chemo(patients=args.patients, cycles=args.cycles,
+                              seed=args.seed,
+                              lab_events_per_cycle=args.labs_per_cycle)
+    if args.duplicate > 1:
+        relation = relation.duplicated(args.duplicate)
+    save_relation(relation, args.out)
+    window = relation.window_size(264)
+    print(f"wrote {len(relation)} events to {args.out} "
+          f"(W = {window} at tau = 264)")
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    pattern = _load_pattern(args)
+    automaton = build_automaton(pattern)
+    print(automaton.to_dot() if args.dot else automaton.describe())
+    return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    pattern = _load_pattern(args)
+    findings = diagnose(pattern)
+    if not findings:
+        print("no findings")
+    for finding in findings:
+        print(finding)
+    if args.fix_joins:
+        from .lang import render_pattern
+        print()
+        print(render_pattern(close_equality_joins(pattern)))
+    return 0 if not any(f.severity == "error" for f in findings) else 3
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    pattern = _load_pattern(args)
+    if args.window is not None:
+        window = args.window
+    else:
+        relation = load_relation(args.data)
+        window = relation.window_size(pattern.tau)
+        print(f"data: {len(relation)} events")
+    print(analyze(pattern, window).describe())
+    return 0
+
+
+_COMMANDS = {
+    "match": _cmd_match,
+    "generate": _cmd_generate,
+    "explain": _cmd_explain,
+    "analyze": _cmd_analyze,
+    "lint": _cmd_lint,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except QueryError as exc:
+        print(f"query error: {exc}", file=sys.stderr)
+        return 2
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

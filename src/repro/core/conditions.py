@@ -1,0 +1,295 @@
+"""Conditions over event variables (the set Θ of a SES pattern).
+
+A condition has one of two shapes (Definition 1):
+
+* ``v.A φ C`` — a *constant condition* comparing an attribute of the events
+  bound to ``v`` with a constant;
+* ``v.A φ v'.A'`` — a *variable condition* comparing attributes of events
+  bound to two (possibly equal) variables.
+
+``φ`` ranges over ``=, !=, <, <=, >, >=``.  Conditions on group variables
+apply to *every* event bound to the variable (decomposition semantics of
+Section 3.2).
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import Any, Callable, Dict, FrozenSet, Optional
+
+from .events import Event
+from .variables import Variable
+
+__all__ = [
+    "Operand",
+    "Const",
+    "Attr",
+    "Condition",
+    "OPERATORS",
+    "attr",
+    "const",
+]
+
+#: Comparison operators admitted by Definition 1 (plus ``!=`` which the SQL
+#: proposal writes ``<>``; it is harmless and often useful).
+OPERATORS: Dict[str, Callable[[Any, Any], bool]] = {
+    "=": operator.eq,
+    "!=": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+#: Operator names mirrored around the comparison, used to normalise
+#: conditions so that a designated variable appears on the left.
+MIRRORED: Dict[str, str] = {
+    "=": "=",
+    "!=": "!=",
+    "<": ">",
+    "<=": ">=",
+    ">": "<",
+    ">=": "<=",
+}
+
+
+#: Sentinel distinguishing "attribute absent" from any real value.
+_MISSING = object()
+
+
+class Operand:
+    """Base class for condition operands."""
+
+    __slots__ = ()
+
+
+class Const(Operand):
+    """A constant operand ``C``."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any):
+        self.value = value
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Const):
+            return NotImplemented
+        return self.value == other.value
+
+    def __hash__(self) -> int:
+        return hash(("const", self.value))
+
+    def __repr__(self) -> str:
+        return repr(self.value)
+
+
+class Attr(Operand):
+    """An attribute operand ``v.A``."""
+
+    __slots__ = ("variable", "attribute")
+
+    def __init__(self, variable: Variable, attribute: str):
+        if not isinstance(variable, Variable):
+            raise TypeError(f"expected Variable, got {variable!r}")
+        self.variable = variable
+        self.attribute = attribute
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Attr):
+            return NotImplemented
+        return (self.variable == other.variable
+                and self.attribute == other.attribute)
+
+    def __hash__(self) -> int:
+        return hash((self.variable, self.attribute))
+
+    def __repr__(self) -> str:
+        return f"{self.variable}.{self.attribute}"
+
+
+def attr(variable: Variable, attribute: str) -> Attr:
+    """Shorthand for :class:`Attr`."""
+    return Attr(variable, attribute)
+
+
+def const(value: Any) -> Const:
+    """Shorthand for :class:`Const`."""
+    return Const(value)
+
+
+class Condition:
+    """A single condition ``left φ right`` from Θ.
+
+    The left operand must be an :class:`Attr`; the right operand is either
+    an :class:`Attr` or a :class:`Const`.  Use :meth:`evaluate` to test the
+    condition against concrete events.
+    """
+
+    __slots__ = ("left", "op", "right")
+
+    def __init__(self, left: Attr, op: str, right: Operand):
+        if op not in OPERATORS:
+            raise ValueError(f"unknown comparison operator {op!r}")
+        if not isinstance(left, Attr):
+            raise TypeError("left operand of a condition must be v.A")
+        if not isinstance(right, (Attr, Const)):
+            raise TypeError("right operand must be v.A or a constant")
+        self.left = left
+        self.op = op
+        self.right = right
+
+    # ------------------------------------------------------------------
+    # Classification
+    # ------------------------------------------------------------------
+    @property
+    def is_constant(self) -> bool:
+        """True iff the condition has the shape ``v.A φ C``."""
+        return isinstance(self.right, Const)
+
+    @property
+    def variables(self) -> FrozenSet[Variable]:
+        """The set of variables the condition mentions (one or two)."""
+        vs = {self.left.variable}
+        if isinstance(self.right, Attr):
+            vs.add(self.right.variable)
+        return frozenset(vs)
+
+    def mentions(self, variable: Variable) -> bool:
+        """True iff the condition constrains ``variable``."""
+        return variable in self.variables
+
+    def other_variable(self, variable: Variable) -> Optional[Variable]:
+        """The other variable of a two-variable condition, else ``None``."""
+        if not isinstance(self.right, Attr):
+            return None
+        if self.left.variable == variable:
+            return self.right.variable
+        if self.right.variable == variable:
+            return self.left.variable
+        return None
+
+    def normalised_for(self, variable: Variable) -> "Condition":
+        """Return an equivalent condition with ``variable`` on the left.
+
+        Only meaningful for conditions that mention ``variable``; a
+        condition already left-anchored (or a constant condition on the
+        variable) is returned unchanged.
+        """
+        if self.left.variable == variable:
+            return self
+        if isinstance(self.right, Attr) and self.right.variable == variable:
+            return Condition(self.right, MIRRORED[self.op], self.left)
+        raise ValueError(f"condition {self!r} does not mention {variable!r}")
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def evaluate(self, bindings: Dict[Variable, Event]) -> bool:
+        """Evaluate against a per-variable event assignment.
+
+        ``bindings`` maps each mentioned variable to a single event (group
+        variables are evaluated once per decomposed combination, handled by
+        the caller).  Comparisons on incomparable values, and comparisons
+        involving an attribute the event does not carry, return ``False``
+        rather than raising — the permissive semantics of SQL-style
+        predicates over heterogeneous event payloads.
+        """
+        left_event = bindings.get(self.left.variable)
+        if left_event is None:
+            raise KeyError(f"no binding for {self.left.variable!r}")
+        sentinel = _MISSING
+        lhs = left_event.get(self.left.attribute, sentinel)
+        if lhs is sentinel:
+            return False
+        if isinstance(self.right, Const):
+            rhs = self.right.value
+        else:
+            right_event = bindings.get(self.right.variable)
+            if right_event is None:
+                raise KeyError(f"no binding for {self.right.variable!r}")
+            rhs = right_event.get(self.right.attribute, sentinel)
+            if rhs is sentinel:
+                return False
+        try:
+            return bool(OPERATORS[self.op](lhs, rhs))
+        except TypeError:
+            return False
+
+    def evaluate_events(self, left_event: Event,
+                        right_event: Optional[Event] = None) -> bool:
+        """Evaluate with explicit events for the left/right operands.
+
+        Missing attributes and incomparable values yield ``False``.
+        """
+        lhs = left_event.get(self.left.attribute, _MISSING)
+        if lhs is _MISSING:
+            return False
+        if isinstance(self.right, Const):
+            rhs = self.right.value
+        else:
+            if right_event is None:
+                raise ValueError("two-variable condition needs a right event")
+            rhs = right_event.get(self.right.attribute, _MISSING)
+            if rhs is _MISSING:
+                return False
+        try:
+            return bool(OPERATORS[self.op](lhs, rhs))
+        except TypeError:
+            return False
+
+    # ------------------------------------------------------------------
+    # Dunder plumbing
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Condition):
+            return NotImplemented
+        return (self.left == other.left and self.op == other.op
+                and self.right == other.right)
+
+    def __hash__(self) -> int:
+        return hash((self.left, self.op, self.right))
+
+    def __repr__(self) -> str:
+        return f"{self.left!r} {self.op} {self.right!r}"
+
+
+def _parse_operand(spec: str, variables: Dict[str, Variable]) -> Operand:
+    """Parse ``"v.A"`` (with v a known variable) or a constant literal."""
+    text = spec.strip()
+    if "." in text:
+        head, _, attribute = text.partition(".")
+        head = head.strip().rstrip("+")
+        if head in variables and attribute:
+            return Attr(variables[head], attribute.strip())
+    if text.startswith(("'", '"')) and text.endswith(text[0]) and len(text) >= 2:
+        return Const(text[1:-1])
+    try:
+        return Const(int(text))
+    except ValueError:
+        pass
+    try:
+        return Const(float(text))
+    except ValueError:
+        pass
+    return Const(text)
+
+
+def parse_condition(text: str, variables: Dict[str, Variable]) -> Condition:
+    """Parse a condition string such as ``"c.L = 'C'"`` or ``"c.ID = p.ID"``.
+
+    ``variables`` maps bare variable names (without ``+``) to their
+    :class:`~repro.core.variables.Variable` objects.  Group variables may be
+    written with or without the trailing ``+``.
+    """
+    for op in ("<=", ">=", "!=", "<>", "<", ">", "="):
+        if op in text:
+            left_text, _, right_text = text.partition(op)
+            left = _parse_operand(left_text, variables)
+            if not isinstance(left, Attr):
+                raise ValueError(
+                    f"left side of condition {text!r} must be v.A with a "
+                    f"declared variable"
+                )
+            right = _parse_operand(right_text, variables)
+            return Condition(left, "!=" if op == "<>" else op, right)
+    raise ValueError(f"no comparison operator found in condition {text!r}")

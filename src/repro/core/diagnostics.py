@@ -1,0 +1,149 @@
+"""Static pattern diagnostics — a linter for SES patterns.
+
+Several pattern-authoring mistakes are statically detectable and either
+make a pattern unmatchable or degrade the engine silently:
+
+* a variable whose own constant conditions conflict can never bind
+  (the pattern never matches);
+* ``τ = 0`` with several event set patterns can never satisfy the strict
+  inter-set order;
+* an equality join graph that is connected but not transitively closed
+  exposes the greedy engine to hijacking (see docs/semantics.md) —
+  :func:`repro.core.rewrite.close_equality_joins` fixes it;
+* a variable without constant conditions disables the paper-mode event
+  filter and weakens the default one;
+* non-exclusive sets with group variables put the pattern in Theorem 3's
+  high-complexity class.
+
+:func:`diagnose` returns structured findings; severity ``"error"`` means
+the pattern cannot match at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..complexity.bounds import (ComplexityCase, classify_set,
+                                 conditions_conflict)
+from .pattern import SESPattern
+from .rewrite import implied_equalities
+
+__all__ = ["Diagnostic", "diagnose"]
+
+#: Severities, most severe first.
+SEVERITIES = ("error", "warning", "info")
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of the pattern linter."""
+
+    #: Stable machine-readable code (kebab-case).
+    code: str
+    #: ``"error"`` (cannot match), ``"warning"``, or ``"info"``.
+    severity: str
+    #: Human-readable explanation with the affected names inline.
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.severity}] {self.code}: {self.message}"
+
+
+def _severity_rank(diagnostic: Diagnostic) -> Tuple[int, str]:
+    return (SEVERITIES.index(diagnostic.severity), diagnostic.code)
+
+
+def diagnose(pattern: SESPattern) -> List[Diagnostic]:
+    """Lint ``pattern``; findings are ordered errors → warnings → infos."""
+    findings: List[Diagnostic] = []
+    findings.extend(_check_unsatisfiable_variables(pattern))
+    findings.extend(_check_zero_tau_multi_set(pattern))
+    findings.extend(_check_open_join_graph(pattern))
+    findings.extend(_check_unconstrained_variables(pattern))
+    findings.extend(_check_heavy_sets(pattern))
+    findings.sort(key=_severity_rank)
+    return findings
+
+
+def _check_unsatisfiable_variables(pattern: SESPattern) -> List[Diagnostic]:
+    findings = []
+    for variable in sorted(pattern.variables):
+        constants = pattern.constant_conditions(variable)
+        for i, a in enumerate(constants):
+            for b in constants[i + 1:]:
+                if conditions_conflict(a, b):
+                    findings.append(Diagnostic(
+                        code="unsatisfiable-variable",
+                        severity="error",
+                        message=(f"variable {variable!r} can never bind: "
+                                 f"{a!r} conflicts with {b!r}"),
+                    ))
+    return findings
+
+
+def _check_zero_tau_multi_set(pattern: SESPattern) -> List[Diagnostic]:
+    if pattern.tau == 0 and len(pattern) > 1:
+        return [Diagnostic(
+            code="zero-window-multi-set",
+            severity="error",
+            message=(f"tau = 0 with {len(pattern)} event set patterns: the "
+                     "strict order between sets requires strictly later "
+                     "timestamps, which a zero-width window cannot contain"),
+        )]
+    return []
+
+
+def _check_open_join_graph(pattern: SESPattern) -> List[Diagnostic]:
+    implied = implied_equalities(pattern)
+    if not implied:
+        return []
+    rendered = ", ".join(repr(c) for c in implied[:4])
+    if len(implied) > 4:
+        rendered += ", …"
+    return [Diagnostic(
+        code="open-join-graph",
+        severity="warning",
+        message=(f"{len(implied)} equality condition(s) are implied but not "
+                 f"stated ({rendered}); under greedy skip-till-next-match "
+                 "the unchecked transitions can be hijacked by unrelated "
+                 "events — apply repro.core.rewrite.close_equality_joins"),
+    )]
+
+
+def _check_unconstrained_variables(pattern: SESPattern) -> List[Diagnostic]:
+    findings = []
+    for variable in sorted(pattern.variables):
+        if not pattern.constant_conditions(variable):
+            findings.append(Diagnostic(
+                code="unconstrained-variable",
+                severity="info",
+                message=(f"variable {variable!r} has no constant condition; "
+                         "the paper-mode event filter disables itself and "
+                         "the default filter cannot prune for it"),
+            ))
+    return findings
+
+
+def _check_heavy_sets(pattern: SESPattern) -> List[Diagnostic]:
+    findings = []
+    for i in range(len(pattern)):
+        case = classify_set(pattern, i)
+        if case is ComplexityCase.SINGLE_GROUP:
+            findings.append(Diagnostic(
+                code="group-in-nonexclusive-set",
+                severity="warning",
+                message=(f"event set pattern V{i + 1} mixes a group variable "
+                         "with non-exclusive conditions: instance growth is "
+                         "polynomial in the window size (Theorem 3, k=1)"),
+            ))
+        elif case is ComplexityCase.MULTI_GROUP:
+            findings.append(Diagnostic(
+                code="multiple-groups-in-nonexclusive-set",
+                severity="warning",
+                message=(f"event set pattern V{i + 1} has several group "
+                         "variables with non-exclusive conditions: instance "
+                         "growth is exponential in the window size "
+                         "(Theorem 3, k>1)"),
+            ))
+    return findings

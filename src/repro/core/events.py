@@ -1,0 +1,250 @@
+"""Event model for sequenced event set pattern matching.
+
+The paper (Section 3.1) represents an event as a tuple with schema
+``E = (A1, ..., Al, T)`` where ``A1..Al`` are non-temporal attributes and
+``T`` is a temporal attribute over a discrete, totally ordered time domain.
+
+This module provides:
+
+* :class:`Attribute` — a named, optionally typed attribute declaration.
+* :class:`EventSchema` — the relation schema ``(A1, ..., Al, T)``.
+* :class:`Event` — an immutable event tuple with attribute access and a
+  dedicated timestamp.
+
+Timestamps are plain integers by default (e.g. hours since an epoch, as in
+the paper's chemotherapy example); any totally ordered, subtractable values
+work as long as a whole relation uses one domain.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Iterator, Mapping, Optional, Tuple
+
+__all__ = ["Attribute", "EventSchema", "Event", "SchemaError"]
+
+#: Conventional name of the temporal attribute, as used throughout the paper.
+TIME_ATTRIBUTE = "T"
+
+
+class SchemaError(ValueError):
+    """Raised when an event does not conform to its declared schema."""
+
+
+class Attribute:
+    """Declaration of a non-temporal event attribute.
+
+    Parameters
+    ----------
+    name:
+        Attribute name (e.g. ``"ID"``, ``"L"``, ``"V"``).
+    dtype:
+        Optional Python type used to validate and coerce values.  ``None``
+        accepts any value unchanged.
+    """
+
+    __slots__ = ("name", "dtype")
+
+    def __init__(self, name: str, dtype: Optional[type] = None):
+        if not name or not isinstance(name, str):
+            raise SchemaError(f"attribute name must be a non-empty string, got {name!r}")
+        if name == TIME_ATTRIBUTE:
+            raise SchemaError(
+                f"{TIME_ATTRIBUTE!r} is reserved for the temporal attribute"
+            )
+        self.name = name
+        self.dtype = dtype
+
+    def validate(self, value: Any) -> Any:
+        """Return ``value`` coerced to this attribute's type.
+
+        Raises :class:`SchemaError` if the value cannot be coerced.
+        """
+        if self.dtype is None or isinstance(value, self.dtype):
+            return value
+        try:
+            return self.dtype(value)
+        except (TypeError, ValueError) as exc:
+            raise SchemaError(
+                f"attribute {self.name!r} expects {self.dtype.__name__}, "
+                f"got {value!r}"
+            ) from exc
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Attribute):
+            return NotImplemented
+        return self.name == other.name and self.dtype == other.dtype
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.dtype))
+
+    def __repr__(self) -> str:
+        if self.dtype is None:
+            return f"Attribute({self.name!r})"
+        return f"Attribute({self.name!r}, {self.dtype.__name__})"
+
+
+class EventSchema:
+    """Schema ``E = (A1, ..., Al, T)`` of an event relation.
+
+    The temporal attribute ``T`` is implicit and always present; only the
+    non-temporal attributes are declared.
+
+    Parameters
+    ----------
+    attributes:
+        Iterable of :class:`Attribute` instances or plain attribute names.
+    name:
+        Optional schema (relation) name, used in diagnostics.
+    """
+
+    __slots__ = ("name", "_attributes", "_by_name")
+
+    def __init__(self, attributes: Iterable, name: str = "Event"):
+        attrs = []
+        for a in attributes:
+            if isinstance(a, Attribute):
+                attrs.append(a)
+            elif isinstance(a, str):
+                attrs.append(Attribute(a))
+            else:
+                raise SchemaError(f"invalid attribute declaration: {a!r}")
+        self.name = name
+        self._attributes: Tuple[Attribute, ...] = tuple(attrs)
+        self._by_name: Dict[str, Attribute] = {a.name: a for a in self._attributes}
+        if len(self._by_name) != len(self._attributes):
+            raise SchemaError("duplicate attribute names in schema")
+
+    @property
+    def attributes(self) -> Tuple[Attribute, ...]:
+        """The declared non-temporal attributes, in order."""
+        return self._attributes
+
+    @property
+    def attribute_names(self) -> Tuple[str, ...]:
+        """Names of the non-temporal attributes, in order."""
+        return tuple(a.name for a in self._attributes)
+
+    def __contains__(self, name: str) -> bool:
+        return name == TIME_ATTRIBUTE or name in self._by_name
+
+    def __getitem__(self, name: str) -> Attribute:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise SchemaError(f"schema {self.name!r} has no attribute {name!r}") from None
+
+    def __len__(self) -> int:
+        return len(self._attributes)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, EventSchema):
+            return NotImplemented
+        return self._attributes == other._attributes
+
+    def __hash__(self) -> int:
+        return hash(self._attributes)
+
+    def validate(self, values: Mapping[str, Any]) -> Dict[str, Any]:
+        """Validate a mapping of attribute values against this schema.
+
+        Returns a new dict with values coerced per attribute type.  Unknown
+        attributes and missing attributes raise :class:`SchemaError`.
+        """
+        out: Dict[str, Any] = {}
+        for attr in self._attributes:
+            if attr.name not in values:
+                raise SchemaError(
+                    f"missing attribute {attr.name!r} for schema {self.name!r}"
+                )
+            out[attr.name] = attr.validate(values[attr.name])
+        extra = set(values) - set(self._by_name)
+        if extra:
+            raise SchemaError(
+                f"unknown attributes {sorted(extra)!r} for schema {self.name!r}"
+            )
+        return out
+
+    def __repr__(self) -> str:
+        names = ", ".join(self.attribute_names)
+        return f"EventSchema({self.name!r}: {names}, T)"
+
+
+class Event:
+    """An immutable event tuple.
+
+    An event carries a set of non-temporal attribute values, an integer (or
+    otherwise totally ordered) timestamp ``ts`` for the temporal attribute
+    ``T``, and an optional identifier ``eid`` used for display (``e1`` ...
+    ``e14`` in the paper's Figure 1).
+
+    Attribute values are read with item access: ``event["L"]``.  The
+    timestamp is also reachable as ``event["T"]``.
+    """
+
+    __slots__ = ("eid", "ts", "_attrs", "_hash")
+
+    def __init__(self, ts: Any, attrs: Optional[Mapping[str, Any]] = None,
+                 eid: Optional[str] = None, **kwargs: Any):
+        merged: Dict[str, Any] = dict(attrs) if attrs else {}
+        merged.update(kwargs)
+        if TIME_ATTRIBUTE in merged:
+            raise SchemaError(
+                f"pass the timestamp via the 'ts' parameter, not {TIME_ATTRIBUTE!r}"
+            )
+        self.ts = ts
+        self.eid = eid
+        self._attrs = merged
+        self._hash = hash((ts, eid, frozenset(merged.items())))
+
+    def __getitem__(self, name: str) -> Any:
+        if name == TIME_ATTRIBUTE:
+            return self.ts
+        try:
+            return self._attrs[name]
+        except KeyError:
+            raise KeyError(
+                f"event {self.eid or ''} has no attribute {name!r}"
+            ) from None
+
+    def get(self, name: str, default: Any = None) -> Any:
+        """Return the attribute value, or ``default`` if absent."""
+        if name == TIME_ATTRIBUTE:
+            return self.ts
+        return self._attrs.get(name, default)
+
+    def __contains__(self, name: str) -> bool:
+        return name == TIME_ATTRIBUTE or name in self._attrs
+
+    @property
+    def attributes(self) -> Mapping[str, Any]:
+        """Read-only view of the non-temporal attribute values."""
+        return dict(self._attrs)
+
+    def keys(self) -> Iterator[str]:
+        """Iterate over non-temporal attribute names."""
+        return iter(self._attrs.keys())
+
+    def replace(self, ts: Any = None, eid: Optional[str] = None,
+                **attrs: Any) -> "Event":
+        """Return a copy with the given fields replaced."""
+        new_attrs = dict(self._attrs)
+        new_attrs.update(attrs)
+        return Event(
+            ts=self.ts if ts is None else ts,
+            attrs=new_attrs,
+            eid=self.eid if eid is None else eid,
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Event):
+            return NotImplemented
+        return (self.ts == other.ts and self.eid == other.eid
+                and self._attrs == other._attrs)
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        label = self.eid or "e?"
+        parts = ", ".join(f"{k}={v!r}" for k, v in self._attrs.items())
+        return f"Event<{label} T={self.ts} {parts}>"

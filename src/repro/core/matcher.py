@@ -1,0 +1,94 @@
+"""High-level matching API.
+
+:class:`Matcher` compiles a SES pattern into an automaton once and can then
+run it over many relations; :func:`match` is the one-shot convenience
+entry point most applications need::
+
+    from repro import SESPattern, match
+
+    pattern = SESPattern(
+        sets=[["c", "p+", "d"], ["b"]],
+        conditions=["c.L = 'C'", "d.L = 'D'", "p.L = 'P'", "b.L = 'B'",
+                    "c.ID = p.ID", "c.ID = d.ID", "d.ID = b.ID"],
+        tau=264,
+    )
+    result = match(pattern, relation)
+    for substitution in result:
+        print(substitution)
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Union
+
+from ..automaton.automaton import SESAutomaton
+from ..automaton.builder import build_automaton
+from ..automaton.executor import MatchResult, SESExecutor
+from ..automaton.filtering import EventFilter
+from .events import Event
+from .pattern import SESPattern
+from .relation import EventRelation
+
+__all__ = ["Matcher", "match"]
+
+
+class Matcher:
+    """A compiled SES pattern, ready to run over event relations.
+
+    Parameters
+    ----------
+    pattern:
+        The SES pattern to compile.
+    use_filter:
+        Apply the Section 4.5 event pre-filter (default ``True``).
+    filter_mode:
+        ``"conjunctive"`` (sound, default) or ``"paper"`` (the filter
+        exactly as published); see :class:`~repro.automaton.filtering.EventFilter`.
+    selection:
+        Result selection policy; ``"paper"`` (default) yields the paper's
+        intended results (Definition 2 conditions 4–5 plus non-overlap),
+        ``"all-starts"`` keeps overlapping matches, ``"accepted"`` the raw
+        accepted buffers.
+    consume_mode:
+        ``"greedy"`` (default) is the paper's skip-till-next-match
+        Algorithm 2; ``"exhaustive"`` also keeps the pre-consumption
+        instance alive, making results exactly Definition 2's declarative
+        semantics at exponential worst-case cost.
+    """
+
+    def __init__(self, pattern: SESPattern, use_filter: bool = True,
+                 filter_mode: str = "conjunctive",
+                 selection: str = "paper",
+                 consume_mode: str = "greedy"):
+        self.pattern = pattern
+        self.automaton: SESAutomaton = build_automaton(pattern)
+        self.event_filter: Optional[EventFilter] = (
+            EventFilter(pattern, mode=filter_mode) if use_filter else None
+        )
+        self.selection = selection
+        self.consume_mode = consume_mode
+
+    def run(self, relation: Union[EventRelation, Iterable[Event]]) -> MatchResult:
+        """Match the compiled pattern against ``relation``."""
+        return self.executor().run(relation)
+
+    def executor(self) -> SESExecutor:
+        """A fresh incremental executor (for streaming use)."""
+        return SESExecutor(self.automaton, event_filter=self.event_filter,
+                           selection=self.selection,
+                           consume_mode=self.consume_mode)
+
+    def __repr__(self) -> str:
+        return f"Matcher({self.pattern!r})"
+
+
+def match(pattern: SESPattern,
+          relation: Union[EventRelation, Iterable[Event]],
+          use_filter: bool = True,
+          filter_mode: str = "conjunctive",
+          selection: str = "paper",
+          consume_mode: str = "greedy") -> MatchResult:
+    """Match ``pattern`` against ``relation`` and return a :class:`MatchResult`."""
+    matcher = Matcher(pattern, use_filter=use_filter, filter_mode=filter_mode,
+                      selection=selection, consume_mode=consume_mode)
+    return matcher.run(relation)

@@ -1,0 +1,218 @@
+"""SES patterns (Definition 1 of the paper).
+
+A sequenced event set pattern is a triple ``P = (<V1, ..., Vm>, Θ, τ)``:
+
+* ``<V1, ..., Vm>`` is a sequence of pairwise disjoint *event set patterns*,
+  each a set of event variables;
+* ``Θ`` is a set of :class:`~repro.core.conditions.Condition` objects over
+  those variables;
+* ``τ`` is the maximal duration between the chronologically first and last
+  matching event.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple, Union
+
+from .conditions import Condition, parse_condition
+from .variables import Variable, parse_variable
+
+__all__ = ["SESPattern", "PatternError"]
+
+
+class PatternError(ValueError):
+    """Raised when a SES pattern is malformed."""
+
+
+VariableSpec = Union[Variable, str]
+
+
+def _as_variable(spec: VariableSpec) -> Variable:
+    if isinstance(spec, Variable):
+        return spec
+    if isinstance(spec, str):
+        return parse_variable(spec)
+    raise PatternError(f"invalid variable spec {spec!r}")
+
+
+class SESPattern:
+    """A sequenced event set pattern ``P = (<V1, ..., Vm>, Θ, τ)``.
+
+    Parameters
+    ----------
+    sets:
+        Sequence of event set patterns.  Each set is given as an iterable of
+        :class:`~repro.core.variables.Variable` objects or strings (``"v"``
+        for singletons, ``"v+"`` for group variables).
+    conditions:
+        Iterable of :class:`~repro.core.conditions.Condition` objects or
+        condition strings such as ``"c.L = 'C'"``.
+    tau:
+        Maximal duration spanned by a match (same unit as the event
+        timestamps; hours in the paper's running example).
+
+    Examples
+    --------
+    The paper's Query Q1::
+
+        SESPattern(
+            sets=[["c", "p+", "d"], ["b"]],
+            conditions=[
+                "c.L = 'C'", "d.L = 'D'", "p.L = 'P'", "b.L = 'B'",
+                "c.ID = p.ID", "c.ID = d.ID", "d.ID = b.ID",
+            ],
+            tau=264,
+        )
+    """
+
+    def __init__(self,
+                 sets: Sequence[Iterable[VariableSpec]],
+                 conditions: Iterable[Union[Condition, str]] = (),
+                 tau: Any = 0):
+        if not sets:
+            raise PatternError("a SES pattern needs at least one event set pattern")
+        parsed_sets: List[FrozenSet[Variable]] = []
+        seen: Dict[str, Variable] = {}
+        for i, raw_set in enumerate(sets):
+            variables = [_as_variable(s) for s in raw_set]
+            if not variables:
+                raise PatternError(f"event set pattern V{i + 1} is empty")
+            fs = frozenset(variables)
+            if len(fs) != len(variables):
+                raise PatternError(
+                    f"duplicate variables within event set pattern V{i + 1}"
+                )
+            for v in variables:
+                if v.name in seen:
+                    raise PatternError(
+                        f"variable name {v.name!r} reused across the pattern; "
+                        "event set patterns must be disjoint"
+                    )
+                seen[v.name] = v
+            parsed_sets.append(fs)
+        self._sets: Tuple[FrozenSet[Variable], ...] = tuple(parsed_sets)
+        self._by_name: Dict[str, Variable] = seen
+
+        parsed_conditions: List[Condition] = []
+        for c in conditions:
+            if isinstance(c, str):
+                try:
+                    c = parse_condition(c, self._by_name)
+                except ValueError as exc:
+                    raise PatternError(str(exc)) from exc
+            if not isinstance(c, Condition):
+                raise PatternError(f"invalid condition {c!r}")
+            for v in c.variables:
+                declared = self._by_name.get(v.name)
+                if declared is None:
+                    raise PatternError(
+                        f"condition {c!r} mentions undeclared variable {v.name!r}"
+                    )
+                if declared != v:
+                    raise PatternError(
+                        f"condition {c!r} uses {v!r} but the pattern declares "
+                        f"{declared!r}; quantifiers must agree"
+                    )
+        # Re-parse strings once variables are validated (order preserved,
+        # duplicates removed while keeping the first occurrence).
+        uniq: List[Condition] = []
+        for c in conditions:
+            cond = parse_condition(c, self._by_name) if isinstance(c, str) else c
+            if cond not in uniq:
+                uniq.append(cond)
+        self._conditions: Tuple[Condition, ...] = tuple(uniq)
+
+        try:
+            negative = tau < 0
+        except TypeError as exc:
+            raise PatternError(f"invalid duration tau={tau!r}") from exc
+        if negative:
+            raise PatternError(f"duration tau must be non-negative, got {tau!r}")
+        self.tau = tau
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    @property
+    def sets(self) -> Tuple[FrozenSet[Variable], ...]:
+        """The event set patterns ``<V1, ..., Vm>`` in order."""
+        return self._sets
+
+    @property
+    def conditions(self) -> Tuple[Condition, ...]:
+        """The conditions Θ, in declaration order."""
+        return self._conditions
+
+    @property
+    def variables(self) -> FrozenSet[Variable]:
+        """All event variables ``V = V1 ∪ ... ∪ Vm``."""
+        return frozenset(self._by_name.values())
+
+    @property
+    def group_variables(self) -> FrozenSet[Variable]:
+        """The group (Kleene plus) variables of the pattern."""
+        return frozenset(v for v in self.variables if v.is_group)
+
+    @property
+    def singleton_variables(self) -> FrozenSet[Variable]:
+        """The singleton variables of the pattern."""
+        return frozenset(v for v in self.variables if v.is_singleton)
+
+    def __len__(self) -> int:
+        """Number of event set patterns ``m``."""
+        return len(self._sets)
+
+    def variable(self, name: str) -> Variable:
+        """Look up a declared variable by bare name (without ``+``)."""
+        try:
+            return self._by_name[name.rstrip("+")]
+        except KeyError:
+            raise PatternError(f"pattern declares no variable {name!r}") from None
+
+    def set_index(self, variable: Variable) -> int:
+        """Index ``i`` (0-based) of the event set pattern containing ``variable``."""
+        for i, vs in enumerate(self._sets):
+            if variable in vs:
+                return i
+        raise PatternError(f"{variable!r} is not a variable of this pattern")
+
+    def preceding_variables(self, set_index: int) -> FrozenSet[Variable]:
+        """Variables of all event set patterns strictly before ``set_index``."""
+        out: set = set()
+        for vs in self._sets[:set_index]:
+            out |= vs
+        return frozenset(out)
+
+    # ------------------------------------------------------------------
+    # Condition routing
+    # ------------------------------------------------------------------
+    def constant_conditions(self, variable: Optional[Variable] = None
+                            ) -> Tuple[Condition, ...]:
+        """Constant conditions ``v.A φ C``, optionally for one variable."""
+        out = [c for c in self._conditions if c.is_constant]
+        if variable is not None:
+            out = [c for c in out if c.left.variable == variable]
+        return tuple(out)
+
+    def conditions_mentioning(self, variable: Variable) -> Tuple[Condition, ...]:
+        """All conditions that mention ``variable``."""
+        return tuple(c for c in self._conditions if c.mentions(variable))
+
+    # ------------------------------------------------------------------
+    # Dunder plumbing
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SESPattern):
+            return NotImplemented
+        return (self._sets == other._sets
+                and set(self._conditions) == set(other._conditions)
+                and self.tau == other.tau)
+
+    def __hash__(self) -> int:
+        return hash((self._sets, frozenset(self._conditions), self.tau))
+
+    def __repr__(self) -> str:
+        sets = ", ".join(
+            "{" + ", ".join(repr(v) for v in sorted(vs)) + "}" for vs in self._sets
+        )
+        return f"SESPattern(<{sets}>, |Θ|={len(self._conditions)}, τ={self.tau})"

@@ -1,0 +1,187 @@
+"""Event relations: totally ordered collections of events.
+
+The paper assumes the timestamp attribute ``T`` defines a total order among
+the events of a relation (Section 3.1).  Real data may contain ties (the
+duplicated data sets D2–D5 of Section 5.1 duplicate events *in place*), so
+:class:`EventRelation` keeps a stable, deterministic order: primarily by
+timestamp, secondarily by insertion order.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Tuple
+
+from .events import Event, EventSchema
+
+__all__ = ["EventRelation"]
+
+
+class EventRelation:
+    """A finite event relation ordered by occurrence time.
+
+    Parameters
+    ----------
+    events:
+        Initial events.  They are sorted by timestamp (stable).
+    schema:
+        Optional :class:`EventSchema`.  When given, every inserted event is
+        validated against it.
+    name:
+        Optional relation name for diagnostics.
+    """
+
+    def __init__(self, events: Iterable[Event] = (),
+                 schema: Optional[EventSchema] = None,
+                 name: str = "Event"):
+        self.schema = schema
+        self.name = name
+        self._events: List[Event] = []
+        self.extend(events)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def append(self, event: Event) -> None:
+        """Append an event; it must not precede the current last event."""
+        self._check(event)
+        if self._events and event.ts < self._events[-1].ts:
+            raise ValueError(
+                f"append would violate time order: {event!r} precedes "
+                f"{self._events[-1]!r}; use insert() instead"
+            )
+        self._events.append(event)
+
+    def insert(self, event: Event) -> None:
+        """Insert an event at its chronological position (stable on ties)."""
+        self._check(event)
+        keys = [e.ts for e in self._events]
+        pos = bisect.bisect_right(keys, event.ts)
+        self._events.insert(pos, event)
+
+    def extend(self, events: Iterable[Event]) -> None:
+        """Add many events, re-sorting once (stable)."""
+        events = list(events)
+        for e in events:
+            self._check(e)
+        self._events.extend(events)
+        self._events.sort(key=lambda e: e.ts)
+
+    def _check(self, event: Event) -> None:
+        if not isinstance(event, Event):
+            raise TypeError(f"expected Event, got {type(event).__name__}")
+        if self.schema is not None:
+            self.schema.validate(event.attributes)
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __getitem__(self, idx):
+        if isinstance(idx, slice):
+            rel = EventRelation(schema=self.schema, name=self.name)
+            rel._events = self._events[idx]
+            return rel
+        return self._events[idx]
+
+    def __contains__(self, event: Event) -> bool:
+        return event in self._events
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, EventRelation):
+            return NotImplemented
+        return self._events == other._events
+
+    @property
+    def events(self) -> Tuple[Event, ...]:
+        """All events in chronological order."""
+        return tuple(self._events)
+
+    def timespan(self) -> Tuple[Any, Any]:
+        """Return ``(first_ts, last_ts)``; raises on an empty relation."""
+        if not self._events:
+            raise ValueError("empty relation has no timespan")
+        return self._events[0].ts, self._events[-1].ts
+
+    # ------------------------------------------------------------------
+    # Derivations
+    # ------------------------------------------------------------------
+    def filter(self, predicate: Callable[[Event], bool]) -> "EventRelation":
+        """Return a new relation with the events satisfying ``predicate``."""
+        rel = EventRelation(schema=self.schema, name=self.name)
+        rel._events = [e for e in self._events if predicate(e)]
+        return rel
+
+    def between(self, start: Any, end: Any) -> "EventRelation":
+        """Events with ``start <= T <= end`` (a closed time slice)."""
+        keys = [e.ts for e in self._events]
+        lo = bisect.bisect_left(keys, start)
+        hi = bisect.bisect_right(keys, end)
+        rel = EventRelation(schema=self.schema, name=self.name)
+        rel._events = self._events[lo:hi]
+        return rel
+
+    def partition_by(self, attribute: str) -> Dict[Any, "EventRelation"]:
+        """Split into per-value relations on ``attribute`` (e.g. patient ID)."""
+        parts: Dict[Any, EventRelation] = {}
+        for e in self._events:
+            key = e[attribute]
+            part = parts.get(key)
+            if part is None:
+                part = EventRelation(schema=self.schema,
+                                     name=f"{self.name}[{attribute}={key!r}]")
+                parts[key] = part
+            part._events.append(e)
+        return parts
+
+    def duplicated(self, factor: int) -> "EventRelation":
+        """Return the relation with each event repeated ``factor`` times.
+
+        This reproduces the construction of data sets D2–D5 (Section 5.1):
+        duplicates share the original timestamp, so the window size ``W``
+        scales linearly with ``factor``.  Duplicates get distinct ``eid``
+        suffixes so that they remain distinguishable events.
+        """
+        if factor < 1:
+            raise ValueError("duplication factor must be >= 1")
+        rel = EventRelation(schema=self.schema,
+                            name=f"{self.name}x{factor}" if factor > 1 else self.name)
+        out: List[Event] = []
+        for e in self._events:
+            out.append(e)
+            for i in range(1, factor):
+                eid = f"{e.eid}#{i}" if e.eid else None
+                out.append(e.replace(eid=eid) if eid else
+                           Event(ts=e.ts, attrs=e.attributes))
+        out.sort(key=lambda ev: ev.ts)
+        rel._events = out
+        return rel
+
+    def window_size(self, tau: Any) -> int:
+        """Window size ``W`` (Definition 5 of the paper).
+
+        The maximal number of events in a time window of width ``tau``
+        sliding over the relation event-by-event.  A window anchored at
+        event ``e`` covers all events ``e'`` with ``e.T <= e'.T <= e.T +
+        tau``.
+        """
+        if tau < 0:
+            raise ValueError("tau must be non-negative")
+        n = len(self._events)
+        if n == 0:
+            return 0
+        keys = [e.ts for e in self._events]
+        best = 0
+        for lo in range(n):
+            hi = bisect.bisect_right(keys, keys[lo] + tau)
+            if hi - lo > best:
+                best = hi - lo
+        return best
+
+    def __repr__(self) -> str:
+        return f"EventRelation({self.name!r}, {len(self._events)} events)"

@@ -1,0 +1,103 @@
+"""Semantics-preserving pattern rewrites.
+
+:func:`close_equality_joins` adds the transitive closure of a pattern's
+equality join conditions.  The added conditions are *implied* (equality
+is transitive), so the declarative Definition 2 semantics is unchanged —
+but the operational Algorithm 1 gets strictly better: a transition that
+previously carried no checkable join (because its partner sat two hops
+away in the join graph) now carries the implied direct condition, so
+greedy instances can no longer be hijacked by events of unrelated
+entities through that transition (see docs/semantics.md, "join hijack").
+
+:func:`implied_equalities` exposes the raw closure for diagnostics.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from .conditions import Attr, Condition
+from .pattern import SESPattern
+from .variables import Variable
+
+__all__ = ["implied_equalities", "close_equality_joins"]
+
+#: A node of the equality graph: (variable, attribute).
+_Node = Tuple[Variable, str]
+
+
+def _equality_components(pattern: SESPattern) -> List[Set[_Node]]:
+    """Connected components of the ``v.A = v'.A'`` equality graph."""
+    parent: Dict[_Node, _Node] = {}
+
+    def find(node: _Node) -> _Node:
+        parent.setdefault(node, node)
+        while parent[node] != node:
+            parent[node] = parent[parent[node]]
+            node = parent[node]
+        return node
+
+    def union(a: _Node, b: _Node) -> None:
+        parent[find(a)] = find(b)
+
+    for condition in pattern.conditions:
+        if condition.is_constant or condition.op != "=":
+            continue
+        left = (condition.left.variable, condition.left.attribute)
+        right = (condition.right.variable, condition.right.attribute)  # type: ignore[union-attr]
+        union(left, right)
+
+    components: Dict[_Node, Set[_Node]] = {}
+    for node in list(parent):
+        components.setdefault(find(node), set()).add(node)
+    return [c for c in components.values() if len(c) > 1]
+
+
+def implied_equalities(pattern: SESPattern) -> List[Condition]:
+    """Equality conditions implied by transitivity but absent from Θ.
+
+    For every connected component of the equality graph, all node pairs
+    are equal; the returned list contains one condition per missing pair
+    (deterministic order).
+    """
+    existing: Set[frozenset] = set()
+    for condition in pattern.conditions:
+        if not condition.is_constant and condition.op == "=":
+            existing.add(frozenset([
+                (condition.left.variable, condition.left.attribute),
+                (condition.right.variable, condition.right.attribute),  # type: ignore[union-attr]
+            ]))
+    implied: List[Condition] = []
+    for component in _equality_components(pattern):
+        nodes = sorted(component, key=lambda n: (n[0].name, n[1]))
+        for i, a in enumerate(nodes):
+            for b in nodes[i + 1:]:
+                if a[0] == b[0] and a[1] == b[1]:
+                    continue
+                if frozenset([a, b]) in existing:
+                    continue
+                implied.append(Condition(Attr(a[0], a[1]), "=",
+                                         Attr(b[0], b[1])))
+    return implied
+
+
+def close_equality_joins(pattern: SESPattern) -> SESPattern:
+    """Return the pattern with its equality joins transitively closed.
+
+    The result matches exactly the same substitutions under Definition 2
+    (the added conditions are implied), and under the greedy Algorithm 1
+    it matches a **superset** of the original pattern's results: more
+    transitions carry checkable conditions, so fewer instances are
+    hijacked into dead ends.  Self-equalities (same variable and
+    attribute) are never added.
+
+    Idempotent: closing a closed pattern returns an equal pattern.
+    """
+    implied = implied_equalities(pattern)
+    if not implied:
+        return pattern
+    return SESPattern(
+        sets=[sorted(vs) for vs in pattern.sets],
+        conditions=list(pattern.conditions) + implied,
+        tau=pattern.tau,
+    )

@@ -1,0 +1,100 @@
+"""Time domains: mapping real-world time onto the discrete domain T.
+
+The paper assumes a discrete, totally ordered time domain (Section 3.1) —
+calendar days and hours in the running example.  Matching itself only
+needs integers, but applications have datetimes; a :class:`TimeDomain`
+converts between the two and scales durations, so patterns can be
+written with real-world units::
+
+    domain = HourDomain(epoch=datetime(2026, 7, 1))
+    event = Event(ts=domain.to_ticks(datetime(2026, 7, 3, 9)), ...)
+    pattern = SESPattern(..., tau=domain.duration(timedelta(days=11)))
+"""
+
+from __future__ import annotations
+
+from datetime import datetime, timedelta
+from typing import Union
+
+__all__ = ["TimeDomain", "SecondDomain", "MinuteDomain", "HourDomain",
+           "DayDomain"]
+
+
+class TimeDomain:
+    """A discrete time domain anchored at an epoch with a fixed tick size.
+
+    Parameters
+    ----------
+    epoch:
+        The datetime mapped to tick 0.
+    tick:
+        The duration of one tick (a :class:`~datetime.timedelta`).
+    """
+
+    def __init__(self, epoch: datetime, tick: timedelta):
+        if tick <= timedelta(0):
+            raise ValueError("tick must be a positive duration")
+        self.epoch = epoch
+        self.tick = tick
+
+    # ------------------------------------------------------------------
+    # Conversions
+    # ------------------------------------------------------------------
+    def to_ticks(self, when: datetime) -> int:
+        """The tick containing ``when`` (floor division from the epoch).
+
+        Raises :class:`ValueError` for datetimes before the epoch — the
+        domain is not defined there, and silently emitting negative ticks
+        tends to hide data errors.
+        """
+        delta = when - self.epoch
+        if delta < timedelta(0):
+            raise ValueError(f"{when} precedes the domain epoch {self.epoch}")
+        return delta // self.tick
+
+    def to_datetime(self, ticks: int) -> datetime:
+        """The start of tick ``ticks``."""
+        return self.epoch + ticks * self.tick
+
+    def duration(self, delta: Union[timedelta, int]) -> int:
+        """A duration in ticks (for a pattern's τ).
+
+        Accepts a :class:`~datetime.timedelta` (converted, floor) or an
+        int (returned unchanged, for convenience).
+        """
+        if isinstance(delta, int):
+            return delta
+        if delta < timedelta(0):
+            raise ValueError("durations must be non-negative")
+        return delta // self.tick
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(epoch={self.epoch.isoformat()})"
+
+
+class SecondDomain(TimeDomain):
+    """One tick per second."""
+
+    def __init__(self, epoch: datetime):
+        super().__init__(epoch, timedelta(seconds=1))
+
+
+class MinuteDomain(TimeDomain):
+    """One tick per minute."""
+
+    def __init__(self, epoch: datetime):
+        super().__init__(epoch, timedelta(minutes=1))
+
+
+class HourDomain(TimeDomain):
+    """One tick per hour — the paper's running-example domain."""
+
+    def __init__(self, epoch: datetime):
+        super().__init__(epoch, timedelta(hours=1))
+
+
+class DayDomain(TimeDomain):
+    """One tick per day."""
+
+    def __init__(self, epoch: datetime):
+        super().__init__(epoch, timedelta(days=1))

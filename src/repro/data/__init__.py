@@ -1,0 +1,19 @@
+"""Data sets: the paper's running example and synthetic workloads."""
+
+from .chemo import MEDICATION_TYPES, calibrate_patients, generate_chemo
+from .clickstream import (ACTIONS, CLICK_SCHEMA, generate_clickstream,
+                          purchase_intent_pattern)
+from .paper_events import (CHEMO_SCHEMA, EXPECTED_Q1_EIDS, figure1_relation,
+                           hours, query_q1)
+from .workloads import (DEFAULT_TAU, VARIABLE_NAMES, base_dataset,
+                        duplicated_datasets, experiment1_pattern, pattern_p3,
+                        pattern_p4, pattern_p5, pattern_p6)
+
+__all__ = [
+    "ACTIONS", "CHEMO_SCHEMA", "CLICK_SCHEMA", "DEFAULT_TAU", "EXPECTED_Q1_EIDS", "MEDICATION_TYPES",
+    "VARIABLE_NAMES", "base_dataset", "calibrate_patients",
+    "duplicated_datasets", "experiment1_pattern", "figure1_relation", "hours",
+    "generate_chemo", "generate_clickstream", "pattern_p3", "pattern_p4",
+    "pattern_p5", "pattern_p6", "purchase_intent_pattern",
+    "query_q1",
+]

@@ -1,0 +1,123 @@
+"""Synthetic clickstream data — the paper's second motivating domain.
+
+The introduction lists click-stream analysis among the applications of
+event pattern matching.  This generator produces web-shop sessions whose
+*purchase-intent* signature is inherently order-free: before checking
+out, a determined buyer adds to cart, reads reviews, and compares
+alternatives — in whatever order their browsing took them — which is
+exactly a PERMUTE/event-set pattern.  Casual sessions interleave random
+actions and must not match.
+
+Events carry ``user`` (int), ``action`` (str) and ``item`` (str) with
+second-granularity timestamps.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from ..core.events import Attribute, Event, EventSchema
+from ..core.pattern import SESPattern
+from ..core.relation import EventRelation
+
+__all__ = ["CLICK_SCHEMA", "ACTIONS", "generate_clickstream",
+           "purchase_intent_pattern"]
+
+#: Schema of the clickstream relation.
+CLICK_SCHEMA = EventSchema(
+    [Attribute("user", int), Attribute("action", str),
+     Attribute("item", str)],
+    name="Click",
+)
+
+#: All action labels the generator emits.
+ACTIONS = ("view", "search", "cart", "review", "compare", "checkout",
+           "payment")
+
+#: Background actions of casual browsing.
+_CASUAL = ("view", "search", "view", "view", "review", "compare")
+
+_ITEMS = ("laptop", "phone", "camera", "monitor", "keyboard", "headset")
+
+
+def generate_clickstream(users: int = 20,
+                         sessions_per_user: int = 3,
+                         intent_fraction: float = 0.3,
+                         seed: int = 11) -> EventRelation:
+    """Generate a clickstream relation.
+
+    Parameters
+    ----------
+    users:
+        Number of distinct users.
+    sessions_per_user:
+        Browsing sessions per user; sessions of different users overlap
+        in time (users browse concurrently).
+    intent_fraction:
+        Fraction of sessions that complete the purchase-intent signature
+        (cart + review + compare in random order, then checkout, then
+        payment).
+    seed:
+        Determinism seed.
+    """
+    if not 0.0 <= intent_fraction <= 1.0:
+        raise ValueError("intent_fraction must be within [0, 1]")
+    rng = random.Random(seed)
+    events: List[Event] = []
+    counter = 0
+
+    def emit(ts: int, user: int, action: str, item: str) -> None:
+        nonlocal counter
+        counter += 1
+        events.append(Event(ts=ts, eid=f"k{counter}",
+                            user=user, action=action, item=item))
+
+    for user in range(1, users + 1):
+        for session in range(sessions_per_user):
+            # Sessions of different users overlap: small per-user offset.
+            start = session * 3600 + user * 37
+            item = rng.choice(_ITEMS)
+            ts = start
+            # Casual browsing prefix.
+            for _ in range(rng.randint(2, 6)):
+                ts += rng.randint(5, 90)
+                emit(ts, user, rng.choice(_CASUAL), rng.choice(_ITEMS))
+            if rng.random() < intent_fraction:
+                # The purchase-intent block, order randomised per session.
+                block = ["cart", "review", "compare"]
+                rng.shuffle(block)
+                for action in block:
+                    ts += rng.randint(10, 120)
+                    emit(ts, user, action, item)
+                ts += rng.randint(30, 300)
+                emit(ts, user, "checkout", item)
+                ts += rng.randint(5, 60)
+                emit(ts, user, "payment", item)
+            else:
+                # Casual tail; may contain cart abandonment.
+                for _ in range(rng.randint(1, 4)):
+                    ts += rng.randint(5, 90)
+                    emit(ts, user, rng.choice(_CASUAL + ("cart",)),
+                         rng.choice(_ITEMS))
+
+    return EventRelation(sorted(events, key=lambda e: e.ts),
+                         schema=CLICK_SCHEMA, name="clicks")
+
+
+def purchase_intent_pattern(tau: int = 1800) -> SESPattern:
+    """Cart + review + compare (any order) then checkout, one user, τ s.
+
+    The user joins are written *pairwise closed* — the practice
+    docs/semantics.md recommends for greedy engines.
+    """
+    return SESPattern(
+        sets=[["a", "r", "m"], ["k"]],
+        conditions=[
+            "a.action = 'cart'", "r.action = 'review'",
+            "m.action = 'compare'", "k.action = 'checkout'",
+            "a.user = r.user", "a.user = m.user", "r.user = m.user",
+            "a.user = k.user", "r.user = k.user", "m.user = k.user",
+        ],
+        tau=tau,
+    )

@@ -1,0 +1,94 @@
+"""The paper's running example: the Event relation of Figure 1 and Query Q1.
+
+Fourteen chemotherapy events for two patients, recorded with patient ID
+(``ID``), event type (``L``), value (``V``), measurement unit (``U``) and
+occurrence time (``T``).  Timestamps are hours since July 1, 00:00 (a
+discrete, ordered time domain as required by Section 3.1); e.g. event e1
+(9 am on 3 July) has ``T = 57``.
+
+Event types: ``C`` Ciclofosfamide, ``P`` Prednisone, ``D`` Doxorubicina
+(medication administrations) and ``B`` blood count measurements.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core.events import Attribute, Event, EventSchema
+from ..core.pattern import SESPattern
+from ..core.relation import EventRelation
+
+__all__ = ["CHEMO_SCHEMA", "hours", "figure1_relation", "query_q1",
+           "EXPECTED_Q1_EIDS"]
+
+#: Schema of the chemotherapy Event relation (Figure 1).
+CHEMO_SCHEMA = EventSchema(
+    [Attribute("ID", int), Attribute("L", str),
+     Attribute("V", float), Attribute("U", str)],
+    name="Event",
+)
+
+
+def hours(day: int, hour: int) -> int:
+    """Hours since July 1, 00:00 for ``hour`` o'clock on July ``day``."""
+    return (day - 1) * 24 + hour
+
+
+#: The rows of Figure 1: (eid, ID, L, V, U, day-of-July, hour).
+_FIGURE1_ROWS = [
+    ("e1", 1, "C", 1672.5, "mg", 3, 9),
+    ("e2", 1, "B", 0.0, "WHO-Tox", 3, 10),
+    ("e3", 1, "D", 84.0, "mgl", 3, 11),
+    ("e4", 1, "P", 111.5, "mg", 4, 9),
+    ("e5", 2, "B", 0.0, "WHO-Tox", 5, 9),
+    ("e6", 2, "P", 88.0, "mg", 5, 10),
+    ("e7", 2, "D", 84.0, "mgl", 5, 11),
+    ("e8", 2, "C", 1320.0, "mg", 6, 9),
+    ("e9", 1, "P", 111.5, "mg", 6, 10),
+    ("e10", 2, "P", 88.0, "mg", 6, 11),
+    ("e11", 2, "P", 88.0, "mg", 7, 9),
+    ("e12", 1, "B", 1.0, "WHO-Tox", 12, 9),
+    ("e13", 2, "B", 1.0, "WHO-Tox", 13, 9),
+    ("e14", 2, "B", 0.0, "WHO-Tox", 14, 9),
+]
+
+
+def figure1_relation() -> EventRelation:
+    """The 14-event relation of Figure 1, in chronological order."""
+    events: List[Event] = []
+    for eid, pid, label, value, unit, day, hour in _FIGURE1_ROWS:
+        events.append(Event(
+            ts=hours(day, hour),
+            eid=eid,
+            ID=pid, L=label, V=value, U=unit,
+        ))
+    return EventRelation(events, schema=CHEMO_SCHEMA, name="Event")
+
+
+def query_q1() -> SESPattern:
+    """Query Q1 as the SES pattern of Example 2.
+
+    One Ciclofosfamide, one or more Prednisone, and one Doxorubicina
+    administration in any order, followed by one blood count, all for the
+    same patient and within eleven days (264 hours).
+    """
+    return SESPattern(
+        sets=[["c", "p+", "d"], ["b"]],
+        conditions=[
+            "c.L = 'C'",       # θ1
+            "d.L = 'D'",       # θ2
+            "p.L = 'P'",       # θ3
+            "b.L = 'B'",       # θ4
+            "c.ID = p.ID",     # θ5
+            "c.ID = d.ID",     # θ6
+            "d.ID = b.ID",     # θ7
+        ],
+        tau=264,
+    )
+
+
+#: The intended results of Query Q1 (Example 1): event ids per match.
+EXPECTED_Q1_EIDS = [
+    {"e1", "e3", "e4", "e9", "e12"},       # patient 1
+    {"e6", "e7", "e8", "e10", "e11", "e13"},  # patient 2
+]

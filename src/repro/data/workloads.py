@@ -1,0 +1,158 @@
+"""Workloads for the paper's experiments (Section 5).
+
+This module builds the data sets D1–D5 and the patterns P1–P6 exactly as
+Section 5 describes them:
+
+* **D1** is the base chemotherapy relation (the paper's original data set
+  had ``W = 1322`` for τ = 264 h; the scale is configurable here because
+  pure-Python execution of the full-size workload is impractical — the
+  *shape* of every result is scale-invariant, see EXPERIMENTS.md).
+* **D2–D5** contain every event of D1 two to five times (in-place
+  duplication), multiplying ``W`` accordingly.
+* **P1/P2** (Experiment 1): ``(<{c,d,p,v,r,l},{b}>, Θ, 264)`` with Θ1
+  assigning each variable a *distinct* medication type (pairwise mutually
+  exclusive) and Θ2 assigning all variables the *same* type.
+* **P3/P4** (Experiment 2): ``(<{c,d,p+},{b}>, Θ2, 264)`` with and without
+  the Kleene plus.
+* **P5/P6** (Experiment 3): like P3 but with Θ1 (P5) and Θ2 (P6).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..core.pattern import SESPattern
+from ..core.relation import EventRelation
+from .chemo import MEDICATION_TYPES, generate_chemo
+
+__all__ = [
+    "DEFAULT_TAU",
+    "VARIABLE_NAMES",
+    "base_dataset",
+    "duplicated_datasets",
+    "experiment1_pattern",
+    "pattern_p3",
+    "pattern_p4",
+    "pattern_p5",
+    "pattern_p6",
+]
+
+#: τ used by every pattern in the evaluation (11 days, in hours).
+DEFAULT_TAU = 264
+
+#: The event variable names of Experiment 1, in the paper's order; the
+#: variable named ``VARIABLE_NAMES[i]`` matches medication type
+#: ``MEDICATION_TYPES[i]`` under Θ1.
+VARIABLE_NAMES = ("c", "d", "p", "v", "r", "l")
+
+
+def base_dataset(patients: int = 12, cycles: int = 4,
+                 seed: int = 7) -> EventRelation:
+    """The D1 stand-in: a synthetic chemotherapy relation.
+
+    With the defaults the relation has a window size of a few hundred
+    events at τ = 264 — a laptop-scale D1.  Increase ``patients`` (about
+    130 reproduces the paper's W = 1322) for full-scale runs.
+    """
+    return generate_chemo(patients=patients, cycles=cycles, seed=seed)
+
+
+def duplicated_datasets(base: EventRelation,
+                        factors: Sequence[int] = (1, 2, 3, 4, 5)
+                        ) -> Dict[int, EventRelation]:
+    """D1–D5: each event of the base relation repeated 1–5 times."""
+    return {f: base.duplicated(f) for f in factors}
+
+
+def _patient_joins(names: Sequence[str]) -> List[str]:
+    """Same-patient equality conditions, as in Query Q1 (θ5–θ7)."""
+    joins = [f"{names[0]}.ID = {name}.ID" for name in names[1:]]
+    joins.append(f"{names[0]}.ID = b.ID")
+    return joins
+
+
+def _distinct_type_conditions(names: Sequence[str],
+                              joins: bool = False) -> List[str]:
+    """Θ1: each variable matches a distinct medication type.
+
+    With ``joins=True`` same-patient equality conditions are added as in
+    Query Q1; they do not affect mutual exclusivity (which Definition 6
+    decides on constant conditions alone).
+    """
+    conditions = [
+        f"{name}.L = '{MEDICATION_TYPES[i]}'" for i, name in enumerate(names)
+    ]
+    conditions.append("b.L = 'B'")
+    if joins:
+        conditions.extend(_patient_joins(names))
+    return conditions
+
+
+def _same_type_conditions(names: Sequence[str], med: str = "P",
+                          joins: bool = False) -> List[str]:
+    """Θ2: all variables match the same medication type.
+
+    The variables are *not* pairwise mutually exclusive (every Prednisone
+    event satisfies every constant condition), so nondeterministic
+    branching occurs exactly as Theorems 2–3 analyse.  With ``joins=True``
+    patient-ID equalities bound branching *within* one patient's events
+    without changing the complexity class — the group-variable workloads
+    of Experiments 2–3 use them so the pure-Python runs stay tractable
+    (see EXPERIMENTS.md).
+    """
+    conditions = [f"{name}.L = '{med}'" for name in names]
+    conditions.append("b.L = 'B'")
+    if joins:
+        conditions.extend(_patient_joins(names))
+    return conditions
+
+
+def experiment1_pattern(n_variables: int, exclusive: bool,
+                        tau: int = DEFAULT_TAU,
+                        joins: bool = False) -> SESPattern:
+    """P1 (``exclusive=True``) or P2 (``exclusive=False``) of Experiment 1,
+    restricted to the first ``n_variables`` event variables of V1.
+
+    The paper varies ``|V1|`` from two to six: ``{c,d}``, ``{c,d,p}``, …,
+    ``{c,d,p,v,r,l}``.
+    """
+    if not 2 <= n_variables <= len(VARIABLE_NAMES):
+        raise ValueError(
+            f"n_variables must be in 2..{len(VARIABLE_NAMES)}, got {n_variables}"
+        )
+    names = list(VARIABLE_NAMES[:n_variables])
+    conditions = (_distinct_type_conditions(names, joins=joins) if exclusive
+                  else _same_type_conditions(names, joins=joins))
+    return SESPattern(sets=[names, ["b"]], conditions=conditions, tau=tau)
+
+
+def pattern_p3(tau: int = DEFAULT_TAU, joins: bool = True) -> SESPattern:
+    """P3 = (<{c,d,p+},{b}>, Θ2, 264): same-type conditions, one group var."""
+    return SESPattern(
+        sets=[["c", "d", "p+"], ["b"]],
+        conditions=_same_type_conditions(["c", "d", "p"], joins=joins),
+        tau=tau,
+    )
+
+
+def pattern_p4(tau: int = DEFAULT_TAU, joins: bool = True) -> SESPattern:
+    """P4 = (<{c,d,p},{b}>, Θ2, 264): same-type conditions, no group var."""
+    return SESPattern(
+        sets=[["c", "d", "p"], ["b"]],
+        conditions=_same_type_conditions(["c", "d", "p"], joins=joins),
+        tau=tau,
+    )
+
+
+def pattern_p5(tau: int = DEFAULT_TAU, joins: bool = True) -> SESPattern:
+    """P5 = (<{c,d,p+},{b}>, Θ1, 264): distinct types (mutually exclusive)."""
+    return SESPattern(
+        sets=[["c", "d", "p+"], ["b"]],
+        conditions=_distinct_type_conditions(["c", "d", "p"], joins=joins),
+        tau=tau,
+    )
+
+
+def pattern_p6(tau: int = DEFAULT_TAU, joins: bool = True) -> SESPattern:
+    """P6 = (<{c,d,p+},{b}>, Θ2, 264): same type (not mutually exclusive)."""
+    return pattern_p3(tau, joins=joins)

@@ -1,0 +1,28 @@
+"""The PERMUTE query language (SQL change proposal [27] style).
+
+A small declarative front end for SES patterns::
+
+    from repro.lang import parse_pattern
+
+    pattern = parse_pattern('''
+        PATTERN PERMUTE(c, p+, d) THEN b
+        WHERE c.L = 'C' AND p.L = 'P' AND d.L = 'D' AND b.L = 'B'
+          AND c.ID = p.ID AND c.ID = d.ID AND d.ID = b.ID
+        WITHIN 264 HOURS
+    ''')
+"""
+
+from .ast import (AttributeNode, ConditionNode, DurationNode, LiteralNode,
+                  QueryNode, SetNode, VariableNode)
+from .compiler import compile_query, parse_pattern
+from .errors import CompileError, LexError, ParseError, QueryError
+from .lexer import tokenize
+from .parser import parse
+from .render import render_pattern
+
+__all__ = [
+    "AttributeNode", "CompileError", "ConditionNode", "DurationNode",
+    "LexError", "LiteralNode", "ParseError", "QueryError", "QueryNode",
+    "SetNode", "VariableNode", "compile_query", "parse", "parse_pattern",
+    "render_pattern", "tokenize",
+]

@@ -1,0 +1,160 @@
+"""Abstract syntax tree of the PERMUTE query language.
+
+A query has the shape::
+
+    PATTERN PERMUTE(c, p+, d) THEN b
+    WHERE c.L = 'C' AND ... AND d.ID = b.ID
+    WITHIN 264 HOURS
+
+which parses to a :class:`QueryNode` holding a sequence of
+:class:`SetNode` (one per PERMUTE group or bare variable), a list of
+:class:`ConditionNode`, and a :class:`DurationNode`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Union
+
+__all__ = [
+    "VariableNode", "SetNode", "AttributeNode", "LiteralNode",
+    "ConditionNode", "DurationNode", "QueryNode",
+]
+
+
+class VariableNode:
+    """A declared event variable, e.g. ``p+`` (``quantified=True``)."""
+
+    __slots__ = ("name", "quantified", "line", "column")
+
+    def __init__(self, name: str, quantified: bool,
+                 line: int = 0, column: int = 0):
+        self.name = name
+        self.quantified = quantified
+        self.line = line
+        self.column = column
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, VariableNode):
+            return NotImplemented
+        return self.name == other.name and self.quantified == other.quantified
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.quantified))
+
+    def __repr__(self) -> str:
+        return f"{self.name}+" if self.quantified else self.name
+
+
+class SetNode:
+    """One event set pattern: a PERMUTE group or a bare variable."""
+
+    __slots__ = ("variables", "explicit_permute")
+
+    def __init__(self, variables: List[VariableNode],
+                 explicit_permute: bool = True):
+        self.variables = list(variables)
+        self.explicit_permute = explicit_permute
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(v) for v in self.variables)
+        return f"PERMUTE({inner})" if self.explicit_permute else inner
+
+
+class AttributeNode:
+    """An attribute reference ``v.A`` in a condition."""
+
+    __slots__ = ("variable", "attribute", "line", "column")
+
+    def __init__(self, variable: str, attribute: str,
+                 line: int = 0, column: int = 0):
+        self.variable = variable
+        self.attribute = attribute
+        self.line = line
+        self.column = column
+
+    def __repr__(self) -> str:
+        return f"{self.variable}.{self.attribute}"
+
+
+class LiteralNode:
+    """A constant literal in a condition."""
+
+    __slots__ = ("value", "line", "column")
+
+    def __init__(self, value: Any, line: int = 0, column: int = 0):
+        self.value = value
+        self.line = line
+        self.column = column
+
+    def __repr__(self) -> str:
+        return repr(self.value)
+
+
+class ConditionNode:
+    """A comparison ``left op right`` from the WHERE clause."""
+
+    __slots__ = ("left", "op", "right", "line", "column")
+
+    def __init__(self, left: AttributeNode, op: str,
+                 right: Union[AttributeNode, LiteralNode],
+                 line: int = 0, column: int = 0):
+        self.left = left
+        self.op = op
+        self.right = right
+        self.line = line
+        self.column = column
+
+    def __repr__(self) -> str:
+        return f"{self.left!r} {self.op} {self.right!r}"
+
+
+class DurationNode:
+    """The WITHIN clause: a magnitude and an optional unit keyword."""
+
+    __slots__ = ("magnitude", "unit", "line", "column")
+
+    #: Multipliers to the canonical unit (hours, like the paper).
+    UNIT_HOURS = {
+        None: 1, "HOUR": 1, "HOURS": 1,
+        "DAY": 24, "DAYS": 24,
+        "MINUTE": 1 / 60, "MINUTES": 1 / 60,
+        "SECOND": 1 / 3600, "SECONDS": 1 / 3600,
+    }
+
+    def __init__(self, magnitude: Union[int, float], unit: Optional[str] = None,
+                 line: int = 0, column: int = 0):
+        self.magnitude = magnitude
+        self.unit = unit
+        self.line = line
+        self.column = column
+
+    def in_hours(self) -> Union[int, float]:
+        """The duration converted to hours (the paper's canonical unit)."""
+        value = self.magnitude * self.UNIT_HOURS[self.unit]
+        if isinstance(value, float) and value.is_integer():
+            return int(value)
+        return value
+
+    def __repr__(self) -> str:
+        return (f"{self.magnitude} {self.unit}" if self.unit
+                else str(self.magnitude))
+
+
+class QueryNode:
+    """A full parsed query."""
+
+    __slots__ = ("sets", "conditions", "duration")
+
+    def __init__(self, sets: List[SetNode], conditions: List[ConditionNode],
+                 duration: DurationNode):
+        self.sets = list(sets)
+        self.conditions = list(conditions)
+        self.duration = duration
+
+    def __repr__(self) -> str:
+        sets = " THEN ".join(repr(s) for s in self.sets)
+        where = " AND ".join(repr(c) for c in self.conditions)
+        out = f"PATTERN {sets}"
+        if where:
+            out += f" WHERE {where}"
+        return out + f" WITHIN {self.duration!r}"

@@ -1,0 +1,78 @@
+"""Compilation of parsed PERMUTE queries into SES patterns.
+
+The compiler performs the semantic checks the parser cannot: duplicate
+variable declarations, conditions over undeclared variables, and the
+``T`` attribute being compared against non-temporal operands are all
+reported with source positions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..core.conditions import Attr, Condition, Const
+from ..core.pattern import PatternError, SESPattern
+from ..core.variables import Variable
+from .ast import AttributeNode, LiteralNode, QueryNode
+from .errors import CompileError
+from .parser import parse
+
+__all__ = ["compile_query", "parse_pattern"]
+
+
+def compile_query(query: QueryNode) -> SESPattern:
+    """Compile a parsed query into a :class:`~repro.core.pattern.SESPattern`."""
+    declared: Dict[str, Variable] = {}
+    sets = []
+    for set_node in query.sets:
+        names = []
+        for var_node in set_node.variables:
+            if var_node.name in declared:
+                raise CompileError(
+                    f"variable {var_node.name!r} declared more than once",
+                    var_node.line, var_node.column,
+                )
+            variable = Variable(var_node.name, is_group=var_node.quantified)
+            declared[var_node.name] = variable
+            names.append(variable)
+        sets.append(names)
+
+    conditions = []
+    for cond in query.conditions:
+        left = _attr(cond.left, declared)
+        if isinstance(cond.right, LiteralNode):
+            right = Const(cond.right.value)
+        else:
+            right = _attr(cond.right, declared)
+        conditions.append(Condition(left, cond.op, right))
+
+    try:
+        return SESPattern(sets=sets, conditions=conditions,
+                          tau=query.duration.in_hours())
+    except PatternError as exc:
+        raise CompileError(str(exc)) from exc
+
+
+def _attr(node: AttributeNode, declared: Dict[str, Variable]) -> Attr:
+    variable = declared.get(node.variable)
+    if variable is None:
+        raise CompileError(
+            f"condition references undeclared variable {node.variable!r}",
+            node.line, node.column,
+        )
+    return Attr(variable, node.attribute)
+
+
+def parse_pattern(text: str) -> SESPattern:
+    """Parse and compile query text in one step.
+
+    Example::
+
+        pattern = parse_pattern('''
+            PATTERN PERMUTE(c, p+, d) THEN b
+            WHERE c.L = 'C' AND p.L = 'P' AND d.L = 'D' AND b.L = 'B'
+              AND c.ID = p.ID AND c.ID = d.ID AND d.ID = b.ID
+            WITHIN 11 DAYS
+        ''')
+    """
+    return compile_query(parse(text))

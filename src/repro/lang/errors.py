@@ -1,0 +1,35 @@
+"""Errors raised by the PERMUTE query language front end."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = ["QueryError", "LexError", "ParseError", "CompileError"]
+
+
+class QueryError(ValueError):
+    """Base class for query language errors, carrying source position.
+
+    ``line`` and ``column`` are 1-based; either may be ``None`` when the
+    error is not tied to a specific location.
+    """
+
+    def __init__(self, message: str, line: Optional[int] = None,
+                 column: Optional[int] = None):
+        self.line = line
+        self.column = column
+        if line is not None:
+            message = f"{message} (line {line}, column {column})"
+        super().__init__(message)
+
+
+class LexError(QueryError):
+    """Raised on an unrecognised character or malformed literal."""
+
+
+class ParseError(QueryError):
+    """Raised when the token stream does not match the grammar."""
+
+
+class CompileError(QueryError):
+    """Raised when a syntactically valid query is semantically invalid."""

@@ -1,0 +1,138 @@
+"""Lexer for the PERMUTE query language.
+
+Turns query text into a stream of :class:`~repro.lang.tokens.Token`
+objects.  Keywords are case-insensitive; identifiers are case-sensitive.
+``--`` starts a comment running to end of line (SQL style).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .errors import LexError
+from .tokens import KEYWORDS, Token, TokenType
+
+__all__ = ["tokenize"]
+
+_OPERATORS = ("<=", ">=", "!=", "<>", "=", "<", ">")
+_SINGLE = {
+    "(": TokenType.LPAREN,
+    ")": TokenType.RPAREN,
+    ",": TokenType.COMMA,
+    ".": TokenType.DOT,
+    "+": TokenType.PLUS,
+}
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize ``text``; the result always ends with an EOF token."""
+    tokens: List[Token] = []
+    line, column = 1, 1
+    i = 0
+    n = len(text)
+
+    def error(message: str) -> LexError:
+        return LexError(message, line, column)
+
+    while i < n:
+        ch = text[i]
+        # Whitespace and newlines.
+        if ch == "\n":
+            i += 1
+            line += 1
+            column = 1
+            continue
+        if ch.isspace():
+            i += 1
+            column += 1
+            continue
+        # Comments: -- to end of line.
+        if text.startswith("--", i):
+            while i < n and text[i] != "\n":
+                i += 1
+            continue
+        # String literals (single or double quotes, '' escapes a quote).
+        if ch in ("'", '"'):
+            quote = ch
+            start_line, start_column = line, column
+            i += 1
+            column += 1
+            chars: List[str] = []
+            while True:
+                if i >= n:
+                    raise LexError("unterminated string literal",
+                                   start_line, start_column)
+                c = text[i]
+                if c == "\n":
+                    raise LexError("newline inside string literal",
+                                   start_line, start_column)
+                if c == quote:
+                    if i + 1 < n and text[i + 1] == quote:
+                        chars.append(quote)
+                        i += 2
+                        column += 2
+                        continue
+                    i += 1
+                    column += 1
+                    break
+                chars.append(c)
+                i += 1
+                column += 1
+            tokens.append(Token(TokenType.STRING, "".join(chars),
+                                start_line, start_column))
+            continue
+        # Numbers (integers and floats).
+        if ch.isdigit():
+            start_column = column
+            j = i
+            while j < n and text[j].isdigit():
+                j += 1
+            is_float = False
+            if j < n and text[j] == "." and j + 1 < n and text[j + 1].isdigit():
+                is_float = True
+                j += 1
+                while j < n and text[j].isdigit():
+                    j += 1
+            raw = text[i:j]
+            value = float(raw) if is_float else int(raw)
+            tokens.append(Token(TokenType.NUMBER, value, line, start_column))
+            column += j - i
+            i = j
+            continue
+        # Operators (longest match first).
+        matched = False
+        for op in _OPERATORS:
+            if text.startswith(op, i):
+                canonical = "!=" if op == "<>" else op
+                tokens.append(Token(TokenType.OPERATOR, canonical, line, column))
+                i += len(op)
+                column += len(op)
+                matched = True
+                break
+        if matched:
+            continue
+        # Single-character punctuation.
+        if ch in _SINGLE:
+            tokens.append(Token(_SINGLE[ch], ch, line, column))
+            i += 1
+            column += 1
+            continue
+        # Identifiers and keywords.
+        if ch.isalpha() or ch == "_":
+            start_column = column
+            j = i
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            word = text[i:j]
+            if word.upper() in KEYWORDS:
+                tokens.append(Token(TokenType.KEYWORD, word.upper(),
+                                    line, start_column))
+            else:
+                tokens.append(Token(TokenType.IDENT, word, line, start_column))
+            column += j - i
+            i = j
+            continue
+        raise error(f"unexpected character {ch!r}")
+
+    tokens.append(Token(TokenType.EOF, None, line, column))
+    return tokens

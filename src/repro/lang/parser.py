@@ -1,0 +1,142 @@
+"""Recursive-descent parser for the PERMUTE query language.
+
+Grammar (keywords case-insensitive)::
+
+    query      := "PATTERN" sets ["WHERE" conditions] "WITHIN" duration
+    sets       := set ("THEN" set)*
+    set        := "PERMUTE" "(" variables ")" | variable
+    variables  := variable ("," variable)*
+    variable   := IDENT ["+"]
+    conditions := condition ("AND" condition)*
+    condition  := operand OPERATOR operand
+    operand    := IDENT ["+"] "." IDENT | NUMBER | STRING
+    duration   := NUMBER [unit]
+    unit       := "HOURS" | "HOUR" | "DAYS" | "DAY" | "MINUTES" | ...
+"""
+
+from __future__ import annotations
+
+from typing import List, Union
+
+from .ast import (AttributeNode, ConditionNode, DurationNode, LiteralNode,
+                  QueryNode, SetNode, VariableNode)
+from .errors import ParseError
+from .lexer import tokenize
+from .tokens import Token, TokenType
+
+__all__ = ["parse"]
+
+_UNIT_KEYWORDS = frozenset({
+    "HOURS", "HOUR", "DAYS", "DAY", "MINUTES", "MINUTE", "SECONDS", "SECOND",
+})
+
+
+class _Parser:
+    """Token-stream cursor with the grammar's productions."""
+
+    def __init__(self, tokens: List[Token]):
+        self._tokens = tokens
+        self._pos = 0
+
+    # ------------------------------------------------------------------
+    # Cursor helpers
+    # ------------------------------------------------------------------
+    @property
+    def current(self) -> Token:
+        return self._tokens[self._pos]
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.type is not TokenType.EOF:
+            self._pos += 1
+        return token
+
+    def expect(self, type_: TokenType, value=None) -> Token:
+        token = self.current
+        if not token.matches(type_, value):
+            wanted = value if value is not None else type_.value
+            raise ParseError(
+                f"expected {wanted!r}, found {token.value!r}",
+                token.line, token.column,
+            )
+        return self.advance()
+
+    def accept(self, type_: TokenType, value=None) -> bool:
+        if self.current.matches(type_, value):
+            self.advance()
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Productions
+    # ------------------------------------------------------------------
+    def query(self) -> QueryNode:
+        self.expect(TokenType.KEYWORD, "PATTERN")
+        sets = [self.set_expr()]
+        while self.accept(TokenType.KEYWORD, "THEN"):
+            sets.append(self.set_expr())
+        conditions: List[ConditionNode] = []
+        if self.accept(TokenType.KEYWORD, "WHERE"):
+            conditions.append(self.condition())
+            while self.accept(TokenType.KEYWORD, "AND"):
+                conditions.append(self.condition())
+        self.expect(TokenType.KEYWORD, "WITHIN")
+        duration = self.duration()
+        eof = self.current
+        if eof.type is not TokenType.EOF:
+            raise ParseError(f"unexpected trailing input {eof.value!r}",
+                             eof.line, eof.column)
+        return QueryNode(sets, conditions, duration)
+
+    def set_expr(self) -> SetNode:
+        if self.accept(TokenType.KEYWORD, "PERMUTE"):
+            self.expect(TokenType.LPAREN)
+            variables = [self.variable()]
+            while self.accept(TokenType.COMMA):
+                variables.append(self.variable())
+            self.expect(TokenType.RPAREN)
+            return SetNode(variables, explicit_permute=True)
+        return SetNode([self.variable()], explicit_permute=False)
+
+    def variable(self) -> VariableNode:
+        token = self.expect(TokenType.IDENT)
+        quantified = self.accept(TokenType.PLUS)
+        return VariableNode(token.value, quantified, token.line, token.column)
+
+    def condition(self) -> ConditionNode:
+        left = self.operand()
+        if not isinstance(left, AttributeNode):
+            raise ParseError("left side of a condition must be v.A",
+                             left.line, left.column)
+        op_token = self.expect(TokenType.OPERATOR)
+        right = self.operand()
+        return ConditionNode(left, op_token.value, right,
+                             op_token.line, op_token.column)
+
+    def operand(self) -> Union[AttributeNode, LiteralNode]:
+        token = self.current
+        if token.type is TokenType.IDENT:
+            self.advance()
+            self.accept(TokenType.PLUS)  # optional v+ spelling
+            self.expect(TokenType.DOT)
+            attribute = self.expect(TokenType.IDENT)
+            return AttributeNode(token.value, attribute.value,
+                                 token.line, token.column)
+        if token.type in (TokenType.NUMBER, TokenType.STRING):
+            self.advance()
+            return LiteralNode(token.value, token.line, token.column)
+        raise ParseError(f"expected v.A or a literal, found {token.value!r}",
+                         token.line, token.column)
+
+    def duration(self) -> DurationNode:
+        token = self.expect(TokenType.NUMBER)
+        unit = None
+        if (self.current.type is TokenType.KEYWORD
+                and self.current.value in _UNIT_KEYWORDS):
+            unit = self.advance().value
+        return DurationNode(token.value, unit, token.line, token.column)
+
+
+def parse(text: str) -> QueryNode:
+    """Parse query text into a :class:`~repro.lang.ast.QueryNode`."""
+    return _Parser(tokenize(text)).query()

@@ -1,0 +1,47 @@
+"""Rendering SES patterns back to PERMUTE query text.
+
+The inverse of :func:`repro.lang.compiler.parse_pattern`: useful for
+logging, for showing users the query a programmatic pattern corresponds
+to, and for round-trip testing of the language front end.
+"""
+
+from __future__ import annotations
+
+from ..core.conditions import Attr, Condition
+from ..core.pattern import SESPattern
+
+__all__ = ["render_pattern"]
+
+
+def _render_operand(operand) -> str:
+    if isinstance(operand, Attr):
+        return f"{operand.variable.name}.{operand.attribute}"
+    value = operand.value
+    if isinstance(value, str):
+        escaped = value.replace("'", "''")
+        return f"'{escaped}'"
+    return repr(value)
+
+
+def _render_condition(condition: Condition) -> str:
+    return (f"{_render_operand(condition.left)} {condition.op} "
+            f"{_render_operand(condition.right)}")
+
+
+def render_pattern(pattern: SESPattern) -> str:
+    """Render ``pattern`` as an equivalent PERMUTE query string.
+
+    The output always parses back (via
+    :func:`~repro.lang.compiler.parse_pattern`) to a pattern equal to the
+    input, provided every constant is a string, int, or float.
+    """
+    sets = []
+    for variable_set in pattern.sets:
+        inner = ", ".join(repr(v) for v in sorted(variable_set))
+        sets.append(f"PERMUTE({inner})")
+    text = "PATTERN " + " THEN ".join(sets)
+    if pattern.conditions:
+        rendered = " AND ".join(_render_condition(c)
+                                for c in pattern.conditions)
+        text += f" WHERE {rendered}"
+    return f"{text} WITHIN {pattern.tau}"

@@ -1,0 +1,54 @@
+"""Tokens of the PERMUTE query language."""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Any
+
+__all__ = ["TokenType", "Token", "KEYWORDS"]
+
+
+class TokenType(Enum):
+    """Lexical token categories."""
+
+    KEYWORD = "keyword"        # PATTERN, PERMUTE, THEN, WHERE, AND, WITHIN, ...
+    IDENT = "identifier"       # variable and attribute names
+    NUMBER = "number"          # integer or float literal
+    STRING = "string"          # quoted string literal
+    OPERATOR = "operator"      # = != <> < <= > >=
+    LPAREN = "("
+    RPAREN = ")"
+    COMMA = ","
+    DOT = "."
+    PLUS = "+"
+    EOF = "end of input"
+
+
+#: Reserved words (case-insensitive).  ``HOURS``/``DAYS``/etc. are duration
+#: units accepted after WITHIN.
+KEYWORDS = frozenset({
+    "PATTERN", "PERMUTE", "THEN", "WHERE", "AND", "WITHIN",
+    "HOURS", "HOUR", "DAYS", "DAY", "MINUTES", "MINUTE", "SECONDS", "SECOND",
+})
+
+
+class Token:
+    """One lexical token with its source position (1-based)."""
+
+    __slots__ = ("type", "value", "line", "column")
+
+    def __init__(self, type_: TokenType, value: Any, line: int, column: int):
+        self.type = type_
+        self.value = value
+        self.line = line
+        self.column = column
+
+    def matches(self, type_: TokenType, value: Any = None) -> bool:
+        """True iff the token has the given type (and value, if given)."""
+        if self.type is not type_:
+            return False
+        return value is None or self.value == value
+
+    def __repr__(self) -> str:
+        return (f"Token({self.type.name}, {self.value!r}, "
+                f"{self.line}:{self.column})")

@@ -1,0 +1,5 @@
+"""Cost-informed query planning (ZStream-style, using Theorems 1-3)."""
+
+from .planner import DataProfile, QueryPlan, plan_query, profile_relation
+
+__all__ = ["DataProfile", "QueryPlan", "plan_query", "profile_relation"]

@@ -1,0 +1,10 @@
+"""Embedded event store: tables, indexes, queries, CSV persistence."""
+
+from .catalog import Database
+from .csvio import load_relation, save_relation
+from .index import HashIndex, TimeIndex
+from .query import Query
+from .table import EventTable
+
+__all__ = ["Database", "EventTable", "HashIndex", "Query", "TimeIndex",
+           "load_relation", "save_relation"]

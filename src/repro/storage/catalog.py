@@ -1,0 +1,108 @@
+"""Catalog: a named collection of event tables with disk persistence.
+
+A :class:`Database` groups :class:`~repro.storage.table.EventTable`
+objects and can save/load itself to a directory — one typed CSV per table
+plus a small JSON manifest recording schemas and indexes.  This completes
+the embedded substitute for the Oracle instance of the paper's setup.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Union
+
+from ..core.events import Attribute, EventSchema
+from .csvio import load_relation, save_relation
+from .table import EventTable
+
+__all__ = ["Database"]
+
+_TYPE_NAMES = {int: "int", float: "float", str: "str", None: "any"}
+_TYPES_BY_NAME = {"int": int, "float": float, "str": str, "any": None}
+
+_MANIFEST = "manifest.json"
+
+
+class Database:
+    """An in-memory database of event tables."""
+
+    def __init__(self, name: str = "repro"):
+        self.name = name
+        self._tables: Dict[str, EventTable] = {}
+
+    # ------------------------------------------------------------------
+    # Table management
+    # ------------------------------------------------------------------
+    def create_table(self, name: str, schema: EventSchema,
+                     indexes: Iterable[str] = ()) -> EventTable:
+        """Create a new table; the name must be unused."""
+        if name in self._tables:
+            raise ValueError(f"table {name!r} already exists")
+        table = EventTable(name, schema, indexes=indexes)
+        self._tables[name] = table
+        return table
+
+    def drop_table(self, name: str) -> None:
+        """Remove a table; raises KeyError if absent."""
+        del self._tables[name]
+
+    def table(self, name: str) -> EventTable:
+        """Look up a table by name."""
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise KeyError(f"no table {name!r} in database {self.name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tables
+
+    def __iter__(self) -> Iterator[EventTable]:
+        return iter(self._tables.values())
+
+    @property
+    def table_names(self) -> List[str]:
+        """Names of all tables, sorted."""
+        return sorted(self._tables)
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, directory: Union[str, Path]) -> None:
+        """Write all tables and a manifest into ``directory``."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        manifest = {"name": self.name, "tables": {}}
+        for name, table in self._tables.items():
+            save_relation(table.to_relation(), directory / f"{name}.csv")
+            manifest["tables"][name] = {
+                "attributes": [
+                    {"name": a.name, "type": _TYPE_NAMES.get(a.dtype, "str")}
+                    for a in table.schema.attributes
+                ],
+                "indexes": list(table.indexed_attributes),
+                "rows": len(table),
+            }
+        with (directory / _MANIFEST).open("w") as fh:
+            json.dump(manifest, fh, indent=2, sort_keys=True)
+
+    @classmethod
+    def load(cls, directory: Union[str, Path]) -> "Database":
+        """Load a database previously written by :meth:`save`."""
+        directory = Path(directory)
+        with (directory / _MANIFEST).open() as fh:
+            manifest = json.load(fh)
+        db = cls(name=manifest.get("name", directory.name))
+        for name, meta in manifest["tables"].items():
+            schema = EventSchema(
+                [Attribute(a["name"], _TYPES_BY_NAME.get(a["type"], str))
+                 for a in meta["attributes"]],
+                name=name,
+            )
+            table = db.create_table(name, schema, indexes=meta.get("indexes", ()))
+            relation = load_relation(directory / f"{name}.csv", name=name)
+            table.insert_many(relation)
+        return db
+
+    def __repr__(self) -> str:
+        return f"Database({self.name!r}, tables={self.table_names})"

@@ -1,0 +1,84 @@
+"""Secondary indexes for the embedded event store.
+
+The paper reads its events from an Oracle database; this reproduction
+ships a small embedded store instead (see DESIGN.md).  Tables maintain a
+:class:`TimeIndex` over the temporal attribute and optional
+:class:`HashIndex` es over non-temporal attributes for equality pushdown.
+Indexes store *row positions* into the table's append-only event log.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Dict, Iterator, List, Tuple
+
+__all__ = ["HashIndex", "TimeIndex"]
+
+
+class HashIndex:
+    """Equality index: attribute value → row positions."""
+
+    def __init__(self, attribute: str):
+        self.attribute = attribute
+        self._buckets: Dict[Any, List[int]] = {}
+        self._rows = 0
+
+    def add(self, position: int, value: Any) -> None:
+        """Register ``value`` at row ``position`` (positions ascend)."""
+        try:
+            bucket = self._buckets.setdefault(value, [])
+        except TypeError:
+            raise TypeError(
+                f"unhashable value {value!r} cannot be indexed on "
+                f"{self.attribute!r}"
+            ) from None
+        bucket.append(position)
+        self._rows += 1
+
+    def lookup(self, value: Any) -> Tuple[int, ...]:
+        """Row positions whose attribute equals ``value``."""
+        return tuple(self._buckets.get(value, ()))
+
+    def values(self) -> Iterator[Any]:
+        """Distinct indexed values."""
+        return iter(self._buckets)
+
+    def __len__(self) -> int:
+        return self._rows
+
+    def __repr__(self) -> str:
+        return (f"HashIndex({self.attribute!r}, {len(self._buckets)} keys, "
+                f"{self._rows} rows)")
+
+
+class TimeIndex:
+    """Sorted index over the temporal attribute.
+
+    Rows are appended in chronological order, so the index is just the
+    sorted list of timestamps; range lookups use binary search.
+    """
+
+    def __init__(self):
+        self._timestamps: List[Any] = []
+
+    def add(self, ts: Any) -> None:
+        """Register the next row's timestamp (must be non-decreasing)."""
+        if self._timestamps and ts < self._timestamps[-1]:
+            raise ValueError(
+                f"timestamps must be appended in order; {ts!r} precedes "
+                f"{self._timestamps[-1]!r}"
+            )
+        self._timestamps.append(ts)
+
+    def range(self, start: Any = None, end: Any = None) -> Tuple[int, int]:
+        """Row-position half-open range ``[lo, hi)`` with start ≤ T ≤ end."""
+        lo = 0 if start is None else bisect.bisect_left(self._timestamps, start)
+        hi = (len(self._timestamps) if end is None
+              else bisect.bisect_right(self._timestamps, end))
+        return lo, hi
+
+    def __len__(self) -> int:
+        return len(self._timestamps)
+
+    def __repr__(self) -> str:
+        return f"TimeIndex({len(self._timestamps)} rows)"

@@ -1,0 +1,144 @@
+"""Event tables: the storage unit of the embedded event store.
+
+An :class:`EventTable` is an append-only, time-ordered log of events with
+a declared schema, a time index, and optional per-attribute hash indexes.
+It plays the role the Oracle ``Event`` relation plays in the paper's
+experimental setup.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
+
+from ..core.events import Event, EventSchema, SchemaError
+from ..core.relation import EventRelation
+from .index import HashIndex, TimeIndex
+
+__all__ = ["EventTable"]
+
+
+class EventTable:
+    """A named, schema-validated, time-ordered event table.
+
+    Parameters
+    ----------
+    name:
+        Table name.
+    schema:
+        Schema every inserted event must satisfy.
+    indexes:
+        Names of non-temporal attributes to maintain hash indexes on.
+    """
+
+    def __init__(self, name: str, schema: EventSchema,
+                 indexes: Iterable[str] = ()):
+        self.name = name
+        self.schema = schema
+        self._rows: List[Event] = []
+        self._time_index = TimeIndex()
+        self._hash_indexes: Dict[str, HashIndex] = {}
+        for attribute in indexes:
+            self.create_index(attribute)
+        self._auto_eid = 0
+
+    # ------------------------------------------------------------------
+    # DDL
+    # ------------------------------------------------------------------
+    def create_index(self, attribute: str) -> None:
+        """Create (and backfill) a hash index on ``attribute``."""
+        if attribute not in self.schema or attribute == "T":
+            raise SchemaError(
+                f"cannot index {attribute!r}: not a non-temporal attribute "
+                f"of table {self.name!r}"
+            )
+        if attribute in self._hash_indexes:
+            return
+        index = HashIndex(attribute)
+        for position, event in enumerate(self._rows):
+            index.add(position, event[attribute])
+        self._hash_indexes[attribute] = index
+
+    @property
+    def indexed_attributes(self) -> Tuple[str, ...]:
+        """Attributes with a hash index."""
+        return tuple(sorted(self._hash_indexes))
+
+    # ------------------------------------------------------------------
+    # DML
+    # ------------------------------------------------------------------
+    def insert(self, event_or_values, ts: Any = None,
+               eid: Optional[str] = None) -> Event:
+        """Insert an event, or build one from an attribute mapping.
+
+        Events must arrive in chronological order (the store is a log,
+        like the archived streams the paper's systems read).  Returns the
+        stored event; an ``eid`` is assigned automatically if absent.
+        """
+        if isinstance(event_or_values, Event):
+            event = event_or_values
+        elif isinstance(event_or_values, Mapping):
+            if ts is None:
+                raise ValueError("ts is required when inserting a mapping")
+            event = Event(ts=ts, attrs=dict(event_or_values), eid=eid)
+        else:
+            raise TypeError(
+                f"expected Event or mapping, got {type(event_or_values).__name__}"
+            )
+        self.schema.validate(event.attributes)
+        if event.eid is None:
+            self._auto_eid += 1
+            event = event.replace(eid=f"{self.name}:{self._auto_eid}")
+        self._time_index.add(event.ts)  # raises on out-of-order inserts
+        position = len(self._rows)
+        self._rows.append(event)
+        for attribute, index in self._hash_indexes.items():
+            index.add(position, event[attribute])
+        return event
+
+    def insert_many(self, events: Iterable[Event]) -> int:
+        """Insert many events; returns the number inserted."""
+        count = 0
+        for event in events:
+            self.insert(event)
+            count += 1
+        return count
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def scan(self, start: Any = None, end: Any = None) -> Iterator[Event]:
+        """Iterate events in time order, optionally sliced to [start, end]."""
+        lo, hi = self._time_index.range(start, end)
+        return iter(self._rows[lo:hi])
+
+    def lookup(self, attribute: str, value: Any) -> List[Event]:
+        """Events whose ``attribute`` equals ``value`` (index-accelerated)."""
+        index = self._hash_indexes.get(attribute)
+        if index is not None:
+            return [self._rows[p] for p in index.lookup(value)]
+        return [e for e in self._rows if e.get(attribute) == value]
+
+    def row(self, position: int) -> Event:
+        """The event at a row position."""
+        return self._rows[position]
+
+    def to_relation(self) -> EventRelation:
+        """Materialise the table as an :class:`EventRelation`."""
+        relation = EventRelation(schema=self.schema, name=self.name)
+        relation.extend(self._rows)
+        return relation
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self._rows)
+
+    def query(self):
+        """Start a :class:`~repro.storage.query.Query` over this table."""
+        from .query import Query
+        return Query(self)
+
+    def __repr__(self) -> str:
+        return (f"EventTable({self.name!r}, {len(self._rows)} rows, "
+                f"indexes={list(self.indexed_attributes)})")

@@ -1,0 +1,123 @@
+"""Multi-pattern matching: many SES patterns over one event pass.
+
+Monitoring deployments rarely watch for a single pattern.  Running each
+pattern's matcher separately re-reads the stream once per pattern;
+:class:`MultiPatternMatcher` shares one pass: each pushed event is offered
+to every registered pattern's continuous matcher, and callbacks fire per
+pattern.  The per-pattern pre-filters still apply, so an event irrelevant
+to all patterns costs one filter check per pattern and nothing more.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, Iterable, List
+
+from ..core.events import Event
+from ..core.pattern import SESPattern
+from ..core.substitution import Substitution
+from .runner import ContinuousMatcher
+
+__all__ = ["MultiPatternMatcher"]
+
+MatchCallback = Callable[[Hashable, Substitution], None]
+
+
+class MultiPatternMatcher:
+    """Runs several named SES patterns over one event stream.
+
+    Parameters
+    ----------
+    patterns:
+        Mapping of pattern name → :class:`~repro.core.pattern.SESPattern`,
+        or an iterable of patterns (auto-named ``p0``, ``p1``, …).
+    use_filter:
+        Apply each pattern's Section 4.5 pre-filter.
+    suppress_overlaps:
+        Per-pattern overlap suppression (matches of *different* patterns
+        may freely share events).
+    """
+
+    def __init__(self, patterns, use_filter: bool = True,
+                 suppress_overlaps: bool = True):
+        if not isinstance(patterns, dict):
+            patterns = {f"p{i}": p for i, p in enumerate(patterns)}
+        if not patterns:
+            raise ValueError("at least one pattern is required")
+        for name, pattern in patterns.items():
+            if not isinstance(pattern, SESPattern):
+                raise TypeError(f"pattern {name!r} is not a SESPattern")
+        self._matchers: Dict[Hashable, ContinuousMatcher] = {
+            name: ContinuousMatcher(pattern, use_filter=use_filter,
+                                    suppress_overlaps=suppress_overlaps)
+            for name, pattern in patterns.items()
+        }
+        self._callbacks: List[MatchCallback] = []
+
+    # ------------------------------------------------------------------
+    # Subscription
+    # ------------------------------------------------------------------
+    def on_match(self, callback: MatchCallback) -> MatchCallback:
+        """Register ``callback(pattern_name, substitution)``."""
+        self._callbacks.append(callback)
+        return callback
+
+    # ------------------------------------------------------------------
+    # Feeding
+    # ------------------------------------------------------------------
+    def push(self, event: Event) -> Dict[Hashable, List[Substitution]]:
+        """Offer one event to every pattern; returns new matches by name."""
+        out: Dict[Hashable, List[Substitution]] = {}
+        for name, matcher in self._matchers.items():
+            reported = matcher.push(event)
+            if reported:
+                out[name] = reported
+                for callback in self._callbacks:
+                    for substitution in reported:
+                        callback(name, substitution)
+        return out
+
+    def push_many(self, events: Iterable[Event]
+                  ) -> Dict[Hashable, List[Substitution]]:
+        """Feed a batch; returns all new matches grouped by pattern name."""
+        out: Dict[Hashable, List[Substitution]] = {}
+        for event in events:
+            for name, reported in self.push(event).items():
+                out.setdefault(name, []).extend(reported)
+        return out
+
+    def close(self) -> Dict[Hashable, List[Substitution]]:
+        """End-of-stream: flush every pattern's matcher."""
+        out: Dict[Hashable, List[Substitution]] = {}
+        for name, matcher in self._matchers.items():
+            flushed = matcher.close()
+            if flushed:
+                out[name] = flushed
+                for callback in self._callbacks:
+                    for substitution in flushed:
+                        callback(name, substitution)
+        return out
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def pattern_names(self) -> List[Hashable]:
+        """Registered pattern names."""
+        return list(self._matchers)
+
+    def matches(self, name: Hashable) -> List[Substitution]:
+        """All matches reported so far for one pattern."""
+        return self._matchers[name].matches
+
+    def all_matches(self) -> Dict[Hashable, List[Substitution]]:
+        """All matches reported so far, by pattern name."""
+        return {name: m.matches for name, m in self._matchers.items()}
+
+    @property
+    def active_instances(self) -> int:
+        """Total automaton instances across all patterns."""
+        return sum(m.active_instances for m in self._matchers.values())
+
+    def __repr__(self) -> str:
+        return (f"MultiPatternMatcher({len(self._matchers)} patterns, "
+                f"{self.active_instances} active instances)")

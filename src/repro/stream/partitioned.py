@@ -1,0 +1,148 @@
+"""Partitioned continuous matching: one matcher per key, online.
+
+The streaming analogue of
+:class:`~repro.automaton.optimizations.PartitionedMatcher`: events are
+routed by a partition attribute (e.g. the patient ``ID``) to a per-key
+:class:`~repro.stream.runner.ContinuousMatcher`, created lazily on first
+sight of the key.  Sound whenever the pattern equi-joins all variables on
+the attribute; like batch partitioning it is immune to cross-partition
+greedy hijacking, so it may report matches the unpartitioned matcher
+would miss — never fewer.
+
+Idle partitions can be garbage-collected: a partition whose matcher holds
+no active instances and whose last event is more than τ old can never
+contribute again; :meth:`PartitionedContinuousMatcher.collect` drops them.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, Iterable, List, Optional
+
+from ..automaton.optimizations import partition_attribute
+from ..core.events import Event
+from ..core.pattern import SESPattern
+from ..core.substitution import Substitution
+from .runner import ContinuousMatcher
+
+__all__ = ["PartitionedContinuousMatcher"]
+
+MatchCallback = Callable[[Hashable, Substitution], None]
+
+
+class PartitionedContinuousMatcher:
+    """Continuous matching with per-partition instance populations.
+
+    Parameters
+    ----------
+    pattern:
+        The SES pattern; it must equi-join all variables on ``attribute``.
+    attribute:
+        Partition attribute; auto-detected from the pattern's equality
+        conditions when omitted.
+    use_filter / suppress_overlaps:
+        Forwarded to each per-partition matcher.
+    """
+
+    def __init__(self, pattern: SESPattern, attribute: Optional[str] = None,
+                 use_filter: bool = True, suppress_overlaps: bool = True):
+        detected = partition_attribute(pattern)
+        if attribute is None:
+            attribute = detected
+        if attribute is None:
+            raise ValueError(
+                "pattern does not equi-join all variables on a single "
+                "attribute; partitioned streaming would lose matches"
+            )
+        self.pattern = pattern
+        self.attribute = attribute
+        self._use_filter = use_filter
+        self._suppress_overlaps = suppress_overlaps
+        self._matchers: Dict[Hashable, ContinuousMatcher] = {}
+        self._last_ts: Dict[Hashable, object] = {}
+        self._callbacks: List[MatchCallback] = []
+
+    def on_match(self, callback: MatchCallback) -> MatchCallback:
+        """Register ``callback(partition_key, substitution)``."""
+        self._callbacks.append(callback)
+        return callback
+
+    # ------------------------------------------------------------------
+    # Feeding
+    # ------------------------------------------------------------------
+    def push(self, event: Event) -> List[Substitution]:
+        """Route one event to its partition; returns new matches."""
+        key = event.get(self.attribute)
+        matcher = self._matchers.get(key)
+        if matcher is None:
+            matcher = ContinuousMatcher(
+                self.pattern, use_filter=self._use_filter,
+                suppress_overlaps=self._suppress_overlaps)
+            self._matchers[key] = matcher
+        self._last_ts[key] = event.ts
+        reported = matcher.push(event)
+        for callback in self._callbacks:
+            for substitution in reported:
+                callback(key, substitution)
+        return reported
+
+    def push_many(self, events: Iterable[Event]) -> List[Substitution]:
+        """Feed a batch of events (stream order)."""
+        out: List[Substitution] = []
+        for event in events:
+            out.extend(self.push(event))
+        return out
+
+    def close(self) -> List[Substitution]:
+        """End-of-stream: flush every partition."""
+        out: List[Substitution] = []
+        for key, matcher in self._matchers.items():
+            flushed = matcher.close()
+            out.extend(flushed)
+            for callback in self._callbacks:
+                for substitution in flushed:
+                    callback(key, substitution)
+        return out
+
+    # ------------------------------------------------------------------
+    # Maintenance and introspection
+    # ------------------------------------------------------------------
+    def collect(self, now) -> int:
+        """Drop partitions that can no longer contribute matches.
+
+        A partition is collectable when its matcher has no active
+        instances and its newest event is more than τ older than ``now``
+        (so even a fresh instance could never span back to it).  Returns
+        the number of partitions dropped.
+        """
+        tau = self.pattern.tau
+        dead = [key for key, matcher in self._matchers.items()
+                if matcher.active_instances == 0
+                and now - self._last_ts[key] > tau]
+        for key in dead:
+            del self._matchers[key]
+            del self._last_ts[key]
+        return len(dead)
+
+    @property
+    def partitions(self) -> List[Hashable]:
+        """Keys with a live matcher."""
+        return list(self._matchers)
+
+    @property
+    def active_instances(self) -> int:
+        """Total automaton instances across partitions."""
+        return sum(m.active_instances for m in self._matchers.values())
+
+    @property
+    def matches(self) -> List[Substitution]:
+        """All matches reported so far, in report order per partition."""
+        out: List[Substitution] = []
+        for matcher in self._matchers.values():
+            out.extend(matcher.matches)
+        out.sort(key=lambda s: s.min_ts())
+        return out
+
+    def __repr__(self) -> str:
+        return (f"PartitionedContinuousMatcher({self.attribute!r}, "
+                f"{len(self._matchers)} partitions, "
+                f"{self.active_instances} active instances)")

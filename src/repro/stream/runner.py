@@ -1,0 +1,134 @@
+"""Continuous SES pattern matching over live streams.
+
+:class:`ContinuousMatcher` wraps the incremental
+:class:`~repro.automaton.executor.SESExecutor` with a subscription API:
+callbacks fire as soon as a match is *emitted* (its window expires, per
+Algorithm 1 — a match cannot be emitted earlier because a group variable
+might still collect further events).
+
+Streaming result semantics: a buffer is reported when accepted.  The
+global conditions 4–5 of Definition 2 compare against candidates that may
+not have been seen yet, so the streaming matcher applies them *per
+emission batch* (buffers expiring at the same input event) plus
+non-overlap against previously reported matches — the natural online
+approximation, which coincides with the batch semantics whenever match
+windows do not straddle emission points.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List
+
+from ..automaton.executor import SESExecutor
+from ..core.events import Event
+from ..core.matcher import Matcher
+from ..core.pattern import SESPattern
+from ..core.semantics import select_matches
+from ..core.substitution import Substitution
+
+__all__ = ["ContinuousMatcher"]
+
+MatchCallback = Callable[[Substitution], None]
+
+
+class ContinuousMatcher:
+    """Push-based continuous matcher for one SES pattern.
+
+    Parameters
+    ----------
+    pattern:
+        The SES pattern to watch for.
+    use_filter:
+        Apply the Section 4.5 event pre-filter.
+    suppress_overlaps:
+        Skip matches sharing events with an already reported match
+        (the paper's intended-results behaviour).  Set to ``False`` to
+        report every accepted buffer.
+    """
+
+    def __init__(self, pattern: SESPattern, use_filter: bool = True,
+                 suppress_overlaps: bool = True):
+        self.pattern = pattern
+        self._matcher = Matcher(pattern, use_filter=use_filter,
+                                selection="accepted")
+        self._executor: SESExecutor = self._matcher.executor()
+        # Keep emission latency bounded: filtered events still advance the
+        # expiry clock (see SESExecutor.expire_on_filtered).
+        self._executor.expire_on_filtered = True
+        self._callbacks: List[MatchCallback] = []
+        self._reported: List[Substitution] = []
+        self._used_events: set = set()
+        self.suppress_overlaps = suppress_overlaps
+
+    # ------------------------------------------------------------------
+    # Subscription
+    # ------------------------------------------------------------------
+    def on_match(self, callback: MatchCallback) -> MatchCallback:
+        """Register a callback invoked once per reported match.
+
+        Usable as a decorator::
+
+            @matcher.on_match
+            def alert(match):
+                ...
+        """
+        self._callbacks.append(callback)
+        return callback
+
+    # ------------------------------------------------------------------
+    # Feeding
+    # ------------------------------------------------------------------
+    def push(self, event: Event) -> List[Substitution]:
+        """Feed one event; returns the matches reported at this point."""
+        accepted = self._executor.feed(event)
+        return self._report(accepted)
+
+    def push_many(self, events: Iterable[Event]) -> List[Substitution]:
+        """Feed a batch of events; returns all matches reported."""
+        out: List[Substitution] = []
+        for event in events:
+            out.extend(self.push(event))
+        return out
+
+    def close(self) -> List[Substitution]:
+        """Signal end-of-stream, flushing still-active accepting instances."""
+        return self._report(self._executor.finish())
+
+    def _report(self, accepted: List[Substitution]) -> List[Substitution]:
+        if not accepted:
+            return []
+        batch = select_matches(accepted, overlap="allow")
+        reported: List[Substitution] = []
+        for substitution in batch:
+            events = set(substitution.events())
+            if self.suppress_overlaps and events & self._used_events:
+                continue
+            self._used_events |= events
+            self._reported.append(substitution)
+            reported.append(substitution)
+            for callback in self._callbacks:
+                callback(substitution)
+        return reported
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def matches(self) -> List[Substitution]:
+        """All matches reported so far."""
+        return list(self._reported)
+
+    @property
+    def active_instances(self) -> int:
+        """Current automaton instance population."""
+        return self._executor.active_instances
+
+    @property
+    def stats(self):
+        """Execution counters of the underlying executor."""
+        return self._executor.stats
+
+    def __repr__(self) -> str:
+        return (f"ContinuousMatcher({self.pattern!r}, "
+                f"{len(self._reported)} matches, "
+                f"{self.active_instances} active instances)")

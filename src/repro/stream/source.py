@@ -1,0 +1,83 @@
+"""Event stream sources.
+
+The paper's algorithm consumes one event at a time, which makes it a
+natural fit for live streams (the setting of DejaVu, SASE+, Cayuga).  An
+:class:`EventStream` is any chronologically ordered iterable of events;
+this module provides constructors for replaying relations, merging
+streams, and generating synthetic streams.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from typing import Callable, Iterable, Iterator, List, Optional, Sequence
+
+from ..core.events import Event
+from ..core.relation import EventRelation
+
+__all__ = ["from_relation", "merge", "synthetic", "take"]
+
+
+def from_relation(relation: EventRelation) -> Iterator[Event]:
+    """Replay a stored relation as a stream (already time-ordered)."""
+    return iter(relation)
+
+
+def merge(*streams: Iterable[Event]) -> Iterator[Event]:
+    """Merge several time-ordered streams into one, preserving order.
+
+    Classic k-way merge by timestamp; ties are broken by stream position,
+    keeping the merge stable and deterministic.
+    """
+    return iter(heapq.merge(*streams, key=lambda e: e.ts))
+
+
+def synthetic(kinds: Sequence[str],
+              rate: float = 1.0,
+              count: Optional[int] = None,
+              seed: int = 0,
+              attribute: str = "kind",
+              make_attrs: Optional[Callable[[random.Random, str], dict]] = None
+              ) -> Iterator[Event]:
+    """Generate a synthetic stream of typed events.
+
+    Parameters
+    ----------
+    kinds:
+        Event type labels drawn uniformly at random.
+    rate:
+        Mean events per time unit (inter-arrival times are exponential,
+        rounded to the discrete time domain).
+    count:
+        Number of events to generate; ``None`` streams forever.
+    seed:
+        Seed for determinism.
+    attribute:
+        Name of the attribute carrying the type label.
+    make_attrs:
+        Optional callback returning extra attributes per event.
+    """
+    if rate <= 0:
+        raise ValueError("rate must be positive")
+    rng = random.Random(seed)
+    ts = 0
+    produced = 0
+    while count is None or produced < count:
+        ts += max(1, round(rng.expovariate(rate)))
+        kind = rng.choice(list(kinds))
+        attrs = {attribute: kind}
+        if make_attrs is not None:
+            attrs.update(make_attrs(rng, kind))
+        produced += 1
+        yield Event(ts=ts, eid=f"x{produced}", attrs=attrs)
+
+
+def take(stream: Iterable[Event], n: int) -> List[Event]:
+    """Materialise the first ``n`` events of a stream."""
+    out: List[Event] = []
+    for event in stream:
+        out.append(event)
+        if len(out) >= n:
+            break
+    return out

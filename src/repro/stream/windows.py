@@ -1,0 +1,72 @@
+"""Sliding window utilities over event streams.
+
+Definition 5's window size ``W`` is the maximum population of a τ-window
+sliding event-by-event.  :class:`SlidingWindow` maintains that window
+incrementally over a stream, and :func:`window_profile` reports the
+population at every event — useful for understanding why an execution's
+instance population peaks where it does.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Iterable, Iterator, List, Tuple
+
+from ..core.events import Event
+
+__all__ = ["SlidingWindow", "window_profile", "max_window_population"]
+
+
+class SlidingWindow:
+    """A time-based sliding window of width τ over an ordered stream.
+
+    :meth:`push` adds the next event and evicts events older than
+    ``event.ts - tau``; the window then contains exactly the events a SES
+    automaton instance anchored at the newest event could still combine
+    with (looking backwards).
+    """
+
+    def __init__(self, tau: Any):
+        if tau < 0:
+            raise ValueError("tau must be non-negative")
+        self.tau = tau
+        self._events: Deque[Event] = deque()
+
+    def push(self, event: Event) -> Tuple[Event, ...]:
+        """Add ``event``, evict expired events, return the evicted ones."""
+        if self._events and event.ts < self._events[-1].ts:
+            raise ValueError("events must be pushed in chronological order")
+        evicted: List[Event] = []
+        cutoff = event.ts - self.tau
+        while self._events and self._events[0].ts < cutoff:
+            evicted.append(self._events.popleft())
+        self._events.append(event)
+        return tuple(evicted)
+
+    @property
+    def events(self) -> Tuple[Event, ...]:
+        """Current window contents, oldest first."""
+        return tuple(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __repr__(self) -> str:
+        return f"SlidingWindow(τ={self.tau}, {len(self._events)} events)"
+
+
+def window_profile(stream: Iterable[Event], tau: Any) -> Iterator[Tuple[Event, int]]:
+    """Yield ``(event, window_population)`` for every stream event."""
+    window = SlidingWindow(tau)
+    for event in stream:
+        window.push(event)
+        yield event, len(window)
+
+
+def max_window_population(stream: Iterable[Event], tau: Any) -> int:
+    """Window size ``W`` of a stream (streaming variant of Definition 5)."""
+    best = 0
+    for _, population in window_profile(stream, tau):
+        if population > best:
+            best = population
+    return best

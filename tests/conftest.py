@@ -1,0 +1,53 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+import pytest
+
+from repro import Event, EventRelation, SESPattern
+from repro.data.paper_events import figure1_relation, query_q1
+
+
+def ev(ts: int, kind: str = "A", eid: str = None, **attrs) -> Event:
+    """Shorthand event constructor used throughout the tests."""
+    attrs.setdefault("kind", kind)
+    return Event(ts=ts, eid=eid or f"{kind.lower()}{ts}", **attrs)
+
+
+def rel(*events: Event) -> EventRelation:
+    """Build a relation from events (sorted automatically)."""
+    return EventRelation(events)
+
+
+def eids(substitution) -> frozenset:
+    """The set of event ids bound by a substitution."""
+    return frozenset(e.eid for e in substitution.events())
+
+
+def bindings(substitution) -> frozenset:
+    """Bindings as ``"v/eid"`` strings, order-independent."""
+    return frozenset(f"{v!r}/{e.eid}" for v, e in substitution.bindings)
+
+
+@pytest.fixture
+def figure1():
+    """The paper's Figure 1 relation."""
+    return figure1_relation()
+
+
+@pytest.fixture
+def q1():
+    """The paper's Query Q1 pattern."""
+    return query_q1()
+
+
+@pytest.fixture
+def kind_pattern():
+    """A simple two-set pattern over 'kind' attributes: {a, b} then {c}."""
+    return SESPattern(
+        sets=[["a", "b"], ["c"]],
+        conditions=["a.kind = 'A'", "b.kind = 'B'", "c.kind = 'C'"],
+        tau=100,
+    )

@@ -1,0 +1,197 @@
+"""Tests for automaton construction (Section 4.2, Figures 3-5 and 10)."""
+
+import pytest
+
+from repro import SESPattern
+from repro.automaton.builder import (build_automaton, build_set_automaton,
+                                     concatenate)
+from repro.automaton.states import make_state, state_label
+from repro.core.conditions import Attr, Condition, Const
+from repro.core.variables import group, var
+
+C, D, B = var("c"), var("d"), var("b")
+P = group("p")
+
+
+def transition_map(automaton):
+    """{(source_label, variable_repr): condition set} for easy assertions."""
+    out = {}
+    for t in automaton.transitions:
+        out[(state_label(t.source), repr(t.variable))] = set(t.conditions)
+    return out
+
+
+class TestFigure3:
+    """SES automaton for P = (<{b}>, {b.L = 'B'}, 264)."""
+
+    def test_structure(self):
+        pattern = SESPattern(sets=[["b"]], conditions=["b.L = 'B'"], tau=264)
+        automaton = build_automaton(pattern)
+        assert automaton.states == {make_state(), make_state([B])}
+        assert automaton.start == make_state()
+        assert automaton.accepting == make_state([B])
+        assert automaton.tau == 264
+        assert len(automaton.transitions) == 1
+        t = automaton.transitions[0]
+        assert t.variable == B
+        assert set(t.conditions) == {Condition(Attr(B, "L"), "=", Const("B"))}
+
+
+class TestFigure4N1:
+    """Automaton N1 for V1 = {c, p+, d} of the running example."""
+
+    @pytest.fixture
+    def n1(self, q1):
+        return build_set_automaton(q1, 0)
+
+    def test_states_are_powerset(self, n1):
+        assert len(n1.states) == 8
+        labels = {state_label(s) for s in n1.states}
+        assert labels == {"∅", "c", "d", "p+", "cd", "cp+", "dp+", "cdp+"}
+
+    def test_start_and_accepting(self, n1):
+        assert n1.start == make_state()
+        assert n1.accepting == make_state([C, D, P])
+
+    def test_transition_count(self, n1):
+        # 3 from ∅, 2 from c, 2 from d, 3 from p+ (incl. loop), 1 from cd,
+        # 2 from cp+ (incl. loop), 2 from dp+ (incl. loop), 1 loop at cdp+.
+        assert len(n1.transitions) == 16
+
+    def test_loop_transitions(self, n1):
+        loops = [t for t in n1.transitions if t.is_loop]
+        assert len(loops) == 4
+        assert all(t.variable == P for t in loops)
+        loop_sources = {state_label(t.source) for t in loops}
+        assert loop_sources == {"p+", "cp+", "dp+", "cdp+"}
+
+    def test_theta_routing_matches_figure4(self, q1, n1):
+        tm = transition_map(n1)
+        L = lambda v, k: Condition(Attr(v, "L"), "=", Const(k))
+        ID = lambda a, b: Condition(Attr(a, "ID"), "=", Attr(b, "ID"))
+        # Θ1-Θ3: transitions from the start state carry only constant conditions.
+        assert tm[("∅", "c")] == {L(C, "C")}
+        assert tm[("∅", "d")] == {L(D, "D")}
+        assert tm[("∅", "p+")] == {L(P, "P")}
+        # Θ4, Θ5: from state {c} partner conditions with c are available.
+        assert tm[("c", "d")] == {L(D, "D"), ID(C, D)}
+        assert tm[("c", "p+")] == {L(P, "P"), ID(C, P)}
+        # Θ9, Θ10: from state {d} (no c yet) — d-p have no shared condition.
+        assert tm[("d", "c")] == {L(C, "C"), ID(C, D)}
+        assert tm[("d", "p+")] == {L(P, "P")}
+        # Θ7, Θ8: from {p+}.
+        assert tm[("p+", "c")] == {L(C, "C"), ID(C, P)}
+        assert tm[("p+", "d")] == {L(D, "D")}
+        # Θ11-Θ16.
+        assert tm[("cd", "p+")] == {L(P, "P"), ID(C, P)}
+        assert tm[("cp+", "d")] == {L(D, "D"), ID(C, D)}
+        assert tm[("dp+", "c")] == {L(C, "C"), ID(C, D), ID(C, P)}
+        assert tm[("cdp+", "p+")] == {L(P, "P"), ID(C, P)}
+
+    def test_loop_condition_at_p_state(self, q1, n1):
+        tm = transition_map(n1)
+        # Θ7 at state {p+}: loop carries only p.L='P' (c not bound yet).
+        p_loop = [t for t in n1.transitions
+                  if t.is_loop and state_label(t.source) == "p+"]
+        assert set(p_loop[0].conditions) == {
+            Condition(Attr(P, "L"), "=", Const("P"))
+        }
+
+
+class TestFigure5Concatenation:
+    """The concatenated automaton for the full Query Q1."""
+
+    @pytest.fixture
+    def automaton(self, q1):
+        return build_automaton(q1)
+
+    def test_state_count(self, automaton):
+        # 8 states from N1 plus {cdp+b}; N2's start merges with N1's accept.
+        assert len(automaton.states) == 9
+
+    def test_accepting_state(self, automaton):
+        assert state_label(automaton.accepting) == "bcdp+"
+        assert automaton.accepting == make_state([B, C, D, P])
+
+    def test_transition_count(self, automaton):
+        assert len(automaton.transitions) == 17
+
+    def test_theta17_prime(self, automaton):
+        """The b transition carries θ4, θ7 and the inter-set time constraints."""
+        tm = transition_map(automaton)
+        expected = {
+            Condition(Attr(B, "L"), "=", Const("B")),
+            Condition(Attr(D, "ID"), "=", Attr(B, "ID")),
+            Condition(Attr(C, "T"), "<", Attr(B, "T")),
+            Condition(Attr(D, "T"), "<", Attr(B, "T")),
+            Condition(Attr(P, "T"), "<", Attr(B, "T")),
+        }
+        assert tm[("cdp+", "b")] == expected
+
+    def test_no_loop_at_accepting(self, automaton):
+        assert automaton.loops_at(automaton.accepting) == ()
+
+    def test_n1_transitions_unchanged(self, q1, automaton):
+        n1 = build_set_automaton(q1, 0)
+        n1_keys = set(transition_map(n1))
+        full_map = transition_map(automaton)
+        for key, conditions in transition_map(n1).items():
+            assert full_map[key] == conditions
+
+
+class TestFigure10:
+    """Singleton-only variant (<{c,p,d},{b}>) used by the BF comparison."""
+
+    def test_ses_automaton_shape(self):
+        pattern = SESPattern(
+            sets=[["c", "p", "d"], ["b"]],
+            conditions=["c.L = 'C'", "d.L = 'D'", "p.L = 'P'", "b.L = 'B'"],
+            tau=264,
+        )
+        automaton = build_automaton(pattern)
+        assert len(automaton.states) == 9
+        assert len(automaton.transitions) == 13
+        assert not any(t.is_loop for t in automaton.transitions)
+
+
+class TestConcatenate:
+    def test_three_sets(self):
+        pattern = SESPattern(sets=[["a"], ["b"], ["c"]], tau=5)
+        automaton = build_automaton(pattern)
+        labels = {state_label(s) for s in automaton.states}
+        assert labels == {"∅", "a", "ab", "abc"}
+        tm = transition_map(automaton)
+        A, Bv, Cv = var("a"), var("b"), var("c")
+        # The c transition constrains against both preceding variables.
+        assert tm[("ab", "c")] == {
+            Condition(Attr(A, "T"), "<", Attr(Cv, "T")),
+            Condition(Attr(Bv, "T"), "<", Attr(Cv, "T")),
+        }
+
+    def test_concatenate_preserves_tau(self, q1):
+        n1 = build_set_automaton(q1, 0)
+        n2 = build_set_automaton(q1, 1)
+        assert concatenate(n1, n2).tau == 264
+
+    def test_group_loop_survives_merge(self, q1):
+        """The p+ loop must exist at the merged state cdp+ (Figure 5)."""
+        automaton = build_automaton(q1)
+        merged = make_state([C, D, P])
+        loops = automaton.loops_at(merged)
+        assert len(loops) == 1
+        assert loops[0].variable == P
+
+
+class TestStateSpaceSize:
+    @pytest.mark.parametrize("n,expected", [(1, 2), (2, 4), (3, 8), (4, 16)])
+    def test_powerset_states(self, n, expected):
+        names = [chr(ord("a") + i) for i in range(n)]
+        pattern = SESPattern(sets=[names], tau=1)
+        automaton = build_automaton(pattern)
+        assert len(automaton.states) == expected
+
+    def test_multi_set_state_count(self):
+        pattern = SESPattern(sets=[["a", "b"], ["c", "d"]], tau=1)
+        automaton = build_automaton(pattern)
+        # 2^2 + 2^2 - 1 merged
+        assert len(automaton.states) == 7

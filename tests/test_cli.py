@@ -1,0 +1,175 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.storage import load_relation, save_relation
+
+Q1_TEXT = ("PATTERN PERMUTE(c, p+, d) THEN b "
+           "WHERE c.L = 'C' AND p.L = 'P' AND d.L = 'D' AND b.L = 'B' "
+           "AND c.ID = p.ID AND c.ID = d.ID AND d.ID = b.ID WITHIN 264")
+
+
+@pytest.fixture
+def figure1_csv(tmp_path, figure1):
+    path = tmp_path / "events.csv"
+    save_relation(figure1, path)
+    return path
+
+
+class TestMatchCommand:
+    def test_prints_matches(self, figure1_csv, capsys):
+        code = main(["match", "--data", str(figure1_csv),
+                     "--query", Q1_TEXT])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "2 match(es) in 14 events" in out
+        assert "c/e1" in out and "b/e13" in out
+
+    def test_stats_flag(self, figure1_csv, capsys):
+        main(["match", "--data", str(figure1_csv), "--query", Q1_TEXT,
+              "--stats"])
+        out = capsys.readouterr().out
+        assert "events read:" in out
+        assert "max instances:" in out
+
+    def test_query_file(self, figure1_csv, tmp_path, capsys):
+        query_file = tmp_path / "q1.ses"
+        query_file.write_text(Q1_TEXT)
+        code = main(["match", "--data", str(figure1_csv),
+                     "--query-file", str(query_file)])
+        assert code == 0
+        assert "2 match(es)" in capsys.readouterr().out
+
+    def test_selection_accepted(self, figure1_csv, capsys):
+        main(["match", "--data", str(figure1_csv), "--query", Q1_TEXT,
+              "--selection", "accepted"])
+        assert "3 match(es)" in capsys.readouterr().out
+
+    def test_exhaustive_mode(self, figure1_csv, capsys):
+        code = main(["match", "--data", str(figure1_csv),
+                     "--query", Q1_TEXT, "--mode", "exhaustive"])
+        assert code == 0
+        assert "2 match(es)" in capsys.readouterr().out
+
+    def test_no_filter(self, figure1_csv, capsys):
+        code = main(["match", "--data", str(figure1_csv),
+                     "--query", Q1_TEXT, "--no-filter", "--stats"])
+        assert code == 0
+        assert "events filtered:  0" in capsys.readouterr().out
+
+    def test_missing_data_file(self, capsys):
+        code = main(["match", "--data", "/nonexistent.csv",
+                     "--query", "PATTERN a WITHIN 1"])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_bad_query(self, figure1_csv, capsys):
+        code = main(["match", "--data", str(figure1_csv),
+                     "--query", "PATTERN"])
+        assert code == 2
+        assert "query error" in capsys.readouterr().err
+
+
+class TestGenerateCommand:
+    def test_writes_loadable_csv(self, tmp_path, capsys):
+        out = tmp_path / "data.csv"
+        code = main(["generate", "--out", str(out), "--patients", "2",
+                     "--cycles", "1", "--seed", "3"])
+        assert code == 0
+        assert "wrote" in capsys.readouterr().out
+        relation = load_relation(out)
+        assert len(relation) > 0
+
+    def test_duplicate_factor(self, tmp_path):
+        single = tmp_path / "d1.csv"
+        double = tmp_path / "d2.csv"
+        main(["generate", "--out", str(single), "--patients", "2",
+              "--cycles", "1"])
+        main(["generate", "--out", str(double), "--patients", "2",
+              "--cycles", "1", "--duplicate", "2"])
+        assert len(load_relation(double)) == 2 * len(load_relation(single))
+
+    def test_deterministic(self, tmp_path):
+        a, b = tmp_path / "a.csv", tmp_path / "b.csv"
+        main(["generate", "--out", str(a), "--patients", "2", "--cycles", "1"])
+        main(["generate", "--out", str(b), "--patients", "2", "--cycles", "1"])
+        assert a.read_text() == b.read_text()
+
+
+class TestExplainCommand:
+    def test_text_output(self, capsys):
+        code = main(["explain", "--query", Q1_TEXT])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "SES automaton: 9 states, 17 transitions" in out
+        assert "cdp+" in out
+
+    def test_dot_output(self, capsys):
+        main(["explain", "--dot", "--query", Q1_TEXT])
+        out = capsys.readouterr().out
+        assert out.startswith("digraph")
+        assert "doublecircle" in out
+
+
+class TestAnalyzeCommand:
+    def test_with_explicit_window(self, capsys):
+        code = main(["analyze", "--window", "50", "--query", Q1_TEXT])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "W = 50" in out
+        assert "Theorem 1" in out
+
+    def test_with_data_file(self, figure1_csv, capsys):
+        code = main(["analyze", "--data", str(figure1_csv),
+                     "--query", Q1_TEXT])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "14 events" in out
+        assert "W = 14" in out
+
+    def test_window_and_data_exclusive(self, figure1_csv):
+        with pytest.raises(SystemExit):
+            main(["analyze", "--window", "5", "--data", str(figure1_csv),
+                  "--query", Q1_TEXT])
+
+
+class TestParser:
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_query_and_query_file_exclusive(self, figure1_csv, tmp_path):
+        query_file = tmp_path / "q.ses"
+        query_file.write_text(Q1_TEXT)
+        with pytest.raises(SystemExit):
+            main(["match", "--data", str(figure1_csv),
+                  "--query", Q1_TEXT, "--query-file", str(query_file)])
+
+
+class TestLintCommand:
+    def test_clean_query(self, capsys):
+        code = main(["lint", "--query",
+                     "PATTERN PERMUTE(a, b) THEN c WHERE a.k = 'A' "
+                     "AND b.k = 'B' AND c.k = 'C' WITHIN 10"])
+        assert code == 0
+        assert "no findings" in capsys.readouterr().out
+
+    def test_warning_exit_zero(self, capsys):
+        code = main(["lint", "--query", Q1_TEXT])
+        assert code == 0
+        assert "open-join-graph" in capsys.readouterr().out
+
+    def test_error_exit_three(self, capsys):
+        code = main(["lint", "--query",
+                     "PATTERN a WHERE a.k = 'X' AND a.k = 'Y' WITHIN 5"])
+        assert code == 3
+        assert "unsatisfiable-variable" in capsys.readouterr().out
+
+    def test_fix_joins_prints_closed_query(self, capsys):
+        code = main(["lint", "--fix-joins", "--query", Q1_TEXT])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "PATTERN PERMUTE(c, d, p+)" in out
+        # The closure adds e.g. c.ID = b.ID (implied via d).
+        assert out.count(".ID = ") > Q1_TEXT.count(".ID = ")

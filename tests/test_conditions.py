@@ -1,0 +1,188 @@
+"""Unit tests for repro.core.conditions."""
+
+import pytest
+
+from repro import Event
+from repro.core.conditions import (Attr, Condition, Const, attr, const,
+                                   parse_condition)
+from repro.core.variables import group, var
+
+C = var("c")
+D = var("d")
+P = group("p")
+
+
+def cond(left_var, attribute, op, right):
+    return Condition(Attr(left_var, attribute), op, right)
+
+
+class TestOperands:
+    def test_attr_equality(self):
+        assert Attr(C, "L") == Attr(C, "L")
+        assert Attr(C, "L") != Attr(D, "L")
+        assert Attr(C, "L") != Attr(C, "V")
+
+    def test_const_equality(self):
+        assert Const(5) == Const(5)
+        assert Const(5) != Const(6)
+
+    def test_attr_requires_variable(self):
+        with pytest.raises(TypeError):
+            Attr("c", "L")
+
+    def test_helpers(self):
+        assert attr(C, "L") == Attr(C, "L")
+        assert const(3) == Const(3)
+
+
+class TestConditionConstruction:
+    def test_unknown_operator(self):
+        with pytest.raises(ValueError):
+            cond(C, "L", "~", Const(1))
+
+    def test_left_must_be_attr(self):
+        with pytest.raises(TypeError):
+            Condition(Const(1), "=", Const(1))
+
+    def test_right_must_be_operand(self):
+        with pytest.raises(TypeError):
+            Condition(Attr(C, "L"), "=", "raw string")
+
+    def test_is_constant(self):
+        assert cond(C, "L", "=", Const("C")).is_constant
+        assert not cond(C, "ID", "=", Attr(D, "ID")).is_constant
+
+    def test_variables(self):
+        assert cond(C, "L", "=", Const("C")).variables == {C}
+        assert cond(C, "ID", "=", Attr(D, "ID")).variables == {C, D}
+
+    def test_mentions(self):
+        c = cond(C, "ID", "=", Attr(D, "ID"))
+        assert c.mentions(C) and c.mentions(D)
+        assert not c.mentions(P)
+
+    def test_other_variable(self):
+        c = cond(C, "ID", "=", Attr(D, "ID"))
+        assert c.other_variable(C) == D
+        assert c.other_variable(D) == C
+        assert c.other_variable(P) is None
+        assert cond(C, "L", "=", Const("C")).other_variable(C) is None
+
+
+class TestNormalisation:
+    def test_already_anchored(self):
+        c = cond(C, "ID", "=", Attr(D, "ID"))
+        assert c.normalised_for(C) is c
+
+    def test_mirrors_operator(self):
+        c = cond(C, "V", "<", Attr(D, "V"))
+        flipped = c.normalised_for(D)
+        assert flipped.left == Attr(D, "V")
+        assert flipped.op == ">"
+        assert flipped.right == Attr(C, "V")
+
+    def test_mirror_table_complete(self):
+        for op, mirrored in [("=", "="), ("!=", "!="), ("<", ">"),
+                             ("<=", ">="), (">", "<"), (">=", "<=")]:
+            c = cond(C, "V", op, Attr(D, "V"))
+            assert c.normalised_for(D).op == mirrored
+
+    def test_unrelated_variable_raises(self):
+        c = cond(C, "L", "=", Const("C"))
+        with pytest.raises(ValueError):
+            c.normalised_for(D)
+
+
+class TestEvaluation:
+    def test_constant_condition(self):
+        c = cond(C, "L", "=", Const("C"))
+        assert c.evaluate({C: Event(ts=1, L="C")})
+        assert not c.evaluate({C: Event(ts=1, L="D")})
+
+    def test_two_variable_condition(self):
+        c = cond(C, "ID", "=", Attr(D, "ID"))
+        e1, e2 = Event(ts=1, ID=1), Event(ts=2, ID=1)
+        e3 = Event(ts=3, ID=2)
+        assert c.evaluate({C: e1, D: e2})
+        assert not c.evaluate({C: e1, D: e3})
+
+    def test_comparison_operators(self):
+        e = Event(ts=1, V=5)
+        assert cond(C, "V", "<", Const(6)).evaluate({C: e})
+        assert cond(C, "V", "<=", Const(5)).evaluate({C: e})
+        assert cond(C, "V", ">", Const(4)).evaluate({C: e})
+        assert cond(C, "V", ">=", Const(5)).evaluate({C: e})
+        assert cond(C, "V", "!=", Const(4)).evaluate({C: e})
+        assert not cond(C, "V", "=", Const(4)).evaluate({C: e})
+
+    def test_time_attribute(self):
+        c = cond(C, "T", "<", Attr(D, "T"))
+        assert c.evaluate({C: Event(ts=1), D: Event(ts=2)})
+        assert not c.evaluate({C: Event(ts=2), D: Event(ts=2)})
+
+    def test_incomparable_values_false(self):
+        c = cond(C, "V", "<", Const("text"))
+        assert c.evaluate({C: Event(ts=1, V=5)}) is False
+
+    def test_missing_binding_raises(self):
+        c = cond(C, "ID", "=", Attr(D, "ID"))
+        with pytest.raises(KeyError):
+            c.evaluate({C: Event(ts=1, ID=1)})
+
+    def test_evaluate_events(self):
+        c = cond(C, "ID", "=", Attr(D, "ID"))
+        assert c.evaluate_events(Event(ts=1, ID=1), Event(ts=2, ID=1))
+        with pytest.raises(ValueError):
+            c.evaluate_events(Event(ts=1, ID=1))
+
+    def test_equality_and_hash(self):
+        a = cond(C, "L", "=", Const("C"))
+        b = cond(C, "L", "=", Const("C"))
+        assert a == b and hash(a) == hash(b)
+
+
+class TestParsing:
+    VARS = {"c": C, "d": D, "p": P}
+
+    def test_parse_constant_string(self):
+        c = parse_condition("c.L = 'C'", self.VARS)
+        assert c == cond(C, "L", "=", Const("C"))
+
+    def test_parse_double_quotes(self):
+        c = parse_condition('c.L = "C"', self.VARS)
+        assert c.right == Const("C")
+
+    def test_parse_int_and_float(self):
+        assert parse_condition("c.V = 5", self.VARS).right == Const(5)
+        assert parse_condition("c.V = 5.5", self.VARS).right == Const(5.5)
+
+    def test_parse_two_variable(self):
+        c = parse_condition("c.ID = d.ID", self.VARS)
+        assert c == cond(C, "ID", "=", Attr(D, "ID"))
+
+    def test_parse_group_variable_with_plus(self):
+        c = parse_condition("p+.L = 'P'", self.VARS)
+        assert c.left.variable == P
+
+    def test_parse_group_variable_without_plus(self):
+        c = parse_condition("p.L = 'P'", self.VARS)
+        assert c.left.variable == P
+
+    def test_parse_all_operators(self):
+        for text, op in [("c.V < 1", "<"), ("c.V <= 1", "<="),
+                         ("c.V > 1", ">"), ("c.V >= 1", ">="),
+                         ("c.V != 1", "!="), ("c.V <> 1", "!="),
+                         ("c.V = 1", "=")]:
+            assert parse_condition(text, self.VARS).op == op
+
+    def test_parse_no_operator_raises(self):
+        with pytest.raises(ValueError):
+            parse_condition("c.L 'C'", self.VARS)
+
+    def test_parse_left_constant_raises(self):
+        with pytest.raises(ValueError):
+            parse_condition("5 = c.V", self.VARS)
+
+    def test_parse_bare_word_constant(self):
+        c = parse_condition("c.L = C", self.VARS)
+        assert c.right == Const("C")

@@ -1,0 +1,166 @@
+"""Unit tests for repro.core.events."""
+
+import pytest
+
+from repro.core.events import Attribute, Event, EventSchema, SchemaError
+
+
+class TestAttribute:
+    def test_name_and_dtype(self):
+        a = Attribute("ID", int)
+        assert a.name == "ID"
+        assert a.dtype is int
+
+    def test_untyped_accepts_anything(self):
+        a = Attribute("X")
+        assert a.validate("foo") == "foo"
+        assert a.validate(3.5) == 3.5
+
+    def test_validate_coerces(self):
+        a = Attribute("V", float)
+        assert a.validate(3) == 3.0
+        assert isinstance(a.validate(3), float)
+
+    def test_validate_rejects_uncoercible(self):
+        a = Attribute("V", float)
+        with pytest.raises(SchemaError):
+            a.validate("not a number")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Attribute("")
+
+    def test_time_attribute_name_reserved(self):
+        with pytest.raises(SchemaError):
+            Attribute("T")
+
+    def test_equality_and_hash(self):
+        assert Attribute("A", int) == Attribute("A", int)
+        assert Attribute("A", int) != Attribute("A", str)
+        assert hash(Attribute("A", int)) == hash(Attribute("A", int))
+
+    def test_repr(self):
+        assert "ID" in repr(Attribute("ID", int))
+        assert "int" in repr(Attribute("ID", int))
+
+
+class TestEventSchema:
+    def test_from_names(self):
+        s = EventSchema(["ID", "L"])
+        assert s.attribute_names == ("ID", "L")
+
+    def test_from_attributes(self):
+        s = EventSchema([Attribute("ID", int)])
+        assert s["ID"].dtype is int
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            EventSchema(["A", "A"])
+
+    def test_contains_includes_time(self):
+        s = EventSchema(["ID"])
+        assert "ID" in s
+        assert "T" in s
+        assert "missing" not in s
+
+    def test_getitem_unknown_raises(self):
+        s = EventSchema(["ID"])
+        with pytest.raises(SchemaError):
+            s["nope"]
+
+    def test_validate_missing_attribute(self):
+        s = EventSchema(["ID", "L"])
+        with pytest.raises(SchemaError):
+            s.validate({"ID": 1})
+
+    def test_validate_unknown_attribute(self):
+        s = EventSchema(["ID"])
+        with pytest.raises(SchemaError):
+            s.validate({"ID": 1, "extra": 2})
+
+    def test_validate_coerces_values(self):
+        s = EventSchema([Attribute("V", float)])
+        assert s.validate({"V": 2}) == {"V": 2.0}
+
+    def test_invalid_declaration(self):
+        with pytest.raises(SchemaError):
+            EventSchema([42])
+
+    def test_equality(self):
+        assert EventSchema(["A"]) == EventSchema(["A"])
+        assert EventSchema(["A"]) != EventSchema(["B"])
+
+    def test_len(self):
+        assert len(EventSchema(["A", "B"])) == 2
+
+
+class TestEvent:
+    def test_attribute_access(self):
+        e = Event(ts=5, eid="e1", L="C", V=1.5)
+        assert e["L"] == "C"
+        assert e["V"] == 1.5
+        assert e.ts == 5
+
+    def test_time_attribute_item_access(self):
+        e = Event(ts=7, L="X")
+        assert e["T"] == 7
+
+    def test_missing_attribute_raises_keyerror(self):
+        e = Event(ts=1, L="C")
+        with pytest.raises(KeyError):
+            e["missing"]
+
+    def test_get_with_default(self):
+        e = Event(ts=1, L="C")
+        assert e.get("missing", 42) == 42
+        assert e.get("L") == "C"
+        assert e.get("T") == 1
+
+    def test_contains(self):
+        e = Event(ts=1, L="C")
+        assert "L" in e
+        assert "T" in e
+        assert "X" not in e
+
+    def test_ts_must_not_be_passed_as_attribute(self):
+        with pytest.raises(SchemaError):
+            Event(ts=1, T=5)
+
+    def test_attrs_mapping_and_kwargs_merge(self):
+        e = Event(ts=1, attrs={"A": 1}, B=2)
+        assert e["A"] == 1
+        assert e["B"] == 2
+
+    def test_replace(self):
+        e = Event(ts=1, eid="x", L="C")
+        e2 = e.replace(ts=9, L="D")
+        assert e2.ts == 9
+        assert e2["L"] == "D"
+        assert e2.eid == "x"
+        assert e.ts == 1, "original unchanged"
+
+    def test_equality_and_hash(self):
+        a = Event(ts=1, eid="e", L="C")
+        b = Event(ts=1, eid="e", L="C")
+        c = Event(ts=1, eid="e", L="D")
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+
+    def test_events_usable_in_sets(self):
+        a = Event(ts=1, eid="e", L="C")
+        b = Event(ts=1, eid="e", L="C")
+        assert len({a, b}) == 1
+
+    def test_repr_contains_eid(self):
+        assert "e9" in repr(Event(ts=1, eid="e9", L="C"))
+
+    def test_keys(self):
+        e = Event(ts=1, A=1, B=2)
+        assert sorted(e.keys()) == ["A", "B"]
+
+    def test_attributes_view_is_copy(self):
+        e = Event(ts=1, A=1)
+        view = e.attributes
+        view["A"] = 99
+        assert e["A"] == 1

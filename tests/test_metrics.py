@@ -1,0 +1,84 @@
+"""Tests for execution statistics and the Ω history instrumentation."""
+
+import pytest
+
+from repro.automaton import sparkline
+from repro.automaton.builder import build_automaton
+from repro.automaton.executor import SESExecutor
+from repro.automaton.metrics import ExecutionStats
+
+from conftest import ev
+
+
+class TestExecutionStats:
+    def test_observe_omega_tracks_max(self):
+        stats = ExecutionStats()
+        for size in (1, 5, 3):
+            stats.observe_omega(size)
+        assert stats.max_simultaneous_instances == 5
+
+    def test_history_disabled_by_default(self):
+        stats = ExecutionStats()
+        stats.observe_omega(3)
+        assert stats.omega_history is None
+
+    def test_history_records_with_timestamps(self):
+        stats = ExecutionStats()
+        stats.enable_history()
+        stats.observe_event(10)
+        stats.observe_omega(2)
+        stats.observe_omega(4)
+        stats.observe_event(11)
+        stats.observe_omega(1)
+        assert stats.omega_history == [(10, 2), (10, 4), (11, 1)]
+
+    def test_enable_history_idempotent(self):
+        stats = ExecutionStats()
+        stats.enable_history()
+        stats.observe_omega(1)
+        stats.enable_history()
+        assert len(stats.omega_history) == 1
+
+
+class TestSparkline:
+    def test_empty_history(self):
+        assert sparkline([]) == ""
+
+    def test_monotone_ramp(self):
+        history = [(t, t) for t in range(1, 9)]
+        line = sparkline(history, width=8)
+        assert len(line) == 8
+        assert line[-1] == "█"
+        assert list(line) == sorted(line, key="  ▁▂▃▄▅▆▇█".index)
+
+    def test_bucketing_to_width(self):
+        history = [(t, 1) for t in range(1000)]
+        assert len(sparkline(history, width=40)) == 40
+
+    def test_all_zero_history(self):
+        assert set(sparkline([(1, 0), (2, 0)])) <= {" "}
+
+
+class TestExecutorHistory:
+    def test_record_history_flag(self, kind_pattern):
+        executor = SESExecutor(build_automaton(kind_pattern),
+                               record_history=True)
+        result = executor.run([ev(1, "A"), ev(2, "B"), ev(3, "C")])
+        assert result.stats.omega_history is not None
+        # Two samples per processed event (after line 4 and after the loop).
+        assert len(result.stats.omega_history) == 6
+        timestamps = [ts for ts, _ in result.stats.omega_history]
+        assert timestamps == [1, 1, 2, 2, 3, 3]
+
+    def test_history_survives_reset(self, kind_pattern):
+        executor = SESExecutor(build_automaton(kind_pattern),
+                               record_history=True)
+        executor.run([ev(1, "A")])
+        executor.reset()
+        executor.feed(ev(1, "A"))
+        assert executor.stats.omega_history
+
+    def test_history_off_by_default(self, kind_pattern):
+        executor = SESExecutor(build_automaton(kind_pattern))
+        result = executor.run([ev(1, "A")])
+        assert result.stats.omega_history is None

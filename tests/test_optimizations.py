@@ -1,0 +1,136 @@
+"""Tests for the runtime optimizations (state indexing, partitioning)."""
+
+import pytest
+
+from repro import SESPattern, match
+from repro.automaton import (IndexedExecutor, PartitionedMatcher,
+                             partition_attribute)
+from repro.automaton.builder import build_automaton
+from repro.automaton.filtering import EventFilter
+from repro.data import base_dataset, figure1_relation, query_q1
+
+from conftest import ev
+
+
+class TestPartitionAttribute:
+    def test_detects_star_join(self, q1):
+        """Q1 joins c-p, c-d, d-b on ID: connected -> partitionable."""
+        assert partition_attribute(q1) == "ID"
+
+    def test_disconnected_join_graph(self):
+        pattern = SESPattern(
+            sets=[["a", "b", "c"]],
+            conditions=["a.ID = b.ID"],  # c joins nobody
+            tau=10,
+        )
+        assert partition_attribute(pattern) is None
+
+    def test_no_joins(self):
+        pattern = SESPattern(sets=[["a", "b"]],
+                             conditions=["a.kind = 'A'"], tau=10)
+        assert partition_attribute(pattern) is None
+
+    def test_inequality_joins_do_not_count(self):
+        pattern = SESPattern(sets=[["a", "b"]],
+                             conditions=["a.ID < b.ID"], tau=10)
+        assert partition_attribute(pattern) is None
+
+    def test_cross_attribute_equalities_do_not_count(self):
+        pattern = SESPattern(sets=[["a", "b"]],
+                             conditions=["a.ID = b.other"], tau=10)
+        assert partition_attribute(pattern) is None
+
+    def test_picks_a_connecting_attribute(self):
+        pattern = SESPattern(
+            sets=[["a", "b"]],
+            conditions=["a.host = b.host", "a.ID = b.ID"],
+            tau=10,
+        )
+        assert partition_attribute(pattern) in ("host", "ID")
+
+
+class TestIndexedExecutor:
+    def test_identical_matches(self, q1, figure1):
+        indexed = IndexedExecutor(build_automaton(q1)).run(figure1)
+        assert indexed.matches == match(q1, figure1).matches
+
+    def test_identical_stats_shape(self, q1, figure1):
+        plain = match(q1, figure1, use_filter=False)
+        indexed = IndexedExecutor(build_automaton(q1)).run(figure1)
+        assert indexed.stats.accepted_buffers == plain.stats.accepted_buffers
+        assert indexed.stats.transitions_fired == plain.stats.transitions_fired
+        assert (indexed.stats.max_simultaneous_instances
+                == plain.stats.max_simultaneous_instances)
+
+    def test_filter_supported(self, q1):
+        relation = base_dataset(patients=3, cycles=1)  # contains lab noise
+        executor = IndexedExecutor(build_automaton(q1),
+                                   event_filter=EventFilter(q1))
+        result = executor.run(relation)
+        assert result.matches == match(q1, relation).matches
+        assert result.stats.events_filtered > 0
+
+    def test_incremental_interface(self, q1, figure1):
+        executor = IndexedExecutor(build_automaton(q1))
+        for event in figure1:
+            executor.feed(event)
+        assert executor.active_instances > 0
+        executor.finish()
+        assert executor.active_instances == 0
+        assert len(executor.accepted_buffers) == 3
+
+    def test_out_of_order_rejected(self, q1):
+        executor = IndexedExecutor(build_automaton(q1))
+        executor.feed(ev(5, "C", ID=1, L="C", V=1.0, U="mg"))
+        with pytest.raises(ValueError):
+            executor.feed(ev(1, "C", ID=1, L="C", V=1.0, U="mg"))
+
+    def test_invalid_selection(self, q1):
+        with pytest.raises(ValueError):
+            IndexedExecutor(build_automaton(q1), selection="bogus")
+
+    def test_reset(self, q1, figure1):
+        executor = IndexedExecutor(build_automaton(q1))
+        executor.run(figure1)
+        executor.reset()
+        assert executor.active_instances == 0
+        assert executor.stats.events_read == 0
+
+
+class TestPartitionedMatcher:
+    def test_same_matches_on_q1(self, q1, figure1):
+        partitioned = PartitionedMatcher(q1).run(figure1)
+        assert partitioned.matches == match(q1, figure1).matches
+
+    def test_rejects_unpartitionable_pattern(self):
+        pattern = SESPattern(sets=[["a", "b"]],
+                             conditions=["a.kind = 'A'"], tau=10)
+        with pytest.raises(ValueError):
+            PartitionedMatcher(pattern)
+
+    def test_explicit_attribute_override(self, q1, figure1):
+        matcher = PartitionedMatcher(q1, attribute="ID")
+        assert matcher.attribute == "ID"
+        assert matcher.run(figure1).matches == match(q1, figure1).matches
+
+    def test_lower_peak_instances(self, q1):
+        relation = base_dataset(patients=6, cycles=2)
+        plain = match(q1, relation, selection="accepted")
+        partitioned = PartitionedMatcher(q1, selection="accepted").run(relation)
+        assert (partitioned.stats.max_simultaneous_instances
+                <= plain.stats.max_simultaneous_instances)
+
+    def test_superset_recall(self, q1):
+        relation = base_dataset(patients=6, cycles=2)
+        plain = match(q1, relation, selection="accepted")
+        partitioned = PartitionedMatcher(q1, selection="accepted").run(relation)
+        assert set(plain.accepted) <= set(partitioned.accepted)
+
+    def test_aggregated_stats(self, q1, figure1):
+        result = PartitionedMatcher(q1).run(figure1)
+        assert result.stats.events_read == len(figure1)
+        assert result.stats.matches == len(result.matches)
+
+    def test_accepts_plain_iterables(self, q1, figure1):
+        result = PartitionedMatcher(q1).run(list(figure1))
+        assert len(result) == 2

@@ -1,0 +1,133 @@
+"""Unit tests for repro.core.pattern."""
+
+import pytest
+
+from repro import PatternError, SESPattern
+from repro.core.conditions import Attr, Condition, Const
+from repro.core.variables import group, var
+
+
+class TestConstruction:
+    def test_example2_pattern(self, q1):
+        assert len(q1) == 2
+        assert q1.sets[0] == frozenset({var("c"), group("p"), var("d")})
+        assert q1.sets[1] == frozenset({var("b")})
+        assert len(q1.conditions) == 7
+        assert q1.tau == 264
+
+    def test_variables_union(self, q1):
+        names = {v.name for v in q1.variables}
+        assert names == {"c", "p", "d", "b"}
+
+    def test_group_and_singleton_partition(self, q1):
+        assert {v.name for v in q1.group_variables} == {"p"}
+        assert {v.name for v in q1.singleton_variables} == {"c", "d", "b"}
+
+    def test_empty_pattern_rejected(self):
+        with pytest.raises(PatternError):
+            SESPattern(sets=[], tau=1)
+
+    def test_empty_set_rejected(self):
+        with pytest.raises(PatternError):
+            SESPattern(sets=[["a"], []], tau=1)
+
+    def test_duplicate_in_set_rejected(self):
+        with pytest.raises(PatternError):
+            SESPattern(sets=[["a", "a"]], tau=1)
+
+    def test_reuse_across_sets_rejected(self):
+        """Definition 1 requires Vi ∩ Vj = ∅."""
+        with pytest.raises(PatternError):
+            SESPattern(sets=[["a"], ["a"]], tau=1)
+
+    def test_reuse_with_different_quantifier_rejected(self):
+        with pytest.raises(PatternError):
+            SESPattern(sets=[["a"], ["a+"]], tau=1)
+
+    def test_negative_tau_rejected(self):
+        with pytest.raises(PatternError):
+            SESPattern(sets=[["a"]], tau=-1)
+
+    def test_invalid_tau_rejected(self):
+        with pytest.raises(PatternError):
+            SESPattern(sets=[["a"]], tau=object())
+
+    def test_condition_with_unknown_variable_rejected(self):
+        with pytest.raises(PatternError):
+            SESPattern(sets=[["a"]], conditions=["z.L = 'C'"], tau=1)
+
+    def test_condition_objects_accepted(self):
+        c = Condition(Attr(var("a"), "L"), "=", Const("X"))
+        p = SESPattern(sets=[["a"]], conditions=[c], tau=1)
+        assert p.conditions == (c,)
+
+    def test_condition_quantifier_mismatch_rejected(self):
+        c = Condition(Attr(var("p"), "L"), "=", Const("X"))
+        with pytest.raises(PatternError):
+            SESPattern(sets=[["p+"]], conditions=[c], tau=1)
+
+    def test_duplicate_conditions_removed(self):
+        p = SESPattern(sets=[["a"]],
+                       conditions=["a.L = 'X'", "a.L = 'X'"], tau=1)
+        assert len(p.conditions) == 1
+
+    def test_invalid_condition_type(self):
+        with pytest.raises(PatternError):
+            SESPattern(sets=[["a"]], conditions=[42], tau=1)
+
+
+class TestLookup:
+    def test_variable_by_name(self, q1):
+        assert q1.variable("p") == group("p")
+        assert q1.variable("p+") == group("p")
+        assert q1.variable("c") == var("c")
+
+    def test_variable_unknown(self, q1):
+        with pytest.raises(PatternError):
+            q1.variable("zzz")
+
+    def test_set_index(self, q1):
+        assert q1.set_index(var("c")) == 0
+        assert q1.set_index(var("b")) == 1
+
+    def test_set_index_unknown(self, q1):
+        with pytest.raises(PatternError):
+            q1.set_index(var("zzz"))
+
+    def test_preceding_variables(self, q1):
+        assert q1.preceding_variables(0) == frozenset()
+        assert q1.preceding_variables(1) == q1.sets[0]
+
+
+class TestConditionRouting:
+    def test_constant_conditions_all(self, q1):
+        assert len(q1.constant_conditions()) == 4
+
+    def test_constant_conditions_for_variable(self, q1):
+        conds = q1.constant_conditions(var("c"))
+        assert len(conds) == 1
+        assert conds[0].right == Const("C")
+
+    def test_conditions_mentioning(self, q1):
+        mentioning_c = q1.conditions_mentioning(var("c"))
+        # θ1 (c.L='C'), θ5 (c.ID=p.ID), θ6 (c.ID=d.ID)
+        assert len(mentioning_c) == 3
+
+
+class TestDunder:
+    def test_equality(self, q1):
+        from repro.data.paper_events import query_q1
+        assert q1 == query_q1()
+
+    def test_inequality_on_tau(self):
+        a = SESPattern(sets=[["a"]], tau=1)
+        b = SESPattern(sets=[["a"]], tau=2)
+        assert a != b
+
+    def test_hashable(self, q1):
+        from repro.data.paper_events import query_q1
+        assert hash(q1) == hash(query_q1())
+
+    def test_repr(self, q1):
+        text = repr(q1)
+        assert "p+" in text and "264" in text

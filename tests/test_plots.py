@@ -1,0 +1,73 @@
+"""Tests for the plain-text chart renderers."""
+
+import pytest
+
+from repro.bench import bar_chart, series_chart
+
+
+class TestBarChart:
+    def test_scales_to_peak(self):
+        text = bar_chart(["a", "b"], [10, 20], width=10)
+        lines = text.splitlines()
+        assert lines[1].count("█") == 10, "peak fills the width"
+        assert lines[0].count("█") == 5
+
+    def test_title(self):
+        text = bar_chart(["a"], [1], title="My Chart")
+        assert text.splitlines()[0] == "My Chart"
+
+    def test_values_rendered(self):
+        text = bar_chart(["a"], [1234], unit=" ops")
+        assert "1234 ops" in text
+
+    def test_zero_values(self):
+        text = bar_chart(["a", "b"], [0, 5])
+        assert "█" in text  # the nonzero bar
+        lines = text.splitlines()
+        assert "█" not in lines[0]
+
+    def test_log_scale_compresses(self):
+        linear = bar_chart(["a", "b"], [10, 1000], width=30)
+        log = bar_chart(["a", "b"], [10, 1000], width=30, log=True)
+        small_linear = linear.splitlines()[0].count("█")
+        small_log = log.splitlines()[0].count("█")
+        assert small_log > small_linear
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1, 2])
+
+    def test_empty(self):
+        assert bar_chart([], [], title="t") == "t"
+
+    def test_labels_aligned(self):
+        text = bar_chart(["x", "longer"], [1, 2])
+        starts = {line.index("  ", 2) if "  " in line[2:] else None
+                  for line in text.splitlines()}
+        # All bars start at the same column.
+        bar_columns = [line.find("█") for line in text.splitlines()
+                       if "█" in line]
+        assert len(set(bar_columns)) == 1
+
+
+class TestSeriesChart:
+    def test_shared_scale_across_series(self):
+        text = series_chart(["x1", "x2"],
+                            [("big", [100, 200]), ("small", [10, 20])],
+                            width=20)
+        lines = text.splitlines()
+        big_peak = max(l.count("█") for l in lines[1:3])
+        small_peak = max(l.count("█") for l in lines[4:6])
+        assert big_peak == 20
+        assert small_peak == 2
+
+    def test_series_names_present(self):
+        text = series_chart(["x"], [("alpha", [1]), ("beta", [2])])
+        assert "alpha:" in text and "beta:" in text
+
+    def test_empty_series(self):
+        assert series_chart([], [], title="t") == "t"
+
+    def test_unit_suffix(self):
+        text = series_chart(["x"], [("s", [1.5])], unit=" s")
+        assert "1.5 s" in text

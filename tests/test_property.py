@@ -1,0 +1,263 @@
+"""Property-based tests (hypothesis) on core data structures and engines."""
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro import Event, EventRelation, SESPattern, Substitution, match
+from repro.baseline import BruteForceMatcher, naive_match
+from repro.core.semantics import (satisfies_conditions, satisfies_order,
+                                  satisfies_window)
+from repro.core.variables import group, var
+from repro.lang import parse_pattern, render_pattern
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+KINDS = ("A", "B", "C")
+
+
+@st.composite
+def typed_relations(draw, max_events: int = 12, kinds=KINDS,
+                    unique_ts: bool = False):
+    """Small relations of typed events with possibly tied timestamps.
+
+    ``unique_ts=True`` forbids ties — required when comparing against the
+    brute force baseline, whose sequence rewriting imposes a strict order
+    between all variables and therefore cannot match simultaneous events
+    (a documented limitation; see tests/test_baseline.py).
+    """
+    n = draw(st.integers(min_value=0, max_value=max_events))
+    timestamps = sorted(draw(st.lists(
+        st.integers(min_value=0, max_value=40),
+        min_size=n, max_size=n, unique=unique_ts)))
+    events = []
+    for i, ts in enumerate(timestamps):
+        kind = draw(st.sampled_from(kinds))
+        events.append(Event(ts=ts, eid=f"e{i}", kind=kind))
+    return EventRelation(events)
+
+
+@st.composite
+def simple_patterns(draw, allow_groups: bool = True):
+    """Join-free patterns over the typed events.
+
+    Shapes: one or two event set patterns, each variable carrying one
+    constant type condition; at most one group variable (none when
+    ``allow_groups=False``).  Join-free *and group-free* patterns are the
+    class on which the operational Algorithm 1 provably coincides with
+    the declarative Definition 2: with joins a greedy instance can bind a
+    dead-end partner, and with a group loop it can greedily swallow an
+    event whose timestamp then violates the inter-set order (both
+    divergences are pinned in tests/test_integration.py).
+    """
+    n_sets = draw(st.integers(min_value=1, max_value=2))
+    sets, conditions = [], []
+    names = iter("uvwxyz")
+    used_group = False
+    for _ in range(n_sets):
+        set_size = draw(st.integers(min_value=1, max_value=2))
+        current = []
+        for _ in range(set_size):
+            name = next(names)
+            is_group = (allow_groups and not used_group
+                        and draw(st.booleans()))
+            used_group = used_group or is_group
+            current.append(name + "+" if is_group else name)
+            kind = draw(st.sampled_from(KINDS))
+            conditions.append(f"{name}.kind = '{kind}'")
+        sets.append(current)
+    tau = draw(st.integers(min_value=0, max_value=60))
+    return SESPattern(sets=sets, conditions=conditions, tau=tau)
+
+
+# ----------------------------------------------------------------------
+# Universal match invariants (any engine, any input)
+# ----------------------------------------------------------------------
+class TestMatchInvariants:
+    @given(pattern=simple_patterns(), relation=typed_relations())
+    @settings(max_examples=120, deadline=None)
+    def test_matches_satisfy_definition_conditions_1_to_3(self, pattern,
+                                                          relation):
+        for substitution in match(pattern, relation):
+            assert substitution.is_total_for(pattern)
+            assert satisfies_conditions(substitution, pattern)
+            assert satisfies_order(substitution, pattern)
+            assert satisfies_window(substitution, pattern)
+
+    @given(pattern=simple_patterns(), relation=typed_relations())
+    @settings(max_examples=60, deadline=None)
+    def test_matches_use_distinct_relation_events(self, pattern, relation):
+        pool = set(relation.events)
+        for substitution in match(pattern, relation):
+            events = [e for _, e in substitution.bindings]
+            assert all(e in pool for e in events)
+
+    @given(pattern=simple_patterns(), relation=typed_relations())
+    @settings(max_examples=60, deadline=None)
+    def test_paper_selection_is_non_overlapping(self, pattern, relation):
+        used = set()
+        for substitution in match(pattern, relation):
+            events = set(substitution.events())
+            assert not (events & used)
+            used |= events
+
+    @given(pattern=simple_patterns(), relation=typed_relations())
+    @settings(max_examples=60, deadline=None)
+    def test_filter_neutrality(self, pattern, relation):
+        with_filter = match(pattern, relation, use_filter=True)
+        without = match(pattern, relation, use_filter=False)
+        assert with_filter.matches == without.matches
+
+    @given(pattern=simple_patterns(), relation=typed_relations())
+    @settings(max_examples=60, deadline=None)
+    def test_determinism(self, pattern, relation):
+        assert match(pattern, relation).matches == \
+            match(pattern, relation).matches
+
+
+# ----------------------------------------------------------------------
+# Engine agreement
+# ----------------------------------------------------------------------
+class TestEngineAgreement:
+    @given(pattern=simple_patterns(allow_groups=False),
+           relation=typed_relations(max_events=9, unique_ts=True))
+    @settings(max_examples=60, deadline=None)
+    def test_executor_equals_oracle_on_join_and_group_free_patterns(
+            self, pattern, relation):
+        """Join-free, group-free patterns over tie-free relations:
+        Algorithm 1 == Definition 2.  Timestamp ties break the
+        equivalence even here — with simultaneous events, "an earlier
+        usable event" (condition 4) degenerates and Definition 2 admits
+        pairings a greedy run never forms; pinned in
+        tests/test_integration.py::TestTieDivergence."""
+        operational = match(pattern, relation).matches
+        declarative = naive_match(pattern, relation)
+        assert operational == declarative
+
+    @given(pattern=simple_patterns(), relation=typed_relations(max_events=9))
+    @settings(max_examples=60, deadline=None)
+    def test_executor_results_admitted_by_conditions_1_to_3(self, pattern,
+                                                            relation):
+        """With group variables Algorithm 1 may *under*-report relative to
+        Definition 2 (greedy loop bindings can be fatal near the window
+        boundary), but what it reports is always a valid candidate."""
+        from repro.core.semantics import is_candidate
+        for substitution in match(pattern, relation):
+            assert is_candidate(substitution, pattern)
+
+    @given(relation=typed_relations(max_events=10, unique_ts=True))
+    @settings(max_examples=60, deadline=None)
+    def test_ses_matches_subset_of_bruteforce_accepted(self, relation):
+        """Every buffer the SES automaton accepts, some sequence automaton
+        of the brute force rewriting accepts too."""
+        pattern = SESPattern(
+            sets=[["x", "y"], ["z"]],
+            conditions=["x.kind = 'A'", "y.kind = 'B'", "z.kind = 'C'"],
+            tau=30,
+        )
+        ses = match(pattern, relation, selection="accepted")
+        bf = BruteForceMatcher(pattern, selection="accepted").run(relation)
+        assert set(ses.accepted) <= set(bf.accepted)
+
+    @given(relation=typed_relations(max_events=10, unique_ts=True))
+    @settings(max_examples=60, deadline=None)
+    def test_ses_equals_bruteforce_on_exclusive_singletons(self, relation):
+        pattern = SESPattern(
+            sets=[["x", "y"], ["z"]],
+            conditions=["x.kind = 'A'", "y.kind = 'B'", "z.kind = 'C'"],
+            tau=30,
+        )
+        ses = match(pattern, relation).matches
+        bf = BruteForceMatcher(pattern).run(relation).matches
+        assert ses == bf
+
+
+# ----------------------------------------------------------------------
+# Data structure properties
+# ----------------------------------------------------------------------
+class TestRelationProperties:
+    @given(relation=typed_relations(), factor=st.integers(1, 4),
+           tau=st.integers(0, 50))
+    @settings(max_examples=80, deadline=None)
+    def test_duplication_scales_window_size(self, relation, factor, tau):
+        assume(len(relation) > 0)
+        assert relation.duplicated(factor).window_size(tau) == \
+            factor * relation.window_size(tau)
+
+    @given(relation=typed_relations(), tau1=st.integers(0, 50),
+           tau2=st.integers(0, 50))
+    @settings(max_examples=80, deadline=None)
+    def test_window_size_monotone_in_tau(self, relation, tau1, tau2):
+        lo, hi = sorted((tau1, tau2))
+        assert relation.window_size(lo) <= relation.window_size(hi)
+
+    @given(relation=typed_relations())
+    @settings(max_examples=60, deadline=None)
+    def test_window_size_bounds(self, relation):
+        assume(len(relation) > 0)
+        assert 1 <= relation.window_size(0) <= len(relation)
+        first, last = relation.timespan()
+        assert relation.window_size(last - first) == len(relation)
+
+    @given(relation=typed_relations())
+    @settings(max_examples=60, deadline=None)
+    def test_partition_by_is_a_partition(self, relation):
+        parts = relation.partition_by("kind")
+        total = sum(len(p) for p in parts.values())
+        assert total == len(relation)
+        for key, part in parts.items():
+            assert all(e["kind"] == key for e in part)
+
+
+class TestSubstitutionProperties:
+    events = st.lists(
+        st.integers(0, 30), min_size=1, max_size=5, unique=True,
+    ).map(lambda tss: [Event(ts=ts, eid=f"p{ts}") for ts in sorted(tss)])
+
+    @given(events=events)
+    @settings(max_examples=80, deadline=None)
+    def test_decomposition_count(self, events):
+        p, q = group("p"), var("q")
+        anchor = Event(ts=100, eid="anchor")
+        substitution = Substitution([(p, e) for e in events] + [(q, anchor)])
+        assert len(list(substitution.decompose())) == len(events)
+
+    @given(events=events)
+    @settings(max_examples=80, deadline=None)
+    def test_span_and_bounds(self, events):
+        p = group("p")
+        substitution = Substitution([(p, e) for e in events])
+        assert substitution.min_ts() == min(e.ts for e in events)
+        assert substitution.max_ts() == max(e.ts for e in events)
+        assert substitution.span() >= 0
+
+
+class TestLanguageRoundTrip:
+    @given(pattern=simple_patterns())
+    @settings(max_examples=80, deadline=None)
+    def test_render_parse_round_trip(self, pattern):
+        assert parse_pattern(render_pattern(pattern)) == pattern
+
+
+class TestTrimProperties:
+    @given(pattern=simple_patterns())
+    @settings(max_examples=60, deadline=None)
+    def test_builder_output_needs_no_trimming(self, pattern):
+        """The builder never emits dead transitions for satisfiable
+        patterns (each variable's constant conditions are its own)."""
+        from repro.automaton import trim
+        from repro.automaton.builder import build_automaton
+        report = trim(build_automaton(pattern))
+        assert report.satisfiable
+        assert not report.changed
+
+    @given(pattern=simple_patterns(), relation=typed_relations(max_events=8))
+    @settings(max_examples=40, deadline=None)
+    def test_trimmed_automaton_equivalent(self, pattern, relation):
+        from repro.automaton import SESExecutor, trim
+        from repro.automaton.builder import build_automaton
+        automaton = build_automaton(pattern)
+        trimmed = trim(automaton).automaton
+        original = SESExecutor(automaton, selection="accepted").run(relation)
+        after = SESExecutor(trimmed, selection="accepted").run(relation)
+        assert original.accepted == after.accepted

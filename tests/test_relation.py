@@ -1,0 +1,164 @@
+"""Unit tests for repro.core.relation."""
+
+import pytest
+
+from repro import Event, EventRelation, EventSchema
+from repro.core.events import SchemaError
+
+from conftest import ev
+
+
+class TestConstruction:
+    def test_sorts_by_timestamp(self):
+        r = EventRelation([ev(3), ev(1), ev(2)])
+        assert [e.ts for e in r] == [1, 2, 3]
+
+    def test_stable_on_ties(self):
+        a, b = ev(1, eid="first"), ev(1, eid="second")
+        r = EventRelation([a, b])
+        assert [e.eid for e in r] == ["first", "second"]
+
+    def test_schema_validation(self):
+        schema = EventSchema(["kind"])
+        r = EventRelation(schema=schema)
+        r.append(ev(1))
+        with pytest.raises(SchemaError):
+            r.append(Event(ts=2, other="x"))
+
+    def test_rejects_non_events(self):
+        with pytest.raises(TypeError):
+            EventRelation(["not an event"])
+
+
+class TestMutation:
+    def test_append_in_order(self):
+        r = EventRelation([ev(1)])
+        r.append(ev(2))
+        assert len(r) == 2
+
+    def test_append_out_of_order_rejected(self):
+        r = EventRelation([ev(5)])
+        with pytest.raises(ValueError):
+            r.append(ev(1))
+
+    def test_append_tie_allowed(self):
+        r = EventRelation([ev(5)])
+        r.append(ev(5, eid="tie"))
+        assert len(r) == 2
+
+    def test_insert_places_chronologically(self):
+        r = EventRelation([ev(1), ev(3)])
+        r.insert(ev(2))
+        assert [e.ts for e in r] == [1, 2, 3]
+
+    def test_extend_resorts(self):
+        r = EventRelation([ev(2)])
+        r.extend([ev(1), ev(3)])
+        assert [e.ts for e in r] == [1, 2, 3]
+
+
+class TestAccess:
+    def test_len_iter_getitem(self):
+        r = EventRelation([ev(1), ev(2)])
+        assert len(r) == 2
+        assert r[0].ts == 1
+        assert [e.ts for e in r] == [1, 2]
+
+    def test_slice_returns_relation(self):
+        r = EventRelation([ev(1), ev(2), ev(3)])
+        sub = r[1:]
+        assert isinstance(sub, EventRelation)
+        assert len(sub) == 2
+
+    def test_contains(self):
+        e = ev(1)
+        r = EventRelation([e])
+        assert e in r
+        assert ev(2) not in r
+
+    def test_timespan(self):
+        r = EventRelation([ev(3), ev(10)])
+        assert r.timespan() == (3, 10)
+
+    def test_timespan_empty_raises(self):
+        with pytest.raises(ValueError):
+            EventRelation().timespan()
+
+    def test_equality(self):
+        assert EventRelation([ev(1)]) == EventRelation([ev(1)])
+        assert EventRelation([ev(1)]) != EventRelation([ev(2)])
+
+
+class TestDerivations:
+    def test_filter(self):
+        r = EventRelation([ev(1, "A"), ev(2, "B")])
+        only_a = r.filter(lambda e: e["kind"] == "A")
+        assert len(only_a) == 1
+        assert only_a[0]["kind"] == "A"
+
+    def test_between_is_closed(self):
+        r = EventRelation([ev(1), ev(2), ev(3), ev(4)])
+        sliced = r.between(2, 3)
+        assert [e.ts for e in sliced] == [2, 3]
+
+    def test_partition_by(self):
+        r = EventRelation([ev(1, pid=1), ev(2, pid=2), ev(3, pid=1)])
+        parts = r.partition_by("pid")
+        assert sorted(parts) == [1, 2]
+        assert [e.ts for e in parts[1]] == [1, 3]
+        assert [e.ts for e in parts[2]] == [2]
+
+    def test_duplicated_counts(self):
+        r = EventRelation([ev(1), ev(2)])
+        d3 = r.duplicated(3)
+        assert len(d3) == 6
+        assert [e.ts for e in d3] == [1, 1, 1, 2, 2, 2]
+
+    def test_duplicated_events_distinct(self):
+        r = EventRelation([ev(1, eid="x")])
+        d2 = r.duplicated(2)
+        assert len({e.eid for e in d2}) == 2
+
+    def test_duplicated_identity(self):
+        r = EventRelation([ev(1)])
+        assert len(r.duplicated(1)) == 1
+
+    def test_duplicated_invalid_factor(self):
+        with pytest.raises(ValueError):
+            EventRelation([ev(1)]).duplicated(0)
+
+
+class TestWindowSize:
+    def test_empty_relation(self):
+        assert EventRelation().window_size(10) == 0
+
+    def test_all_in_one_window(self):
+        r = EventRelation([ev(1), ev(2), ev(3)])
+        assert r.window_size(10) == 3
+
+    def test_window_is_closed(self):
+        # Paper Example 9: tau=264 spans e1 (T=57) .. e14 (T=321) inclusive.
+        r = EventRelation([ev(0), ev(264)])
+        assert r.window_size(264) == 2
+
+    def test_sliding(self):
+        r = EventRelation([ev(0), ev(5), ev(6), ev(7), ev(20)])
+        assert r.window_size(2) == 3  # events at 5, 6, 7
+
+    def test_zero_tau_counts_ties(self):
+        r = EventRelation([ev(1), ev(1, eid="dup"), ev(2)])
+        assert r.window_size(0) == 2
+
+    def test_negative_tau_rejected(self):
+        with pytest.raises(ValueError):
+            EventRelation([ev(1)]).window_size(-1)
+
+    def test_duplication_scales_window(self):
+        """D2-D5 construction: duplication multiplies W (Section 5.1)."""
+        r = EventRelation([ev(t) for t in range(20)])
+        w1 = r.window_size(5)
+        for factor in (2, 3, 4, 5):
+            assert r.duplicated(factor).window_size(5) == factor * w1
+
+    def test_paper_example9(self, figure1):
+        assert figure1.window_size(264) == 14

@@ -1,0 +1,167 @@
+"""Unit tests for repro.core.semantics (Definition 2)."""
+
+import pytest
+
+from repro import Event, EventRelation, SESPattern, Substitution
+from repro.core.semantics import (enumerate_candidates, is_candidate,
+                                  matching_substitutions, satisfies_conditions,
+                                  satisfies_maximality, satisfies_next_match,
+                                  satisfies_order, satisfies_window,
+                                  select_matches)
+from repro.core.variables import group, var
+
+from conftest import eids, ev
+
+A, B, C = var("a"), var("b"), var("c")
+P = group("p")
+
+
+def sub(*pairs):
+    return Substitution(pairs)
+
+
+class TestConditions123:
+    def test_satisfies_conditions(self, kind_pattern):
+        g = sub((A, ev(1, "A")), (B, ev(2, "B")), (C, ev(3, "C")))
+        assert satisfies_conditions(g, kind_pattern)
+        bad = sub((A, ev(1, "X")), (B, ev(2, "B")), (C, ev(3, "C")))
+        assert not satisfies_conditions(bad, kind_pattern)
+
+    def test_order_between_adjacent_sets(self, kind_pattern):
+        in_order = sub((A, ev(1, "A")), (B, ev(2, "B")), (C, ev(3, "C")))
+        assert satisfies_order(in_order, kind_pattern)
+        out_of_order = sub((A, ev(1, "A")), (B, ev(5, "B")), (C, ev(3, "C")))
+        assert not satisfies_order(out_of_order, kind_pattern)
+
+    def test_order_is_strict(self, kind_pattern):
+        tied = sub((A, ev(1, "A")), (B, ev(3, "B")), (C, ev(3, "C")))
+        assert not satisfies_order(tied, kind_pattern)
+
+    def test_order_free_within_set(self, kind_pattern):
+        swapped = sub((A, ev(2, "A")), (B, ev(1, "B")), (C, ev(3, "C")))
+        assert satisfies_order(swapped, kind_pattern)
+
+    def test_window(self, kind_pattern):
+        ok = sub((A, ev(0, "A")), (C, ev(100, "C")))
+        too_wide = sub((A, ev(0, "A")), (C, ev(101, "C")))
+        assert satisfies_window(ok, kind_pattern)
+        assert not satisfies_window(too_wide, kind_pattern)
+
+    def test_window_empty_substitution(self, kind_pattern):
+        assert satisfies_window(Substitution(), kind_pattern)
+
+    def test_is_candidate_requires_totality(self, kind_pattern):
+        partial = sub((A, ev(1, "A")))
+        assert not is_candidate(partial, kind_pattern)
+
+
+class TestEnumeration:
+    def test_simple_enumeration(self, kind_pattern):
+        relation = [ev(1, "A"), ev(2, "B"), ev(3, "C")]
+        cands = enumerate_candidates(kind_pattern, relation)
+        assert len(cands) == 1
+        assert eids(cands[0]) == {"a1", "b2", "c3"}
+
+    def test_permutation_within_set(self, kind_pattern):
+        relation = [ev(1, "B"), ev(2, "A"), ev(3, "C")]
+        cands = enumerate_candidates(kind_pattern, relation)
+        assert len(cands) == 1
+
+    def test_events_are_distinct_across_variables(self):
+        pattern = SESPattern(sets=[["a", "b"]],
+                             conditions=["a.kind = 'X'", "b.kind = 'X'"],
+                             tau=10)
+        relation = [ev(1, "X")]
+        assert enumerate_candidates(pattern, relation) == []
+
+    def test_group_variable_combinations(self):
+        pattern = SESPattern(sets=[["p+"]], conditions=["p.kind = 'P'"], tau=10)
+        relation = [ev(1, "P"), ev(2, "P")]
+        cands = enumerate_candidates(pattern, relation)
+        # {e1}, {e2}, {e1,e2}
+        assert len(cands) == 3
+
+    def test_max_group_bindings_cap(self):
+        pattern = SESPattern(sets=[["p+"]], conditions=["p.kind = 'P'"], tau=10)
+        relation = [ev(t, "P") for t in range(5)]
+        capped = enumerate_candidates(pattern, relation, max_group_bindings=1)
+        assert all(len(c) == 1 for c in capped)
+
+    def test_window_pruning(self, kind_pattern):
+        relation = [ev(0, "A"), ev(1, "B"), ev(500, "C")]
+        assert enumerate_candidates(kind_pattern, relation) == []
+
+    def test_accepts_event_relation(self, kind_pattern):
+        relation = EventRelation([ev(1, "A"), ev(2, "B"), ev(3, "C")])
+        assert len(matching_substitutions(kind_pattern, relation)) == 1
+
+
+class TestCondition4:
+    def test_example4_next_match_violation(self, q1, figure1):
+        """Paper Example 4: binding b/e14 instead of e13 violates condition 4."""
+        cands = enumerate_candidates(q1, figure1.events)
+        by_eids = {eids(c): c for c in cands}
+        bad = by_eids[frozenset({"e6", "e7", "e8", "e10", "e11", "e14"})]
+        good = by_eids[frozenset({"e6", "e7", "e8", "e10", "e11", "e13"})]
+        assert not satisfies_next_match(bad, cands)
+        assert satisfies_next_match(good, cands)
+
+    def test_cross_partition_witness_ignored(self, q1, figure1):
+        """The intended patient-1 match must survive despite patient-2
+        candidates binding p+ to events between e4 and e9."""
+        cands = enumerate_candidates(q1, figure1.events)
+        by_eids = {eids(c): c for c in cands}
+        intended = by_eids[frozenset({"e1", "e3", "e4", "e9", "e12"})]
+        assert satisfies_next_match(intended, cands)
+
+
+class TestCondition5:
+    def test_example4_maximality_violation(self, q1, figure1):
+        """Paper Example 4: omitting e11 violates maximality."""
+        cands = enumerate_candidates(q1, figure1.events)
+        by_eids = {eids(c): c for c in cands}
+        smaller = by_eids[frozenset({"e6", "e7", "e8", "e10", "e13"})]
+        assert not satisfies_maximality(smaller, cands)
+
+    def test_maximal_survives(self, q1, figure1):
+        cands = enumerate_candidates(q1, figure1.events)
+        by_eids = {eids(c): c for c in cands}
+        maximal = by_eids[frozenset({"e6", "e7", "e8", "e10", "e11", "e13"})]
+        assert satisfies_maximality(maximal, cands)
+
+    def test_different_start_not_compared(self):
+        small = sub((A, ev(5, "A")))
+        big = sub((A, ev(1, "A")), (P, ev(5, "P")))
+        # Different minT: maximality does not compare them.
+        assert satisfies_maximality(small, [small, big])
+
+
+class TestSelection:
+    def test_overlap_suppress_reports_paper_results(self, q1, figure1):
+        matches = matching_substitutions(q1, figure1)
+        assert [eids(m) for m in matches] == [
+            frozenset({"e1", "e3", "e4", "e9", "e12"}),
+            frozenset({"e6", "e7", "e8", "e10", "e11", "e13"}),
+        ]
+
+    def test_overlap_allow_keeps_suffix_match(self, q1, figure1):
+        matches = matching_substitutions(q1, figure1, overlap="allow")
+        sets = [eids(m) for m in matches]
+        assert frozenset({"e7", "e8", "e10", "e11", "e13"}) in sets
+        assert len(matches) == 3
+
+    def test_invalid_overlap_policy(self):
+        with pytest.raises(ValueError):
+            select_matches([], overlap="bogus")
+
+    def test_deduplication(self):
+        g = sub((A, ev(1, "A")))
+        assert select_matches([g, g]) == [g]
+
+    def test_deterministic_order(self, q1, figure1):
+        first = matching_substitutions(q1, figure1)
+        second = matching_substitutions(q1, figure1)
+        assert first == second
+
+    def test_empty_candidates(self):
+        assert select_matches([]) == []

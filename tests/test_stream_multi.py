@@ -1,0 +1,146 @@
+"""Tests for multi-pattern and partitioned continuous matching."""
+
+import pytest
+
+from repro import SESPattern, match
+from repro.data import base_dataset, figure1_relation, query_q1
+from repro.stream import (MultiPatternMatcher, PartitionedContinuousMatcher,
+                          from_relation)
+
+from conftest import eids, ev
+
+AB = SESPattern(sets=[["a"], ["b"]],
+                conditions=["a.kind = 'A'", "b.kind = 'B'"], tau=10)
+AC = SESPattern(sets=[["a"], ["c"]],
+                conditions=["a.kind = 'A'", "c.kind = 'C'"], tau=10)
+
+
+class TestMultiPatternMatcher:
+    def test_patterns_matched_independently(self):
+        multi = MultiPatternMatcher({"ab": AB, "ac": AC})
+        multi.push_many([ev(1, "A"), ev(2, "B"), ev(3, "C")])
+        results = multi.close()
+        assert set(results) == {"ab", "ac"}
+        assert len(multi.matches("ab")) == 1
+        assert len(multi.matches("ac")) == 1
+
+    def test_patterns_may_share_events(self):
+        """The single A event participates in both patterns' matches."""
+        multi = MultiPatternMatcher({"ab": AB, "ac": AC})
+        multi.push_many([ev(1, "A"), ev(2, "B"), ev(3, "C")])
+        multi.close()
+        ab_events = eids(multi.matches("ab")[0])
+        ac_events = eids(multi.matches("ac")[0])
+        assert "a1" in ab_events and "a1" in ac_events
+
+    def test_auto_naming(self):
+        multi = MultiPatternMatcher([AB, AC])
+        assert multi.pattern_names == ["p0", "p1"]
+
+    def test_callback_carries_pattern_name(self):
+        multi = MultiPatternMatcher({"ab": AB})
+        seen = []
+        multi.on_match(lambda name, sub: seen.append(name))
+        multi.push_many([ev(1, "A"), ev(2, "B")])
+        multi.close()
+        assert seen == ["ab"]
+
+    def test_same_results_as_individual_matchers(self, q1, figure1):
+        singleton = SESPattern(
+            sets=[["c", "p", "d"], ["b"]],
+            conditions=["c.L = 'C'", "d.L = 'D'", "p.L = 'P'", "b.L = 'B'",
+                        "c.ID = p.ID", "c.ID = d.ID", "d.ID = b.ID"],
+            tau=264,
+        )
+        multi = MultiPatternMatcher({"q1": q1, "singleton": singleton})
+        multi.push_many(from_relation(figure1))
+        multi.close()
+        assert ([frozenset(m.bindings) for m in multi.matches("q1")]
+                == [frozenset(m.bindings) for m in match(q1, figure1).matches])
+        assert ([frozenset(m.bindings) for m in multi.matches("singleton")]
+                == [frozenset(m.bindings)
+                    for m in match(singleton, figure1).matches])
+
+    def test_all_matches(self):
+        multi = MultiPatternMatcher({"ab": AB, "ac": AC})
+        multi.push_many([ev(1, "A"), ev(2, "B")])
+        multi.close()
+        everything = multi.all_matches()
+        assert len(everything["ab"]) == 1
+        assert everything["ac"] == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MultiPatternMatcher({})
+        with pytest.raises(TypeError):
+            MultiPatternMatcher({"x": "not a pattern"})
+
+    def test_active_instances_aggregated(self):
+        multi = MultiPatternMatcher({"ab": AB, "ac": AC})
+        multi.push(ev(1, "A"))
+        assert multi.active_instances == 2
+
+
+class TestPartitionedContinuousMatcher:
+    def test_matches_equal_unpartitioned_on_figure1(self, q1, figure1):
+        partitioned = PartitionedContinuousMatcher(q1)
+        partitioned.push_many(from_relation(figure1))
+        partitioned.close()
+        assert ([eids(m) for m in partitioned.matches]
+                == [eids(m) for m in match(q1, figure1).matches])
+
+    def test_partitions_created_lazily(self, q1, figure1):
+        partitioned = PartitionedContinuousMatcher(q1)
+        events = list(figure1)
+        partitioned.push(events[0])
+        assert partitioned.partitions == [1]
+        partitioned.push_many(events[1:])
+        assert sorted(partitioned.partitions) == [1, 2]
+
+    def test_rejects_unpartitionable_pattern(self):
+        with pytest.raises(ValueError):
+            PartitionedContinuousMatcher(AB)
+
+    def test_explicit_attribute(self, figure1):
+        pattern = SESPattern(
+            sets=[["c"], ["b"]],
+            conditions=["c.L = 'C'", "b.L = 'B'", "c.ID = b.ID"],
+            tau=264,
+        )
+        partitioned = PartitionedContinuousMatcher(pattern, attribute="ID")
+        partitioned.push_many(from_relation(figure1))
+        partitioned.close()
+        assert len(partitioned.matches) == 2
+
+    def test_callback_carries_partition_key(self, q1, figure1):
+        partitioned = PartitionedContinuousMatcher(q1)
+        seen = []
+        partitioned.on_match(lambda key, sub: seen.append(key))
+        partitioned.push_many(from_relation(figure1))
+        partitioned.close()
+        assert sorted(seen) == [1, 2]
+
+    def test_collect_drops_idle_partitions(self, q1):
+        partitioned = PartitionedContinuousMatcher(q1)
+        partitioned.push(ev(0, "C", ID=1, L="C", V=1.0, U="mg"))
+        partitioned.push(ev(1, "C", ID=2, L="C", V=1.0, U="mg"))
+        assert len(partitioned.partitions) == 2
+        # Nothing collectable yet (instances alive, window open).
+        assert partitioned.collect(now=2) == 0
+        # Far in the future: expire instances by pushing late events.
+        partitioned.push(ev(1000, "X", ID=1, L="X", V=0.0, U=""))
+        partitioned.push(ev(1000, "X", ID=2, L="X", V=0.0, U=""))
+        dropped = partitioned.collect(now=5000)
+        assert dropped == 2
+        assert partitioned.partitions == []
+
+    def test_superset_recall_on_synthetic(self):
+        from repro.data import pattern_p3
+        relation = base_dataset(patients=4, cycles=2)
+        plain = match(pattern_p3(), relation, selection="accepted")
+        partitioned = PartitionedContinuousMatcher(pattern_p3(),
+                                                   suppress_overlaps=False)
+        partitioned.push_many(from_relation(relation))
+        partitioned.close()
+        # Partitioned streaming reports at least as many distinct matches.
+        assert len(partitioned.matches) >= len(plain.matches)

@@ -1,0 +1,82 @@
+"""Tests for execution tracing (Figure 6 style)."""
+
+import pytest
+
+from repro.automaton import Tracer, format_trace
+from repro.automaton.builder import build_automaton
+from repro.automaton.executor import SESExecutor
+
+from conftest import ev
+
+
+@pytest.fixture
+def traced_run(q1, figure1):
+    tracer = Tracer()
+    executor = SESExecutor(build_automaton(q1), tracer=tracer)
+    result = executor.run(figure1)
+    return tracer, result
+
+
+class TestTracer:
+    def test_records_figure6_steps(self, traced_run):
+        tracer, _ = traced_run
+        lines = format_trace(tracer.steps).splitlines()
+        # The seven highlighted steps of Figure 6 for patient 1:
+        assert "read e1: (∅) --c--> (c) β={c/e1}" in lines          # (b)
+        assert "read e2: ignored by instance at c" in lines          # (c)
+        assert "read e3: (c) --d--> (cd) β={c/e1, d/e3}" in lines    # (d)
+        assert ("read e4: (cd) --p+--> (cdp+) β={c/e1, d/e3, p+/e4}"
+                in lines)                                            # (e)
+        assert ("read e9: (cdp+) --p+--> (cdp+) "
+                "β={c/e1, d/e3, p+/e4, p+/e9}" in lines)             # (g)
+        assert any(line.startswith("read e12: (cdp+) --b--> (bcdp+)")
+                   for line in lines)                                # (h)
+
+    def test_start_steps_counted(self, traced_run):
+        tracer, result = traced_run
+        assert len(tracer.of_kind("start")) == result.stats.events_read
+
+    def test_transition_steps_match_stats(self, traced_run):
+        tracer, result = traced_run
+        assert (len(tracer.of_kind("transition"))
+                == result.stats.transitions_fired)
+
+    def test_flush_steps(self, traced_run):
+        tracer, result = traced_run
+        accepted = len(tracer.of_kind("accept")) + len(tracer.of_kind("flush"))
+        assert accepted == result.stats.accepted_buffers
+
+    def test_expiry_recorded(self, kind_pattern):
+        tracer = Tracer()
+        executor = SESExecutor(build_automaton(kind_pattern), tracer=tracer)
+        executor.feed(ev(1, "A"))
+        executor.feed(ev(500, "X"))
+        assert len(tracer.of_kind("expire")) == 1
+
+    def test_max_steps_caps_recording(self, q1, figure1):
+        tracer = Tracer(max_steps=5)
+        executor = SESExecutor(build_automaton(q1), tracer=tracer)
+        executor.run(figure1)
+        assert len(tracer) == 5
+
+    def test_clear(self, traced_run):
+        tracer, _ = traced_run
+        tracer.clear()
+        assert len(tracer) == 0
+
+    def test_format_skips_noise_by_default(self, traced_run):
+        tracer, _ = traced_run
+        text = format_trace(tracer.steps)
+        assert "new instance" not in text
+        full = format_trace(tracer.steps, skip_kinds=())
+        assert "new instance" in full
+
+    def test_describe_all_kinds_render(self, traced_run):
+        tracer, _ = traced_run
+        for step in tracer.steps:
+            assert step.describe()
+
+    def test_tracing_does_not_change_results(self, q1, figure1):
+        plain = SESExecutor(build_automaton(q1)).run(figure1)
+        traced = SESExecutor(build_automaton(q1), tracer=Tracer()).run(figure1)
+        assert plain.matches == traced.matches

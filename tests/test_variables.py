@@ -1,0 +1,56 @@
+"""Unit tests for repro.core.variables."""
+
+import pytest
+
+from repro.core.variables import (Variable, group, parse_variable,
+                                  parse_variables, var)
+
+
+class TestVariable:
+    def test_singleton(self):
+        v = var("c")
+        assert v.name == "c"
+        assert v.is_singleton
+        assert not v.is_group
+
+    def test_group(self):
+        g = group("p")
+        assert g.is_group
+        assert not g.is_singleton
+
+    def test_name_with_plus_rejected(self):
+        with pytest.raises(ValueError):
+            Variable("p+")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Variable("")
+
+    def test_equality_distinguishes_quantifier(self):
+        assert var("p") != group("p")
+        assert var("p") == var("p")
+
+    def test_hashable(self):
+        assert len({var("a"), var("a"), group("a")}) == 2
+
+    def test_ordering_deterministic(self):
+        vs = sorted([group("b"), var("a"), var("b")])
+        assert [repr(v) for v in vs] == ["a", "b", "b+"]
+
+    def test_repr(self):
+        assert repr(var("c")) == "c"
+        assert repr(group("p")) == "p+"
+
+
+class TestParsing:
+    def test_parse_singleton(self):
+        assert parse_variable("c") == var("c")
+
+    def test_parse_group(self):
+        assert parse_variable("p+") == group("p")
+
+    def test_parse_strips_whitespace(self):
+        assert parse_variable("  p+ ") == group("p")
+
+    def test_parse_variables(self):
+        assert parse_variables(["a", "b+"]) == (var("a"), group("b"))
