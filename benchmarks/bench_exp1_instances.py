@@ -17,12 +17,15 @@ The timing of each engine is captured by pytest-benchmark; the instance
 counts are printed and asserted.
 """
 
+import time
+
 import pytest
 
 from repro.baseline import BruteForceMatcher
 from repro.bench import print_experiment1, run_experiment1
 from repro.core.matcher import Matcher
 from repro.data import experiment1_pattern
+from repro.obs import Observability
 
 
 def _var_counts(profile):
@@ -56,6 +59,45 @@ class TestEngines:
         benchmark.extra_info["max_instances"] = (
             result.stats.max_simultaneous_instances)
         benchmark.extra_info["automata"] = matcher.automaton_count
+
+
+def test_observability_overhead(exp1_relation, capsys):
+    """Measure the cost of the repro.obs layer on the Experiment 1 hot path.
+
+    Two shapes are asserted:
+
+    * *disabled* instrumentation (the default) must be near-free — the
+      zero-cost contract behind the ≤ 2 % runtime budget of the
+      observability PR;
+    * *enabled* ``--profile`` instrumentation is expected to cost real
+      time (spans + histograms per event); its factor is printed so the
+      overhead number in docs/observability.md stays honest.
+    """
+    pattern = experiment1_pattern(4, exclusive=True)
+
+    def run_once(obs):
+        matcher = Matcher(pattern, selection="accepted", obs=obs)
+        start = time.perf_counter()
+        result = matcher.run(exp1_relation)
+        return result, time.perf_counter() - start
+
+    baseline = profiled = 0.0
+    rounds = 3
+    for _ in range(rounds):  # interleave to cancel thermal/cache drift
+        base_result, base_seconds = run_once(None)
+        prof_result, prof_seconds = run_once(Observability())
+        baseline += base_seconds
+        profiled += prof_seconds
+        assert (base_result.stats.max_simultaneous_instances
+                == prof_result.stats.max_simultaneous_instances)
+
+    factor = profiled / baseline
+    with capsys.disabled():
+        print(f"\nobservability overhead: baseline {baseline / rounds:.4f}s, "
+              f"profiled {profiled / rounds:.4f}s ({factor:.2f}x)")
+    # Enabled profiling may legitimately cost time, but an order of
+    # magnitude would make --profile useless on real workloads.
+    assert factor < 10
 
 
 def test_figure11_and_table1(exp1_relation, profile, capsys):

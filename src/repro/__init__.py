@@ -38,6 +38,8 @@ from .automaton.builder import build_automaton
 from .automaton.executor import MatchResult, SESExecutor, execute
 from .automaton.filtering import EventFilter
 
+from .obs import Observability
+
 __version__ = "1.0.0"
 
 __all__ = [
@@ -51,6 +53,7 @@ __all__ = [
     "EventSchema",
     "MatchResult",
     "Matcher",
+    "Observability",
     "PatternError",
     "SESAutomaton",
     "SESExecutor",

@@ -23,6 +23,7 @@ The construction is the paper's two-step process:
 from __future__ import annotations
 
 import itertools
+import logging
 from typing import FrozenSet, List, Tuple
 
 from ..core.conditions import Attr, Condition
@@ -139,4 +140,7 @@ def build_automaton(pattern: SESPattern) -> SESAutomaton:
     automaton = build_set_automaton(pattern, 0)
     for i in range(1, len(pattern)):
         automaton = concatenate(automaton, build_set_automaton(pattern, i))
+    logging.getLogger(__name__).debug(
+        "built automaton: %d states, %d transitions",
+        len(automaton.states), len(automaton.transitions))
     return automaton

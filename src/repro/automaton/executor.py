@@ -28,6 +28,8 @@ results.  ``selection="all-starts"`` keeps one match per start position;
 
 from __future__ import annotations
 
+import logging
+import time
 from dataclasses import dataclass, field
 from typing import Iterable, List, Optional, Sequence
 
@@ -41,6 +43,22 @@ from .instance import AutomatonInstance
 from .metrics import ExecutionStats
 
 __all__ = ["SESExecutor", "MatchResult", "execute"]
+
+logger = logging.getLogger(__name__)
+
+#: ``(stats attribute, counter name)`` pairs published to an
+#: :class:`~repro.obs.Observability` registry after a batch run.
+_STAT_COUNTERS = (
+    ("events_read", "ses_events_read_total"),
+    ("events_filtered", "ses_events_filtered_total"),
+    ("events_processed", "ses_events_processed_total"),
+    ("instances_created", "ses_instances_created_total"),
+    ("transitions_fired", "ses_transitions_fired_total"),
+    ("branchings", "ses_branchings_total"),
+    ("expired_instances", "ses_instances_expired_total"),
+    ("accepted_buffers", "ses_accepted_buffers_total"),
+    ("matches", "ses_matches_total"),
+)
 
 #: Valid result-selection policies: ``"paper"`` applies Definition 2's
 #: conditions 4–5 plus greedy non-overlap (the paper's intended results),
@@ -134,7 +152,9 @@ class SESExecutor:
                  expire_on_filtered: bool = False,
                  consume_mode: str = "greedy",
                  tracer=None,
-                 record_history: bool = False):
+                 record_history: bool = False,
+                 history_max_samples: Optional[int] = None,
+                 obs=None):
         if selection not in SELECTIONS:
             raise ValueError(
                 f"unknown selection {selection!r}; expected one of {SELECTIONS}"
@@ -164,6 +184,18 @@ class SESExecutor:
         #: ``stats.omega_history`` (render with
         #: :func:`repro.automaton.metrics.sparkline`).
         self.record_history = record_history
+        #: Cap on retained history samples (uniform downsampling beyond).
+        self.history_max_samples = history_max_samples
+        #: Optional :class:`repro.obs.Observability` bundle.  When set,
+        #: :meth:`feed` times the filter and consume stages with spans,
+        #: updates the |Ω| gauge, and observes per-event latency and
+        #: instance lifetimes; :meth:`run` additionally times result
+        #: selection and publishes the :class:`ExecutionStats` counters.
+        #: ``None`` (the default) keeps the hot path instrumentation-free
+        #: — a single ``is None`` check per event.
+        self.obs = obs
+        if obs is not None and event_filter is not None:
+            event_filter.bind_metrics(obs.registry)
         self.reset()
 
     def reset(self) -> None:
@@ -172,9 +204,11 @@ class SESExecutor:
         self._accepted: List[Substitution] = []
         self._accepted_during_consume: List[Substitution] = []
         self._last_ts = None
+        self._published_stats = {}
         self.stats = ExecutionStats()
         if getattr(self, "record_history", False):
-            self.stats.enable_history()
+            self.stats.enable_history(
+                max_samples=getattr(self, "history_max_samples", None))
 
     @property
     def active_instances(self) -> int:
@@ -200,13 +234,39 @@ class SESExecutor:
             )
         self._last_ts = event.ts
 
-        if self.event_filter is not None and not self.event_filter.admits(event):
+        obs = self.obs
+        if obs is None:
+            if (self.event_filter is not None
+                    and not self.event_filter.admits(event)):
+                stats.events_filtered += 1
+                if self.expire_on_filtered:
+                    return self._expire_only(event)
+                return []
+            stats.events_processed += 1
+            return self._step(event)
+
+        start = time.perf_counter()
+        with obs.span("filter"):
+            admitted = (self.event_filter is None
+                        or self.event_filter.admits(event))
+        if not admitted:
             stats.events_filtered += 1
             if self.expire_on_filtered:
-                return self._expire_only(event)
-            return []
-        stats.events_processed += 1
+                accepted = self._expire_only(event)
+            else:
+                accepted = []
+        else:
+            stats.events_processed += 1
+            with obs.span("consume"):
+                accepted = self._step(event)
+        obs.omega(len(self._omega))
+        obs.event_seconds(time.perf_counter() - start)
+        return accepted
 
+    def _step(self, event: Event) -> List[Substitution]:
+        """Algorithm 1's per-event instance loop (post-filter)."""
+        stats = self.stats
+        obs = self.obs
         automaton = self.automaton
         tau = automaton.tau
         accepting = automaton.accepting
@@ -218,6 +278,8 @@ class SESExecutor:
         stats.instances_created += 1
         stats.observe_event(event.ts)
         stats.observe_omega(len(omega))
+        if obs is not None:
+            obs.omega(len(omega))
         tracer = self.tracer
         if tracer is not None:
             tracer.record("start", event, fresh)
@@ -228,6 +290,8 @@ class SESExecutor:
         for instance in omega:
             if instance.expired(event, tau):
                 stats.expired_instances += 1
+                if obs is not None:
+                    obs.lifetime(event.ts - instance.buffer.min_ts)
                 if tracer is not None:
                     tracer.record("expire", event, instance)
                 if instance.state == accepting:
@@ -249,9 +313,12 @@ class SESExecutor:
         accepting = self.automaton.accepting
         accepted_now: List[Substitution] = []
         survivors: List[AutomatonInstance] = []
+        obs = self.obs
         for instance in self._omega:
             if instance.expired(event, tau):
                 stats.expired_instances += 1
+                if obs is not None:
+                    obs.lifetime(event.ts - instance.buffer.min_ts)
                 if instance.state == accepting:
                     accepted_now.append(instance.buffer.to_substitution())
                     stats.accepted_buffers += 1
@@ -333,15 +400,48 @@ class SESExecutor:
         self.finish()
         matches = self.select(self._accepted)
         self.stats.matches = len(matches)
+        self.publish_stats()
+        logger.debug(
+            "run complete: %d events, %d accepted, %d matches, max|Ω|=%d",
+            self.stats.events_read, self.stats.accepted_buffers,
+            self.stats.matches, self.stats.max_simultaneous_instances)
         return MatchResult(matches=matches, accepted=list(self._accepted),
                            stats=self.stats)
 
     def select(self, accepted: Sequence[Substitution]) -> List[Substitution]:
         """Apply the configured result selection to accepted buffers."""
+        obs = self.obs
+        if obs is None:
+            return self._select(accepted)
+        with obs.span("select"):
+            return self._select(accepted)
+
+    def _select(self, accepted: Sequence[Substitution]) -> List[Substitution]:
         if self.selection == "accepted":
             return list(accepted)
         overlap = "suppress" if self.selection == "paper" else "allow"
         return select_matches(accepted, overlap=overlap)
+
+    def publish_stats(self) -> None:
+        """Mirror the :class:`ExecutionStats` counters into the registry.
+
+        Delta-aware, so it is safe to call repeatedly (streaming callers
+        publish at every snapshot point); a no-op without ``obs``.
+        """
+        if self.obs is None:
+            return
+        registry = self.obs.registry
+        published = self._published_stats
+        for attr, name in _STAT_COUNTERS:
+            value = getattr(self.stats, attr)
+            delta = value - published.get(attr, 0)
+            if delta:
+                registry.counter(name).inc(delta)
+                published[attr] = value
+        registry.gauge(
+            "ses_omega_peak",
+            help="max simultaneously active instances this run",
+        ).set(self.stats.max_simultaneous_instances)
 
 
 def execute(automaton: SESAutomaton, events: Iterable[Event],

@@ -44,6 +44,8 @@ class EventFilter:
         if mode not in ("paper", "conjunctive"):
             raise ValueError(f"unknown filter mode {mode!r}")
         self.mode = mode
+        self._admitted_counter = None
+        self._rejected_counter = None
         self._by_variable: Dict[Variable, Tuple[Condition, ...]] = {
             v: pattern.constant_conditions(v) for v in pattern.variables
         }
@@ -62,6 +64,29 @@ class EventFilter:
     def is_effective(self) -> bool:
         """False iff the filter passes every event (no pruning possible)."""
         return self._effective
+
+    def bind_metrics(self, registry) -> "EventFilter":
+        """Report admitted/rejected counts to an obs registry.
+
+        Called by instrumented executors.  Binding swaps :meth:`admits`
+        for a counting wrapper on this instance, so an *unbound* filter
+        pays no overhead at all.
+        """
+        self._admitted_counter = registry.counter(
+            "ses_filter_admitted_total",
+            help="events admitted by the Section 4.5 pre-filter")
+        self._rejected_counter = registry.counter(
+            "ses_filter_rejected_total",
+            help="events rejected by the Section 4.5 pre-filter")
+        self.admits = self._admits_counted
+        return self
+
+    def _admits_counted(self, event: Event) -> bool:
+        """:meth:`admits` plus admitted/rejected counters (bound mode)."""
+        ok = EventFilter.admits(self, event)
+        counter = self._admitted_counter if ok else self._rejected_counter
+        counter.inc()
+        return ok
 
     def admits(self, event: Event) -> bool:
         """True iff ``event`` may be relevant to some variable."""

@@ -43,16 +43,30 @@ class ExecutionStats:
         default=None, repr=False)
     #: Timestamp the next observation will be recorded under.
     _current_ts: object = field(default=None, repr=False)
+    #: History cap (``None`` = unbounded) and the downsampling stride.
+    _history_cap: Optional[int] = field(default=None, repr=False)
+    _history_stride: int = field(default=1, repr=False)
+    _history_seen: int = field(default=0, repr=False)
 
-    def enable_history(self) -> None:
+    def enable_history(self, max_samples: Optional[int] = None) -> None:
         """Start recording ``(timestamp, |Ω|)`` samples.
 
         One sample is kept per observation; use
         :func:`sparkline` to render the timeline for humans.  Costs one
         list append per event — leave off for measurement runs.
+
+        ``max_samples`` bounds retained memory on long streams: once the
+        timeline exceeds the cap it is uniformly downsampled (every
+        second sample dropped, recording stride doubled), so the history
+        always spans the whole run at progressively coarser resolution
+        and never holds more than ``max_samples`` entries.
         """
         if self.omega_history is None:
             self.omega_history = []
+        if max_samples is not None:
+            if max_samples < 2:
+                raise ValueError("max_samples must be at least 2")
+            self._history_cap = max_samples
 
     def observe_event(self, ts) -> None:
         """Tag subsequent Ω observations with the event timestamp."""
@@ -62,8 +76,20 @@ class ExecutionStats:
         """Record the current size of Ω."""
         if size > self.max_simultaneous_instances:
             self.max_simultaneous_instances = size
-        if self.omega_history is not None:
-            self.omega_history.append((self._current_ts, size))
+        history = self.omega_history
+        if history is None:
+            return
+        seen = self._history_seen
+        self._history_seen = seen + 1
+        if seen % self._history_stride:
+            return
+        history.append((self._current_ts, size))
+        cap = self._history_cap
+        if cap is not None and len(history) > cap:
+            # Uniform downsample: keep every other retained sample and
+            # double the stride for future observations.
+            del history[1::2]
+            self._history_stride *= 2
 
 
 #: Unicode block characters for :func:`sparkline`, lowest to highest.
@@ -75,7 +101,10 @@ def sparkline(history: List[Tuple[object, int]], width: int = 60) -> str:
 
     ``history`` is ``stats.omega_history``; the samples are bucketed down
     to ``width`` columns (max per bucket) and scaled to eight levels.
+    Histories shorter than ``width`` render one column per sample.
     """
+    if width < 1:
+        raise ValueError("sparkline width must be at least 1")
     if not history:
         return ""
     sizes = [s for _, s in history]

@@ -3,13 +3,14 @@
 from .experiments import (print_experiment1, print_experiment2,
                           print_experiment3, run_experiment1, run_experiment2,
                           run_experiment3)
-from .harness import PROFILES, Profile, resolve_profile, timed
+from .harness import (PROFILES, Profile, measured, resolve_profile,
+                      rows_to_snapshot, timed)
 from .plots import bar_chart, series_chart
 from .report import format_table, print_table
 
 __all__ = [
-    "PROFILES", "Profile", "bar_chart", "format_table", "print_experiment1",
-    "print_experiment2", "print_experiment3", "print_table",
-    "resolve_profile", "run_experiment1", "run_experiment2",
-    "run_experiment3", "series_chart", "timed",
+    "PROFILES", "Profile", "bar_chart", "format_table", "measured",
+    "print_experiment1", "print_experiment2", "print_experiment3",
+    "print_table", "resolve_profile", "rows_to_snapshot", "run_experiment1",
+    "run_experiment2", "run_experiment3", "series_chart", "timed",
 ]

@@ -2,20 +2,38 @@
 
 Executes Experiments 1-3 at the selected scale profile and prints the
 paper-style tables.  Profiles: quick, default, large (or set the
-``REPRO_BENCH_PROFILE`` environment variable).
+``REPRO_BENCH_PROFILE`` environment variable).  With ``--metrics-out``
+the measurements are also written as a JSON-lines metrics snapshot
+(render it later with ``repro stats``); CI uses this to accumulate a
+per-commit performance trajectory.
 """
 
-import sys
+import argparse
+import logging
 
+from ..obs import configure_logging, write_jsonl
 from .experiments import (print_experiment1, print_experiment2,
                           print_experiment3, run_experiment1, run_experiment2,
                           run_experiment3)
-from .harness import resolve_profile
+from .harness import resolve_profile, rows_to_snapshot
+
+logger = logging.getLogger(__name__)
 
 
 def main(argv=None) -> int:
-    argv = sys.argv[1:] if argv is None else argv
-    profile = resolve_profile(argv[0] if argv else None)
+    parser = argparse.ArgumentParser(
+        prog="repro.bench",
+        description="Run the paper's Experiments 1-3 and print the tables.")
+    parser.add_argument("profile", nargs="?", default=None,
+                        help="scale profile (quick / default / large)")
+    parser.add_argument("--metrics-out", metavar="PATH", default=None,
+                        help="also write a JSON-lines metrics snapshot")
+    parser.add_argument("-v", "--verbose", action="count", default=0)
+    parser.add_argument("-q", "--quiet", action="store_true")
+    args = parser.parse_args(argv)
+    configure_logging(-1 if args.quiet else args.verbose)
+
+    profile = resolve_profile(args.profile)
     exp1_relation = profile.exp1_relation()
     exp23_base = profile.exp23_base()
     print(f"profile: {profile.name}")
@@ -24,10 +42,23 @@ def main(argv=None) -> int:
     print(f"experiment 2/3 base:   {len(exp23_base)} events, "
           f"W = {exp23_base.window_size(264)}")
 
-    print_experiment1(run_experiment1(exp1_relation,
-                                      max_vars=profile.exp1_max_vars))
-    print_experiment2(run_experiment2(exp23_base, factors=profile.factors))
-    print_experiment3(run_experiment3(exp23_base, factors=profile.factors))
+    rows1 = run_experiment1(exp1_relation, max_vars=profile.exp1_max_vars)
+    print_experiment1(rows1)
+    rows2 = run_experiment2(exp23_base, factors=profile.factors)
+    print_experiment2(rows2)
+    rows3 = run_experiment3(exp23_base, factors=profile.factors)
+    print_experiment3(rows3)
+
+    if args.metrics_out:
+        snapshot = {"bench_profile_events_exp1": {
+            "type": "gauge", "value": len(exp1_relation),
+            "max": len(exp1_relation)}}
+        snapshot.update(rows_to_snapshot("exp1", rows1))
+        snapshot.update(rows_to_snapshot("exp2", rows2))
+        snapshot.update(rows_to_snapshot("exp3", rows3))
+        path = write_jsonl(snapshot, args.metrics_out)
+        logger.info("wrote %d metrics to %s", len(snapshot), path)
+        print(f"metrics snapshot: {path} ({len(snapshot)} series)")
     return 0
 
 

@@ -11,15 +11,19 @@ variable (``quick`` / ``default`` / ``large``).
 
 from __future__ import annotations
 
+import logging
 import os
-import time
 from dataclasses import dataclass
-from typing import Callable, Dict, Tuple
+from typing import Callable, Dict, Sequence, Tuple
 
 from ..core.relation import EventRelation
 from ..data.chemo import generate_chemo
+from ..obs import Observability, SpanTracer
 
-__all__ = ["Profile", "PROFILES", "resolve_profile", "timed"]
+__all__ = ["Profile", "PROFILES", "resolve_profile", "timed", "measured",
+           "rows_to_snapshot"]
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -69,15 +73,66 @@ def resolve_profile(name: str = None) -> Profile:
     ``default``)."""
     name = name or os.environ.get("REPRO_BENCH_PROFILE", "default")
     try:
-        return PROFILES[name]
+        profile = PROFILES[name]
     except KeyError:
         raise ValueError(
             f"unknown profile {name!r}; choose from {sorted(PROFILES)}"
         ) from None
+    logger.info("benchmark profile: %s", profile.name)
+    return profile
 
 
 def timed(fn: Callable, *args, **kwargs):
-    """Run ``fn`` and return ``(result, elapsed_seconds)``."""
-    start = time.perf_counter()
-    result = fn(*args, **kwargs)
-    return result, time.perf_counter() - start
+    """Run ``fn`` and return ``(result, elapsed_seconds)``.
+
+    Timing goes through a throwaway :class:`repro.obs.SpanTracer`, so
+    benchmark accounting and engine profiling share one clock and one
+    aggregation path.
+    """
+    spans = SpanTracer()
+    with spans.span("run"):
+        result = fn(*args, **kwargs)
+    return result, spans.total_seconds("run")
+
+
+def measured(fn: Callable, *args, obs: Observability = None, **kwargs):
+    """Run ``fn`` under an observability bundle; return ``(result, obs)``.
+
+    The call is timed as the ``run`` stage of ``obs`` (a fresh bundle
+    unless one is passed in).  Hand the same bundle to an instrumented
+    matcher/executor to get engine metrics and harness timing in a
+    single exportable snapshot.
+    """
+    if obs is None:
+        obs = Observability()
+    with obs.span("run"):
+        result = fn(*args, **kwargs)
+    return result, obs
+
+
+#: Row fields that identify a measurement rather than carry one.
+_IDENTITY_FIELDS = ("pattern", "dataset", "n_vars")
+
+
+def rows_to_snapshot(experiment: str,
+                     rows: Sequence[Dict]) -> Dict[str, dict]:
+    """Flatten experiment row dicts into an exportable metrics snapshot.
+
+    Each row becomes a family of gauges named
+    ``bench_<experiment>_<identity>_<field>`` — e.g. Experiment 1's
+    ``{"pattern": "P1", "n_vars": 3, "ses_seconds": ...}`` row yields
+    ``bench_exp1_p1_3_ses_seconds``.  Feed the result to
+    :func:`repro.obs.write_jsonl` to persist a run (the CI artifact).
+    """
+    snapshot: Dict[str, dict] = {}
+    for row in rows:
+        tag = "_".join(str(row[key]) for key in _IDENTITY_FIELDS
+                       if key in row).lower()
+        for field, value in row.items():
+            if field in _IDENTITY_FIELDS or isinstance(value, bool):
+                continue
+            if isinstance(value, (int, float)):
+                name = f"bench_{experiment}_{tag}_{field}"
+                snapshot[name] = {"type": "gauge", "value": value,
+                                  "max": value}
+    return snapshot

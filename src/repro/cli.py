@@ -4,6 +4,9 @@ Commands
 --------
 ``match``
     Run a PERMUTE query over a CSV event relation and print the matches.
+    ``--profile`` adds a per-stage timing table (filter / consume /
+    select), an Ω-population sparkline, and — with ``--metrics-out`` — a
+    JSON-lines metrics snapshot (see ``docs/observability.md``).
 ``generate``
     Write a synthetic chemotherapy relation to CSV.
 ``explain``
@@ -14,29 +17,43 @@ Commands
 ``lint``
     Static diagnostics for a query (unsatisfiable variables, open join
     graphs, heavy complexity classes).
+``stats``
+    Render a saved metrics snapshot (table, Prometheus text, or JSON).
 
 Event CSVs use the typed format of :mod:`repro.storage.csvio` (also what
 ``generate`` writes).  Queries may be given inline with ``--query`` or
-from a file with ``--query-file``.
+from a file with ``--query-file``.  ``--verbose``/``--quiet`` (before
+the subcommand) configure the ``repro.*`` logging hierarchy.
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 from pathlib import Path
 from typing import List, Optional
 
 from .automaton.builder import build_automaton
+from .automaton.metrics import sparkline
+from .bench.report import format_table
 from .complexity import analyze
 from .core.diagnostics import diagnose
-from .core.matcher import match
+from .core.matcher import Matcher, match
 from .core.rewrite import close_equality_joins
 from .data.chemo import generate_chemo
 from .lang import QueryError, parse_pattern
+from .obs import (Observability, configure_logging, read_jsonl, to_jsonl,
+                  to_prometheus, write_jsonl)
 from .storage.csvio import load_relation, save_relation
 
 __all__ = ["main", "build_parser"]
+
+logger = logging.getLogger(__name__)
+
+#: Ω-history samples retained under ``--profile`` (uniformly downsampled
+#: beyond; keeps long runs at bounded memory).
+PROFILE_HISTORY_SAMPLES = 4096
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -45,6 +62,10 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Sequenced event set pattern matching (EDBT 2011).",
     )
+    parser.add_argument("-v", "--verbose", action="count", default=0,
+                        help="log at INFO (-v) or DEBUG (-vv)")
+    parser.add_argument("-q", "--quiet", action="store_true",
+                        help="log errors only")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_match = sub.add_parser(
@@ -62,6 +83,13 @@ def build_parser() -> argparse.ArgumentParser:
                          help="consumption mode (default: greedy)")
     p_match.add_argument("--stats", action="store_true",
                          help="also print execution statistics")
+    p_match.add_argument("--profile", action="store_true",
+                         help="print a per-stage timing table and an "
+                              "Ω-population sparkline")
+    p_match.add_argument("--metrics-out", type=Path, metavar="PATH",
+                         help="write a JSON-lines metrics snapshot "
+                              "(implies instrumentation; render with "
+                              "'repro stats')")
 
     p_generate = sub.add_parser(
         "generate", help="write a synthetic chemotherapy relation to CSV")
@@ -98,6 +126,15 @@ def build_parser() -> argparse.ArgumentParser:
     group.add_argument("--window", type=int,
                        help="use this window size W directly")
 
+    p_stats = sub.add_parser(
+        "stats", help="render a saved metrics snapshot")
+    p_stats.add_argument("snapshot", type=Path,
+                         help="JSON-lines snapshot (from 'repro match "
+                              "--metrics-out' or the benchmarks)")
+    p_stats.add_argument("--format", default="table",
+                         choices=["table", "prom", "json"],
+                         help="output format (default: table)")
+
     return parser
 
 
@@ -118,10 +155,21 @@ def _load_pattern(args: argparse.Namespace):
 def _cmd_match(args: argparse.Namespace) -> int:
     pattern = _load_pattern(args)
     relation = load_relation(args.data)
-    result = match(pattern, relation,
-                   use_filter=not args.no_filter,
-                   selection=args.selection,
-                   consume_mode=args.mode)
+    profiling = args.profile or args.metrics_out is not None
+    if not profiling:
+        result = match(pattern, relation,
+                       use_filter=not args.no_filter,
+                       selection=args.selection,
+                       consume_mode=args.mode)
+    else:
+        obs = Observability()
+        matcher = Matcher(pattern, use_filter=not args.no_filter,
+                          selection=args.selection,
+                          consume_mode=args.mode, obs=obs)
+        executor = matcher.executor(
+            record_history=True,
+            history_max_samples=PROFILE_HISTORY_SAMPLES)
+        result = executor.run(relation)
     print(f"{len(result)} match(es) in {len(relation)} events")
     for i, substitution in enumerate(result, start=1):
         bindings = ", ".join(f"{variable!r}/{event.eid or event.ts}"
@@ -135,7 +183,26 @@ def _cmd_match(args: argparse.Namespace) -> int:
         print(f"max instances:    {stats.max_simultaneous_instances}")
         print(f"transitions:      {stats.transitions_fired}")
         print(f"accepted buffers: {stats.accepted_buffers}")
+    if args.profile:
+        _print_profile(obs, result.stats)
+    if args.metrics_out is not None:
+        path = write_jsonl(obs.snapshot(), args.metrics_out)
+        print(f"metrics snapshot: {path}")
     return 0
+
+
+def _print_profile(obs: Observability, stats) -> None:
+    """The ``--profile`` report: stage timings and the Ω timeline."""
+    print()
+    print(format_table(
+        ["stage", "calls", "total s", "self s", "share"],
+        obs.stage_rows(),
+        title="per-stage timing"))
+    history = stats.omega_history
+    if history:
+        print()
+        print(f"Ω timeline (peak {stats.max_simultaneous_instances}):")
+        print(f"  {sparkline(history)}")
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
@@ -172,6 +239,46 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 0 if not any(f.severity == "error" for f in findings) else 3
 
 
+def _cmd_stats(args: argparse.Namespace) -> int:
+    snapshot = read_jsonl(args.snapshot)
+    if args.format == "prom":
+        sys.stdout.write(to_prometheus(snapshot))
+        return 0
+    if args.format == "json":
+        sys.stdout.write(to_jsonl(snapshot))
+        return 0
+    by_type = {}
+    for name, record in snapshot.items():
+        by_type.setdefault(record.get("type", "gauge"), []).append(
+            (name, record))
+    if "counter" in by_type:
+        print(format_table(
+            ["counter", "value"],
+            [[n, r["value"]] for n, r in by_type["counter"]],
+            title="counters"))
+        print()
+    if "gauge" in by_type:
+        print(format_table(
+            ["gauge", "value", "max"],
+            [[n, r["value"], r.get("max", "")] for n, r in by_type["gauge"]],
+            title="gauges"))
+        print()
+    if "stage" in by_type:
+        print(format_table(
+            ["stage", "calls", "total s", "self s"],
+            [[n.replace("repro_stage_", ""), r["count"], r["total_seconds"],
+              r["self_seconds"]] for n, r in by_type["stage"]],
+            title="stage timings"))
+        print()
+    for name, record in by_type.get("histogram", ()):
+        mean = record["sum"] / record["count"] if record["count"] else 0.0
+        print(f"{name}: n={record['count']}  sum={record['sum']:.6g}  "
+              f"mean={mean:.6g}")
+        if record["count"]:
+            print(f"  {sparkline(record['buckets'])}")
+    return 0
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
     pattern = _load_pattern(args)
     if args.window is not None:
@@ -190,6 +297,7 @@ _COMMANDS = {
     "explain": _cmd_explain,
     "analyze": _cmd_analyze,
     "lint": _cmd_lint,
+    "stats": _cmd_stats,
 }
 
 
@@ -197,6 +305,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    configure_logging(-1 if args.quiet else args.verbose)
+    logger.debug("command: %s", args.command)
     try:
         return _COMMANDS[args.command](args)
     except QueryError as exc:

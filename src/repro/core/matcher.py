@@ -54,12 +54,17 @@ class Matcher:
         Algorithm 2; ``"exhaustive"`` also keeps the pre-consumption
         instance alive, making results exactly Definition 2's declarative
         semantics at exponential worst-case cost.
+    obs:
+        Optional :class:`repro.obs.Observability` bundle; when given,
+        executors report per-stage span timings, the |Ω| gauge, and
+        latency/lifetime histograms through it.
     """
 
     def __init__(self, pattern: SESPattern, use_filter: bool = True,
                  filter_mode: str = "conjunctive",
                  selection: str = "paper",
-                 consume_mode: str = "greedy"):
+                 consume_mode: str = "greedy",
+                 obs=None):
         self.pattern = pattern
         self.automaton: SESAutomaton = build_automaton(pattern)
         self.event_filter: Optional[EventFilter] = (
@@ -67,16 +72,25 @@ class Matcher:
         )
         self.selection = selection
         self.consume_mode = consume_mode
+        self.obs = obs
 
     def run(self, relation: Union[EventRelation, Iterable[Event]]) -> MatchResult:
         """Match the compiled pattern against ``relation``."""
         return self.executor().run(relation)
 
-    def executor(self) -> SESExecutor:
-        """A fresh incremental executor (for streaming use)."""
+    def executor(self, obs=None, record_history: bool = False,
+                 history_max_samples: Optional[int] = None) -> SESExecutor:
+        """A fresh incremental executor (for streaming use).
+
+        ``obs`` overrides the matcher-level bundle for this executor
+        (per-partition streaming hands each executor its own).
+        """
         return SESExecutor(self.automaton, event_filter=self.event_filter,
                            selection=self.selection,
-                           consume_mode=self.consume_mode)
+                           consume_mode=self.consume_mode,
+                           obs=self.obs if obs is None else obs,
+                           record_history=record_history,
+                           history_max_samples=history_max_samples)
 
     def __repr__(self) -> str:
         return f"Matcher({self.pattern!r})"
@@ -87,8 +101,9 @@ def match(pattern: SESPattern,
           use_filter: bool = True,
           filter_mode: str = "conjunctive",
           selection: str = "paper",
-          consume_mode: str = "greedy") -> MatchResult:
+          consume_mode: str = "greedy",
+          obs=None) -> MatchResult:
     """Match ``pattern`` against ``relation`` and return a :class:`MatchResult`."""
     matcher = Matcher(pattern, use_filter=use_filter, filter_mode=filter_mode,
-                      selection=selection, consume_mode=consume_mode)
+                      selection=selection, consume_mode=consume_mode, obs=obs)
     return matcher.run(relation)

@@ -1,0 +1,117 @@
+"""Snapshot exporters: JSON-lines files and Prometheus text format.
+
+Both exporters consume the plain-dict snapshots produced by
+:meth:`repro.obs.metrics.MetricsRegistry.snapshot` /
+:meth:`repro.obs.Observability.snapshot` — ``{name: record}`` where each
+record carries a ``"type"`` of ``counter``, ``gauge``, ``histogram`` or
+``stage``.
+
+* **JSON lines** (:func:`write_jsonl` / :func:`read_jsonl`): one metric
+  per line, ``{"name": ..., "type": ..., ...}``, safe to append across
+  runs and trivially diffable — the format the CI benchmark artifact and
+  ``repro stats`` use.
+* **Prometheus text format** (:func:`to_prometheus`): the 0.0.4
+  exposition format — counters and gauges verbatim, histograms as
+  cumulative ``_bucket{le="..."}`` series plus ``_sum``/``_count``,
+  stages as a ``_seconds_total``/``_calls_total`` pair.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+from typing import Dict, List, Union
+
+__all__ = ["write_jsonl", "read_jsonl", "to_jsonl", "to_prometheus"]
+
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prom_name(name: str) -> str:
+    """Sanitize a metric name for the Prometheus exposition format."""
+    name = _NAME_OK.sub("_", name)
+    if not name or name[0].isdigit():
+        name = "_" + name
+    return name
+
+
+def _prom_value(value) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def to_jsonl(snapshot: Dict[str, dict]) -> str:
+    """Render a snapshot as JSON lines (one metric per line)."""
+    lines = [json.dumps({"name": name, **record}, sort_keys=True)
+             for name, record in snapshot.items()]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_jsonl(snapshot: Dict[str, dict], path: Union[str, Path],
+                append: bool = False) -> Path:
+    """Write a snapshot to ``path`` as JSON lines; returns the path."""
+    path = Path(path)
+    mode = "a" if append else "w"
+    with path.open(mode, encoding="utf-8") as fh:
+        fh.write(to_jsonl(snapshot))
+    return path
+
+
+def read_jsonl(path: Union[str, Path]) -> Dict[str, dict]:
+    """Load a JSON-lines snapshot back into ``{name: record}`` form.
+
+    Blank lines are skipped; on duplicate names (appended runs) the last
+    record wins, matching "newest snapshot" expectations.
+    """
+    snapshot: Dict[str, dict] = {}
+    for line in Path(path).read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        record = json.loads(line)
+        name = record.pop("name")
+        snapshot[name] = record
+    return snapshot
+
+
+def to_prometheus(snapshot: Dict[str, dict]) -> str:
+    """Render a snapshot in the Prometheus text exposition format."""
+    out: List[str] = []
+    for name, record in snapshot.items():
+        kind = record.get("type", "gauge")
+        pname = _prom_name(name)
+        help_text = record.get("help", "")
+        if help_text:
+            out.append(f"# HELP {pname} {help_text}")
+        if kind == "counter":
+            out.append(f"# TYPE {pname} counter")
+            out.append(f"{pname} {_prom_value(record['value'])}")
+        elif kind == "gauge":
+            out.append(f"# TYPE {pname} gauge")
+            out.append(f"{pname} {_prom_value(record['value'])}")
+            if "max" in record:
+                out.append(f"# TYPE {pname}_max gauge")
+                out.append(f"{pname}_max {_prom_value(record['max'])}")
+        elif kind == "histogram":
+            out.append(f"# TYPE {pname} histogram")
+            cumulative = 0
+            for bound, count in record["buckets"]:
+                cumulative += count
+                out.append(
+                    f'{pname}_bucket{{le="{_prom_value(float(bound))}"}} '
+                    f"{cumulative}")
+            out.append(f'{pname}_bucket{{le="+Inf"}} {record["count"]}')
+            out.append(f"{pname}_sum {_prom_value(record['sum'])}")
+            out.append(f"{pname}_count {record['count']}")
+        elif kind == "stage":
+            out.append(f"# TYPE {pname}_seconds_total counter")
+            out.append(
+                f"{pname}_seconds_total {_prom_value(record['total_seconds'])}")
+            out.append(f"# TYPE {pname}_calls_total counter")
+            out.append(f"{pname}_calls_total {record['count']}")
+        else:  # unknown kinds degrade to a gauge with whatever value exists
+            out.append(f"# TYPE {pname} untyped")
+            out.append(f"{pname} {_prom_value(record.get('value', 0))}")
+    return "\n".join(out) + ("\n" if out else "")

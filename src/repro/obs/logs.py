@@ -1,0 +1,77 @@
+"""The ``repro.*`` logging hierarchy.
+
+Library modules obtain loggers with :func:`get_logger` (a thin wrapper
+over :func:`logging.getLogger` that anchors names under ``repro``) and
+never configure handlers themselves — per library convention, the root
+``repro`` logger carries a :class:`logging.NullHandler` so embedding
+applications stay silent unless they opt in.
+
+Applications (the CLI, benchmarks, CI) opt in with
+:func:`configure_logging`, mapped from ``--verbose``/``--quiet`` flags:
+
+========= ==========================
+verbosity effective level
+========= ==========================
+``-1``    ``ERROR``  (``--quiet``)
+``0``     ``WARNING`` (default)
+``1``     ``INFO``   (``-v``)
+``2+``    ``DEBUG``  (``-vv``)
+========= ==========================
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Optional
+
+__all__ = ["get_logger", "configure_logging", "verbosity_level"]
+
+_ROOT = "repro"
+_FORMAT = "%(levelname)s %(name)s: %(message)s"
+
+logging.getLogger(_ROOT).addHandler(logging.NullHandler())
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """A logger under the ``repro`` hierarchy.
+
+    Accepts dotted module names (``__name__`` works whether or not it
+    already starts with ``repro``) or bare suffixes like ``"bench"``.
+    """
+    if not name or name == _ROOT:
+        return logging.getLogger(_ROOT)
+    if name.startswith(_ROOT + ".") :
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_ROOT}.{name}")
+
+
+def verbosity_level(verbosity: int) -> int:
+    """Map a ``-q``/``-v`` count to a :mod:`logging` level."""
+    if verbosity <= -1:
+        return logging.ERROR
+    if verbosity == 0:
+        return logging.WARNING
+    if verbosity == 1:
+        return logging.INFO
+    return logging.DEBUG
+
+
+def configure_logging(verbosity: int = 0, stream=None,
+                      fmt: Optional[str] = None) -> logging.Logger:
+    """Attach a stream handler to the ``repro`` root logger.
+
+    Re-invocation replaces the previously attached handler (so tests and
+    long-lived sessions can reconfigure), leaving any NullHandler and
+    application handlers alone.  Returns the root ``repro`` logger.
+    """
+    root = logging.getLogger(_ROOT)
+    for handler in list(root.handlers):
+        if getattr(handler, "_repro_configured", False):
+            root.removeHandler(handler)
+    handler = logging.StreamHandler(stream or sys.stderr)
+    handler.setFormatter(logging.Formatter(fmt or _FORMAT))
+    handler._repro_configured = True
+    root.addHandler(handler)
+    root.setLevel(verbosity_level(verbosity))
+    return root

@@ -1,0 +1,302 @@
+"""Metric primitives and the registry (the observability data model).
+
+Three metric kinds, deliberately Prometheus-shaped so the exporters in
+:mod:`repro.obs.exporters` are trivial:
+
+* :class:`Counter` — monotonically increasing count (events read,
+  transitions fired, buffers accepted);
+* :class:`Gauge` — a value that goes up and down, with a high-water mark
+  (the instance population ``|Ω|``, live partitions);
+* :class:`Histogram` — distribution over *fixed* bucket boundaries
+  (per-event feed latency, instance lifetimes).  Fixed buckets keep
+  observation O(#buckets) with zero allocation and make registries
+  mergeable across partitions.
+
+A :class:`MetricsRegistry` owns named metrics (get-or-create), renders
+point-in-time :meth:`~MetricsRegistry.snapshot` dictionaries, and merges
+sibling registries (per-partition aggregation).  :data:`NULL_REGISTRY`
+is the shared no-op registry: every metric it hands out swallows updates,
+so library code can instrument unconditionally once it holds a metric
+handle.  Hot paths that cannot afford even a no-op call should keep the
+usual ``if obs is not None`` guard instead.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter", "Gauge", "Histogram", "MetricsRegistry", "NullRegistry",
+    "NULL_REGISTRY", "LATENCY_BUCKETS", "LIFETIME_BUCKETS",
+]
+
+#: Default buckets for per-event feed latency, in seconds.  Pure-Python
+#: event processing sits between ~1 µs and ~100 ms per event.
+LATENCY_BUCKETS: Tuple[float, ...] = (
+    1e-6, 5e-6, 1e-5, 5e-5, 1e-4, 5e-4, 1e-3, 5e-3, 1e-2, 5e-2, 1e-1,
+)
+
+#: Default buckets for automaton-instance lifetimes, in *time units* of
+#: the event relation (the paper's τ is 264 for the chemo workload).
+LIFETIME_BUCKETS: Tuple[float, ...] = (
+    1, 2, 5, 10, 25, 50, 100, 250, 500, 1000,
+)
+
+
+class Counter:
+    """A monotonically increasing counter."""
+
+    __slots__ = ("name", "help", "value")
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (must be >= 0) to the counter."""
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+    def snapshot(self) -> dict:
+        return {"type": self.kind, "help": self.help, "value": self.value}
+
+    def merge(self, other: "Counter") -> None:
+        self.value += other.value
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}={self.value})"
+
+
+class Gauge:
+    """A value that rises and falls; remembers its high-water mark."""
+
+    __slots__ = ("name", "help", "value", "max_value")
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self.value = 0
+        self.max_value = 0
+
+    def set(self, value) -> None:
+        self.value = value
+        if value > self.max_value:
+            self.max_value = value
+
+    def inc(self, amount=1) -> None:
+        self.set(self.value + amount)
+
+    def dec(self, amount=1) -> None:
+        self.value -= amount
+
+    def snapshot(self) -> dict:
+        return {"type": self.kind, "help": self.help, "value": self.value,
+                "max": self.max_value}
+
+    def merge(self, other: "Gauge") -> None:
+        """Aggregate a sibling gauge: values add, high-waters add.
+
+        Partition gauges describe disjoint instance populations, so the
+        aggregate population is the sum.  (Summing high-waters
+        over-approximates the true simultaneous peak; it is an upper
+        bound, which is the conservative direction for capacity.)
+        """
+        self.value += other.value
+        self.max_value += other.max_value
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name}={self.value}, max={self.max_value})"
+
+
+class Histogram:
+    """A fixed-boundary histogram (cumulative-style on export).
+
+    ``buckets`` are the upper bounds of the non-overflow buckets; an
+    implicit ``+Inf`` bucket catches the rest.  ``observe`` is
+    O(log #buckets) via bisect.
+    """
+
+    __slots__ = ("name", "help", "bounds", "counts", "sum", "count")
+    kind = "histogram"
+
+    def __init__(self, name: str, help: str = "",
+                 buckets: Sequence[float] = LATENCY_BUCKETS):
+        if not buckets or list(buckets) != sorted(buckets):
+            raise ValueError("histogram buckets must be sorted and non-empty")
+        self.name = name
+        self.help = help
+        self.bounds: Tuple[float, ...] = tuple(buckets)
+        self.counts: List[int] = [0] * (len(self.bounds) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value) -> None:
+        self.counts[bisect.bisect_left(self.bounds, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    def snapshot(self) -> dict:
+        return {
+            "type": self.kind, "help": self.help,
+            "buckets": [list(pair) for pair in zip(self.bounds, self.counts)],
+            "overflow": self.counts[-1],
+            "sum": self.sum, "count": self.count,
+        }
+
+    def merge(self, other: "Histogram") -> None:
+        if other.bounds != self.bounds:
+            raise ValueError(
+                f"cannot merge histogram {self.name!r}: bucket bounds differ")
+        self.counts = [a + b for a, b in zip(self.counts, other.counts)]
+        self.sum += other.sum
+        self.count += other.count
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name}, n={self.count}, sum={self.sum:.6g})"
+
+
+class MetricsRegistry:
+    """A named collection of metrics with get-or-create accessors.
+
+    Accessors are idempotent: asking twice for the same name returns the
+    same object, so independent call sites can share a metric.  Asking
+    for an existing name with a *different* kind raises.
+    """
+
+    #: False on :class:`NullRegistry`; lets callers skip expensive
+    #: observation work (snapshotting, history) when metrics go nowhere.
+    enabled = True
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, object] = {}
+
+    def _get(self, cls, name: str, **kwargs):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = cls(name, **kwargs)
+            self._metrics[name] = metric
+        elif not isinstance(metric, cls):
+            raise ValueError(
+                f"metric {name!r} already registered as {metric.kind}")
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get(Counter, name, help=help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get(Gauge, name, help=help)
+
+    def histogram(self, name: str, help: str = "",
+                  buckets: Sequence[float] = LATENCY_BUCKETS) -> Histogram:
+        return self._get(Histogram, name, help=help, buckets=buckets)
+
+    def __iter__(self):
+        return iter(self._metrics.values())
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def snapshot(self) -> Dict[str, dict]:
+        """Point-in-time ``{name: state}`` view, sorted by name."""
+        return {name: self._metrics[name].snapshot()
+                for name in sorted(self._metrics)}
+
+    def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
+        """Fold ``other``'s metrics into this registry (sum semantics).
+
+        Metrics present only in ``other`` are deep-copied in; metrics
+        present in both are combined per-kind (counters and histograms
+        add, gauges add values and high-waters — see :meth:`Gauge.merge`).
+        Returns ``self`` for chaining.
+        """
+        for name, metric in other._metrics.items():
+            if isinstance(metric, Counter):
+                self.counter(name, help=metric.help).merge(metric)
+            elif isinstance(metric, Gauge):
+                self.gauge(name, help=metric.help).merge(metric)
+            elif isinstance(metric, Histogram):
+                self.histogram(name, help=metric.help,
+                               buckets=metric.bounds).merge(metric)
+        return self
+
+    @classmethod
+    def merged(cls, registries: Iterable["MetricsRegistry"]) -> "MetricsRegistry":
+        """A fresh registry holding the sum of ``registries``."""
+        out = cls()
+        for registry in registries:
+            out.merge(registry)
+        return out
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({len(self._metrics)} metrics)"
+
+
+class _NullCounter(Counter):
+    __slots__ = ()
+
+    def inc(self, amount: int = 1) -> None:
+        pass
+
+
+class _NullGauge(Gauge):
+    __slots__ = ()
+
+    def set(self, value) -> None:
+        pass
+
+    def inc(self, amount=1) -> None:
+        pass
+
+    def dec(self, amount=1) -> None:
+        pass
+
+
+class _NullHistogram(Histogram):
+    __slots__ = ()
+
+    def observe(self, value) -> None:
+        pass
+
+
+class NullRegistry(MetricsRegistry):
+    """A registry whose metrics discard every update.
+
+    Handed out as the default so instrumented code needs no branches;
+    all accessors return shared do-nothing singletons.
+    """
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._counter = _NullCounter("null")
+        self._gauge = _NullGauge("null")
+        self._histogram = _NullHistogram("null", buckets=(1,))
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._counter
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._gauge
+
+    def histogram(self, name: str, help: str = "",
+                  buckets: Sequence[float] = LATENCY_BUCKETS) -> Histogram:
+        return self._histogram
+
+    def snapshot(self) -> Dict[str, dict]:
+        return {}
+
+    def merge(self, other: MetricsRegistry) -> MetricsRegistry:
+        return self
+
+
+#: Shared default no-op registry.
+NULL_REGISTRY = NullRegistry()

@@ -13,6 +13,7 @@ makes data sets easy to inspect and to exchange.
 from __future__ import annotations
 
 import csv
+import logging
 from pathlib import Path
 from typing import Dict, List, Optional, Union
 
@@ -20,6 +21,8 @@ from ..core.events import Attribute, Event, EventSchema
 from ..core.relation import EventRelation
 
 __all__ = ["save_relation", "load_relation"]
+
+logger = logging.getLogger(__name__)
 
 _TYPE_NAMES = {int: "int", float: "float", str: "str"}
 _TYPES_BY_NAME = {name: t for t, name in _TYPE_NAMES.items()}
@@ -57,6 +60,7 @@ def save_relation(relation: EventRelation, path: Union[str, Path]) -> None:
         for event in relation:
             writer.writerow([event.eid or "", event.ts]
                             + [event.get(n, "") for n in names])
+    logger.info("saved %d events to %s", len(relation), path)
 
 
 def load_relation(path: Union[str, Path],
@@ -96,4 +100,5 @@ def load_relation(path: Union[str, Path],
             events.append(Event(ts=ts, attrs=attrs, eid=eid))
     relation = EventRelation(schema=schema, name=name or path.stem)
     relation.extend(events)
+    logger.info("loaded %d events from %s", len(relation), path)
     return relation

@@ -16,6 +16,7 @@ contribute again; :meth:`PartitionedContinuousMatcher.collect` drops them.
 
 from __future__ import annotations
 
+import logging
 from typing import Callable, Dict, Hashable, Iterable, List, Optional
 
 from ..automaton.optimizations import partition_attribute
@@ -25,6 +26,8 @@ from ..core.substitution import Substitution
 from .runner import ContinuousMatcher
 
 __all__ = ["PartitionedContinuousMatcher"]
+
+logger = logging.getLogger(__name__)
 
 MatchCallback = Callable[[Hashable, Substitution], None]
 
@@ -41,10 +44,17 @@ class PartitionedContinuousMatcher:
         conditions when omitted.
     use_filter / suppress_overlaps:
         Forwarded to each per-partition matcher.
+    obs:
+        Optional :class:`repro.obs.Observability` bundle.  When given,
+        every partition gets its *own* child bundle (so metrics never
+        race across partitions even if feeding is ever parallelised) and
+        ``obs`` itself tracks the partition population; call
+        :meth:`aggregate` for the merged cross-partition view.
     """
 
     def __init__(self, pattern: SESPattern, attribute: Optional[str] = None,
-                 use_filter: bool = True, suppress_overlaps: bool = True):
+                 use_filter: bool = True, suppress_overlaps: bool = True,
+                 obs=None):
         detected = partition_attribute(pattern)
         if attribute is None:
             attribute = detected
@@ -60,6 +70,14 @@ class PartitionedContinuousMatcher:
         self._matchers: Dict[Hashable, ContinuousMatcher] = {}
         self._last_ts: Dict[Hashable, object] = {}
         self._callbacks: List[MatchCallback] = []
+        self.obs = obs
+        self._partition_gauge = (
+            None if obs is None else obs.registry.gauge(
+                "ses_stream_partitions", help="live partition matchers"))
+        self._collected_counter = (
+            None if obs is None else obs.registry.counter(
+                "ses_stream_partitions_collected_total",
+                help="idle partitions garbage-collected"))
 
     def on_match(self, callback: MatchCallback) -> MatchCallback:
         """Register ``callback(partition_key, substitution)``."""
@@ -74,10 +92,18 @@ class PartitionedContinuousMatcher:
         key = event.get(self.attribute)
         matcher = self._matchers.get(key)
         if matcher is None:
+            child_obs = None
+            if self.obs is not None:
+                from ..obs import Observability
+                child_obs = Observability()
             matcher = ContinuousMatcher(
                 self.pattern, use_filter=self._use_filter,
-                suppress_overlaps=self._suppress_overlaps)
+                suppress_overlaps=self._suppress_overlaps, obs=child_obs)
             self._matchers[key] = matcher
+            logger.debug("new partition %r (%d live)", key,
+                         len(self._matchers))
+            if self._partition_gauge is not None:
+                self._partition_gauge.set(len(self._matchers))
         self._last_ts[key] = event.ts
         reported = matcher.push(event)
         for callback in self._callbacks:
@@ -118,10 +144,45 @@ class PartitionedContinuousMatcher:
         dead = [key for key, matcher in self._matchers.items()
                 if matcher.active_instances == 0
                 and now - self._last_ts[key] > tau]
+        obs = self.obs
         for key in dead:
+            if obs is not None:
+                # Fold the dying partition's metrics into the root bundle
+                # so aggregate views survive garbage collection.
+                matcher = self._matchers[key]
+                matcher.publish_stats()
+                if matcher.obs is not None:
+                    obs.merge(matcher.obs)
             del self._matchers[key]
             del self._last_ts[key]
+        if dead:
+            logger.debug("collected %d idle partition(s), %d live",
+                         len(dead), len(self._matchers))
+            if self._partition_gauge is not None:
+                self._partition_gauge.set(len(self._matchers))
+            if self._collected_counter is not None:
+                self._collected_counter.inc(len(dead))
         return len(dead)
+
+    def aggregate(self):
+        """The merged cross-partition :class:`~repro.obs.Observability`.
+
+        A fresh bundle combining the root bundle (partition gauges plus
+        metrics inherited from collected partitions) with every live
+        partition's child bundle: counters and histograms sum, gauges
+        sum values and high-waters.  Returns ``None`` when the matcher
+        was built without ``obs``.
+        """
+        if self.obs is None:
+            return None
+        from ..obs import Observability
+        out = Observability()
+        out.merge(self.obs)
+        for matcher in self._matchers.values():
+            if matcher.obs is not None:
+                matcher.publish_stats()
+                out.merge(matcher.obs)
+        return out
 
     @property
     def partitions(self) -> List[Hashable]:

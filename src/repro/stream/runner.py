@@ -17,6 +17,7 @@ windows do not straddle emission points.
 
 from __future__ import annotations
 
+import logging
 from typing import Callable, Iterable, List
 
 from ..automaton.executor import SESExecutor
@@ -27,6 +28,8 @@ from ..core.semantics import select_matches
 from ..core.substitution import Substitution
 
 __all__ = ["ContinuousMatcher"]
+
+logger = logging.getLogger(__name__)
 
 MatchCallback = Callable[[Substitution], None]
 
@@ -44,14 +47,20 @@ class ContinuousMatcher:
         Skip matches sharing events with an already reported match
         (the paper's intended-results behaviour).  Set to ``False`` to
         report every accepted buffer.
+    obs:
+        Optional :class:`repro.obs.Observability` bundle: the underlying
+        executor reports span timings, |Ω| and latency through it, and
+        the runner counts reported matches
+        (``ses_stream_matches_reported_total``).
     """
 
     def __init__(self, pattern: SESPattern, use_filter: bool = True,
-                 suppress_overlaps: bool = True):
+                 suppress_overlaps: bool = True, obs=None):
         self.pattern = pattern
+        self.obs = obs
         self._matcher = Matcher(pattern, use_filter=use_filter,
                                 selection="accepted")
-        self._executor: SESExecutor = self._matcher.executor()
+        self._executor: SESExecutor = self._matcher.executor(obs=obs)
         # Keep emission latency bounded: filtered events still advance the
         # expiry clock (see SESExecutor.expire_on_filtered).
         self._executor.expire_on_filtered = True
@@ -59,6 +68,10 @@ class ContinuousMatcher:
         self._reported: List[Substitution] = []
         self._used_events: set = set()
         self.suppress_overlaps = suppress_overlaps
+        self._reported_counter = (
+            None if obs is None else obs.registry.counter(
+                "ses_stream_matches_reported_total",
+                help="matches reported to stream subscribers"))
 
     # ------------------------------------------------------------------
     # Subscription
@@ -92,7 +105,13 @@ class ContinuousMatcher:
 
     def close(self) -> List[Substitution]:
         """Signal end-of-stream, flushing still-active accepting instances."""
-        return self._report(self._executor.finish())
+        reported = self._report(self._executor.finish())
+        self.publish_stats()
+        return reported
+
+    def publish_stats(self) -> None:
+        """Flush execution counters into the obs registry (if any)."""
+        self._executor.publish_stats()
 
     def _report(self, accepted: List[Substitution]) -> List[Substitution]:
         if not accepted:
@@ -106,6 +125,9 @@ class ContinuousMatcher:
             self._used_events |= events
             self._reported.append(substitution)
             reported.append(substitution)
+            if self._reported_counter is not None:
+                self._reported_counter.inc()
+            logger.debug("match reported: %r", substitution)
             for callback in self._callbacks:
                 callback(substitution)
         return reported

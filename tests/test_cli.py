@@ -71,6 +71,99 @@ class TestMatchCommand:
         assert "query error" in capsys.readouterr().err
 
 
+class TestProfileFlag:
+    def test_prints_stage_table_and_sparkline(self, figure1_csv, capsys):
+        code = main(["match", "--data", str(figure1_csv), "--query", Q1_TEXT,
+                     "--profile"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "per-stage timing" in out
+        for stage in ("filter", "consume", "select"):
+            assert stage in out
+        assert "Ω timeline" in out
+
+    def test_writes_snapshot(self, figure1_csv, tmp_path, capsys):
+        snapshot = tmp_path / "metrics.jsonl"
+        code = main(["match", "--data", str(figure1_csv), "--query", Q1_TEXT,
+                     "--profile", "--metrics-out", str(snapshot)])
+        assert code == 0
+        assert "metrics snapshot" in capsys.readouterr().out
+        from repro.obs import read_jsonl
+        snap = read_jsonl(snapshot)
+        assert snap["ses_events_read_total"]["value"] == 14
+        assert "repro_stage_filter" in snap
+        assert "repro_stage_select" in snap
+
+    def test_metrics_out_implies_instrumentation(self, figure1_csv, tmp_path):
+        snapshot = tmp_path / "metrics.jsonl"
+        code = main(["match", "--data", str(figure1_csv), "--query", Q1_TEXT,
+                     "--metrics-out", str(snapshot)])
+        assert code == 0
+        assert snapshot.exists()
+
+    def test_matches_unchanged_under_profile(self, figure1_csv, capsys):
+        main(["match", "--data", str(figure1_csv), "--query", Q1_TEXT,
+              "--profile"])
+        assert "2 match(es) in 14 events" in capsys.readouterr().out
+
+
+class TestStatsCommand:
+    @pytest.fixture
+    def snapshot_file(self, figure1_csv, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        main(["match", "--data", str(figure1_csv), "--query", Q1_TEXT,
+              "--metrics-out", str(path)])
+        return path
+
+    def test_table_output(self, snapshot_file, capsys):
+        capsys.readouterr()
+        code = main(["stats", str(snapshot_file)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "counters" in out
+        assert "ses_events_read_total" in out
+        assert "stage timings" in out
+        assert "ses_event_latency_seconds" in out
+
+    def test_prometheus_output(self, snapshot_file, capsys):
+        capsys.readouterr()
+        code = main(["stats", str(snapshot_file), "--format", "prom"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "# TYPE ses_events_read_total counter" in out
+        assert 'ses_event_latency_seconds_bucket{le="+Inf"}' in out
+
+    def test_json_output(self, snapshot_file, capsys):
+        capsys.readouterr()
+        code = main(["stats", str(snapshot_file), "--format", "json"])
+        out = capsys.readouterr().out
+        assert code == 0
+        import json
+        records = [json.loads(line) for line in out.strip().splitlines()]
+        assert any(r["name"] == "ses_matches_total" for r in records)
+
+    def test_missing_snapshot(self, capsys):
+        code = main(["stats", "/nonexistent.jsonl"])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestVerbosityFlags:
+    def test_verbose_logs_to_stderr(self, figure1_csv, capsys):
+        code = main(["-v", "match", "--data", str(figure1_csv),
+                     "--query", Q1_TEXT])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "loaded 14 events" in captured.err
+
+    def test_quiet_suppresses_info(self, figure1_csv, capsys):
+        code = main(["-q", "match", "--data", str(figure1_csv),
+                     "--query", Q1_TEXT])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "loaded" not in captured.err
+
+
 class TestGenerateCommand:
     def test_writes_loadable_csv(self, tmp_path, capsys):
         out = tmp_path / "data.csv"

@@ -40,9 +40,86 @@ class TestExecutionStats:
         assert len(stats.omega_history) == 1
 
 
+class TestHistoryCap:
+    def test_cap_bounds_memory(self):
+        stats = ExecutionStats()
+        stats.enable_history(max_samples=64)
+        for t in range(10_000):
+            stats.observe_event(t)
+            stats.observe_omega(t % 7)
+        assert len(stats.omega_history) <= 64
+        assert stats.max_simultaneous_instances == 6
+
+    def test_downsampled_history_spans_whole_run(self):
+        stats = ExecutionStats()
+        stats.enable_history(max_samples=16)
+        for t in range(1000):
+            stats.observe_event(t)
+            stats.observe_omega(1)
+        timestamps = [ts for ts, _ in stats.omega_history]
+        assert timestamps[0] == 0
+        assert timestamps[-1] >= 900  # coarse samples still reach the tail
+        assert timestamps == sorted(timestamps)
+
+    def test_downsampling_is_uniform(self):
+        stats = ExecutionStats()
+        stats.enable_history(max_samples=8)
+        for t in range(64):
+            stats.observe_event(t)
+            stats.observe_omega(t)
+        timestamps = [ts for ts, _ in stats.omega_history]
+        strides = {b - a for a, b in zip(timestamps, timestamps[1:])}
+        assert len(strides) == 1  # equally spaced samples
+
+    def test_no_cap_keeps_everything(self):
+        stats = ExecutionStats()
+        stats.enable_history()
+        for t in range(500):
+            stats.observe_omega(1)
+        assert len(stats.omega_history) == 500
+
+    def test_cap_too_small_rejected(self):
+        stats = ExecutionStats()
+        with pytest.raises(ValueError):
+            stats.enable_history(max_samples=1)
+
+    def test_max_tracking_unaffected_by_downsampling(self):
+        stats = ExecutionStats()
+        stats.enable_history(max_samples=4)
+        sizes = [1, 9, 2, 3, 1, 2, 4, 1, 1, 2]
+        for t, size in enumerate(sizes):
+            stats.observe_event(t)
+            stats.observe_omega(size)
+        # The peak (9) may be dropped from the *history*, never from max.
+        assert stats.max_simultaneous_instances == 9
+
+
 class TestSparkline:
     def test_empty_history(self):
         assert sparkline([]) == ""
+
+    def test_width_one(self):
+        history = [(t, t) for t in range(10)]
+        line = sparkline(history, width=1)
+        assert len(line) == 1
+        assert line == "█"  # single bucket holds the peak
+
+    def test_width_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            sparkline([(1, 1)], width=0)
+
+    def test_constant_series(self):
+        line = sparkline([(t, 5) for t in range(20)], width=10)
+        assert len(line) == 10
+        assert set(line) == {"█"}  # constant at its own peak
+
+    def test_history_shorter_than_width(self):
+        history = [(1, 1), (2, 2), (3, 3)]
+        line = sparkline(history, width=60)
+        assert len(line) == 3  # one column per sample, no padding
+
+    def test_single_sample(self):
+        assert sparkline([(1, 4)]) == "█"
 
     def test_monotone_ramp(self):
         history = [(t, t) for t in range(1, 9)]
