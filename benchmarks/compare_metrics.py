@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Gate on benchmark regressions between two metric snapshots.
+
+Usage::
+
+    python benchmarks/compare_metrics.py baseline.jsonl head.jsonl \
+        [--threshold 0.25] [--min-seconds 0.05]
+
+Both inputs are JSON-lines snapshots written by
+``python -m repro.bench <profile> --metrics-out``.  Prints a comparison
+table and exits 1 if any tracked metric (``*_seconds`` lower-better;
+``*_events_per_second`` / ``*_throughput`` / ``*_speedup``
+higher-better) regressed by more than the threshold.  See
+``repro.bench.compare`` for the rules; CI's ``benchmark-gate`` job is
+the canonical caller.
+"""
+
+import argparse
+import sys
+from pathlib import Path
+
+try:
+    from repro.bench.compare import (DEFAULT_MIN_SECONDS, DEFAULT_THRESHOLD,
+                                     compare_snapshots, format_report,
+                                     regressions)
+    from repro.obs import read_jsonl
+except ImportError:  # running from a checkout without `pip install -e .`
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+    from repro.bench.compare import (DEFAULT_MIN_SECONDS, DEFAULT_THRESHOLD,
+                                     compare_snapshots, format_report,
+                                     regressions)
+    from repro.obs import read_jsonl
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Compare two benchmark metric snapshots; exit 1 on "
+                    "regression.")
+    parser.add_argument("baseline", type=Path,
+                        help="baseline snapshot (e.g. from main)")
+    parser.add_argument("head", type=Path,
+                        help="head snapshot (e.g. from the PR)")
+    parser.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
+                        help="fractional regression that fails the gate "
+                             "(default: %(default)s)")
+    parser.add_argument("--min-seconds", type=float,
+                        default=DEFAULT_MIN_SECONDS,
+                        help="ignore timings below this noise floor "
+                             "(default: %(default)s)")
+    args = parser.parse_args(argv)
+
+    deltas = compare_snapshots(read_jsonl(args.baseline),
+                               read_jsonl(args.head),
+                               threshold=args.threshold,
+                               min_seconds=args.min_seconds)
+    print(format_report(deltas, threshold=args.threshold))
+    return 1 if regressions(deltas) else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

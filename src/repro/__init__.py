@@ -5,7 +5,8 @@ A complete reproduction of *Sequenced Event Set Pattern Matching*
 automaton-based evaluation algorithm with event filtering, the brute-force
 baseline, the declarative Definition-2 oracle, executable complexity
 bounds, a PERMUTE query language, an embedded event store, streaming
-execution, and the full benchmark harness for the paper's experiments.
+execution, parallel partitioned execution over process pools, and the
+full benchmark harness for the paper's experiments.
 
 Quickstart::
 
@@ -39,6 +40,8 @@ from .automaton.executor import MatchResult, SESExecutor, execute
 from .automaton.filtering import EventFilter
 
 from .obs import Observability
+from .parallel import (ParallelPartitionedMatcher, ShardedStreamMatcher,
+                       WorkerCrashed)
 
 __version__ = "1.0.0"
 
@@ -54,13 +57,16 @@ __all__ = [
     "MatchResult",
     "Matcher",
     "Observability",
+    "ParallelPartitionedMatcher",
     "PatternError",
     "SESAutomaton",
     "SESExecutor",
     "SESPattern",
     "SchemaError",
+    "ShardedStreamMatcher",
     "Substitution",
     "Variable",
+    "WorkerCrashed",
     "attr",
     "build_automaton",
     "const",

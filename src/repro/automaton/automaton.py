@@ -120,7 +120,7 @@ class SESAutomaton:
             label = state_label(state)
             shape = "doublecircle" if state == self.accepting else "circle"
             lines.append(f'  "{label}" [shape={shape}];')
-        lines.append(f'  __start [shape=point];')
+        lines.append('  __start [shape=point];')
         lines.append(f'  __start -> "{state_label(self.start)}";')
         for t in self.transitions:
             conds = ", ".join(repr(c) for c in t.conditions)

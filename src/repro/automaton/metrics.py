@@ -48,6 +48,29 @@ class ExecutionStats:
     _history_stride: int = field(default=1, repr=False)
     _history_seen: int = field(default=0, repr=False)
 
+    def merge(self, other: "ExecutionStats") -> "ExecutionStats":
+        """Fold another run's counters into this record.
+
+        Counters add; the instance peak takes the maximum, matching the
+        semantics of per-partition execution where partitions run one
+        after another (a parallel pool over-reports the true simultaneous
+        peak the same way the serial :class:`PartitionedMatcher` does, so
+        the two stay comparable).  History fields are not merged.
+        Returns ``self`` for chaining.
+        """
+        self.events_read += other.events_read
+        self.events_filtered += other.events_filtered
+        self.events_processed += other.events_processed
+        self.instances_created += other.instances_created
+        self.transitions_fired += other.transitions_fired
+        self.branchings += other.branchings
+        self.expired_instances += other.expired_instances
+        self.accepted_buffers += other.accepted_buffers
+        self.matches += other.matches
+        if other.max_simultaneous_instances > self.max_simultaneous_instances:
+            self.max_simultaneous_instances = other.max_simultaneous_instances
+        return self
+
     def enable_history(self, max_samples: Optional[int] = None) -> None:
         """Start recording ``(timestamp, |Ω|)`` samples.
 

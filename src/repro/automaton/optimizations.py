@@ -272,21 +272,11 @@ class PartitionedMatcher:
             relation = EventRelation(relation)
         accepted: List[Substitution] = []
         stats = ExecutionStats()
-        peak = 0
         for _, part in sorted(relation.partition_by(self.attribute).items(),
                               key=lambda kv: str(kv[0])):
             result = self._matcher.run(part)
             accepted.extend(result.accepted)
-            stats.events_read += result.stats.events_read
-            stats.events_filtered += result.stats.events_filtered
-            stats.events_processed += result.stats.events_processed
-            stats.instances_created += result.stats.instances_created
-            stats.transitions_fired += result.stats.transitions_fired
-            stats.branchings += result.stats.branchings
-            stats.expired_instances += result.stats.expired_instances
-            stats.accepted_buffers += result.stats.accepted_buffers
-            peak = max(peak, result.stats.max_simultaneous_instances)
-        stats.max_simultaneous_instances = peak
+            stats.merge(result.stats)
         if self.selection == "accepted":
             matches = list(accepted)
         else:

@@ -16,6 +16,8 @@ from .experiments import (print_experiment1, print_experiment2,
                           print_experiment3, run_experiment1, run_experiment2,
                           run_experiment3)
 from .harness import resolve_profile, rows_to_snapshot
+from .scaling import (print_scaling, run_scaling, scaling_snapshot,
+                      workers_ladder)
 
 logger = logging.getLogger(__name__)
 
@@ -28,6 +30,9 @@ def main(argv=None) -> int:
                         help="scale profile (quick / default / large)")
     parser.add_argument("--metrics-out", metavar="PATH", default=None,
                         help="also write a JSON-lines metrics snapshot")
+    parser.add_argument("--workers", type=int, default=1, metavar="N",
+                        help="also run the parallel scaling benchmark with "
+                             "pool sizes up to N (default: 1 = skip)")
     parser.add_argument("-v", "--verbose", action="count", default=0)
     parser.add_argument("-q", "--quiet", action="store_true")
     args = parser.parse_args(argv)
@@ -48,6 +53,11 @@ def main(argv=None) -> int:
     print_experiment2(rows2)
     rows3 = run_experiment3(exp23_base, factors=profile.factors)
     print_experiment3(rows3)
+    scaling_rows = None
+    if args.workers > 1:
+        scaling_rows = run_scaling(exp1_relation,
+                                   workers=workers_ladder(args.workers))
+        print_scaling(scaling_rows)
 
     if args.metrics_out:
         snapshot = {"bench_profile_events_exp1": {
@@ -56,6 +66,8 @@ def main(argv=None) -> int:
         snapshot.update(rows_to_snapshot("exp1", rows1))
         snapshot.update(rows_to_snapshot("exp2", rows2))
         snapshot.update(rows_to_snapshot("exp3", rows3))
+        if scaling_rows is not None:
+            snapshot.update(scaling_snapshot(scaling_rows))
         path = write_jsonl(snapshot, args.metrics_out)
         logger.info("wrote %d metrics to %s", len(snapshot), path)
         print(f"metrics snapshot: {path} ({len(snapshot)} series)")

@@ -1,0 +1,137 @@
+"""Compare two benchmark metric snapshots for regressions.
+
+CI's benchmark gate runs ``python -m repro.bench quick --metrics-out``
+on both the PR head and ``main``, then feeds the two JSON-lines
+snapshots through :func:`compare_snapshots` (via the
+``benchmarks/compare_metrics.py`` wrapper).  A tracked metric that
+moves in the bad direction by more than the threshold fails the gate.
+
+Tracked metrics, by suffix of the series name:
+
+* ``*_seconds`` — wall-clock timings, lower is better.  Timings whose
+  baseline **and** head are below the noise floor (``min_seconds``) are
+  skipped: micro-timings on shared CI runners jitter far beyond any
+  real regression signal.
+* ``*_events_per_second``, ``*_throughput``, ``*_speedup`` — rates,
+  higher is better.
+
+Everything else (instance counts, ratios, match counts) is compared for
+information but never gates; those are correctness-tested elsewhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from .report import format_table
+
+__all__ = ["Delta", "compare_snapshots", "format_report", "regressions",
+           "metric_direction", "DEFAULT_THRESHOLD", "DEFAULT_MIN_SECONDS"]
+
+#: Fractional change in the bad direction that fails the gate (25%).
+DEFAULT_THRESHOLD = 0.25
+
+#: Timings below this many seconds in both snapshots are pure noise.
+DEFAULT_MIN_SECONDS = 0.05
+
+_LOWER_IS_BETTER = ("_seconds",)
+_HIGHER_IS_BETTER = ("_events_per_second", "_throughput", "_speedup")
+
+
+@dataclass
+class Delta:
+    """One metric's movement between the baseline and head snapshots."""
+
+    name: str
+    baseline: float
+    head: float
+    #: ``"lower"`` / ``"higher"`` (is better), or ``None`` if untracked.
+    direction: Optional[str]
+    #: Signed fractional change in the *bad* direction; positive means
+    #: worse.  ``0.0`` for untracked metrics.
+    change: float = 0.0
+    regressed: bool = False
+
+    @property
+    def percent(self) -> float:
+        return 100.0 * self.change
+
+
+def metric_direction(name: str) -> Optional[str]:
+    """Which way ``name`` should move, or ``None`` if it never gates."""
+    if name.endswith(_LOWER_IS_BETTER):
+        return "lower"
+    if name.endswith(_HIGHER_IS_BETTER):
+        return "higher"
+    return None
+
+
+def compare_snapshots(baseline: Dict[str, dict], head: Dict[str, dict],
+                      threshold: float = DEFAULT_THRESHOLD,
+                      min_seconds: float = DEFAULT_MIN_SECONDS
+                      ) -> List[Delta]:
+    """Compare gauge values present in *both* snapshots.
+
+    Returns one :class:`Delta` per shared numeric series, sorted with
+    regressions first (worst first), then tracked metrics by name, then
+    untracked ones.  Metrics present in only one snapshot are ignored —
+    a PR that adds or removes a benchmark must not trip the gate.
+    """
+    deltas: List[Delta] = []
+    for name in sorted(set(baseline) & set(head)):
+        base_rec, head_rec = baseline[name], head[name]
+        if base_rec.get("type") == "stage" or head_rec.get("type") == "stage":
+            continue
+        try:
+            base = float(base_rec["value"])
+            new = float(head_rec["value"])
+        except (KeyError, TypeError, ValueError):
+            continue
+        direction = metric_direction(name)
+        delta = Delta(name=name, baseline=base, head=new,
+                      direction=direction)
+        if direction is not None:
+            if direction == "lower" and max(base, new) < min_seconds:
+                delta.direction = None  # below the noise floor
+            elif base > 0:
+                worse = (new - base) if direction == "lower" else (base - new)
+                delta.change = worse / base
+                delta.regressed = delta.change > threshold
+        deltas.append(delta)
+    deltas.sort(key=lambda d: (not d.regressed,
+                               d.direction is None,
+                               -d.change if d.regressed else 0.0,
+                               d.name))
+    return deltas
+
+
+def regressions(deltas: List[Delta]) -> List[Delta]:
+    """The subset of deltas that fail the gate."""
+    return [d for d in deltas if d.regressed]
+
+
+def format_report(deltas: List[Delta],
+                  threshold: float = DEFAULT_THRESHOLD) -> str:
+    """Human-readable comparison table plus a verdict line."""
+    rows = []
+    for d in deltas:
+        if d.direction is None:
+            verdict = "-"
+        elif d.regressed:
+            verdict = "REGRESSED"
+        else:
+            verdict = "ok"
+        rows.append([d.name, f"{d.baseline:.6g}", f"{d.head:.6g}",
+                     f"{d.percent:+.1f}%" if d.direction else "",
+                     verdict])
+    table = format_table(
+        ["metric", "baseline", "head", "worse by", "gate"], rows,
+        title=f"benchmark comparison (gate at +{threshold:.0%})")
+    bad = regressions(deltas)
+    if bad:
+        verdict = (f"FAIL: {len(bad)} metric(s) regressed more than "
+                   f"{threshold:.0%}: " + ", ".join(d.name for d in bad))
+    else:
+        verdict = f"OK: no tracked metric regressed more than {threshold:.0%}"
+    return f"{table}\n\n{verdict}"

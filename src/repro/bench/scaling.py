@@ -1,0 +1,111 @@
+"""Parallel scaling benchmark: speedup vs worker count.
+
+Runs the partitioned Experiment-1 workload (Query-Q1-style same-patient
+joins, so every variable equi-joins on ``ID``) through
+:class:`~repro.parallel.pool.ParallelPartitionedMatcher` at increasing
+pool sizes and reports throughput and speedup against the single-worker
+run.  ``python -m repro.bench <profile> --workers N`` appends this to
+the paper's three experiments; CI's benchmark gate tracks the resulting
+``bench_scaling_*`` metrics.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..core.pattern import SESPattern
+from ..core.relation import EventRelation
+from ..data.workloads import DEFAULT_TAU, experiment1_pattern
+from ..parallel import ParallelPartitionedMatcher
+from .harness import timed
+from .plots import series_chart
+from .report import print_table
+
+__all__ = ["scaling_pattern", "workers_ladder", "run_scaling",
+           "print_scaling", "scaling_snapshot"]
+
+
+def scaling_pattern(n_variables: int = 3, tau: int = DEFAULT_TAU
+                    ) -> SESPattern:
+    """The partitioned Experiment-1 pattern the scaling run uses.
+
+    ``joins=True`` adds the same-patient equality conditions of Query
+    Q1, which connect every variable through ``ID`` — the precondition
+    for sound partition parallelism.
+    """
+    return experiment1_pattern(n_variables, exclusive=True, tau=tau,
+                               joins=True)
+
+
+def workers_ladder(max_workers: int) -> List[int]:
+    """Worker counts to measure: powers of two up to ``max_workers``."""
+    if max_workers < 1:
+        raise ValueError("max_workers must be >= 1")
+    ladder = [1]
+    while ladder[-1] * 2 <= max_workers:
+        ladder.append(ladder[-1] * 2)
+    if ladder[-1] != max_workers:
+        ladder.append(max_workers)
+    return ladder
+
+
+def run_scaling(relation: EventRelation,
+                workers: Sequence[int] = (1, 2, 4),
+                pattern: Optional[SESPattern] = None) -> List[Dict]:
+    """Measure the parallel matcher at each worker count.
+
+    Returns one row per worker count with wall-clock seconds, events per
+    second, speedup vs the first (baseline) worker count, and the match
+    count (which must not vary with the pool size — parallel execution
+    is deterministic).
+    """
+    if pattern is None:
+        pattern = scaling_pattern()
+    rows: List[Dict] = []
+    baseline_seconds = None
+    for n in workers:
+        matcher = ParallelPartitionedMatcher(pattern, workers=n)
+        result, seconds = timed(matcher.run, relation)
+        if baseline_seconds is None:
+            baseline_seconds = seconds
+        rows.append({
+            "workers": n,
+            "seconds": seconds,
+            "events_per_second": len(relation) / seconds if seconds else 0.0,
+            "speedup": baseline_seconds / seconds if seconds else 0.0,
+            "matches": len(result.matches),
+        })
+    match_counts = {row["matches"] for row in rows}
+    if len(match_counts) > 1:
+        raise AssertionError(
+            f"parallel runs disagree on match count: {sorted(match_counts)}")
+    return rows
+
+
+def print_scaling(rows: Sequence[Dict]) -> None:
+    """Render the scaling table and the speedup curve."""
+    print_table(
+        ["workers", "seconds", "events/s", "speedup", "matches"],
+        [[r["workers"], r["seconds"], r["events_per_second"], r["speedup"],
+          r["matches"]] for r in rows],
+        title="Parallel scaling (partitioned Experiment-1 workload)",
+    )
+    x = [str(r["workers"]) for r in rows]
+    print(series_chart(
+        x,
+        [("speedup vs 1 worker", [r["speedup"] for r in rows])],
+        title="Speedup vs worker count",
+    ))
+    print()
+
+
+def scaling_snapshot(rows: Sequence[Dict]) -> Dict[str, dict]:
+    """Scaling rows as exportable gauges (``bench_scaling_w<n>_<field>``)."""
+    snapshot: Dict[str, dict] = {}
+    for row in rows:
+        tag = f"w{row['workers']}"
+        for field in ("seconds", "events_per_second", "speedup"):
+            value = row[field]
+            snapshot[f"bench_scaling_{tag}_{field}"] = {
+                "type": "gauge", "value": value, "max": value}
+    return snapshot

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import argparse
 import logging
+import re
 import sys
 from pathlib import Path
 from typing import List, Optional
@@ -45,6 +46,7 @@ from .data.chemo import generate_chemo
 from .lang import QueryError, parse_pattern
 from .obs import (Observability, configure_logging, read_jsonl, to_jsonl,
                   to_prometheus, write_jsonl)
+from .parallel import ParallelPartitionedMatcher
 from .storage.csvio import load_relation, save_relation
 
 __all__ = ["main", "build_parser"]
@@ -81,6 +83,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_match.add_argument("--mode", default="greedy",
                          choices=["greedy", "exhaustive", "contiguous"],
                          help="consumption mode (default: greedy)")
+    p_match.add_argument("--workers", type=int, default=1, metavar="N",
+                         help="evaluate partitions on a pool of N worker "
+                              "processes (requires a pattern that "
+                              "equi-joins all variables on one attribute; "
+                              "see docs/parallel.md)")
     p_match.add_argument("--stats", action="store_true",
                          help="also print execution statistics")
     p_match.add_argument("--profile", action="store_true",
@@ -156,13 +163,22 @@ def _cmd_match(args: argparse.Namespace) -> int:
     pattern = _load_pattern(args)
     relation = load_relation(args.data)
     profiling = args.profile or args.metrics_out is not None
-    if not profiling:
+    if args.workers < 1:
+        raise ValueError("--workers must be >= 1")
+    obs = Observability() if profiling else None
+    if args.workers > 1:
+        parallel = ParallelPartitionedMatcher(
+            pattern, workers=args.workers,
+            use_filter=not args.no_filter,
+            selection=args.selection,
+            consume_mode=args.mode, obs=obs)
+        result = parallel.run(relation)
+    elif not profiling:
         result = match(pattern, relation,
                        use_filter=not args.no_filter,
                        selection=args.selection,
                        consume_mode=args.mode)
     else:
-        obs = Observability()
         matcher = Matcher(pattern, use_filter=not args.no_filter,
                           selection=args.selection,
                           consume_mode=args.mode, obs=obs)
@@ -198,11 +214,27 @@ def _print_profile(obs: Observability, stats) -> None:
         ["stage", "calls", "total s", "self s", "share"],
         obs.stage_rows(),
         title="per-stage timing"))
+    worker_rows = _worker_rows(obs)
+    if worker_rows:
+        print()
+        print(format_table(["worker", "events"], worker_rows,
+                           title="per-worker events"))
     history = stats.omega_history
     if history:
         print()
         print(f"Ω timeline (peak {stats.max_simultaneous_instances}):")
         print(f"  {sparkline(history)}")
+
+
+def _worker_rows(obs: Observability) -> List[List[object]]:
+    """Per-worker event counts from the ``ses_pool_worker*`` gauges."""
+    rows = []
+    for name, record in sorted(obs.snapshot().items()):
+        match_ = re.fullmatch(r"ses_pool_worker(\d+)_events_total", name)
+        if match_:
+            rows.append([f"worker {match_.group(1)}",
+                         int(record["value"])])
+    return rows
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:

@@ -93,7 +93,6 @@ class SESPattern:
         self._sets: Tuple[FrozenSet[Variable], ...] = tuple(parsed_sets)
         self._by_name: Dict[str, Variable] = seen
 
-        parsed_conditions: List[Condition] = []
         for c in conditions:
             if isinstance(c, str):
                 try:

@@ -118,6 +118,28 @@ class Observability:
             out.merge(bundle)
         return out
 
+    def merge_snapshot(self, snapshot: Dict[str, dict]) -> "Observability":
+        """Fold an exported :meth:`snapshot` back into this bundle.
+
+        The cross-process counterpart of :meth:`merge`: worker processes
+        (``repro.parallel``) cannot hand back live registries, so they
+        export ``snapshot()`` dicts and the parent aggregates them here.
+        Stage records (prefixed ``repro_stage_`` by :meth:`snapshot`) go
+        to the tracer, everything else to the registry.
+        """
+        stages = {}
+        metrics = {}
+        for name, record in snapshot.items():
+            if record.get("type") == "stage":
+                if name.startswith("repro_stage_"):
+                    name = name[len("repro_stage_"):]
+                stages[name] = record
+            else:
+                metrics[name] = record
+        self.registry.merge_snapshot(metrics)
+        self.spans.merge_snapshot(stages)
+        return self
+
     def snapshot(self) -> Dict[str, dict]:
         """Registry metrics plus per-stage timings, exporter-ready.
 

@@ -235,6 +235,41 @@ class MetricsRegistry:
             out.merge(registry)
         return out
 
+    def merge_snapshot(self, snapshot: Dict[str, dict]) -> "MetricsRegistry":
+        """Fold an exported :meth:`snapshot` back into this registry.
+
+        The wire-format counterpart of :meth:`merge`: worker processes
+        cannot share registry objects, so they ship ``snapshot()`` dicts
+        across the process boundary and the parent folds them in here
+        with the same per-kind semantics (counters and histograms add,
+        gauges add values and high-waters).  Records of unknown type
+        (e.g. ``stage`` spans, which belong to the tracer) are ignored.
+        """
+        for name, record in snapshot.items():
+            kind = record.get("type")
+            if kind == "counter":
+                self.counter(name, help=record.get("help", "")).inc(
+                    record["value"])
+            elif kind == "gauge":
+                gauge = self.gauge(name, help=record.get("help", ""))
+                gauge.value += record["value"]
+                gauge.max_value += record.get("max", record["value"])
+            elif kind == "histogram":
+                bounds = tuple(bound for bound, _ in record["buckets"])
+                histogram = self.histogram(name, help=record.get("help", ""),
+                                           buckets=bounds)
+                if histogram.bounds != bounds:
+                    raise ValueError(
+                        f"cannot merge histogram {name!r}: bucket bounds "
+                        f"differ")
+                counts = [count for _, count in record["buckets"]]
+                counts.append(record.get("overflow", 0))
+                histogram.counts = [a + b for a, b in
+                                    zip(histogram.counts, counts)]
+                histogram.sum += record["sum"]
+                histogram.count += record["count"]
+        return self
+
     def __repr__(self) -> str:
         return f"{type(self).__name__}({len(self._metrics)} metrics)"
 
@@ -295,6 +330,9 @@ class NullRegistry(MetricsRegistry):
         return {}
 
     def merge(self, other: MetricsRegistry) -> MetricsRegistry:
+        return self
+
+    def merge_snapshot(self, snapshot: Dict[str, dict]) -> MetricsRegistry:
         return self
 
 

@@ -143,6 +143,26 @@ class SpanTracer:
                 mine.merge(stats)
         return self
 
+    def merge_snapshot(self, snapshot: Dict[str, dict]) -> "SpanTracer":
+        """Fold exported :meth:`snapshot` stage records back in.
+
+        The wire-format counterpart of :meth:`merge`, used to aggregate
+        stage timings reported by worker processes.  Records whose type
+        is not ``"stage"`` are ignored.
+        """
+        for name, record in snapshot.items():
+            if record.get("type") != "stage":
+                continue
+            incoming = StageStats(name, record["count"],
+                                  record["total_seconds"],
+                                  record["self_seconds"])
+            mine = self._stages.get(name)
+            if mine is None:
+                self._stages[name] = incoming
+            else:
+                mine.merge(incoming)
+        return self
+
     def snapshot(self) -> Dict[str, dict]:
         """Stage aggregates as plain dicts (exporter-ready)."""
         return {

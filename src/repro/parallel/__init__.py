@@ -1,0 +1,38 @@
+"""Parallel partitioned execution: process pools and stream shards.
+
+The paper's Section 4.4 bounds make the per-start instance population
+the dominant cost; the partitioned matchers already shard that
+population by key, and this package fans the independent partitions out
+across worker processes:
+
+* :class:`~repro.parallel.pool.ParallelPartitionedMatcher` — batch
+  relations, chunked over a process pool, results merged in
+  deterministic partition order (bit-identical to the serial
+  :class:`~repro.automaton.optimizations.PartitionedMatcher`);
+* :class:`~repro.parallel.sharded.ShardedStreamMatcher` — live streams,
+  events routed to per-shard
+  :class:`~repro.stream.partitioned.PartitionedContinuousMatcher`
+  workers by key hash, with bounded queues and crash detection;
+* :mod:`~repro.parallel.codec` — the compact tuple encoding events and
+  matches travel in.
+
+See ``docs/parallel.md`` for the sharding model, soundness conditions
+and ordering guarantees.
+"""
+
+from .codec import (decode_event, decode_substitution, encode_event,
+                    encode_substitution)
+from .errors import WorkerCrashed
+from .pool import ParallelPartitionedMatcher, default_context
+from .sharded import ShardedStreamMatcher
+
+__all__ = [
+    "ParallelPartitionedMatcher",
+    "ShardedStreamMatcher",
+    "WorkerCrashed",
+    "decode_event",
+    "decode_substitution",
+    "default_context",
+    "encode_event",
+    "encode_substitution",
+]

@@ -1,0 +1,70 @@
+"""Compact wire encoding for events and substitutions.
+
+Worker processes receive events and return matches across a pickle
+boundary.  Pickling :class:`~repro.core.events.Event` objects directly
+works, but every event drags class metadata and the memoised hash along;
+the codec strips both down to plain tuples — roughly a third of the
+bytes and a lot less unpickling work — and rebuilds full objects on the
+other side.
+
+Wire formats
+------------
+* event:          ``(ts, eid, ((attr, value), ...))``
+* substitution:   ``((name, is_group, event_wire), ...)`` — one entry
+  per binding, in the substitution's canonical iteration order.
+
+Values must themselves be picklable; that is the same requirement the
+underlying queues impose, so the codec adds no new constraint.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Optional, Tuple
+
+from ..core.events import Event
+from ..core.substitution import Substitution
+from ..core.variables import Variable
+
+__all__ = [
+    "EventWire", "SubstitutionWire",
+    "encode_event", "decode_event",
+    "encode_events", "decode_events",
+    "encode_substitution", "decode_substitution",
+]
+
+EventWire = Tuple[Any, Optional[str], Tuple[Tuple[str, Any], ...]]
+SubstitutionWire = Tuple[Tuple[str, bool, EventWire], ...]
+
+
+def encode_event(event: Event) -> EventWire:
+    """Flatten one event to its wire tuple."""
+    return (event.ts, event.eid, tuple(event.attributes.items()))
+
+
+def decode_event(wire: EventWire) -> Event:
+    """Rebuild an :class:`Event` from its wire tuple."""
+    ts, eid, attrs = wire
+    return Event(ts=ts, attrs=dict(attrs), eid=eid)
+
+
+def encode_events(events: Iterable[Event]) -> List[EventWire]:
+    """Flatten a chronologically ordered batch of events."""
+    return [encode_event(e) for e in events]
+
+
+def decode_events(wires: Iterable[EventWire]) -> List[Event]:
+    """Rebuild a batch of events (order preserved)."""
+    return [decode_event(w) for w in wires]
+
+
+def encode_substitution(substitution: Substitution) -> SubstitutionWire:
+    """Flatten one substitution to its wire tuple."""
+    return tuple((variable.name, variable.is_group, encode_event(event))
+                 for variable, event in substitution)
+
+
+def decode_substitution(wire: SubstitutionWire) -> Substitution:
+    """Rebuild a :class:`Substitution` from its wire tuple."""
+    return Substitution(
+        (Variable(name, is_group=is_group), decode_event(event_wire))
+        for name, is_group, event_wire in wire)

@@ -1,0 +1,16 @@
+"""Errors raised by the parallel execution layer."""
+
+from __future__ import annotations
+
+__all__ = ["WorkerCrashed"]
+
+
+class WorkerCrashed(RuntimeError):
+    """A worker process died instead of returning a result.
+
+    Raised by :class:`~repro.parallel.pool.ParallelPartitionedMatcher`
+    and :class:`~repro.parallel.sharded.ShardedStreamMatcher` when a
+    worker exits abnormally (killed, unhandled low-level crash, lost
+    pipe).  The parent cleans up the remaining workers before raising,
+    so callers never hang on a dead pool.
+    """

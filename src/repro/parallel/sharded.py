@@ -1,0 +1,396 @@
+"""Sharded continuous matching: partition-parallel streaming.
+
+:class:`ShardedStreamMatcher` is the streaming analogue of
+:class:`~repro.parallel.pool.ParallelPartitionedMatcher`: events are
+routed to ``N`` worker processes by ``hash(key) % N`` of the partition
+attribute, each worker runs a
+:class:`~repro.stream.partitioned.PartitionedContinuousMatcher` over its
+share of the key space, and matches stream back to the parent.  Because
+every partition key lives in exactly one shard and the pattern
+equi-joins all variables on the attribute, the union of the shards'
+matches equals the single-process partitioned matcher's matches for the
+same input — see ``docs/parallel.md`` for the soundness argument and
+ordering guarantees.
+
+Operational properties:
+
+* **bounded queues** — each shard has a bounded input queue, so a slow
+  shard exerts backpressure on :meth:`ShardedStreamMatcher.push` instead
+  of buffering without limit;
+* **flush/close semantics** — :meth:`flush` is a barrier (every event
+  pushed so far has been fully processed when it returns); :meth:`close`
+  flushes end-of-stream state, merges worker metrics, and joins the
+  workers;
+* **crash detection** — a dead worker is detected on the next
+  ``push``/``flush``/``close`` and surfaces as
+  :class:`~repro.parallel.errors.WorkerCrashed` with the shard id and
+  exit code, instead of a deadlock on a full or forever-empty queue.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import queue
+from typing import Callable, List, Optional
+
+from ..core.events import Event
+from ..core.pattern import SESPattern
+from ..core.substitution import Substitution
+from ..stream.partitioned import PartitionedContinuousMatcher
+from .codec import (decode_event, decode_substitution, encode_event,
+                    encode_substitution)
+from .errors import WorkerCrashed
+from .pool import default_context
+
+__all__ = ["ShardedStreamMatcher"]
+
+logger = logging.getLogger(__name__)
+
+MatchCallback = Callable[[Substitution], None]
+
+#: Seconds between liveness checks while waiting on a queue.
+_POLL_SECONDS = 0.2
+
+
+# ----------------------------------------------------------------------
+# Worker side (runs in the shard processes)
+# ----------------------------------------------------------------------
+def _shard_worker(shard_id: int, pattern: SESPattern, attribute: str,
+                  use_filter: bool, suppress_overlaps: bool,
+                  instrument: bool, in_queue, out_queue) -> None:
+    """Shard main loop: consume events until a close message arrives."""
+    try:
+        obs = None
+        if instrument:
+            from ..obs import Observability
+            obs = Observability()
+        matcher = PartitionedContinuousMatcher(
+            pattern, attribute=attribute, use_filter=use_filter,
+            suppress_overlaps=suppress_overlaps, obs=obs)
+        events_seen = 0
+        while True:
+            message = in_queue.get()
+            kind = message[0]
+            if kind == "e":
+                events_seen += 1
+                reported = matcher.push(decode_event(message[1]))
+                if reported:
+                    out_queue.put(("m", shard_id,
+                                   [encode_substitution(s) for s in reported]))
+            elif kind == "flush":
+                out_queue.put(("flushed", shard_id, message[1], events_seen))
+            elif kind == "close":
+                reported = matcher.close()
+                aggregate = matcher.aggregate()
+                snapshot = None if aggregate is None else aggregate.snapshot()
+                out_queue.put(("closed", shard_id,
+                               [encode_substitution(s) for s in reported],
+                               snapshot, events_seen))
+                break
+            else:  # pragma: no cover - protocol violation
+                raise RuntimeError(f"unknown shard message {kind!r}")
+    except BaseException as exc:  # surface the reason before dying
+        try:
+            out_queue.put(("error", shard_id, f"{type(exc).__name__}: {exc}"))
+        finally:
+            raise
+
+
+# ----------------------------------------------------------------------
+# Parent side
+# ----------------------------------------------------------------------
+class ShardedStreamMatcher:
+    """Continuous matching fanned out over ``N`` shard processes.
+
+    Parameters
+    ----------
+    pattern:
+        The SES pattern; it must equi-join all variables on the
+        partition attribute (raises :class:`ValueError` otherwise —
+        without a partition key there is nothing sound to shard on).
+    shards:
+        Number of worker processes; defaults to :func:`os.cpu_count`.
+    attribute:
+        Partition attribute; auto-detected when omitted.
+    use_filter / suppress_overlaps:
+        Forwarded to each shard's partitioned matcher.
+    queue_size:
+        Bound of each shard's input queue (backpressure threshold).
+    start_method:
+        Multiprocessing start method (see
+        :func:`~repro.parallel.pool.default_context`).
+    obs:
+        Optional :class:`repro.obs.Observability` bundle.  Shards run
+        instrumented and their registries merge in at :meth:`close`;
+        the parent additionally tracks ``ses_shard<i>_events_total``
+        and ``ses_shard<i>_queue_depth`` per shard.
+
+    Routing uses ``hash(key) % shards``, which is stable within one
+    process (str hashes are randomised per interpreter, so shard
+    *assignment* may differ between runs; match results do not).
+    """
+
+    def __init__(self, pattern: SESPattern, shards: Optional[int] = None,
+                 attribute: Optional[str] = None, use_filter: bool = True,
+                 suppress_overlaps: bool = True, queue_size: int = 1024,
+                 start_method: Optional[str] = None, obs=None):
+        from ..automaton.optimizations import partition_attribute
+        detected = partition_attribute(pattern)
+        if attribute is None:
+            attribute = detected
+        if attribute is None:
+            raise ValueError(
+                "pattern does not equi-join all variables on a single "
+                "attribute; sharded streaming would lose matches")
+        if shards is not None and shards < 1:
+            raise ValueError("shards must be >= 1")
+        if queue_size < 1:
+            raise ValueError("queue_size must be >= 1")
+        self.pattern = pattern
+        self.attribute = attribute
+        self.n_shards = shards if shards is not None else (os.cpu_count() or 1)
+        self.obs = obs
+        self._callbacks: List[MatchCallback] = []
+        self._matches: List[Substitution] = []
+        self._events_routed = [0] * self.n_shards
+        self._events_processed = [0] * self.n_shards
+        self._flush_seq = 0
+        self._closed = False
+        context = default_context(start_method)
+        self._in_queues = [context.Queue(maxsize=queue_size)
+                           for _ in range(self.n_shards)]
+        self._out_queue = context.Queue()
+        self._processes = []
+        for shard_id in range(self.n_shards):
+            process = context.Process(
+                target=_shard_worker,
+                args=(shard_id, pattern, attribute, use_filter,
+                      suppress_overlaps, obs is not None,
+                      self._in_queues[shard_id], self._out_queue),
+                daemon=True, name=f"ses-shard-{shard_id}")
+            process.start()
+            self._processes.append(process)
+        logger.debug("started %d stream shard(s) on %r", self.n_shards,
+                     attribute)
+
+    # ------------------------------------------------------------------
+    # Subscription
+    # ------------------------------------------------------------------
+    def on_match(self, callback: MatchCallback) -> MatchCallback:
+        """Register a callback invoked once per reported match."""
+        self._callbacks.append(callback)
+        return callback
+
+    # ------------------------------------------------------------------
+    # Feeding
+    # ------------------------------------------------------------------
+    def push(self, event: Event) -> List[Substitution]:
+        """Route one event to its shard; returns matches drained so far.
+
+        Match delivery is asynchronous: a match produced by this event
+        may be returned by a later ``push`` or by :meth:`flush`.
+        """
+        self._require_open()
+        shard = hash(event.get(self.attribute)) % self.n_shards
+        self._put(shard, ("e", encode_event(event)))
+        self._events_routed[shard] += 1
+        return self._drain()
+
+    def push_many(self, events) -> List[Substitution]:
+        """Feed a batch of events (stream order); returns drained matches."""
+        out: List[Substitution] = []
+        for event in events:
+            out.extend(self.push(event))
+        return out
+
+    def flush(self) -> List[Substitution]:
+        """Barrier: wait until every pushed event is fully processed.
+
+        Returns the matches reported while waiting.  The stream stays
+        open; push more events afterwards.
+        """
+        self._require_open()
+        self._flush_seq += 1
+        for shard in range(self.n_shards):
+            self._put(shard, ("flush", self._flush_seq))
+        pending = set(range(self.n_shards))
+        reported: List[Substitution] = []
+        while pending:
+            message = self._get()
+            if message[0] == "flushed":
+                _, shard_id, seq, events_seen = message
+                if seq == self._flush_seq:
+                    pending.discard(shard_id)
+                self._events_processed[shard_id] = events_seen
+            else:
+                reported.extend(self._handle(message))
+        self._publish_shard_metrics()
+        return reported
+
+    def close(self) -> List[Substitution]:
+        """End-of-stream: flush every shard, join workers, merge metrics."""
+        if self._closed:
+            return []
+        self._closed = True
+        for shard in range(self.n_shards):
+            self._put(shard, ("close",))
+        pending = set(range(self.n_shards))
+        reported: List[Substitution] = []
+        while pending:
+            message = self._get(closing=True)
+            if message[0] == "closed":
+                _, shard_id, wires, snapshot, events_seen = message
+                pending.discard(shard_id)
+                self._events_processed[shard_id] = events_seen
+                reported.extend(self._report(wires))
+                if snapshot is not None and self.obs is not None:
+                    self.obs.merge_snapshot(snapshot)
+            else:
+                reported.extend(self._handle(message))
+        for process in self._processes:
+            process.join(timeout=10.0)
+        crashed = [p for p in self._processes
+                   if p.exitcode not in (0, None) or p.is_alive()]
+        if crashed:
+            self.stop()
+            names = ", ".join(f"{p.name} (exit {p.exitcode})"
+                              for p in crashed)
+            raise WorkerCrashed(f"stream shard(s) failed to exit: {names}")
+        self._publish_shard_metrics()
+        return reported
+
+    def stop(self) -> None:
+        """Terminate all shards immediately (no flush, no results)."""
+        self._closed = True
+        for process in self._processes:
+            if process.is_alive():
+                process.terminate()
+        for process in self._processes:
+            process.join(timeout=5.0)
+
+    def __enter__(self) -> "ShardedStreamMatcher":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.close()
+        else:
+            self.stop()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def matches(self) -> List[Substitution]:
+        """All matches reported so far, ordered by start timestamp."""
+        return sorted(self._matches, key=lambda s: s.min_ts())
+
+    @property
+    def queue_depths(self) -> List[int]:
+        """Current input-queue depth per shard (-1 where unsupported)."""
+        depths = []
+        for in_queue in self._in_queues:
+            try:
+                depths.append(in_queue.qsize())
+            except NotImplementedError:  # pragma: no cover - macOS
+                depths.append(-1)
+        return depths
+
+    @property
+    def events_routed(self) -> List[int]:
+        """Events routed to each shard so far."""
+        return list(self._events_routed)
+
+    def __repr__(self) -> str:
+        return (f"ShardedStreamMatcher({self.attribute!r}, "
+                f"{self.n_shards} shards, {len(self._matches)} matches)")
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+    def _require_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("stream matcher is closed")
+
+    def _put(self, shard: int, message) -> None:
+        """Enqueue with liveness checks so a dead shard cannot hang us."""
+        in_queue = self._in_queues[shard]
+        while True:
+            try:
+                in_queue.put(message, timeout=_POLL_SECONDS)
+                return
+            except queue.Full:
+                if not self._processes[shard].is_alive():
+                    self._crashed(shard)
+
+    def _get(self, closing: bool = False):
+        """Dequeue a result with liveness checks."""
+        while True:
+            try:
+                return self._out_queue.get(timeout=_POLL_SECONDS)
+            except queue.Empty:
+                for shard_id, process in enumerate(self._processes):
+                    if not process.is_alive() and (
+                            not closing or process.exitcode not in (0, None)):
+                        # A shard died with work outstanding; drain any
+                        # last messages (its error report) first.
+                        try:
+                            return self._out_queue.get(timeout=_POLL_SECONDS)
+                        except queue.Empty:
+                            self._crashed(shard_id)
+
+    def _handle(self, message) -> List[Substitution]:
+        """Process a non-ack message from a shard."""
+        kind = message[0]
+        if kind == "m":
+            return self._report(message[2])
+        if kind == "error":
+            _, shard_id, reason = message
+            self.stop()
+            raise WorkerCrashed(
+                f"stream shard {shard_id} crashed: {reason}")
+        if kind == "flushed":  # stale ack from an earlier flush
+            self._events_processed[message[1]] = message[3]
+            return []
+        raise WorkerCrashed(f"unexpected shard message {kind!r}")
+
+    def _report(self, wires) -> List[Substitution]:
+        reported = [decode_substitution(w) for w in wires]
+        self._matches.extend(reported)
+        for substitution in reported:
+            for callback in self._callbacks:
+                callback(substitution)
+        return reported
+
+    def _drain(self) -> List[Substitution]:
+        """Collect whatever results are ready without blocking."""
+        reported: List[Substitution] = []
+        while True:
+            try:
+                message = self._out_queue.get_nowait()
+            except queue.Empty:
+                return reported
+            reported.extend(self._handle(message))
+
+    def _crashed(self, shard_id: int) -> None:
+        exitcode = self._processes[shard_id].exitcode
+        self.stop()
+        raise WorkerCrashed(
+            f"stream shard {shard_id} died (exit code {exitcode}); "
+            f"shutting down the remaining shards")
+
+    def _publish_shard_metrics(self) -> None:
+        if self.obs is None:
+            return
+        registry = self.obs.registry
+        depths = self.queue_depths
+        for shard_id in range(self.n_shards):
+            registry.gauge(
+                f"ses_shard{shard_id}_events_total",
+                help="events processed by this shard",
+            ).set(self._events_processed[shard_id])
+            registry.gauge(
+                f"ses_shard{shard_id}_queue_depth",
+                help="input-queue depth at the last flush/close",
+            ).set(depths[shard_id])

@@ -1,0 +1,131 @@
+"""Tests for the benchmark regression gate (repro.bench.compare and the
+benchmarks/compare_metrics.py wrapper CI calls)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.bench.compare import (compare_snapshots, format_report,
+                                 metric_direction, regressions)
+from repro.obs import write_jsonl
+
+
+def gauge(value):
+    return {"type": "gauge", "value": value, "max": value}
+
+
+BASE = {
+    "bench_exp1_p1_2_ses_seconds": gauge(0.2),
+    "bench_scaling_w2_events_per_second": gauge(1000.0),
+    "bench_scaling_w2_speedup": gauge(1.8),
+    "bench_exp1_p1_2_ses_instances": gauge(40),
+    "tiny_ses_seconds": gauge(0.001),
+}
+
+
+def head_with(**overrides):
+    head = {name: dict(record) for name, record in BASE.items()}
+    for name, value in overrides.items():
+        head[name]["value"] = value
+    return head
+
+
+class TestDirections:
+    def test_seconds_lower_is_better(self):
+        assert metric_direction("bench_exp1_p1_2_ses_seconds") == "lower"
+
+    def test_rates_higher_is_better(self):
+        assert metric_direction("x_events_per_second") == "higher"
+        assert metric_direction("x_throughput") == "higher"
+        assert metric_direction("x_speedup") == "higher"
+
+    def test_untracked(self):
+        assert metric_direction("bench_exp1_p1_2_ses_instances") is None
+
+
+class TestGate:
+    def test_identical_snapshots_pass(self):
+        assert regressions(compare_snapshots(BASE, head_with())) == []
+
+    def test_timing_regression_over_threshold_fails(self):
+        deltas = compare_snapshots(BASE, head_with(
+            bench_exp1_p1_2_ses_seconds=0.2 * 1.30))
+        bad = regressions(deltas)
+        assert [d.name for d in bad] == ["bench_exp1_p1_2_ses_seconds"]
+        assert bad[0].change == pytest.approx(0.30)
+
+    def test_timing_regression_under_threshold_passes(self):
+        deltas = compare_snapshots(BASE, head_with(
+            bench_exp1_p1_2_ses_seconds=0.2 * 1.20))
+        assert regressions(deltas) == []
+
+    def test_throughput_drop_fails(self):
+        deltas = compare_snapshots(BASE, head_with(
+            bench_scaling_w2_events_per_second=600.0))
+        assert [d.name for d in regressions(deltas)] == [
+            "bench_scaling_w2_events_per_second"]
+
+    def test_improvements_never_fail(self):
+        deltas = compare_snapshots(BASE, head_with(
+            bench_exp1_p1_2_ses_seconds=0.01,
+            bench_scaling_w2_events_per_second=9000.0,
+            bench_scaling_w2_speedup=3.9))
+        assert regressions(deltas) == []
+
+    def test_noise_floor_skips_micro_timings(self):
+        # 10x slower, but both sides are far below the noise floor.
+        deltas = compare_snapshots(BASE, head_with(tiny_ses_seconds=0.01))
+        assert regressions(deltas) == []
+
+    def test_untracked_metrics_never_gate(self):
+        deltas = compare_snapshots(BASE, head_with(
+            bench_exp1_p1_2_ses_instances=4000))
+        assert regressions(deltas) == []
+
+    def test_metrics_in_only_one_snapshot_are_ignored(self):
+        head = head_with()
+        head["brand_new_seconds"] = gauge(99.0)
+        base = dict(BASE, removed_seconds=gauge(0.1))
+        names = {d.name for d in compare_snapshots(base, head)}
+        assert "brand_new_seconds" not in names
+        assert "removed_seconds" not in names
+
+
+class TestReport:
+    def test_fail_verdict_lists_regressions(self):
+        deltas = compare_snapshots(BASE, head_with(
+            bench_exp1_p1_2_ses_seconds=0.3))
+        report = format_report(deltas)
+        assert "FAIL" in report
+        assert "bench_exp1_p1_2_ses_seconds" in report
+        assert "REGRESSED" in report
+
+    def test_ok_verdict(self):
+        report = format_report(compare_snapshots(BASE, head_with()))
+        assert "OK: no tracked metric" in report
+
+
+class TestWrapperScript:
+    SCRIPT = Path(__file__).resolve().parent.parent / "benchmarks" \
+        / "compare_metrics.py"
+
+    def run_compare(self, tmp_path, base, head):
+        base_path = write_jsonl(base, tmp_path / "base.jsonl")
+        head_path = write_jsonl(head, tmp_path / "head.jsonl")
+        return subprocess.run(
+            [sys.executable, str(self.SCRIPT), str(base_path),
+             str(head_path)],
+            capture_output=True, text=True)
+
+    def test_exit_zero_when_clean(self, tmp_path):
+        proc = self.run_compare(tmp_path, BASE, head_with())
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "OK" in proc.stdout
+
+    def test_exit_one_on_regression(self, tmp_path):
+        proc = self.run_compare(
+            tmp_path, BASE, head_with(bench_exp1_p1_2_ses_seconds=0.5))
+        assert proc.returncode == 1, proc.stdout + proc.stderr
+        assert "FAIL" in proc.stdout

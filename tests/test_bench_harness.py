@@ -115,3 +115,23 @@ class TestBenchMain:
         out = capsys.readouterr().out
         assert "profile: quick" in out
         assert "Experiment 3" in out
+
+
+class TestScaling:
+    def test_workers_ladder(self):
+        from repro.bench.scaling import workers_ladder
+        assert workers_ladder(1) == [1]
+        assert workers_ladder(4) == [1, 2, 4]
+        assert workers_ladder(6) == [1, 2, 4, 6]
+        with pytest.raises(ValueError):
+            workers_ladder(0)
+
+    def test_run_scaling_rows_and_snapshot(self, tiny_relation):
+        from repro.bench.scaling import run_scaling, scaling_snapshot
+        rows = run_scaling(tiny_relation, workers=(1, 2))
+        assert [row["workers"] for row in rows] == [1, 2]
+        assert rows[0]["speedup"] == 1.0
+        assert len({row["matches"] for row in rows}) == 1
+        snapshot = scaling_snapshot(rows)
+        assert snapshot["bench_scaling_w2_speedup"]["type"] == "gauge"
+        assert snapshot["bench_scaling_w1_seconds"]["value"] > 0

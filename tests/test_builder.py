@@ -67,8 +67,12 @@ class TestFigure4N1:
 
     def test_theta_routing_matches_figure4(self, q1, n1):
         tm = transition_map(n1)
-        L = lambda v, k: Condition(Attr(v, "L"), "=", Const(k))
-        ID = lambda a, b: Condition(Attr(a, "ID"), "=", Attr(b, "ID"))
+        def L(v, k):
+            return Condition(Attr(v, "L"), "=", Const(k))
+
+        def ID(a, b):
+            return Condition(Attr(a, "ID"), "=", Attr(b, "ID"))
+
         # Θ1-Θ3: transitions from the start state carry only constant conditions.
         assert tm[("∅", "c")] == {L(C, "C")}
         assert tm[("∅", "d")] == {L(D, "D")}
@@ -89,7 +93,6 @@ class TestFigure4N1:
         assert tm[("cdp+", "p+")] == {L(P, "P"), ID(C, P)}
 
     def test_loop_condition_at_p_state(self, q1, n1):
-        tm = transition_map(n1)
         # Θ7 at state {p+}: loop carries only p.L='P' (c not bound yet).
         p_loop = [t for t in n1.transitions
                   if t.is_loop and state_label(t.source) == "p+"]
@@ -133,7 +136,6 @@ class TestFigure5Concatenation:
 
     def test_n1_transitions_unchanged(self, q1, automaton):
         n1 = build_set_automaton(q1, 0)
-        n1_keys = set(transition_map(n1))
         full_map = transition_map(automaton)
         for key, conditions in transition_map(n1).items():
             assert full_map[key] == conditions

@@ -74,7 +74,7 @@ class TestHistoryCap:
     def test_no_cap_keeps_everything(self):
         stats = ExecutionStats()
         stats.enable_history()
-        for t in range(500):
+        for _ in range(500):
             stats.observe_omega(1)
         assert len(stats.omega_history) == 500
 

@@ -1,0 +1,247 @@
+"""Tests for the parallel batch matcher: equivalence with the serial
+partitioned matcher, deterministic merging, the wire codec, and robust
+pool shutdown on worker crashes and interrupts."""
+
+import multiprocessing
+import os
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Event, EventRelation, SESPattern
+from repro.automaton.optimizations import PartitionedMatcher
+from repro.parallel import (ParallelPartitionedMatcher, WorkerCrashed,
+                            decode_event, decode_substitution, encode_event,
+                            encode_substitution)
+from repro.parallel.pool import chunk_partitions
+
+from conftest import bindings
+
+HAS_FORK = "fork" in multiprocessing.get_all_start_methods()
+
+#: Every variable equi-joins on ID, so partitioning on ID is sound.
+JOINED = SESPattern(
+    sets=[["a", "b"], ["c"]],
+    conditions=["a.kind = 'A'", "b.kind = 'B'", "c.kind = 'C'",
+                "a.ID = b.ID", "a.ID = c.ID", "b.ID = c.ID"],
+    tau=50,
+)
+
+#: No joins: partition_attribute() is None.
+UNJOINED = SESPattern(
+    sets=[["a"], ["b"]],
+    conditions=["a.kind = 'A'", "b.kind = 'B'"],
+    tau=50,
+)
+
+
+def make_relation(n_keys=6, reps=2):
+    """``reps`` A/B/C triples per key, interleaved across keys."""
+    events = []
+    ts = 0
+    for _ in range(reps):
+        for key in range(n_keys):
+            for kind in ("A", "B", "C"):
+                ts += 1
+                events.append(Event(ts=ts, eid=f"e{ts}", kind=kind, ID=key))
+    return EventRelation(events)
+
+
+def canon(result):
+    """Order-preserving canonical form of a result's matches."""
+    return [bindings(s) for s in result.matches]
+
+
+def assert_same_result(parallel, serial):
+    assert canon(parallel) == canon(serial)
+    assert ([bindings(s) for s in parallel.accepted]
+            == [bindings(s) for s in serial.accepted])
+    for field in ("events_read", "events_filtered", "events_processed",
+                  "instances_created", "transitions_fired", "matches",
+                  "max_simultaneous_instances", "accepted_buffers"):
+        assert getattr(parallel.stats, field) == getattr(serial.stats, field), \
+            field
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_matches_serial_partitioned_matcher(self, workers):
+        relation = make_relation()
+        serial = PartitionedMatcher(JOINED).run(relation)
+        parallel = ParallelPartitionedMatcher(JOINED, workers=workers)
+        assert parallel.attribute == "ID"
+        assert_same_result(parallel.run(relation), serial)
+
+    def test_repeated_runs_are_deterministic(self):
+        relation = make_relation()
+        matcher = ParallelPartitionedMatcher(JOINED, workers=2)
+        first, second = matcher.run(relation), matcher.run(relation)
+        assert canon(first) == canon(second)
+        assert first.stats.transitions_fired == second.stats.transitions_fired
+
+    def test_accepted_selection(self):
+        relation = make_relation(n_keys=3, reps=1)
+        serial = PartitionedMatcher(JOINED, selection="accepted").run(relation)
+        parallel = ParallelPartitionedMatcher(
+            JOINED, workers=2, selection="accepted").run(relation)
+        assert canon(parallel) == canon(serial)
+
+    def test_serial_fallback_without_partition_attribute(self, caplog):
+        relation = make_relation(n_keys=2, reps=1)
+        with caplog.at_level("WARNING", logger="repro.parallel.pool"):
+            matcher = ParallelPartitionedMatcher(UNJOINED, workers=4)
+        assert matcher.attribute is None
+        assert "falls back" in caplog.text
+        from repro import match
+        assert canon(matcher.run(relation)) == canon(match(UNJOINED, relation))
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        spec=st.lists(
+            st.tuples(st.integers(0, 30), st.integers(0, 3),
+                      st.sampled_from("ABC")),
+            max_size=30),
+        workers=st.sampled_from([1, 2, 4]),
+    )
+    def test_property_parallel_equals_serial(self, spec, workers):
+        events = [Event(ts=ts, eid=f"e{i}", kind=kind, ID=key)
+                  for i, (ts, key, kind) in enumerate(spec)]
+        relation = EventRelation(events)
+        serial = PartitionedMatcher(JOINED).run(relation)
+        parallel = ParallelPartitionedMatcher(JOINED, workers=workers)
+        assert_same_result(parallel.run(relation), serial)
+
+
+class TestValidation:
+    def test_workers_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ParallelPartitionedMatcher(JOINED, workers=0)
+
+    def test_unknown_selection(self):
+        with pytest.raises(ValueError):
+            ParallelPartitionedMatcher(JOINED, selection="nope")
+
+    def test_chunks_per_worker_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ParallelPartitionedMatcher(JOINED, chunks_per_worker=0)
+
+
+class TestChunking:
+    def test_near_even_contiguous(self):
+        chunks = chunk_partitions(list(range(10)), 3)
+        assert chunks == [[0, 1, 2, 3], [4, 5, 6], [7, 8, 9]]
+
+    def test_fewer_items_than_chunks(self):
+        assert chunk_partitions([1, 2], 5) == [[1], [2]]
+
+    def test_empty(self):
+        assert chunk_partitions([], 3) == [[]]
+
+
+class TestCodec:
+    def test_event_round_trip(self):
+        event = Event(ts=7, eid="x7", kind="A", ID=3, note="hi")
+        decoded = decode_event(encode_event(event))
+        assert decoded == event
+        assert decoded.ts == 7 and decoded.eid == "x7"
+        assert decoded.get("note") == "hi"
+
+    def test_substitution_round_trip(self):
+        relation = make_relation(n_keys=1, reps=1)
+        original = PartitionedMatcher(JOINED).run(relation).matches[0]
+        decoded = decode_substitution(encode_substitution(original))
+        assert bindings(decoded) == bindings(original)
+        assert decoded.min_ts() == original.min_ts()
+        assert decoded.max_ts() == original.max_ts()
+
+
+class Bomb:
+    """An attribute value whose comparison raises mid-condition."""
+
+    __hash__ = object.__hash__
+
+    def __eq__(self, other):
+        raise RuntimeError("boom condition")
+
+    def __reduce__(self):
+        return (Bomb, ())
+
+
+class Exiter:
+    """An attribute value that kills the worker process outright."""
+
+    __hash__ = object.__hash__
+
+    def __eq__(self, other):
+        os._exit(3)
+
+    def __reduce__(self):
+        return (Exiter, ())
+
+
+def _relation_with(poison):
+    events = list(make_relation(n_keys=4, reps=1))
+    events.append(Event(ts=100, eid="poison", kind=poison, ID=9))
+    events.append(Event(ts=101, eid="b101", kind="B", ID=9))
+    return EventRelation(events)
+
+
+def _interrupting_chunk(chunk):
+    raise KeyboardInterrupt
+
+
+class TestShutdown:
+    """Exception paths must join every worker — no leaked children."""
+
+    def assert_no_leaked_children(self):
+        leaked = [p for p in multiprocessing.active_children()
+                  if not p.name.startswith("SyncManager")]
+        assert leaked == []
+
+    def test_crashing_condition_propagates_and_joins(self):
+        matcher = ParallelPartitionedMatcher(JOINED, workers=2)
+        with pytest.raises(RuntimeError, match="boom condition"):
+            matcher.run(_relation_with(Bomb()))
+        self.assert_no_leaked_children()
+
+    def test_dead_worker_raises_worker_crashed(self):
+        matcher = ParallelPartitionedMatcher(JOINED, workers=2)
+        with pytest.raises(WorkerCrashed):
+            matcher.run(_relation_with(Exiter()))
+        self.assert_no_leaked_children()
+
+    @pytest.mark.skipif(not HAS_FORK, reason="needs fork start method")
+    def test_keyboard_interrupt_joins_workers(self, monkeypatch):
+        # Fork workers inherit the patched module, so every chunk raises.
+        monkeypatch.setattr("repro.parallel.pool._run_chunk",
+                            _interrupting_chunk)
+        matcher = ParallelPartitionedMatcher(JOINED, workers=2)
+        with pytest.raises(KeyboardInterrupt):
+            matcher.run(make_relation())
+        self.assert_no_leaked_children()
+
+
+class TestObservability:
+    def test_pool_metrics_published(self):
+        from repro.obs import Observability
+        obs = Observability()
+        matcher = ParallelPartitionedMatcher(JOINED, workers=2, obs=obs)
+        result = matcher.run(make_relation())
+        snapshot = obs.snapshot()
+        assert snapshot["ses_pool_workers"]["value"] == 2
+        assert snapshot["ses_pool_partitions_total"]["value"] == 6
+        worker_events = [record["value"] for name, record in snapshot.items()
+                         if name.startswith("ses_pool_worker")
+                         and name.endswith("_events_total")]
+        assert sum(worker_events) == result.stats.events_read
+        # Worker-side stage timings merged back into the parent bundle.
+        assert any(name.startswith("repro_stage_") for name in snapshot)
+
+    def test_serial_fallback_publishes_single_worker(self):
+        from repro.obs import Observability
+        obs = Observability()
+        ParallelPartitionedMatcher(JOINED, workers=1, obs=obs).run(
+            make_relation(n_keys=2, reps=1))
+        snapshot = obs.snapshot()
+        assert snapshot["ses_pool_workers"]["value"] == 1

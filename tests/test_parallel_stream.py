@@ -1,0 +1,175 @@
+"""Tests for the sharded streaming front-end: equivalence with the
+single-process partitioned stream matcher, flush/close semantics, crash
+detection, and shard metrics."""
+
+import multiprocessing
+
+import pytest
+
+from repro import Event, SESPattern
+from repro.parallel import ShardedStreamMatcher, WorkerCrashed
+from repro.stream import PartitionedContinuousMatcher
+
+from conftest import bindings
+
+#: Every variable equi-joins on ID (sound to shard on ID).
+JOINED = SESPattern(
+    sets=[["a", "b"], ["c"]],
+    conditions=["a.kind = 'A'", "b.kind = 'B'", "c.kind = 'C'",
+                "a.ID = b.ID", "a.ID = c.ID", "b.ID = c.ID"],
+    tau=50,
+)
+
+UNJOINED = SESPattern(
+    sets=[["a"], ["b"]],
+    conditions=["a.kind = 'A'", "b.kind = 'B'"],
+    tau=50,
+)
+
+
+def stream_events(n_keys=5, reps=2):
+    events = []
+    ts = 0
+    for _ in range(reps):
+        for key in range(n_keys):
+            for kind in ("A", "B", "C"):
+                ts += 1
+                events.append(Event(ts=ts, eid=f"e{ts}", kind=kind, ID=key))
+    return events
+
+
+def match_set(substitutions):
+    return {bindings(s) for s in substitutions}
+
+
+def reference_matches(events):
+    matcher = PartitionedContinuousMatcher(JOINED, attribute="ID")
+    reported = []
+    for event in events:
+        reported.extend(matcher.push(event))
+    reported.extend(matcher.close())
+    return reported
+
+
+class TestShardedEquivalence:
+    @pytest.mark.parametrize("shards", [1, 3])
+    def test_same_matches_as_single_process(self, shards):
+        events = stream_events()
+        expected = match_set(reference_matches(events))
+        with ShardedStreamMatcher(JOINED, shards=shards) as matcher:
+            assert matcher.attribute == "ID"
+            matcher.push_many(events)
+        assert match_set(matcher.matches) == expected
+        assert len(matcher.matches) == len(expected)
+
+    def test_matches_ordered_by_start_timestamp(self):
+        with ShardedStreamMatcher(JOINED, shards=2) as matcher:
+            matcher.push_many(stream_events())
+        starts = [s.min_ts() for s in matcher.matches]
+        assert starts == sorted(starts)
+
+
+class TestFlushClose:
+    def test_flush_is_a_barrier(self):
+        events = stream_events()
+        matcher = ShardedStreamMatcher(JOINED, shards=3)
+        try:
+            matcher.push_many(events)
+            matcher.flush()
+            # Every routed event has been processed once flush returns.
+            assert sum(matcher.events_routed) == len(events)
+            assert sum(matcher._events_processed) == len(events)
+            # The stream is still open: more events still match.
+            extra_ts = events[-1].ts
+            matcher.push_many([
+                Event(ts=extra_ts + 1, eid="xa", kind="A", ID=77),
+                Event(ts=extra_ts + 2, eid="xb", kind="B", ID=77),
+                Event(ts=extra_ts + 3, eid="xc", kind="C", ID=77),
+            ])
+        finally:
+            matcher.close()
+        assert len(matcher.matches) == len(reference_matches(events)) + 1
+
+    def test_close_is_idempotent_and_seals_the_stream(self):
+        matcher = ShardedStreamMatcher(JOINED, shards=2)
+        matcher.push_many(stream_events(n_keys=2, reps=1))
+        matcher.close()
+        assert matcher.close() == []
+        with pytest.raises(RuntimeError, match="closed"):
+            matcher.push(Event(ts=1, kind="A", ID=0))
+        with pytest.raises(RuntimeError, match="closed"):
+            matcher.flush()
+
+    def test_context_manager_closes(self):
+        with ShardedStreamMatcher(JOINED, shards=2) as matcher:
+            matcher.push_many(stream_events(n_keys=2, reps=1))
+        assert matcher._closed
+        assert multiprocessing.active_children() == []
+
+    def test_on_match_callbacks(self):
+        seen = []
+        with ShardedStreamMatcher(JOINED, shards=2) as matcher:
+            matcher.on_match(seen.append)
+            matcher.push_many(stream_events(n_keys=3, reps=1))
+        assert match_set(seen) == match_set(matcher.matches)
+
+
+class TestValidation:
+    def test_rejects_pattern_without_partition_attribute(self):
+        with pytest.raises(ValueError, match="equi-join"):
+            ShardedStreamMatcher(UNJOINED, shards=2)
+
+    def test_rejects_bad_shard_count(self):
+        with pytest.raises(ValueError):
+            ShardedStreamMatcher(JOINED, shards=0)
+
+    def test_rejects_bad_queue_size(self):
+        with pytest.raises(ValueError):
+            ShardedStreamMatcher(JOINED, shards=1, queue_size=0)
+
+
+class Bomb:
+    """An attribute value whose comparison raises inside a shard."""
+
+    __hash__ = object.__hash__
+
+    def __eq__(self, other):
+        raise RuntimeError("boom condition")
+
+    def __reduce__(self):
+        return (Bomb, ())
+
+
+class TestCrashDetection:
+    def test_crashed_shard_surfaces_instead_of_hanging(self):
+        matcher = ShardedStreamMatcher(JOINED, shards=2)
+        matcher.push(Event(ts=1, eid="p", kind=Bomb(), ID=4))
+        with pytest.raises(WorkerCrashed, match="boom condition"):
+            # The crash is asynchronous; the flush barrier must observe it.
+            matcher.flush()
+        assert multiprocessing.active_children() == []
+        # The matcher is unusable but further calls still fail cleanly.
+        with pytest.raises(RuntimeError):
+            matcher.push(Event(ts=2, kind="A", ID=0))
+
+    def test_stop_terminates_without_results(self):
+        matcher = ShardedStreamMatcher(JOINED, shards=2)
+        matcher.push_many(stream_events(n_keys=2, reps=1))
+        matcher.stop()
+        assert multiprocessing.active_children() == []
+
+
+class TestShardMetrics:
+    def test_queue_depths_and_shard_gauges(self):
+        from repro.obs import Observability
+        obs = Observability()
+        events = stream_events(n_keys=4, reps=1)
+        with ShardedStreamMatcher(JOINED, shards=2, obs=obs) as matcher:
+            matcher.push_many(events)
+            assert len(matcher.queue_depths) == 2
+        snapshot = obs.snapshot()
+        processed = [snapshot[f"ses_shard{i}_events_total"]["value"]
+                     for i in range(2)]
+        assert sum(processed) == len(events)
+        assert all(snapshot[f"ses_shard{i}_queue_depth"]["value"] == 0
+                   for i in range(2))

@@ -42,8 +42,6 @@ class TestBarChart:
 
     def test_labels_aligned(self):
         text = bar_chart(["x", "longer"], [1, 2])
-        starts = {line.index("  ", 2) if "  " in line[2:] else None
-                  for line in text.splitlines()}
         # All bars start at the same column.
         bar_columns = [line.find("█") for line in text.splitlines()
                        if "█" in line]
@@ -56,8 +54,8 @@ class TestSeriesChart:
                             [("big", [100, 200]), ("small", [10, 20])],
                             width=20)
         lines = text.splitlines()
-        big_peak = max(l.count("█") for l in lines[1:3])
-        small_peak = max(l.count("█") for l in lines[4:6])
+        big_peak = max(line.count("█") for line in lines[1:3])
+        small_peak = max(line.count("█") for line in lines[4:6])
         assert big_peak == 20
         assert small_peak == 2
 
