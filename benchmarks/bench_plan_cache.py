@@ -1,0 +1,67 @@
+"""Plan cache: compile-once vs compile-per-call.
+
+The ``repro.plan`` subsystem exists for the one-pattern / many-relations
+workload: repeated ``match()`` calls should pay automaton construction,
+trimming and prefilter compilation once, then hit the process-global
+:class:`~repro.plan.cache.PlanCache` by canonical fingerprint.  These
+benches measure the compile cost being amortised, the cache-hit fast
+path itself, and the end-to-end ``match()`` loop both ways — the loop
+pair is the ≥2× claim ``python -m repro.bench`` also tracks as
+``bench_plan_cache_*``.
+"""
+
+import pytest
+
+from repro.bench.plancache import plan_cache_relations
+from repro.bench.scaling import scaling_pattern
+from repro.plan import clear_plan_cache, compile, plan_cache
+
+N_RELATIONS = 50
+
+
+@pytest.fixture(scope="module")
+def pattern():
+    return scaling_pattern(5)
+
+
+@pytest.fixture(scope="module")
+def relations():
+    return plan_cache_relations(N_RELATIONS)
+
+
+def test_compile_uncached(benchmark, pattern):
+    """Full compilation: automaton + trim + vectorized prefilters."""
+    plan = benchmark(compile, pattern, cache=False)
+    assert plan.fingerprint
+
+
+def test_compile_cache_hit(benchmark, pattern):
+    """The fast path: fingerprint + LRU lookup, no building."""
+    compile(pattern)  # warm
+    plan = benchmark(compile, pattern)
+    assert plan is compile(pattern)
+
+
+def test_match_many_relations_uncached(benchmark, pattern, relations):
+    """``match()`` over many small relations, compiling per call."""
+
+    def loop():
+        return sum(len(compile(pattern, cache=False).match(r).matches)
+                   for r in relations)
+
+    total = benchmark(loop)
+    assert total > 0
+
+
+def test_match_many_relations_cached(benchmark, pattern, relations):
+    """Same loop through the process-global plan cache (≥2× faster)."""
+    clear_plan_cache()
+
+    def loop():
+        return sum(len(compile(pattern).match(r).matches)
+                   for r in relations)
+
+    total = benchmark(loop)
+    assert total > 0
+    stats = plan_cache().stats()
+    assert stats["hits"] >= N_RELATIONS - 1

@@ -10,7 +10,8 @@ full benchmark harness for the paper's experiments.
 
 Quickstart::
 
-    from repro import Event, EventRelation, SESPattern, match
+    import repro
+    from repro import Event, EventRelation, SESPattern
 
     relation = EventRelation([
         Event(ts=1, eid="a1", kind="A"),
@@ -22,8 +23,12 @@ Quickstart::
         conditions=["a.kind = 'A'", "b.kind = 'B'", "c.kind = 'C'"],
         tau=10,
     )
-    for substitution in match(pattern, relation):
+    plan = repro.compile(pattern)       # compile once (process-global cache)
+    for substitution in plan.match(relation):
         print(substitution)
+
+The one-shot :func:`match` and the :class:`Matcher` class remain as thin
+wrappers over the same plan cache.
 """
 
 from .core.conditions import Attr, Condition, Const, attr, const
@@ -39,9 +44,13 @@ from .automaton.builder import build_automaton
 from .automaton.executor import MatchResult, SESExecutor, execute
 from .automaton.filtering import EventFilter
 
+from .lang import compile_query, parse_query
 from .obs import Observability
 from .parallel import (ParallelPartitionedMatcher, ShardedStreamMatcher,
                        WorkerCrashed)
+from .plan import (PatternPlan, PlanCache, clear_plan_cache, compile,
+                   plan_cache, set_plan_cache_size)
+from .stream import ContinuousMatcher, MultiPatternMatcher
 
 __version__ = "1.0.0"
 
@@ -50,15 +59,19 @@ __all__ = [
     "Attr",
     "Condition",
     "Const",
+    "ContinuousMatcher",
     "Event",
     "EventFilter",
     "EventRelation",
     "EventSchema",
     "MatchResult",
     "Matcher",
+    "MultiPatternMatcher",
     "Observability",
     "ParallelPartitionedMatcher",
     "PatternError",
+    "PatternPlan",
+    "PlanCache",
     "SESAutomaton",
     "SESExecutor",
     "SESPattern",
@@ -69,10 +82,16 @@ __all__ = [
     "WorkerCrashed",
     "attr",
     "build_automaton",
+    "clear_plan_cache",
+    "compile",
+    "compile_query",
     "const",
     "execute",
     "group",
     "match",
+    "parse_query",
+    "plan_cache",
+    "set_plan_cache_size",
     "var",
     "__version__",
 ]

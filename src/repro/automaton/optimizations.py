@@ -244,27 +244,37 @@ class PartitionedMatcher:
 
     Raises :class:`ValueError` if the pattern's conditions do not connect
     all variables through equalities on a single attribute (partitioning
-    would be unsound); pass ``attribute`` explicitly to override the
-    automatic detection (at your own risk).
+    would be unsound); pass ``partition_by`` explicitly to override the
+    automatic detection (at your own risk; ``attribute=`` is the
+    deprecated spelling).  Accepts a compiled
+    :class:`~repro.plan.plan.PatternPlan` in place of the pattern.
     """
 
-    def __init__(self, pattern: SESPattern, attribute: Optional[str] = None,
-                 use_filter: bool = True, selection: str = "paper"):
-        detected = partition_attribute(pattern)
-        if attribute is None:
-            attribute = detected
-        if attribute is None:
+    def __init__(self, pattern, partition_by: Optional[str] = None,
+                 use_filter: bool = True, selection: str = "paper",
+                 consume: Optional[str] = None,
+                 attribute: Optional[str] = None):
+        # Imported here: core.matcher itself imports this package.
+        from ..core.matcher import Matcher
+        from ..core.options import resolve_option
+        from ..plan.cache import as_plan
+        partition_by = resolve_option(
+            "PartitionedMatcher", "partition_by", partition_by,
+            "attribute", attribute)
+        plan = as_plan(pattern)
+        if partition_by is None:
+            partition_by = partition_attribute(plan.pattern)
+        if partition_by is None:
             raise ValueError(
                 "pattern does not equi-join all variables on a single "
                 "attribute; partitioned execution would lose matches"
             )
-        self.attribute = attribute
-        self.pattern = pattern
+        self.plan = plan
+        self.attribute = partition_by
+        self.pattern = plan.pattern
         self.selection = selection
-        # Imported here: core.matcher itself imports this package.
-        from ..core.matcher import Matcher
-        self._matcher = Matcher(pattern, use_filter=use_filter,
-                                selection="accepted")
+        self._matcher = Matcher(plan, use_filter=use_filter,
+                                selection="accepted", consume=consume)
 
     def run(self, relation: Union[EventRelation, Iterable[Event]]) -> MatchResult:
         """Run the pattern over every partition; merge and select results."""

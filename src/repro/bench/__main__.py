@@ -16,6 +16,7 @@ from .experiments import (print_experiment1, print_experiment2,
                           print_experiment3, run_experiment1, run_experiment2,
                           run_experiment3)
 from .harness import resolve_profile, rows_to_snapshot
+from .plancache import plan_cache_snapshot, print_plan_cache, run_plan_cache
 from .scaling import (print_scaling, run_scaling, scaling_snapshot,
                       workers_ladder)
 
@@ -53,6 +54,8 @@ def main(argv=None) -> int:
     print_experiment2(rows2)
     rows3 = run_experiment3(exp23_base, factors=profile.factors)
     print_experiment3(rows3)
+    plan_cache_row = run_plan_cache()
+    print_plan_cache(plan_cache_row)
     scaling_rows = None
     if args.workers > 1:
         scaling_rows = run_scaling(exp1_relation,
@@ -66,6 +69,7 @@ def main(argv=None) -> int:
         snapshot.update(rows_to_snapshot("exp1", rows1))
         snapshot.update(rows_to_snapshot("exp2", rows2))
         snapshot.update(rows_to_snapshot("exp3", rows3))
+        snapshot.update(plan_cache_snapshot(plan_cache_row))
         if scaling_rows is not None:
             snapshot.update(scaling_snapshot(scaling_rows))
         path = write_jsonl(snapshot, args.metrics_out)

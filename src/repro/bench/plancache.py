@@ -1,0 +1,109 @@
+"""Plan-cache benchmark: compile-once vs compile-per-call.
+
+The workload the :mod:`repro.plan` subsystem targets: one pattern
+matched against **many** small relations (per-patient extracts, per-day
+slices, streaming micro-batches).  Without the cache every ``match()``
+call pays powerset-automaton construction, trimming and prefilter
+compilation; with it the plan is built once and every later call is a
+fingerprint lookup.  ``python -m repro.bench`` always runs this and CI's
+benchmark gate tracks the resulting ``bench_plan_cache_*`` metrics
+(``*_seconds`` lower-better, ``*_speedup`` higher-better).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..core.pattern import SESPattern
+from ..core.relation import EventRelation
+from ..data.chemo import generate_chemo
+from ..plan import clear_plan_cache, compile, plan_cache
+from .harness import timed
+from .report import print_table
+from .scaling import scaling_pattern
+
+__all__ = ["plan_cache_relations", "run_plan_cache", "print_plan_cache",
+           "plan_cache_snapshot"]
+
+#: Number of small relations the pattern is matched against.
+DEFAULT_RELATIONS = 50
+
+
+def plan_cache_relations(n: int = DEFAULT_RELATIONS) -> List[EventRelation]:
+    """``n`` small independent relations (one two-patient extract each)."""
+    return [generate_chemo(patients=2, cycles=1, seed=seed,
+                           lab_events_per_cycle=10)
+            for seed in range(n)]
+
+
+def run_plan_cache(relations: Optional[Sequence[EventRelation]] = None,
+                   pattern: Optional[SESPattern] = None) -> Dict:
+    """Time ``match()`` over every relation, cached vs uncached.
+
+    The uncached loop compiles the pattern per call
+    (``compile(pattern, cache=False)``); the cached loop compiles once
+    through the process-global cache and hits it thereafter.  Returns a
+    row with both timings, the speedup, and the (asserted equal) match
+    counts.
+    """
+    if relations is None:
+        relations = plan_cache_relations()
+    if pattern is None:
+        pattern = scaling_pattern(5)
+
+    def run_uncached() -> List[int]:
+        counts = []
+        for relation in relations:
+            plan = compile(pattern, cache=False)
+            counts.append(len(plan.match(relation).matches))
+        return counts
+
+    def run_cached() -> List[int]:
+        counts = []
+        for relation in relations:
+            plan = compile(pattern)
+            counts.append(len(plan.match(relation).matches))
+        return counts
+
+    uncached_counts, uncached_seconds = timed(run_uncached)
+    clear_plan_cache()
+    before = plan_cache().stats()
+    cached_counts, cached_seconds = timed(run_cached)
+    after = plan_cache().stats()
+    if cached_counts != uncached_counts:
+        raise AssertionError(
+            f"cached and uncached runs disagree: {cached_counts} != "
+            f"{uncached_counts}")
+    return {
+        "relations": len(relations),
+        "uncached_seconds": uncached_seconds,
+        "cached_seconds": cached_seconds,
+        "speedup": (uncached_seconds / cached_seconds
+                    if cached_seconds else 0.0),
+        "matches": sum(cached_counts),
+        "cache_hits": after["hits"] - before["hits"],
+        "cache_misses": after["misses"] - before["misses"],
+    }
+
+
+def print_plan_cache(row: Dict) -> None:
+    """Render the plan-cache comparison table."""
+    print_table(
+        ["relations", "uncached s", "cached s", "speedup", "matches",
+         "hits", "misses"],
+        [[row["relations"], row["uncached_seconds"], row["cached_seconds"],
+          row["speedup"], row["matches"], row["cache_hits"],
+          row["cache_misses"]]],
+        title="Plan cache (one pattern, many relations)",
+    )
+    print()
+
+
+def plan_cache_snapshot(row: Dict) -> Dict[str, dict]:
+    """The row as exportable gauges (``bench_plan_cache_<field>``)."""
+    snapshot: Dict[str, dict] = {}
+    for field in ("uncached_seconds", "cached_seconds", "speedup"):
+        value = row[field]
+        snapshot[f"bench_plan_cache_{field}"] = {
+            "type": "gauge", "value": value, "max": value}
+    return snapshot

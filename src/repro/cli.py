@@ -35,18 +35,16 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
-from .automaton.builder import build_automaton
 from .automaton.metrics import sparkline
 from .bench.report import format_table
 from .complexity import analyze
 from .core.diagnostics import diagnose
-from .core.matcher import Matcher, match
 from .core.rewrite import close_equality_joins
 from .data.chemo import generate_chemo
 from .lang import QueryError, parse_pattern
+from .plan.cache import compile as compile_plan
 from .obs import (Observability, configure_logging, read_jsonl, to_jsonl,
                   to_prometheus, write_jsonl)
-from .parallel import ParallelPartitionedMatcher
 from .storage.csvio import load_relation, save_relation
 
 __all__ = ["main", "build_parser"]
@@ -166,26 +164,21 @@ def _cmd_match(args: argparse.Namespace) -> int:
     if args.workers < 1:
         raise ValueError("--workers must be >= 1")
     obs = Observability() if profiling else None
-    if args.workers > 1:
-        parallel = ParallelPartitionedMatcher(
-            pattern, workers=args.workers,
-            use_filter=not args.no_filter,
-            selection=args.selection,
-            consume_mode=args.mode, obs=obs)
-        result = parallel.run(relation)
-    elif not profiling:
-        result = match(pattern, relation,
-                       use_filter=not args.no_filter,
-                       selection=args.selection,
-                       consume_mode=args.mode)
-    else:
-        matcher = Matcher(pattern, use_filter=not args.no_filter,
-                          selection=args.selection,
-                          consume_mode=args.mode, obs=obs)
-        executor = matcher.executor(
+    plan = compile_plan(pattern, observability=obs)
+    if profiling and args.workers == 1:
+        executor = plan.executor(
+            use_filter=not args.no_filter, selection=args.selection,
+            consume=args.mode, observability=obs,
             record_history=True,
             history_max_samples=PROFILE_HISTORY_SAMPLES)
         result = executor.run(relation)
+    else:
+        result = plan.match(relation,
+                            use_filter=not args.no_filter,
+                            selection=args.selection,
+                            consume=args.mode,
+                            workers=args.workers,
+                            observability=obs)
     print(f"{len(result)} match(es) in {len(relation)} events")
     for i, substitution in enumerate(result, start=1):
         bindings = ", ".join(f"{variable!r}/{event.eid or event.ts}"
@@ -252,7 +245,7 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 def _cmd_explain(args: argparse.Namespace) -> int:
     pattern = _load_pattern(args)
-    automaton = build_automaton(pattern)
+    automaton = compile_plan(pattern).automaton
     print(automaton.to_dot() if args.dot else automaton.describe())
     return 0
 

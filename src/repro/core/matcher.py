@@ -1,20 +1,21 @@
 """High-level matching API.
 
-:class:`Matcher` compiles a SES pattern into an automaton once and can then
-run it over many relations; :func:`match` is the one-shot convenience
-entry point most applications need::
+The documented entry point is :func:`repro.compile`, which returns a
+cached :class:`~repro.plan.plan.PatternPlan`::
 
-    from repro import SESPattern, match
+    import repro
 
-    pattern = SESPattern(
-        sets=[["c", "p+", "d"], ["b"]],
-        conditions=["c.L = 'C'", "d.L = 'D'", "p.L = 'P'", "b.L = 'B'",
-                    "c.ID = p.ID", "c.ID = d.ID", "d.ID = b.ID"],
-        tau=264,
-    )
+    plan = repro.compile(pattern)      # compile once (process-global cache)
+    result = plan.match(relation)      # run many
+
+:class:`Matcher` and :func:`match` remain as thin wrappers over the plan
+layer — they compile through the same cache, so the historical style::
+
     result = match(pattern, relation)
     for substitution in result:
         print(substitution)
+
+no longer rebuilds the automaton per call either.
 """
 
 from __future__ import annotations
@@ -22,10 +23,11 @@ from __future__ import annotations
 from typing import Iterable, Optional, Union
 
 from ..automaton.automaton import SESAutomaton
-from ..automaton.builder import build_automaton
 from ..automaton.executor import MatchResult, SESExecutor
-from ..automaton.filtering import EventFilter
+from ..plan.cache import compile as compile_plan
+from ..plan.plan import PatternPlan
 from .events import Event
+from .options import resolve_option
 from .pattern import SESPattern
 from .relation import EventRelation
 
@@ -35,10 +37,15 @@ __all__ = ["Matcher", "match"]
 class Matcher:
     """A compiled SES pattern, ready to run over event relations.
 
+    A thin wrapper over :class:`~repro.plan.plan.PatternPlan`: the
+    constructor compiles through the process-global plan cache (or
+    accepts an already compiled plan) and keeps one scalar filter handle
+    for its executors.
+
     Parameters
     ----------
     pattern:
-        The SES pattern to compile.
+        The SES pattern to compile, or a :class:`PatternPlan`.
     use_filter:
         Apply the Section 4.5 event pre-filter (default ``True``).
     filter_mode:
@@ -49,30 +56,42 @@ class Matcher:
         intended results (Definition 2 conditions 4–5 plus non-overlap),
         ``"all-starts"`` keeps overlapping matches, ``"accepted"`` the raw
         accepted buffers.
-    consume_mode:
+    consume:
         ``"greedy"`` (default) is the paper's skip-till-next-match
         Algorithm 2; ``"exhaustive"`` also keeps the pre-consumption
         instance alive, making results exactly Definition 2's declarative
-        semantics at exponential worst-case cost.
-    obs:
+        semantics at exponential worst-case cost.  (``consume_mode=`` is
+        the deprecated spelling.)
+    observability:
         Optional :class:`repro.obs.Observability` bundle; when given,
         executors report per-stage span timings, the |Ω| gauge, and
-        latency/lifetime histograms through it.
+        latency/lifetime histograms through it.  (``obs=`` is the
+        deprecated spelling.)
     """
 
-    def __init__(self, pattern: SESPattern, use_filter: bool = True,
+    def __init__(self, pattern: Union[SESPattern, PatternPlan],
+                 use_filter: bool = True,
                  filter_mode: str = "conjunctive",
                  selection: str = "paper",
-                 consume_mode: str = "greedy",
+                 consume: Optional[str] = None,
+                 observability=None,
+                 consume_mode: Optional[str] = None,
                  obs=None):
-        self.pattern = pattern
-        self.automaton: SESAutomaton = build_automaton(pattern)
-        self.event_filter: Optional[EventFilter] = (
-            EventFilter(pattern, mode=filter_mode) if use_filter else None
+        consume = resolve_option("Matcher", "consume", consume,
+                                 "consume_mode", consume_mode,
+                                 default="greedy")
+        observability = resolve_option("Matcher", "observability",
+                                       observability, "obs", obs)
+        self.plan: PatternPlan = compile_plan(pattern,
+                                              observability=observability)
+        self.pattern: SESPattern = self.plan.pattern
+        self.automaton: SESAutomaton = self.plan.automaton
+        self.event_filter = (
+            self.plan.filter_handle(filter_mode) if use_filter else None
         )
         self.selection = selection
-        self.consume_mode = consume_mode
-        self.obs = obs
+        self.consume_mode = consume
+        self.obs = observability
 
     def run(self, relation: Union[EventRelation, Iterable[Event]]) -> MatchResult:
         """Match the compiled pattern against ``relation``."""
@@ -96,14 +115,25 @@ class Matcher:
         return f"Matcher({self.pattern!r})"
 
 
-def match(pattern: SESPattern,
+def match(pattern: Union[SESPattern, PatternPlan],
           relation: Union[EventRelation, Iterable[Event]],
           use_filter: bool = True,
           filter_mode: str = "conjunctive",
           selection: str = "paper",
-          consume_mode: str = "greedy",
+          consume: Optional[str] = None,
+          observability=None,
+          consume_mode: Optional[str] = None,
           obs=None) -> MatchResult:
-    """Match ``pattern`` against ``relation`` and return a :class:`MatchResult`."""
-    matcher = Matcher(pattern, use_filter=use_filter, filter_mode=filter_mode,
-                      selection=selection, consume_mode=consume_mode, obs=obs)
-    return matcher.run(relation)
+    """Match ``pattern`` against ``relation`` and return a :class:`MatchResult`.
+
+    One-shot convenience over ``repro.compile(pattern).match(relation)``;
+    repeated calls with an equal pattern hit the plan cache.
+    """
+    consume = resolve_option("match", "consume", consume,
+                             "consume_mode", consume_mode, default="greedy")
+    observability = resolve_option("match", "observability", observability,
+                                   "obs", obs)
+    plan = compile_plan(pattern, observability=observability)
+    return plan.match(relation, use_filter=use_filter,
+                      filter_mode=filter_mode, selection=selection,
+                      consume=consume, observability=observability)

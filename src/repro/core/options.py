@@ -1,0 +1,45 @@
+"""Canonical option spellings shared by every matcher entry point.
+
+Historically each matcher grew its own keyword names: ``consume_mode``
+on the batch matchers, ``obs`` everywhere, ``attribute`` on the
+partitioned matchers, ``shards`` on the stream sharder.  The unified
+vocabulary is
+
+================  =============================================
+canonical         replaces
+================  =============================================
+``consume=``      ``consume_mode=``
+``observability=``  ``obs=``
+``partition_by=``   ``attribute=``
+``workers=``        ``shards=``
+================  =============================================
+
+The old spellings keep working through :func:`resolve_option`, which
+emits exactly one :class:`DeprecationWarning` per use and rejects
+conflicting double spellings like a duplicate keyword argument would.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+__all__ = ["resolve_option"]
+
+
+def resolve_option(owner: str, name: str, value, deprecated: str,
+                   deprecated_value, default=None):
+    """Resolve the canonical option ``name`` against a deprecated alias.
+
+    ``None`` means "not given" for both spellings; the resolved value
+    falls back to ``default`` when neither was passed.  Passing the old
+    alias warns once; passing both spellings raises :class:`TypeError`.
+    """
+    if deprecated_value is None:
+        return default if value is None else value
+    warnings.warn(
+        f"{owner}: keyword '{deprecated}=' is deprecated, use '{name}='",
+        DeprecationWarning, stacklevel=3)
+    if value is not None:
+        raise TypeError(
+            f"{owner}: got both '{name}=' and deprecated '{deprecated}='")
+    return deprecated_value

@@ -20,9 +20,20 @@ from .lexer import tokenize
 from .parser import parse
 from .render import render_pattern
 
+
+def parse_query(text):
+    """Parse a PERMUTE query into its :class:`~repro.lang.ast.QueryNode`.
+
+    Alias of :func:`parse` under the name the public façade exports
+    (``repro.parse_query``); use :func:`parse_pattern` to go straight to
+    an executable :class:`~repro.core.pattern.SESPattern`.
+    """
+    return parse(text)
+
+
 __all__ = [
     "AttributeNode", "CompileError", "ConditionNode", "DurationNode",
     "LexError", "LiteralNode", "ParseError", "QueryError", "QueryNode",
     "SetNode", "VariableNode", "compile_query", "parse", "parse_pattern",
-    "render_pattern", "tokenize",
+    "parse_query", "render_pattern", "tokenize",
 ]

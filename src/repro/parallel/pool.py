@@ -12,9 +12,12 @@ parallelise embarrassingly.
 
 Design notes
 ------------
-* The pattern is compiled **once per worker** via the pool initializer;
-  chunks only carry events, encoded as compact tuples
-  (:mod:`repro.parallel.codec`).
+* The parent compiles the pattern **once** (through the process-global
+  plan cache) and ships the pickled :class:`~repro.plan.plan.PatternPlan`
+  to each worker via the pool initializer; workers seed their own plan
+  cache with it, so no worker ever rebuilds the automaton — even when a
+  pool is reused across runs.  Chunks only carry events, encoded as
+  compact tuples (:mod:`repro.parallel.codec`).
 * Results merge in **deterministic order**: partitions are sorted by
   key exactly as the serial matcher sorts them, chunks are contiguous
   slices of that order, and futures are collected in submission order —
@@ -46,7 +49,7 @@ from ..automaton.metrics import ExecutionStats
 from ..automaton.optimizations import partition_attribute
 from ..core.events import Event
 from ..core.matcher import Matcher
-from ..core.pattern import SESPattern
+from ..core.options import resolve_option
 from ..core.relation import EventRelation
 from ..core.semantics import select_matches
 from ..core.substitution import Substitution
@@ -104,13 +107,19 @@ _WORKER_MATCHER: Optional[Matcher] = None
 _WORKER_INSTRUMENT = False
 
 
-def _init_worker(pattern: SESPattern, use_filter: bool, consume_mode: str,
+def _init_worker(plan, use_filter: bool, consume: str,
                  instrument: bool) -> None:
-    """Pool initializer: compile the pattern once per worker process."""
+    """Pool initializer: adopt the parent's pickled plan.
+
+    The plan is seeded into the worker's process-global cache, so the
+    worker never rebuilds the automaton — neither here nor if anything
+    else in the worker compiles an equal pattern later.
+    """
     global _WORKER_MATCHER, _WORKER_INSTRUMENT
-    _WORKER_MATCHER = Matcher(pattern, use_filter=use_filter,
-                              selection="accepted",
-                              consume_mode=consume_mode)
+    from ..plan.cache import plan_cache
+    plan = plan_cache().seed(plan)
+    _WORKER_MATCHER = Matcher(plan, use_filter=use_filter,
+                              selection="accepted", consume=consume)
     _WORKER_INSTRUMENT = instrument
 
 
@@ -146,30 +155,34 @@ class ParallelPartitionedMatcher:
     Parameters
     ----------
     pattern:
-        The SES pattern.  Partition parallelism is sound when the
-        pattern equi-joins all variables on one attribute; the attribute
-        is auto-detected like :class:`PartitionedMatcher` does.
-    attribute:
+        The SES pattern, or a compiled
+        :class:`~repro.plan.plan.PatternPlan`.  Partition parallelism is
+        sound when the pattern equi-joins all variables on one
+        attribute; the attribute is auto-detected like
+        :class:`PartitionedMatcher` does.
+    partition_by:
         Explicit partition attribute (overrides detection, at your own
-        risk).
+        risk).  ``attribute=`` is the deprecated spelling.
     workers:
         Pool size; defaults to :func:`os.cpu_count`.  ``1`` runs
         serially in-process (no pool).
-    use_filter / selection / consume_mode:
+    use_filter / selection / consume:
         Forwarded to the per-partition matchers; results are selected
         across partitions exactly like the serial matcher.
+        (``consume_mode=`` is the deprecated spelling of ``consume=``.)
     chunks_per_worker:
         Load-balancing granularity: partitions are grouped into about
         ``workers * chunks_per_worker`` chunks so a slow partition does
         not stall the whole pool.
     start_method:
         Multiprocessing start method (see :func:`default_context`).
-    obs:
+    observability:
         Optional :class:`repro.obs.Observability` bundle.  Workers run
         instrumented and their snapshots are merged back in, plus
         parent-side pool metrics: ``ses_pool_workers``,
         ``ses_pool_chunks_total``, ``ses_pool_partitions_total`` and
         per-worker ``ses_pool_worker<i>_events_total`` gauges.
+        (``obs=`` is the deprecated spelling.)
 
     Unlike :class:`PartitionedMatcher`, a pattern with **no** partition
     attribute is accepted: the matcher logs a warning and falls back to
@@ -178,30 +191,43 @@ class ParallelPartitionedMatcher:
     out).
     """
 
-    def __init__(self, pattern: SESPattern, attribute: Optional[str] = None,
+    def __init__(self, pattern, partition_by: Optional[str] = None,
                  workers: Optional[int] = None, use_filter: bool = True,
-                 selection: str = "paper", consume_mode: str = "greedy",
+                 selection: str = "paper", consume: Optional[str] = None,
                  chunks_per_worker: int = 4,
-                 start_method: Optional[str] = None, obs=None):
+                 start_method: Optional[str] = None, observability=None,
+                 attribute: Optional[str] = None,
+                 consume_mode: Optional[str] = None, obs=None):
+        partition_by = resolve_option(
+            "ParallelPartitionedMatcher", "partition_by", partition_by,
+            "attribute", attribute)
+        consume = resolve_option(
+            "ParallelPartitionedMatcher", "consume", consume,
+            "consume_mode", consume_mode, default="greedy")
+        observability = resolve_option(
+            "ParallelPartitionedMatcher", "observability", observability,
+            "obs", obs)
         if selection not in SELECTIONS:
             raise ValueError(f"unknown selection {selection!r}")
         if workers is not None and workers < 1:
             raise ValueError("workers must be >= 1")
         if chunks_per_worker < 1:
             raise ValueError("chunks_per_worker must be >= 1")
-        detected = partition_attribute(pattern)
-        self.pattern = pattern
-        self.attribute = detected if attribute is None else attribute
+        from ..plan.cache import as_plan
+        plan = as_plan(pattern)
+        detected = partition_attribute(plan.pattern)
+        self.plan = plan
+        self.pattern = plan.pattern
+        self.attribute = detected if partition_by is None else partition_by
         self.workers = workers if workers is not None else (os.cpu_count() or 1)
         self.use_filter = use_filter
         self.selection = selection
-        self.consume_mode = consume_mode
+        self.consume_mode = consume
         self.chunks_per_worker = chunks_per_worker
         self.start_method = start_method
-        self.obs = obs
-        self._matcher = Matcher(pattern, use_filter=use_filter,
-                                selection="accepted",
-                                consume_mode=consume_mode)
+        self.obs = observability
+        self._matcher = Matcher(plan, use_filter=use_filter,
+                                selection="accepted", consume=consume)
         if self.attribute is None:
             logger.warning(
                 "pattern does not equi-join all variables on one attribute; "
@@ -270,7 +296,7 @@ class ParallelPartitionedMatcher:
         pool = ProcessPoolExecutor(
             max_workers=n_workers, mp_context=context,
             initializer=_init_worker,
-            initargs=(self.pattern, self.use_filter, self.consume_mode,
+            initargs=(self.plan, self.use_filter, self.consume_mode,
                       self.obs is not None))
         futures = []
         try:

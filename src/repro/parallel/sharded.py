@@ -35,7 +35,7 @@ import queue
 from typing import Callable, List, Optional
 
 from ..core.events import Event
-from ..core.pattern import SESPattern
+from ..core.options import resolve_option
 from ..core.substitution import Substitution
 from ..stream.partitioned import PartitionedContinuousMatcher
 from .codec import (decode_event, decode_substitution, encode_event,
@@ -56,18 +56,24 @@ _POLL_SECONDS = 0.2
 # ----------------------------------------------------------------------
 # Worker side (runs in the shard processes)
 # ----------------------------------------------------------------------
-def _shard_worker(shard_id: int, pattern: SESPattern, attribute: str,
+def _shard_worker(shard_id: int, plan, attribute: str,
                   use_filter: bool, suppress_overlaps: bool,
                   instrument: bool, in_queue, out_queue) -> None:
-    """Shard main loop: consume events until a close message arrives."""
+    """Shard main loop: consume events until a close message arrives.
+
+    Receives the parent's pickled plan, seeds the shard's process-global
+    plan cache with it, and never rebuilds the automaton.
+    """
     try:
+        from ..plan.cache import plan_cache
+        plan = plan_cache().seed(plan)
         obs = None
         if instrument:
             from ..obs import Observability
             obs = Observability()
         matcher = PartitionedContinuousMatcher(
-            pattern, attribute=attribute, use_filter=use_filter,
-            suppress_overlaps=suppress_overlaps, obs=obs)
+            plan, partition_by=attribute, use_filter=use_filter,
+            suppress_overlaps=suppress_overlaps, observability=obs)
         events_seen = 0
         while True:
             message = in_queue.get()
@@ -106,13 +112,18 @@ class ShardedStreamMatcher:
     Parameters
     ----------
     pattern:
-        The SES pattern; it must equi-join all variables on the
-        partition attribute (raises :class:`ValueError` otherwise —
-        without a partition key there is nothing sound to shard on).
-    shards:
+        The SES pattern, or a compiled
+        :class:`~repro.plan.plan.PatternPlan`; it must equi-join all
+        variables on the partition attribute (raises
+        :class:`ValueError` otherwise — without a partition key there is
+        nothing sound to shard on).  The parent compiles once and ships
+        the pickled plan to every shard.
+    workers:
         Number of worker processes; defaults to :func:`os.cpu_count`.
-    attribute:
-        Partition attribute; auto-detected when omitted.
+        ``shards=`` is the deprecated spelling.
+    partition_by:
+        Partition attribute; auto-detected when omitted.  ``attribute=``
+        is the deprecated spelling.
     use_filter / suppress_overlaps:
         Forwarded to each shard's partitioned matcher.
     queue_size:
@@ -120,37 +131,49 @@ class ShardedStreamMatcher:
     start_method:
         Multiprocessing start method (see
         :func:`~repro.parallel.pool.default_context`).
-    obs:
+    observability:
         Optional :class:`repro.obs.Observability` bundle.  Shards run
         instrumented and their registries merge in at :meth:`close`;
         the parent additionally tracks ``ses_shard<i>_events_total``
-        and ``ses_shard<i>_queue_depth`` per shard.
+        and ``ses_shard<i>_queue_depth`` per shard.  ``obs=`` is the
+        deprecated spelling.
 
-    Routing uses ``hash(key) % shards``, which is stable within one
+    Routing uses ``hash(key) % workers``, which is stable within one
     process (str hashes are randomised per interpreter, so shard
     *assignment* may differ between runs; match results do not).
     """
 
-    def __init__(self, pattern: SESPattern, shards: Optional[int] = None,
-                 attribute: Optional[str] = None, use_filter: bool = True,
+    def __init__(self, pattern, workers: Optional[int] = None,
+                 partition_by: Optional[str] = None, use_filter: bool = True,
                  suppress_overlaps: bool = True, queue_size: int = 1024,
-                 start_method: Optional[str] = None, obs=None):
+                 start_method: Optional[str] = None, observability=None,
+                 shards: Optional[int] = None,
+                 attribute: Optional[str] = None, obs=None):
         from ..automaton.optimizations import partition_attribute
-        detected = partition_attribute(pattern)
-        if attribute is None:
-            attribute = detected
-        if attribute is None:
+        from ..plan.cache import as_plan
+        workers = resolve_option("ShardedStreamMatcher", "workers",
+                                 workers, "shards", shards)
+        partition_by = resolve_option("ShardedStreamMatcher", "partition_by",
+                                      partition_by, "attribute", attribute)
+        observability = resolve_option("ShardedStreamMatcher",
+                                       "observability", observability,
+                                       "obs", obs)
+        plan = as_plan(pattern)
+        if partition_by is None:
+            partition_by = partition_attribute(plan.pattern)
+        if partition_by is None:
             raise ValueError(
                 "pattern does not equi-join all variables on a single "
                 "attribute; sharded streaming would lose matches")
-        if shards is not None and shards < 1:
+        if workers is not None and workers < 1:
             raise ValueError("shards must be >= 1")
         if queue_size < 1:
             raise ValueError("queue_size must be >= 1")
-        self.pattern = pattern
-        self.attribute = attribute
-        self.n_shards = shards if shards is not None else (os.cpu_count() or 1)
-        self.obs = obs
+        self.plan = plan
+        self.pattern = plan.pattern
+        self.attribute = partition_by
+        self.n_shards = workers if workers is not None else (os.cpu_count() or 1)
+        self.obs = observability
         self._callbacks: List[MatchCallback] = []
         self._matches: List[Substitution] = []
         self._events_routed = [0] * self.n_shards
@@ -165,14 +188,14 @@ class ShardedStreamMatcher:
         for shard_id in range(self.n_shards):
             process = context.Process(
                 target=_shard_worker,
-                args=(shard_id, pattern, attribute, use_filter,
-                      suppress_overlaps, obs is not None,
+                args=(shard_id, plan, partition_by, use_filter,
+                      suppress_overlaps, observability is not None,
                       self._in_queues[shard_id], self._out_queue),
                 daemon=True, name=f"ses-shard-{shard_id}")
             process.start()
             self._processes.append(process)
         logger.debug("started %d stream shard(s) on %r", self.n_shards,
-                     attribute)
+                     partition_by)
 
     # ------------------------------------------------------------------
     # Subscription

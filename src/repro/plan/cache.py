@@ -1,0 +1,235 @@
+"""The process-global plan cache and the :func:`compile` entry point.
+
+Compiling a SES pattern — powerset automaton construction, trimming,
+prefilter compilation — costs orders of magnitude more than matching it
+over a small relation, and real deployments run a handful of patterns
+against many relations (the paper's own Experiments 1–3 do exactly
+that).  :class:`PlanCache` is a bounded, thread-safe LRU keyed by the
+pattern's canonical fingerprint; :func:`compile` consults the process-
+global instance so every matcher in the process — including the ones
+the parallel pools build in worker processes — shares one compiled
+:class:`~repro.plan.plan.PatternPlan` per distinct pattern.
+
+Size the global cache with the ``REPRO_PLAN_CACHE_SIZE`` environment
+variable (default 128 plans) or :func:`set_plan_cache_size` at runtime.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from collections import OrderedDict
+from typing import Callable, Dict, Optional, Tuple
+
+from ..core.pattern import SESPattern
+from .fingerprint import pattern_fingerprint
+from .plan import PatternPlan, build_plan, normalise_optimizations
+
+__all__ = ["PlanCache", "compile", "as_plan", "plan_cache",
+           "clear_plan_cache", "set_plan_cache_size", "DEFAULT_CACHE_SIZE"]
+
+#: Default bound of the process-global cache (plans, not bytes).
+DEFAULT_CACHE_SIZE = 128
+
+
+class PlanCache:
+    """A bounded, thread-safe LRU cache of compiled pattern plans.
+
+    Keys are canonical pattern fingerprints, so *equal* patterns share
+    one plan no matter how many distinct :class:`SESPattern` objects
+    spell them.  Eviction is least-recently-used; ``maxsize`` bounds the
+    number of retained plans.
+    """
+
+    def __init__(self, maxsize: int = DEFAULT_CACHE_SIZE):
+        if maxsize < 1:
+            raise ValueError("maxsize must be >= 1")
+        self._lock = threading.RLock()
+        self._plans: "OrderedDict[str, PatternPlan]" = OrderedDict()
+        self._maxsize = maxsize
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    # ------------------------------------------------------------------
+    # Core operations
+    # ------------------------------------------------------------------
+    def lookup(self, fingerprint: str) -> Optional[PatternPlan]:
+        """The cached plan for ``fingerprint``, or ``None`` (counted)."""
+        with self._lock:
+            plan = self._plans.get(fingerprint)
+            if plan is None:
+                self._misses += 1
+                return None
+            self._plans.move_to_end(fingerprint)
+            self._hits += 1
+            return plan
+
+    def get_or_build(self, fingerprint: str,
+                     builder: Callable[[], PatternPlan]
+                     ) -> Tuple[PatternPlan, bool]:
+        """``(plan, hit)`` — building and inserting on a miss."""
+        with self._lock:
+            plan = self.lookup(fingerprint)
+            if plan is not None:
+                return plan, True
+            plan = builder()
+            self._insert(fingerprint, plan)
+            return plan, False
+
+    def seed(self, plan: PatternPlan) -> PatternPlan:
+        """Install ``plan`` unless an equal one is cached; return the
+        canonical instance.
+
+        Used by pool workers: the parent ships a pickled plan, the
+        worker seeds its own global cache so later compiles of the same
+        pattern hit instead of rebuilding.  Does not count as a hit or a
+        miss.
+        """
+        with self._lock:
+            cached = self._plans.get(plan.fingerprint)
+            if cached is not None:
+                self._plans.move_to_end(plan.fingerprint)
+                return cached
+            self._insert(plan.fingerprint, plan)
+            return plan
+
+    def _insert(self, fingerprint: str, plan: PatternPlan) -> None:
+        self._plans[fingerprint] = plan
+        self._plans.move_to_end(fingerprint)
+        while len(self._plans) > self._maxsize:
+            self._plans.popitem(last=False)
+            self._evictions += 1
+
+    # ------------------------------------------------------------------
+    # Maintenance and introspection
+    # ------------------------------------------------------------------
+    def clear(self) -> None:
+        """Drop every cached plan (counters keep accumulating)."""
+        with self._lock:
+            self._plans.clear()
+
+    def resize(self, maxsize: int) -> None:
+        """Change the bound, evicting LRU entries if now over it."""
+        if maxsize < 1:
+            raise ValueError("maxsize must be >= 1")
+        with self._lock:
+            self._maxsize = maxsize
+            while len(self._plans) > self._maxsize:
+                self._plans.popitem(last=False)
+                self._evictions += 1
+
+    @property
+    def maxsize(self) -> int:
+        return self._maxsize
+
+    def stats(self) -> Dict[str, int]:
+        """Hit/miss/eviction counters and current occupancy."""
+        with self._lock:
+            return {"hits": self._hits, "misses": self._misses,
+                    "evictions": self._evictions, "size": len(self._plans),
+                    "maxsize": self._maxsize}
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._plans)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        with self._lock:
+            return fingerprint in self._plans
+
+    def __repr__(self) -> str:
+        s = self.stats()
+        return (f"PlanCache({s['size']}/{s['maxsize']} plans, "
+                f"{s['hits']} hits, {s['misses']} misses)")
+
+
+def _initial_size() -> int:
+    raw = os.environ.get("REPRO_PLAN_CACHE_SIZE", "")
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        return DEFAULT_CACHE_SIZE
+
+
+_GLOBAL_CACHE = PlanCache(_initial_size())
+
+
+def plan_cache() -> PlanCache:
+    """The process-global plan cache."""
+    return _GLOBAL_CACHE
+
+
+def clear_plan_cache() -> None:
+    """Drop every plan from the process-global cache."""
+    _GLOBAL_CACHE.clear()
+
+
+def set_plan_cache_size(maxsize: int) -> None:
+    """Re-bound the process-global cache (evicts LRU plans if needed)."""
+    _GLOBAL_CACHE.resize(maxsize)
+
+
+def compile(pattern, *, optimizations=None, cache=True,
+            observability=None) -> PatternPlan:
+    """Compile ``pattern`` into a :class:`PatternPlan`.
+
+    Parameters
+    ----------
+    pattern:
+        A :class:`SESPattern` — or an existing :class:`PatternPlan`,
+        which is returned as-is (so every API taking a pattern also
+        takes a plan).
+    optimizations:
+        Iterable of optimization names (default: all of
+        :data:`~repro.plan.plan.OPTIMIZATIONS`).  Part of the cache key.
+    cache:
+        ``True`` uses the process-global :class:`PlanCache`; ``False``
+        always rebuilds; a :class:`PlanCache` instance uses that cache.
+    observability:
+        Optional :class:`repro.obs.Observability` bundle; compilation
+        reports ``ses_plan_cache_hits_total`` /
+        ``ses_plan_cache_misses_total`` and the cache occupancy gauge.
+    """
+    if isinstance(pattern, PatternPlan):
+        return pattern
+    if not isinstance(pattern, SESPattern):
+        raise TypeError(
+            f"expected SESPattern or PatternPlan, got "
+            f"{type(pattern).__name__}")
+    optimizations = normalise_optimizations(optimizations)
+    fingerprint = pattern_fingerprint(pattern, optimizations)
+    store: Optional[PlanCache]
+    if cache is True:
+        store = _GLOBAL_CACHE
+    elif cache is False or cache is None:
+        store = None
+    else:
+        store = cache
+    if store is None:
+        plan, hit = build_plan(pattern, optimizations, fingerprint), False
+    else:
+        plan, hit = store.get_or_build(
+            fingerprint,
+            lambda: build_plan(pattern, optimizations, fingerprint))
+    if observability is not None:
+        registry = observability.registry
+        hits = registry.counter(
+            "ses_plan_cache_hits_total", help="plan-cache hits on compile")
+        misses = registry.counter(
+            "ses_plan_cache_misses_total",
+            help="plan-cache misses on compile (plan built)")
+        (hits if hit else misses).inc()
+        if store is not None:
+            registry.gauge(
+                "ses_plan_cache_size",
+                help="plans held by the consulted plan cache",
+            ).set(len(store))
+    return plan
+
+
+def as_plan(pattern) -> PatternPlan:
+    """``pattern`` as a plan: compile (cached) unless already compiled."""
+    if isinstance(pattern, PatternPlan):
+        return pattern
+    return compile(pattern)

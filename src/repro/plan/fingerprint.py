@@ -1,0 +1,95 @@
+"""Canonical pattern fingerprints for the plan cache.
+
+A fingerprint is a SHA-256 digest over a *canonical* encoding of a SES
+pattern plus the optimization set a plan was compiled with.  Canonical
+means the encoding is invariant under everything
+:meth:`repro.core.pattern.SESPattern.__eq__` is invariant under:
+
+* variables inside one event set pattern are sorted (sets are unordered);
+* conditions are sorted by their canonical token (pattern equality
+  compares the *set* of conditions — declaration order only affects
+  evaluation order, never results);
+* numeric constants and the window ``tau`` are normalised through
+  :class:`fractions.Fraction`, so ``264`` and ``264.0`` — which compare
+  equal and therefore build identical automata — fingerprint identically
+  (``bool`` is an ``int`` in Python, so ``True`` normalises like ``1``,
+  again matching ``==``).
+
+Equal patterns compiled with equal optimizations are guaranteed to
+collide; differing patterns are guaranteed (up to SHA-256) not to.  For
+exotic constant types without a faithful ``repr`` the encoding falls
+back to ``repr`` and may tell equal values apart — that only costs a
+cache miss, never a wrong plan.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from fractions import Fraction
+from typing import Tuple
+
+from ..core.conditions import Attr, Condition, Const
+from ..core.pattern import SESPattern
+
+__all__ = ["pattern_fingerprint", "FINGERPRINT_VERSION"]
+
+#: Bump when the canonical encoding (or plan layout) changes; old
+#: fingerprints then stop matching, which invalidates stale caches.
+FINGERPRINT_VERSION = 1
+
+
+def _value_token(value) -> Tuple:
+    """A canonical, sortable token for a constant value."""
+    if isinstance(value, (bool, int, float)):
+        try:
+            return ("num", str(Fraction(value)))
+        except (ValueError, OverflowError):  # nan / inf
+            return ("num", repr(value))
+    if isinstance(value, str):
+        return ("str", value)
+    return ("obj", type(value).__module__, type(value).__qualname__,
+            repr(value))
+
+
+def _operand_token(operand) -> Tuple:
+    if isinstance(operand, Const):
+        return ("const",) + _value_token(operand.value)
+    if isinstance(operand, Attr):
+        return ("attr", operand.variable.name, operand.variable.is_group,
+                operand.attribute)
+    raise TypeError(f"unknown operand {operand!r}")  # pragma: no cover
+
+
+def _condition_token(condition: Condition) -> Tuple:
+    return (_operand_token(condition.left), condition.op,
+            _operand_token(condition.right))
+
+
+def _canonical(pattern: SESPattern,
+               optimizations: Tuple[str, ...]) -> Tuple:
+    sets = tuple(
+        tuple(sorted((v.name, v.is_group) for v in event_set))
+        for event_set in pattern.sets
+    )
+    conditions = tuple(sorted(
+        _condition_token(c) for c in pattern.conditions))
+    return ("ses-plan", FINGERPRINT_VERSION, sets, conditions,
+            _value_token(pattern.tau), tuple(sorted(optimizations)))
+
+
+def pattern_fingerprint(pattern: SESPattern,
+                        optimizations: Tuple[str, ...] = ()) -> str:
+    """The canonical SHA-256 fingerprint of ``pattern`` + optimizations.
+
+    Memoised on the pattern instance (patterns are immutable), so
+    repeated :func:`repro.compile` calls with the same object reduce to
+    a dict lookup.
+    """
+    optimizations = tuple(sorted(optimizations))
+    memo = pattern.__dict__.setdefault("_fingerprint_memo", {})
+    cached = memo.get(optimizations)
+    if cached is None:
+        payload = repr(_canonical(pattern, optimizations))
+        cached = hashlib.sha256(payload.encode("utf-8")).hexdigest()
+        memo[optimizations] = cached
+    return cached

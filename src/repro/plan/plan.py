@@ -1,0 +1,283 @@
+"""Compiled pattern plans: the compile-once / run-many seam.
+
+A :class:`PatternPlan` bundles everything that is derivable from a SES
+pattern alone — the built automaton with its transition tables trimmed
+(:func:`repro.automaton.minimize.trim`), the Section 4.5 constant-
+condition prefilter compiled to per-attribute predicate vectors for both
+filter modes, the planner's applied rewrites, and the pattern's
+canonical fingerprint.  Plans are immutable and picklable: parallel
+workers receive the pickled plan instead of rebuilding the automaton,
+and the process-global :class:`~repro.plan.cache.PlanCache` shares one
+plan across every matcher that compiles an equal pattern.
+
+Execution state never lives on the plan.  ``match`` / ``executor`` /
+``stream`` hand out fresh executors and per-use filter adapters, so one
+plan can serve any number of concurrent matchers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Tuple, Union
+
+from ..automaton.automaton import SESAutomaton
+from ..automaton.builder import build_automaton
+from ..automaton.executor import MatchResult, SESExecutor
+from ..automaton.minimize import trim
+from ..core.events import Event
+from ..core.options import resolve_option
+from ..core.pattern import SESPattern
+from ..core.relation import EventRelation
+from .fingerprint import pattern_fingerprint
+from .prefilter import FILTER_MODES, VectorizedPrefilter, popcount
+
+__all__ = ["PatternPlan", "OPTIMIZATIONS", "DEFAULT_OPTIMIZATIONS",
+           "build_plan"]
+
+#: Optimizations :func:`repro.compile` knows about.  ``"trim"`` removes
+#: provably dead transitions and unreachable states from the automaton
+#: (result-preserving); ``"prefilter"`` enables the columnar admission
+#: mask on batch runs (scalar filtering is used when disabled).
+OPTIMIZATIONS = ("prefilter", "trim")
+DEFAULT_OPTIMIZATIONS = ("prefilter", "trim")
+
+
+def normalise_optimizations(optimizations) -> Tuple[str, ...]:
+    """Validate and canonicalise an optimizations spec."""
+    if optimizations is None:
+        return DEFAULT_OPTIMIZATIONS
+    out = tuple(sorted(set(optimizations)))
+    unknown = [name for name in out if name not in OPTIMIZATIONS]
+    if unknown:
+        raise ValueError(
+            f"unknown optimizations {unknown!r}; known: {OPTIMIZATIONS}")
+    return out
+
+
+def build_plan(pattern: SESPattern,
+               optimizations: Optional[Iterable[str]] = None,
+               fingerprint: Optional[str] = None) -> "PatternPlan":
+    """Compile ``pattern`` into a fresh :class:`PatternPlan` (no cache)."""
+    if not isinstance(pattern, SESPattern):
+        raise TypeError(f"expected SESPattern, got {type(pattern).__name__}")
+    optimizations = normalise_optimizations(optimizations)
+    if fingerprint is None:
+        fingerprint = pattern_fingerprint(pattern, optimizations)
+    automaton = build_automaton(pattern)
+    rewrites = []
+    if "trim" in optimizations:
+        report = trim(automaton)
+        if not report.satisfiable or report.changed:
+            rewrites.append(f"trim: {report.describe()}")
+        if report.satisfiable:
+            automaton = report.automaton
+    prefilters = {mode: VectorizedPrefilter(pattern, mode)
+                  for mode in FILTER_MODES}
+    return PatternPlan(pattern=pattern, automaton=automaton,
+                       fingerprint=fingerprint, optimizations=optimizations,
+                       prefilters=prefilters, rewrites=tuple(rewrites))
+
+
+class PatternPlan:
+    """An immutable, picklable compiled form of one SES pattern.
+
+    Build plans with :func:`repro.compile` (which consults the process-
+    global plan cache) rather than directly.  The run-time API:
+
+    * :meth:`match` — batch execution over a relation, with the same
+      options every matcher understands (``selection=``, ``consume=``,
+      ``workers=``, ``partition_by=``, ``observability=``);
+    * :meth:`executor` — a fresh incremental :class:`SESExecutor`;
+    * :meth:`stream` — a continuous (optionally partitioned) matcher.
+    """
+
+    def __init__(self, pattern: SESPattern, automaton: SESAutomaton,
+                 fingerprint: str, optimizations: Tuple[str, ...],
+                 prefilters: Dict[str, VectorizedPrefilter],
+                 rewrites: Tuple[str, ...] = ()):
+        self._pattern = pattern
+        self._automaton = automaton
+        self._fingerprint = fingerprint
+        self._optimizations = tuple(optimizations)
+        self._prefilters = dict(prefilters)
+        self._rewrites = tuple(rewrites)
+
+    # ------------------------------------------------------------------
+    # Compile-time artifacts
+    # ------------------------------------------------------------------
+    @property
+    def pattern(self) -> SESPattern:
+        """The source pattern."""
+        return self._pattern
+
+    @property
+    def automaton(self) -> SESAutomaton:
+        """The built (and, with ``"trim"``, minimized) SES automaton."""
+        return self._automaton
+
+    @property
+    def fingerprint(self) -> str:
+        """The canonical cache key (pattern + optimizations)."""
+        return self._fingerprint
+
+    @property
+    def optimizations(self) -> Tuple[str, ...]:
+        """The optimizations the plan was compiled with."""
+        return self._optimizations
+
+    @property
+    def rewrites(self) -> Tuple[str, ...]:
+        """Human-readable descriptions of applied compile-time rewrites."""
+        return self._rewrites
+
+    def prefilter(self, filter_mode: str = "conjunctive"
+                  ) -> VectorizedPrefilter:
+        """The compiled constant-condition prefilter for one mode."""
+        try:
+            return self._prefilters[filter_mode]
+        except KeyError:
+            raise ValueError(f"unknown filter mode {filter_mode!r}") from None
+
+    def filter_handle(self, filter_mode: str = "conjunctive"):
+        """A fresh scalar filter for one matcher (metrics-bindable)."""
+        return self.prefilter(filter_mode).handle()
+
+    # ------------------------------------------------------------------
+    # Run-time API
+    # ------------------------------------------------------------------
+    def match(self, relation: Union[EventRelation, Iterable[Event]], *,
+              use_filter: bool = True, filter_mode: str = "conjunctive",
+              selection: str = "paper", consume: Optional[str] = None,
+              workers: int = 1, partition_by: Optional[str] = None,
+              observability=None, record_history: bool = False,
+              history_max_samples: Optional[int] = None,
+              chunks_per_worker: int = 4,
+              start_method: Optional[str] = None,
+              consume_mode: Optional[str] = None, obs=None) -> MatchResult:
+        """Run the plan over ``relation`` and return a :class:`MatchResult`.
+
+        ``workers > 1`` fans partitions out over a process pool
+        (:class:`~repro.parallel.pool.ParallelPartitionedMatcher`);
+        ``partition_by`` forces serial partitioned execution; otherwise
+        the plain executor runs, preceded — when the plan was compiled
+        with the ``"prefilter"`` optimization — by the columnar
+        admission-mask pass.
+        """
+        consume = resolve_option("PatternPlan.match", "consume", consume,
+                                 "consume_mode", consume_mode,
+                                 default="greedy")
+        observability = resolve_option("PatternPlan.match", "observability",
+                                       observability, "obs", obs)
+        if workers is None or workers < 1:
+            raise ValueError("workers must be >= 1")
+        if workers > 1:
+            from ..parallel.pool import ParallelPartitionedMatcher
+            matcher = ParallelPartitionedMatcher(
+                self, partition_by=partition_by, workers=workers,
+                use_filter=use_filter, selection=selection, consume=consume,
+                chunks_per_worker=chunks_per_worker,
+                start_method=start_method, observability=observability)
+            return matcher.run(relation)
+        if partition_by is not None:
+            from ..automaton.optimizations import PartitionedMatcher
+            matcher = PartitionedMatcher(self, partition_by=partition_by,
+                                         use_filter=use_filter,
+                                         selection=selection, consume=consume)
+            return matcher.run(relation)
+        events = list(relation)
+        event_filter = None
+        if use_filter:
+            prefilter = self.prefilter(filter_mode)
+            if "prefilter" in self._optimizations:
+                mask = prefilter.admission_mask(events)
+                event_filter = prefilter.cursor(mask, len(events))
+                if observability is not None and events:
+                    admitted = popcount(mask)
+                    observability.registry.gauge(
+                        "ses_prefilter_selectivity",
+                        help="fraction of the batch rejected by the "
+                             "vectorized pre-filter",
+                    ).set(1.0 - admitted / len(events))
+            else:
+                event_filter = prefilter.handle()
+        executor = SESExecutor(self._automaton, event_filter=event_filter,
+                               selection=selection, consume_mode=consume,
+                               obs=observability,
+                               record_history=record_history,
+                               history_max_samples=history_max_samples)
+        return executor.run(events)
+
+    def executor(self, *, use_filter: bool = True,
+                 filter_mode: str = "conjunctive", selection: str = "paper",
+                 consume: Optional[str] = None,
+                 expire_on_filtered: bool = False, observability=None,
+                 record_history: bool = False,
+                 history_max_samples: Optional[int] = None, tracer=None,
+                 consume_mode: Optional[str] = None, obs=None) -> SESExecutor:
+        """A fresh incremental executor over the compiled automaton."""
+        consume = resolve_option("PatternPlan.executor", "consume", consume,
+                                 "consume_mode", consume_mode,
+                                 default="greedy")
+        observability = resolve_option("PatternPlan.executor",
+                                       "observability", observability,
+                                       "obs", obs)
+        event_filter = self.filter_handle(filter_mode) if use_filter else None
+        return SESExecutor(self._automaton, event_filter=event_filter,
+                           selection=selection,
+                           expire_on_filtered=expire_on_filtered,
+                           consume_mode=consume, tracer=tracer,
+                           obs=observability, record_history=record_history,
+                           history_max_samples=history_max_samples)
+
+    def stream(self, *, use_filter: bool = True,
+               suppress_overlaps: bool = True,
+               partition_by: Optional[str] = None, observability=None,
+               obs=None):
+        """A continuous matcher over this plan.
+
+        Returns a :class:`~repro.stream.runner.ContinuousMatcher`, or —
+        with ``partition_by`` — a
+        :class:`~repro.stream.partitioned.PartitionedContinuousMatcher`
+        routing events to per-key matchers that all share this plan.
+        """
+        observability = resolve_option("PatternPlan.stream", "observability",
+                                       observability, "obs", obs)
+        if partition_by is not None:
+            from ..stream.partitioned import PartitionedContinuousMatcher
+            return PartitionedContinuousMatcher(
+                self, partition_by=partition_by, use_filter=use_filter,
+                suppress_overlaps=suppress_overlaps,
+                observability=observability)
+        from ..stream.runner import ContinuousMatcher
+        return ContinuousMatcher(self, use_filter=use_filter,
+                                 suppress_overlaps=suppress_overlaps,
+                                 observability=observability)
+
+    # ------------------------------------------------------------------
+    # Introspection and plumbing
+    # ------------------------------------------------------------------
+    def describe(self) -> str:
+        """Multi-line summary: fingerprint, sizes, rewrites, prefilter."""
+        automaton = self._automaton
+        lines = [
+            f"plan {self._fingerprint[:12]} for {self._pattern!r}",
+            f"  optimizations: {', '.join(self._optimizations) or 'none'}",
+            f"  automaton: {len(automaton.states)} states, "
+            f"{len(automaton.transitions)} transitions",
+        ]
+        for mode in FILTER_MODES:
+            lines.append(f"  prefilter[{mode}]: {self._prefilters[mode]!r}")
+        for rewrite in self._rewrites:
+            lines.append(f"  rewrite: {rewrite}")
+        return "\n".join(lines)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PatternPlan):
+            return NotImplemented
+        return self._fingerprint == other._fingerprint
+
+    def __hash__(self) -> int:
+        return hash(self._fingerprint)
+
+    def __repr__(self) -> str:
+        return (f"PatternPlan({self._fingerprint[:12]}, "
+                f"optimizations={self._optimizations!r})")

@@ -1,0 +1,279 @@
+"""The Section 4.5 constant-condition pre-filter, compiled.
+
+:class:`~repro.automaton.filtering.EventFilter` re-derives the
+per-variable constant conditions from the pattern on every construction
+and evaluates them condition-object-by-condition-object per event.
+:class:`VectorizedPrefilter` compiles the same conditions **once** into
+per-attribute predicate vectors ``(attribute, op, constant)`` and offers
+two evaluation paths:
+
+* :meth:`admission_mask` — columnar batch evaluation: each attribute's
+  "column" is walked once over the whole event batch, every predicate on
+  that attribute is applied in the same pass, and the per-predicate bit
+  masks (``bit i`` = event ``i``) are combined with ``&``/``|`` exactly
+  as the filter's boolean structure dictates.  The result is one Python
+  big-int admission mask computed *before* the per-event instance loop.
+* :meth:`admits` — the scalar per-event check, identical in outcome to
+  :meth:`EventFilter.admits` (missing attributes and incomparable values
+  count as ``False``; the ``"paper"`` mode disables itself when any
+  variable carries no constant condition).
+
+Plans are shared (cached, pickled to workers), so the prefilter itself
+is never mutated at match time; per-use state — metric binding, the
+sequential mask cursor — lives in the small :class:`PrefilterHandle` and
+:class:`MaskCursor` adapters instead.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..core.conditions import OPERATORS
+from ..core.events import Event
+from ..core.pattern import SESPattern
+
+__all__ = ["VectorizedPrefilter", "PrefilterHandle", "MaskCursor",
+           "FILTER_MODES"]
+
+#: Supported filter modes (see :mod:`repro.automaton.filtering`).
+FILTER_MODES = ("paper", "conjunctive")
+
+#: Sentinel distinguishing "attribute absent" from any real value.
+_MISSING = object()
+
+#: One compiled predicate: ``(attribute, operator name, constant)``.
+Predicate = Tuple[str, str, object]
+
+
+def popcount(mask: int) -> int:
+    """Number of set bits (admitted events) in an admission mask."""
+    return bin(mask).count("1")
+
+
+class VectorizedPrefilter:
+    """A pattern's constant conditions, compiled to predicate vectors.
+
+    The boolean structure mirrors :class:`EventFilter` exactly:
+
+    * ``"conjunctive"`` — an event passes iff *some variable's* predicates
+      all hold (a variable without constant conditions admits everything);
+    * ``"paper"`` — an event passes iff *any* predicate holds, but only
+      when every variable has at least one constant condition (otherwise
+      the filter is a pass-through, like the published filter).
+    """
+
+    def __init__(self, pattern: SESPattern, mode: str = "conjunctive"):
+        if mode not in FILTER_MODES:
+            raise ValueError(f"unknown filter mode {mode!r}")
+        self.mode = mode
+        predicates: List[Predicate] = []
+        groups: List[Tuple[int, ...]] = []
+        for variable in sorted(pattern.variables):
+            ids = []
+            for condition in pattern.constant_conditions(variable):
+                ids.append(len(predicates))
+                predicates.append((condition.left.attribute, condition.op,
+                                   condition.right.value))
+            groups.append(tuple(ids))
+        self._predicates: Tuple[Predicate, ...] = tuple(predicates)
+        self._groups: Tuple[Tuple[int, ...], ...] = tuple(groups)
+        # Predicate ids per attribute: the columnar layout.
+        by_attribute: Dict[str, List[int]] = {}
+        for pid, (attribute, _, _) in enumerate(self._predicates):
+            by_attribute.setdefault(attribute, []).append(pid)
+        self._by_attribute: Tuple[Tuple[str, Tuple[int, ...]], ...] = tuple(
+            (attribute, tuple(ids))
+            for attribute, ids in by_attribute.items())
+        unconstrained = any(not ids for ids in groups)
+        if mode == "paper" and unconstrained:
+            self._effective = False
+        else:
+            self._effective = bool(groups)
+
+    @property
+    def is_effective(self) -> bool:
+        """False iff the filter passes every event (no pruning possible)."""
+        return self._effective
+
+    @property
+    def predicates(self) -> Tuple[Predicate, ...]:
+        """The compiled ``(attribute, op, constant)`` predicate vector."""
+        return self._predicates
+
+    # ------------------------------------------------------------------
+    # Scalar path (streaming, incremental executors)
+    # ------------------------------------------------------------------
+    def admits(self, event: Event) -> bool:
+        """True iff ``event`` may be relevant to some variable."""
+        if not self._effective:
+            return True
+        predicates = self._predicates
+        if self.mode == "paper":
+            return any(self._holds(predicates[pid], event)
+                       for pid in range(len(predicates)))
+        for ids in self._groups:
+            if all(self._holds(predicates[pid], event) for pid in ids):
+                return True
+        return False
+
+    @staticmethod
+    def _holds(predicate: Predicate, event: Event) -> bool:
+        attribute, op, constant = predicate
+        value = event.get(attribute, _MISSING)
+        if value is _MISSING:
+            return False
+        try:
+            return bool(OPERATORS[op](value, constant))
+        except TypeError:
+            return False
+
+    # ------------------------------------------------------------------
+    # Columnar path (batch execution)
+    # ------------------------------------------------------------------
+    def admission_mask(self, events) -> int:
+        """The admission bitmask over an event batch (bit i = event i).
+
+        Each attribute column is walked once; all predicates on that
+        attribute evaluate in the same pass.  Per-predicate masks then
+        combine AND-within-variable / OR-across-variables (conjunctive)
+        or OR-over-everything (paper), matching :meth:`admits` bit for
+        bit.
+        """
+        n = len(events)
+        full = (1 << n) - 1
+        if not self._effective or not n:
+            return full
+        masks = [0] * len(self._predicates)
+        operators = OPERATORS
+        predicates = self._predicates
+        for attribute, ids in self._by_attribute:
+            bit = 1
+            for event in events:
+                value = event.get(attribute, _MISSING)
+                if value is not _MISSING:
+                    for pid in ids:
+                        op, constant = predicates[pid][1], predicates[pid][2]
+                        try:
+                            if operators[op](value, constant):
+                                masks[pid] |= bit
+                        except TypeError:
+                            pass
+                bit <<= 1
+        if self.mode == "paper":
+            out = 0
+            for mask in masks:
+                out |= mask
+            return out
+        out = 0
+        for ids in self._groups:
+            if not ids:
+                return full  # an unconstrained variable admits everything
+            group = full
+            for pid in ids:
+                group &= masks[pid]
+            out |= group
+            if out == full:
+                break
+        return out
+
+    # ------------------------------------------------------------------
+    # Per-use adapters
+    # ------------------------------------------------------------------
+    def handle(self) -> "PrefilterHandle":
+        """A fresh scalar filter handle (safe to bind metrics to)."""
+        return PrefilterHandle(self)
+
+    def cursor(self, mask: int, n_events: int) -> "MaskCursor":
+        """A sequential cursor over a precomputed admission mask."""
+        return MaskCursor(self, mask, n_events)
+
+    def __repr__(self) -> str:
+        state = "effective" if self._effective else "pass-through"
+        return (f"VectorizedPrefilter(mode={self.mode!r}, "
+                f"{len(self._predicates)} predicates, {state})")
+
+
+class _FilterAdapter:
+    """Shared plumbing: the executor-facing filter protocol.
+
+    Executors call :meth:`admits` once per input event and — when
+    instrumented — :meth:`bind_metrics` first.  Binding swaps
+    :meth:`admits` for a counting wrapper *on the adapter instance*, so
+    the shared plan is never mutated and unbound matching pays nothing.
+    """
+
+    def __init__(self, prefilter: VectorizedPrefilter):
+        self.prefilter = prefilter
+        self._admitted_counter = None
+        self._rejected_counter = None
+
+    @property
+    def mode(self) -> str:
+        return self.prefilter.mode
+
+    @property
+    def is_effective(self) -> bool:
+        return self.prefilter.is_effective
+
+    def admits(self, event: Event) -> bool:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def bind_metrics(self, registry) -> "_FilterAdapter":
+        """Report admitted/rejected counts to an obs registry.
+
+        Same counter names as :class:`EventFilter`, so instrumented runs
+        look identical whichever filter implementation served them.
+        """
+        self._admitted_counter = registry.counter(
+            "ses_filter_admitted_total",
+            help="events admitted by the Section 4.5 pre-filter")
+        self._rejected_counter = registry.counter(
+            "ses_filter_rejected_total",
+            help="events rejected by the Section 4.5 pre-filter")
+        unbound = type(self).admits
+        self.admits = lambda event: self._admits_counted(unbound, event)
+        return self
+
+    def _admits_counted(self, unbound, event: Event) -> bool:
+        ok = unbound(self, event)
+        counter = self._admitted_counter if ok else self._rejected_counter
+        counter.inc()
+        return ok
+
+
+class PrefilterHandle(_FilterAdapter):
+    """Scalar per-use view of a shared :class:`VectorizedPrefilter`."""
+
+    def admits(self, event: Event) -> bool:
+        return self.prefilter.admits(event)
+
+    def __repr__(self) -> str:
+        return f"PrefilterHandle({self.prefilter!r})"
+
+
+class MaskCursor(_FilterAdapter):
+    """Sequential reader over a precomputed admission mask.
+
+    The batch path computes the mask columnar up front; the executor
+    still calls ``admits`` once per event in input order, and the cursor
+    answers from the mask bit by bit — counters, stats and control flow
+    stay bit-identical to scalar filtering.
+    """
+
+    def __init__(self, prefilter: VectorizedPrefilter, mask: int,
+                 n_events: int):
+        super().__init__(prefilter)
+        self._mask = mask
+        self._n_events = n_events
+        self._position = 0
+
+    def admits(self, event: Event) -> bool:
+        position = self._position
+        if position >= self._n_events:  # defensive: past the batch
+            return self.prefilter.admits(event)
+        self._position = position + 1
+        return bool((self._mask >> position) & 1)
+
+    def __repr__(self) -> str:
+        return (f"MaskCursor({self._position}/{self._n_events}, "
+                f"{popcount(self._mask)} admitted)")

@@ -22,8 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, List, Optional, Union
 
-from ..automaton.builder import build_automaton
-from ..automaton.executor import MatchResult, SESExecutor
+from ..automaton.executor import MatchResult
 from ..automaton.filtering import EventFilter
 from ..automaton.optimizations import (IndexedExecutor, PartitionedMatcher,
                                        partition_attribute)
@@ -108,22 +107,24 @@ class QueryPlan:
 
     def execute(self, relation: Union[EventRelation, Iterable[Event]]
                 ) -> MatchResult:
-        """Run the plan over ``relation``."""
-        event_filter = EventFilter(self.pattern) if self.use_filter else None
+        """Run the plan over ``relation`` (compiled via the plan cache)."""
+        from ..plan.cache import as_plan
+        plan = as_plan(self.pattern)
         if self.executor == "partitioned":
-            matcher = PartitionedMatcher(self.pattern,
-                                         attribute=self.partition_on,
+            matcher = PartitionedMatcher(plan,
+                                         partition_by=self.partition_on,
                                          use_filter=self.use_filter,
                                          selection=self.selection)
             return matcher.run(relation)
-        automaton = build_automaton(self.pattern)
         if self.executor == "indexed":
-            runner = IndexedExecutor(automaton, event_filter=event_filter,
+            event_filter = (plan.filter_handle() if self.use_filter
+                            else None)
+            runner = IndexedExecutor(plan.automaton,
+                                     event_filter=event_filter,
                                      selection=self.selection)
-        else:
-            runner = SESExecutor(automaton, event_filter=event_filter,
-                                 selection=self.selection)
-        return runner.run(relation)
+            return runner.run(relation)
+        return plan.match(relation, use_filter=self.use_filter,
+                          selection=self.selection)
 
     def explain(self) -> str:
         """Multi-line plan description (like EXPLAIN in a database)."""

@@ -115,10 +115,12 @@ class Query:
     def match(self, pattern, **kwargs):
         """Run a SES pattern over the query result.
 
-        Keyword arguments are forwarded to :func:`repro.core.matcher.match`.
+        The pattern is compiled through the process-global plan cache;
+        keyword arguments are forwarded to
+        :meth:`repro.plan.plan.PatternPlan.match`.
         """
-        from ..core.matcher import match as run_match
-        return run_match(pattern, self.execute(), **kwargs)
+        from ..plan.cache import as_plan
+        return as_plan(pattern).match(self.execute(), **kwargs)
 
 
 _MISSING = object()

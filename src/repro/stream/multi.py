@@ -15,6 +15,8 @@ from typing import Callable, Dict, Hashable, Iterable, List
 from ..core.events import Event
 from ..core.pattern import SESPattern
 from ..core.substitution import Substitution
+from ..plan.cache import as_plan
+from ..plan.plan import PatternPlan
 from .runner import ContinuousMatcher
 
 __all__ = ["MultiPatternMatcher"]
@@ -28,8 +30,11 @@ class MultiPatternMatcher:
     Parameters
     ----------
     patterns:
-        Mapping of pattern name → :class:`~repro.core.pattern.SESPattern`,
-        or an iterable of patterns (auto-named ``p0``, ``p1``, …).
+        Mapping of pattern name → :class:`~repro.core.pattern.SESPattern`
+        (or compiled :class:`~repro.plan.plan.PatternPlan`), or an
+        iterable of patterns (auto-named ``p0``, ``p1``, …).  Patterns
+        compile through the process-global plan cache, so registering
+        the same pattern under several names shares one compiled plan.
     use_filter:
         Apply each pattern's Section 4.5 pre-filter.
     suppress_overlaps:
@@ -44,10 +49,10 @@ class MultiPatternMatcher:
         if not patterns:
             raise ValueError("at least one pattern is required")
         for name, pattern in patterns.items():
-            if not isinstance(pattern, SESPattern):
+            if not isinstance(pattern, (SESPattern, PatternPlan)):
                 raise TypeError(f"pattern {name!r} is not a SESPattern")
         self._matchers: Dict[Hashable, ContinuousMatcher] = {
-            name: ContinuousMatcher(pattern, use_filter=use_filter,
+            name: ContinuousMatcher(as_plan(pattern), use_filter=use_filter,
                                     suppress_overlaps=suppress_overlaps)
             for name, pattern in patterns.items()
         }

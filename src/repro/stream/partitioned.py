@@ -21,8 +21,9 @@ from typing import Callable, Dict, Hashable, Iterable, List, Optional
 
 from ..automaton.optimizations import partition_attribute
 from ..core.events import Event
-from ..core.pattern import SESPattern
+from ..core.options import resolve_option
 from ..core.substitution import Substitution
+from ..plan.cache import as_plan
 from .runner import ContinuousMatcher
 
 __all__ = ["PartitionedContinuousMatcher"]
@@ -38,33 +39,44 @@ class PartitionedContinuousMatcher:
     Parameters
     ----------
     pattern:
-        The SES pattern; it must equi-join all variables on ``attribute``.
-    attribute:
+        The SES pattern (or compiled
+        :class:`~repro.plan.plan.PatternPlan`); it must equi-join all
+        variables on ``partition_by``.
+    partition_by:
         Partition attribute; auto-detected from the pattern's equality
-        conditions when omitted.
+        conditions when omitted.  ``attribute=`` is the deprecated
+        spelling.
     use_filter / suppress_overlaps:
         Forwarded to each per-partition matcher.
-    obs:
+    observability:
         Optional :class:`repro.obs.Observability` bundle.  When given,
         every partition gets its *own* child bundle (so metrics never
         race across partitions even if feeding is ever parallelised) and
-        ``obs`` itself tracks the partition population; call
-        :meth:`aggregate` for the merged cross-partition view.
+        the bundle itself tracks the partition population; call
+        :meth:`aggregate` for the merged cross-partition view.  ``obs=``
+        is the deprecated spelling.
     """
 
-    def __init__(self, pattern: SESPattern, attribute: Optional[str] = None,
+    def __init__(self, pattern, partition_by: Optional[str] = None,
                  use_filter: bool = True, suppress_overlaps: bool = True,
+                 observability=None, attribute: Optional[str] = None,
                  obs=None):
-        detected = partition_attribute(pattern)
-        if attribute is None:
-            attribute = detected
-        if attribute is None:
+        partition_by = resolve_option(
+            "PartitionedContinuousMatcher", "partition_by", partition_by,
+            "attribute", attribute)
+        obs = resolve_option(
+            "PartitionedContinuousMatcher", "observability", observability,
+            "obs", obs)
+        self._plan = as_plan(pattern)
+        if partition_by is None:
+            partition_by = partition_attribute(self._plan.pattern)
+        if partition_by is None:
             raise ValueError(
                 "pattern does not equi-join all variables on a single "
                 "attribute; partitioned streaming would lose matches"
             )
-        self.pattern = pattern
-        self.attribute = attribute
+        self.pattern = self._plan.pattern
+        self.attribute = partition_by
         self._use_filter = use_filter
         self._suppress_overlaps = suppress_overlaps
         self._matchers: Dict[Hashable, ContinuousMatcher] = {}
@@ -97,8 +109,9 @@ class PartitionedContinuousMatcher:
                 from ..obs import Observability
                 child_obs = Observability()
             matcher = ContinuousMatcher(
-                self.pattern, use_filter=self._use_filter,
-                suppress_overlaps=self._suppress_overlaps, obs=child_obs)
+                self._plan, use_filter=self._use_filter,
+                suppress_overlaps=self._suppress_overlaps,
+                observability=child_obs)
             self._matchers[key] = matcher
             logger.debug("new partition %r (%d live)", key,
                          len(self._matchers))

@@ -22,10 +22,10 @@ from typing import Callable, Iterable, List
 
 from ..automaton.executor import SESExecutor
 from ..core.events import Event
-from ..core.matcher import Matcher
-from ..core.pattern import SESPattern
+from ..core.options import resolve_option
 from ..core.semantics import select_matches
 from ..core.substitution import Substitution
+from ..plan.cache import as_plan
 
 __all__ = ["ContinuousMatcher"]
 
@@ -40,30 +40,36 @@ class ContinuousMatcher:
     Parameters
     ----------
     pattern:
-        The SES pattern to watch for.
+        The SES pattern to watch for, or a compiled
+        :class:`~repro.plan.plan.PatternPlan` (plans are shared — the
+        recommended spelling is ``repro.compile(pattern).stream()``).
     use_filter:
         Apply the Section 4.5 event pre-filter.
     suppress_overlaps:
         Skip matches sharing events with an already reported match
         (the paper's intended-results behaviour).  Set to ``False`` to
         report every accepted buffer.
-    obs:
+    observability:
         Optional :class:`repro.obs.Observability` bundle: the underlying
         executor reports span timings, |Ω| and latency through it, and
         the runner counts reported matches
-        (``ses_stream_matches_reported_total``).
+        (``ses_stream_matches_reported_total``).  ``obs=`` is the
+        deprecated spelling.
     """
 
-    def __init__(self, pattern: SESPattern, use_filter: bool = True,
-                 suppress_overlaps: bool = True, obs=None):
-        self.pattern = pattern
+    def __init__(self, pattern, use_filter: bool = True,
+                 suppress_overlaps: bool = True, observability=None,
+                 obs=None):
+        obs = resolve_option("ContinuousMatcher", "observability",
+                             observability, "obs", obs)
+        self.plan = as_plan(pattern)
+        self.pattern = self.plan.pattern
         self.obs = obs
-        self._matcher = Matcher(pattern, use_filter=use_filter,
-                                selection="accepted")
-        self._executor: SESExecutor = self._matcher.executor(obs=obs)
-        # Keep emission latency bounded: filtered events still advance the
-        # expiry clock (see SESExecutor.expire_on_filtered).
-        self._executor.expire_on_filtered = True
+        # Filtered events still advance the expiry clock so emission
+        # latency stays bounded (see SESExecutor.expire_on_filtered).
+        self._executor: SESExecutor = self.plan.executor(
+            use_filter=use_filter, selection="accepted",
+            expire_on_filtered=True, observability=obs)
         self._callbacks: List[MatchCallback] = []
         self._reported: List[Substitution] = []
         self._used_events: set = set()

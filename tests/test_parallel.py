@@ -245,3 +245,55 @@ class TestObservability:
             make_relation(n_keys=2, reps=1))
         snapshot = obs.snapshot()
         assert snapshot["ses_pool_workers"]["value"] == 1
+
+
+class TestPlanShipping:
+    """Workers receive the parent's pickled plan — they never rebuild."""
+
+    def test_accepts_a_compiled_plan(self):
+        import repro
+        relation = make_relation()
+        plan = repro.compile(JOINED)
+        serial = PartitionedMatcher(plan).run(relation)
+        parallel = ParallelPartitionedMatcher(plan, workers=2)
+        assert parallel.plan is plan
+        assert_same_result(parallel.run(relation), serial)
+
+    @pytest.mark.skipif(not HAS_FORK, reason="needs fork start method")
+    def test_workers_never_rebuild_the_automaton(self, monkeypatch):
+        """With the automaton builder booby-trapped after the parent
+        compiled, a forked worker that tried to rebuild would crash; the
+        run succeeding proves every worker reused the shipped plan."""
+        import repro
+        from repro.plan import clear_plan_cache
+        relation = make_relation()
+        clear_plan_cache()
+        expected = canon(PartitionedMatcher(JOINED).run(relation))
+        plan = repro.compile(JOINED)
+
+        def explode(pattern):
+            raise AssertionError(
+                "build_automaton called after the plan was compiled")
+
+        monkeypatch.setattr("repro.plan.plan.build_automaton", explode)
+        monkeypatch.setattr("repro.automaton.builder.build_automaton",
+                            explode)
+        matcher = ParallelPartitionedMatcher(plan, workers=2,
+                                             start_method="fork")
+        assert canon(matcher.run(relation)) == expected
+
+    @pytest.mark.skipif(not HAS_FORK, reason="needs fork start method")
+    def test_worker_seeding_hits_the_plan_cache(self):
+        """_init_worker seeds the worker-global cache with the shipped
+        plan: a second compile of an equal pattern in the worker is a
+        hit, not a rebuild."""
+        from repro.parallel.pool import _init_worker
+        from repro.plan import clear_plan_cache, compile, plan_cache
+        clear_plan_cache()
+        plan = compile(JOINED)
+        clear_plan_cache()  # simulate a fresh worker process
+        _init_worker(plan, True, "greedy", False)
+        assert plan.fingerprint in plan_cache()
+        before = plan_cache().stats()["misses"]
+        assert compile(JOINED) is plan_cache().seed(plan)
+        assert plan_cache().stats()["misses"] == before

@@ -1,0 +1,119 @@
+"""The public façade: ``repro.__all__`` and the documented signatures.
+
+Pins the compile-once API surface so accidental renames, lost exports,
+or signature drift fail CI rather than downstream users."""
+
+import inspect
+
+import repro
+from repro.plan.plan import PatternPlan
+
+EXPECTED_ALL = {
+    # Core model
+    "Attribute", "Attr", "Condition", "Const", "Event", "EventFilter",
+    "EventRelation", "EventSchema", "MatchResult", "PatternError",
+    "SESPattern", "SchemaError", "Substitution", "Variable",
+    "attr", "const", "group", "var",
+    # Automaton layer
+    "SESAutomaton", "SESExecutor", "build_automaton", "execute",
+    # Compile-once façade
+    "PatternPlan", "PlanCache", "compile", "plan_cache",
+    "clear_plan_cache", "set_plan_cache_size",
+    # Matchers
+    "Matcher", "match", "ContinuousMatcher", "MultiPatternMatcher",
+    "ParallelPartitionedMatcher", "ShardedStreamMatcher",
+    # Language
+    "compile_query", "parse_query",
+    # Operations
+    "Observability", "WorkerCrashed",
+    "__version__",
+}
+
+
+class TestAll:
+    def test_all_is_exactly_the_documented_surface(self):
+        assert set(repro.__all__) == EXPECTED_ALL
+
+    def test_every_name_resolves(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None, name
+
+    def test_no_duplicates(self):
+        assert len(repro.__all__) == len(set(repro.__all__))
+
+
+def parameter_names(callable_):
+    return list(inspect.signature(callable_).parameters)
+
+
+class TestSignatures:
+    def test_compile(self):
+        params = inspect.signature(repro.compile).parameters
+        assert list(params) == ["pattern", "optimizations", "cache",
+                                "observability"]
+        for name in ("optimizations", "cache", "observability"):
+            assert params[name].kind is inspect.Parameter.KEYWORD_ONLY
+
+    def test_plan_match_unified_options(self):
+        params = parameter_names(PatternPlan.match)
+        for option in ("selection", "consume", "observability", "workers",
+                       "partition_by", "use_filter", "filter_mode"):
+            assert option in params, option
+
+    def test_plan_stream_unified_options(self):
+        params = parameter_names(PatternPlan.stream)
+        for option in ("use_filter", "suppress_overlaps", "partition_by",
+                       "observability"):
+            assert option in params, option
+
+    def test_match_wrapper(self):
+        params = parameter_names(repro.match)
+        assert params[:2] == ["pattern", "relation"]
+        for option in ("selection", "consume", "observability"):
+            assert option in params, option
+
+    def test_matcher_wrapper(self):
+        params = parameter_names(repro.Matcher.__init__)
+        for option in ("selection", "consume", "observability"):
+            assert option in params, option
+
+    def test_parallel_matcher_unified_options(self):
+        params = parameter_names(repro.ParallelPartitionedMatcher.__init__)
+        for option in ("partition_by", "workers", "consume",
+                       "observability"):
+            assert option in params, option
+
+    def test_sharded_matcher_unified_options(self):
+        params = parameter_names(repro.ShardedStreamMatcher.__init__)
+        for option in ("partition_by", "workers", "observability"):
+            assert option in params, option
+
+    def test_continuous_matcher_unified_options(self):
+        params = parameter_names(repro.ContinuousMatcher.__init__)
+        for option in ("use_filter", "suppress_overlaps", "observability"):
+            assert option in params, option
+
+
+class TestFacadeBehaviour:
+    def test_compile_returns_plans_from_the_global_cache(self):
+        pattern = repro.SESPattern(
+            sets=[["a"], ["b"]],
+            conditions=["a.kind = 'A'", "b.kind = 'B'"], tau=9)
+        assert repro.compile(pattern) is repro.compile(pattern)
+
+    def test_plan_exposes_fingerprint_and_describe(self):
+        pattern = repro.SESPattern(
+            sets=[["a"]], conditions=["a.kind = 'A'"], tau=5)
+        plan = repro.compile(pattern)
+        assert isinstance(plan.fingerprint, str) and len(plan.fingerprint) == 64
+        assert isinstance(plan.describe(), str)
+
+    def test_parse_query_parses_permute_text(self):
+        node = repro.parse_query(
+            "PATTERN PERMUTE(a, b) WHERE a.k = 'x' AND b.k = 'y' WITHIN 10")
+        assert node is not None
+
+    def test_compile_query_builds_patterns(self):
+        pattern = repro.compile_query(repro.parse_query(
+            "PATTERN PERMUTE(a, b) WHERE a.k = 'x' AND b.k = 'y' WITHIN 10"))
+        assert isinstance(pattern, repro.SESPattern)
