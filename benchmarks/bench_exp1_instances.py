@@ -100,6 +100,50 @@ def test_observability_overhead(exp1_relation, capsys):
     assert factor < 10
 
 
+def test_flight_recorder_overhead(exp1_relation, capsys):
+    """Measure the flight recorder's cost on the Experiment 1 hot path.
+
+    The recorder rides the tracer hook (no extra branches for step
+    records) plus one ``is not None`` guard per event for |Ω| sampling,
+    so attached it should stay within a few percent of the bare run —
+    the ≤ 5 % budget that makes it safe to leave on in production.  The
+    factor is printed so the number in docs/observability.md stays
+    honest; the assertion bound is looser to keep CI machines from
+    flaking the build.
+    """
+    from repro.obs.flight import FlightRecorder
+
+    pattern = experiment1_pattern(4, exclusive=True)
+
+    def run_once(flight):
+        executor = Matcher(pattern, selection="accepted").executor(
+            flight=flight)
+        start = time.perf_counter()
+        result = executor.run(exp1_relation)
+        return result, time.perf_counter() - start
+
+    baseline = recorded = 0.0
+    rounds = 3
+    steps = 0
+    for _ in range(rounds):  # interleave to cancel thermal/cache drift
+        base_result, base_seconds = run_once(None)
+        flight = FlightRecorder()
+        rec_result, rec_seconds = run_once(flight)
+        baseline += base_seconds
+        recorded += rec_seconds
+        steps = flight.recorded
+        assert (base_result.stats.max_simultaneous_instances
+                == rec_result.stats.max_simultaneous_instances)
+
+    factor = recorded / baseline
+    with capsys.disabled():
+        print(f"\nflight recorder overhead: baseline "
+              f"{baseline / rounds:.4f}s, recording {recorded / rounds:.4f}s "
+              f"({factor:.2f}x, {steps} steps recorded)")
+    assert steps > 0
+    assert factor < 1.5
+
+
 def test_figure11_and_table1(exp1_relation, profile, capsys):
     """Run the full sweep, print the paper-style tables, assert the shapes."""
     rows = run_experiment1(exp1_relation, max_vars=profile.exp1_max_vars)

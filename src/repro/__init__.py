@@ -45,7 +45,7 @@ from .automaton.executor import MatchResult, SESExecutor, execute
 from .automaton.filtering import EventFilter
 
 from .lang import compile_query, parse_query
-from .obs import Observability
+from .obs import FlightRecorder, Observability, ObsServer
 from .parallel import (ParallelPartitionedMatcher, ShardedStreamMatcher,
                        WorkerCrashed)
 from .plan import (PatternPlan, PlanCache, clear_plan_cache, compile,
@@ -64,10 +64,12 @@ __all__ = [
     "EventFilter",
     "EventRelation",
     "EventSchema",
+    "FlightRecorder",
     "MatchResult",
     "Matcher",
     "MultiPatternMatcher",
     "Observability",
+    "ObsServer",
     "ParallelPartitionedMatcher",
     "PatternError",
     "PatternPlan",

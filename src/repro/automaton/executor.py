@@ -124,6 +124,25 @@ class MatchResult:
                 f"maxΩ={self.stats.max_simultaneous_instances})")
 
 
+class _TeeTracer:
+    """Fans one stream of trace records out to two recorders.
+
+    Lets a full :class:`~repro.automaton.trace.Tracer` and a
+    :class:`~repro.obs.flight.FlightRecorder` share the executor's
+    single tracer hook, so attaching both costs no extra branches.
+    """
+
+    __slots__ = ("first", "second")
+
+    def __init__(self, first, second):
+        self.first = first
+        self.second = second
+
+    def record(self, kind, event, instance, transition=None, successor=None):
+        self.first.record(kind, event, instance, transition, successor)
+        self.second.record(kind, event, instance, transition, successor)
+
+
 class SESExecutor:
     """Executes a SES automaton over a stream of time-ordered events.
 
@@ -154,7 +173,8 @@ class SESExecutor:
                  tracer=None,
                  record_history: bool = False,
                  history_max_samples: Optional[int] = None,
-                 obs=None):
+                 obs=None,
+                 flight=None):
         if selection not in SELECTIONS:
             raise ValueError(
                 f"unknown selection {selection!r}; expected one of {SELECTIONS}"
@@ -194,6 +214,15 @@ class SESExecutor:
         #: ``None`` (the default) keeps the hot path instrumentation-free
         #: — a single ``is None`` check per event.
         self.obs = obs
+        #: Optional :class:`repro.obs.flight.FlightRecorder`.  Attached,
+        #: it rides the existing tracer hooks (teed when a full tracer
+        #: is also present) plus one |Ω| sample per processed event, so
+        #: the tail of execution survives a crash; detached (the
+        #: default) the hot path is unchanged.
+        self.flight = flight
+        if flight is not None:
+            self.tracer = (flight if tracer is None
+                           else _TeeTracer(tracer, flight))
         if obs is not None and event_filter is not None:
             event_filter.bind_metrics(obs.registry)
         self.reset()
@@ -303,6 +332,9 @@ class SESExecutor:
             self._consume(instance, event, next_omega)
         self._omega = next_omega
         stats.observe_omega(len(next_omega))
+        flight = self.flight
+        if flight is not None:
+            flight.sample_omega(event.ts, len(next_omega))
         self._accepted.extend(accepted_now)
         return accepted_now
 
@@ -393,11 +425,30 @@ class SESExecutor:
     # Batch execution and result selection
     # ------------------------------------------------------------------
     def run(self, events: Iterable[Event]) -> MatchResult:
-        """Execute over a complete relation and select results."""
+        """Execute over a complete relation and select results.
+
+        With a flight recorder attached, an exception escaping the run
+        carries the recorder's dump as ``exc.flight_dump`` — the tail of
+        execution leading up to the failure.
+        """
         self.reset()
-        for event in events:
-            self.feed(event)
-        self.finish()
+        current: Optional[Event] = None
+        try:
+            for event in events:
+                current = event
+                self.feed(event)
+            current = None
+            self.finish()
+        except Exception as exc:
+            if self.flight is not None and not hasattr(exc, "flight_dump"):
+                self.flight.note_crash(
+                    current, f"{type(exc).__name__}: {exc}")
+                exc.flight_dump = self.flight.dump()
+                logger.error(
+                    "executor failed after %d event(s); flight recorder "
+                    "holds %d step(s)", self.stats.events_read,
+                    len(self.flight))
+            raise
         matches = self.select(self._accepted)
         self.stats.matches = len(matches)
         self.publish_stats()

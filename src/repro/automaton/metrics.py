@@ -132,9 +132,12 @@ def sparkline(history: List[Tuple[object, int]], width: int = 60) -> str:
         return ""
     sizes = [s for _, s in history]
     if len(sizes) > width:
-        bucket = len(sizes) / width
-        sizes = [max(sizes[int(i * bucket):max(int(i * bucket) + 1,
-                                               int((i + 1) * bucket))])
+        # Integer bucket boundaries: each bucket takes len//width samples
+        # and the last bucket absorbs the remainder, so trailing samples
+        # are never dropped (float bucketing could round the tail away).
+        base = len(sizes) // width
+        sizes = [max(sizes[i * base:(i + 1) * base]) if i < width - 1
+                 else max(sizes[i * base:])
                  for i in range(width)]
     peak = max(sizes) or 1
     levels = len(_BLOCKS) - 1

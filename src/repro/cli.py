@@ -7,6 +7,12 @@ Commands
     ``--profile`` adds a per-stage timing table (filter / consume /
     select), an Ω-population sparkline, and — with ``--metrics-out`` — a
     JSON-lines metrics snapshot (see ``docs/observability.md``).
+    ``--listen HOST:PORT`` serves live ``/metrics`` + ``/healthz`` while
+    the run lasts; ``--trace-out`` writes a Perfetto/Chrome trace.
+``serve``
+    Replay a relation through the continuous matcher and keep serving
+    the observability endpoint until stopped (``POST /quitquitquit``,
+    SIGTERM, or Ctrl-C).  ``SIGUSR2`` dumps the flight recorder.
 ``generate``
     Write a synthetic chemotherapy relation to CSV.
 ``explain``
@@ -31,7 +37,9 @@ from __future__ import annotations
 import argparse
 import logging
 import re
+import signal
 import sys
+import threading
 from pathlib import Path
 from typing import List, Optional
 
@@ -43,8 +51,10 @@ from .core.rewrite import close_equality_joins
 from .data.chemo import generate_chemo
 from .lang import QueryError, parse_pattern
 from .plan.cache import compile as compile_plan
-from .obs import (Observability, configure_logging, read_jsonl, to_jsonl,
-                  to_prometheus, write_jsonl)
+from .obs import (FlightRecorder, ObsServer, Observability, SpanTracer,
+                  configure_logging, install_flight_signal_handler,
+                  parse_listen, read_jsonl, to_jsonl, to_prometheus,
+                  write_chrome_trace, write_jsonl)
 from .storage.csvio import load_relation, save_relation
 
 __all__ = ["main", "build_parser"]
@@ -95,6 +105,39 @@ def build_parser() -> argparse.ArgumentParser:
                          help="write a JSON-lines metrics snapshot "
                               "(implies instrumentation; render with "
                               "'repro stats')")
+    p_match.add_argument("--listen", metavar="HOST:PORT",
+                         help="serve /metrics, /varz, /healthz and "
+                              "/debug/flight over HTTP while the run "
+                              "lasts (implies instrumentation; port 0 "
+                              "picks an ephemeral port)")
+    p_match.add_argument("--trace-out", type=Path, metavar="PATH",
+                         help="write a Perfetto/Chrome trace of the run "
+                              "(open in ui.perfetto.dev; requires "
+                              "--workers 1)")
+
+    p_serve = sub.add_parser(
+        "serve", help="replay a relation through the streaming matcher "
+                      "and serve live metrics over HTTP until stopped")
+    _add_query_arguments(p_serve)
+    p_serve.add_argument("--data", required=True, type=Path,
+                         help="event relation CSV (typed format)")
+    p_serve.add_argument("--listen", default="127.0.0.1:0",
+                         metavar="HOST:PORT",
+                         help="bind address of the observability "
+                              "endpoint (default: 127.0.0.1 on an "
+                              "ephemeral port, printed at startup)")
+    p_serve.add_argument("--workers", type=int, default=1, metavar="N",
+                         help="shard the stream over N worker processes "
+                              "(requires a partitionable pattern; "
+                              "/healthz then reports per-shard liveness)")
+    p_serve.add_argument("--no-filter", action="store_true",
+                         help="disable the Section 4.5 event pre-filter")
+    p_serve.add_argument("--flight-dump", type=Path, metavar="PATH",
+                         help="where SIGUSR2 (and a crash) dumps the "
+                              "flight recorder (default: stderr)")
+    p_serve.add_argument("--once", action="store_true",
+                         help="exit right after the replay instead of "
+                              "serving until stopped")
 
     p_generate = sub.add_parser(
         "generate", help="write a synthetic chemotherapy relation to CSV")
@@ -160,25 +203,46 @@ def _load_pattern(args: argparse.Namespace):
 def _cmd_match(args: argparse.Namespace) -> int:
     pattern = _load_pattern(args)
     relation = load_relation(args.data)
-    profiling = args.profile or args.metrics_out is not None
+    tracing = args.trace_out is not None
+    profiling = (args.profile or args.metrics_out is not None
+                 or args.listen is not None or tracing)
     if args.workers < 1:
         raise ValueError("--workers must be >= 1")
-    obs = Observability() if profiling else None
+    if tracing and args.workers != 1:
+        raise ValueError("--trace-out requires --workers 1 (worker "
+                         "processes only ship aggregated spans back)")
+    obs = None
+    if profiling:
+        # Individual span records are only needed for the trace export;
+        # aggregation alone keeps --profile and --listen cheap.
+        obs = Observability(spans=SpanTracer(keep_records=tracing))
+    flight = (FlightRecorder() if (tracing or args.listen is not None)
+              and args.workers == 1 else None)
     plan = compile_plan(pattern, observability=obs)
-    if profiling and args.workers == 1:
-        executor = plan.executor(
-            use_filter=not args.no_filter, selection=args.selection,
-            consume=args.mode, observability=obs,
-            record_history=True,
-            history_max_samples=PROFILE_HISTORY_SAMPLES)
-        result = executor.run(relation)
-    else:
-        result = plan.match(relation,
-                            use_filter=not args.no_filter,
-                            selection=args.selection,
-                            consume=args.mode,
-                            workers=args.workers,
-                            observability=obs)
+    server = None
+    if args.listen is not None:
+        host, port = parse_listen(args.listen)
+        server = ObsServer(host=host, port=port, snapshot=obs.snapshot,
+                           flight=flight).start()
+        print(f"serving observability on {server.url}")
+    try:
+        if profiling and args.workers == 1:
+            executor = plan.executor(
+                use_filter=not args.no_filter, selection=args.selection,
+                consume=args.mode, observability=obs, flight=flight,
+                record_history=True,
+                history_max_samples=PROFILE_HISTORY_SAMPLES)
+            result = executor.run(relation)
+        else:
+            result = plan.match(relation,
+                                use_filter=not args.no_filter,
+                                selection=args.selection,
+                                consume=args.mode,
+                                workers=args.workers,
+                                observability=obs)
+    finally:
+        if server is not None:
+            server.stop()
     print(f"{len(result)} match(es) in {len(relation)} events")
     for i, substitution in enumerate(result, start=1):
         bindings = ", ".join(f"{variable!r}/{event.eid or event.ts}"
@@ -197,7 +261,106 @@ def _cmd_match(args: argparse.Namespace) -> int:
     if args.metrics_out is not None:
         path = write_jsonl(obs.snapshot(), args.metrics_out)
         print(f"metrics snapshot: {path}")
+    if tracing:
+        write_chrome_trace(args.trace_out, spans=obs.spans, flight=flight)
+        print(f"chrome trace: {args.trace_out} "
+              f"(open in ui.perfetto.dev or chrome://tracing)")
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Replay ``--data`` through a streaming matcher, then serve until
+    stopped (POST /quitquitquit, SIGTERM, Ctrl-C, or ``--once``)."""
+    pattern = _load_pattern(args)
+    relation = load_relation(args.data)
+    if args.workers < 1:
+        raise ValueError("--workers must be >= 1")
+    obs = Observability()
+    plan = compile_plan(pattern, observability=obs)
+    stop = threading.Event()
+    sharded = args.workers > 1
+    flight = None if sharded else FlightRecorder()
+
+    if sharded:
+        from .parallel.sharded import ShardedStreamMatcher
+        matcher = ShardedStreamMatcher(plan, workers=args.workers,
+                                       use_filter=not args.no_filter,
+                                       observability=obs)
+
+        def health():
+            report = matcher.health()
+            return report["status"] == "ok", report
+    else:
+        matcher = plan.stream(use_filter=not args.no_filter,
+                              observability=obs, flight=flight)
+
+        def health():
+            return True, {"status": "ok", "workers": 1,
+                          "active_instances": matcher.active_instances,
+                          "matches": len(matcher.matches)}
+
+    restore_signals = _install_serve_signal_handlers(stop, flight,
+                                                     args.flight_dump)
+    server = ObsServer(*parse_listen(args.listen), snapshot=obs.snapshot,
+                       health=health, flight=flight, on_quit=stop.set)
+    try:
+        server.start()
+        print(f"serving observability on {server.url}", flush=True)
+        matcher.push_many(relation)
+        if sharded:
+            matcher.flush()
+        else:
+            matcher.publish_stats()
+        print(f"replayed {len(relation)} events, "
+              f"{len(matcher.matches)} match(es) so far", flush=True)
+        if not args.once:
+            while not stop.wait(0.25):
+                pass
+        matcher.close()
+    except KeyboardInterrupt:
+        matcher.close()
+    except Exception as exc:
+        dump = getattr(exc, "flight_dump", None)
+        if dump is None and flight is not None:
+            dump = flight.dump()
+        if dump is not None and args.flight_dump is not None:
+            import json as _json
+            args.flight_dump.write_text(
+                _json.dumps(dump, indent=2, default=str) + "\n")
+            print(f"flight dump: {args.flight_dump}", file=sys.stderr)
+        raise
+    finally:
+        server.stop()
+        restore_signals()
+    print(f"done: {len(matcher.matches)} match(es) reported")
+    return 0
+
+
+def _install_serve_signal_handlers(stop: threading.Event, flight,
+                                   dump_path):
+    """SIGTERM stops the serve loop; SIGUSR2 dumps the flight recorder.
+
+    Returns a zero-argument callable restoring the previous handlers —
+    serve must not leak its handlers into the host process (a child
+    forked afterwards would inherit a SIGTERM handler pointing at a
+    dead serve loop and become unkillable by ``terminate()``).
+    ``signal.signal`` is main-thread-only, so this is a no-op when the
+    CLI runs on a worker thread (as the tests do)."""
+    if threading.current_thread() is not threading.main_thread():
+        return lambda: None
+    previous = [(signal.SIGTERM, signal.getsignal(signal.SIGTERM))]
+    signal.signal(signal.SIGTERM, lambda signo, frame: stop.set())
+    if flight is not None:
+        sigusr2 = getattr(signal, "SIGUSR2", None)
+        if sigusr2 is not None:
+            previous.append((sigusr2, signal.getsignal(sigusr2)))
+        install_flight_signal_handler(flight, path=dump_path)
+
+    def restore() -> None:
+        for signum, handler in previous:
+            signal.signal(signum, handler)
+
+    return restore
 
 
 def _print_profile(obs: Observability, stats) -> None:
@@ -318,6 +481,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
 
 _COMMANDS = {
     "match": _cmd_match,
+    "serve": _cmd_serve,
     "generate": _cmd_generate,
     "explain": _cmd_explain,
     "analyze": _cmd_analyze,

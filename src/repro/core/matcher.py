@@ -98,18 +98,23 @@ class Matcher:
         return self.executor().run(relation)
 
     def executor(self, obs=None, record_history: bool = False,
-                 history_max_samples: Optional[int] = None) -> SESExecutor:
+                 history_max_samples: Optional[int] = None,
+                 flight=None) -> SESExecutor:
         """A fresh incremental executor (for streaming use).
 
         ``obs`` overrides the matcher-level bundle for this executor
-        (per-partition streaming hands each executor its own).
+        (per-partition streaming hands each executor its own);
+        ``flight`` attaches a :class:`repro.obs.flight.FlightRecorder`.
         """
+        if flight is not None:
+            flight.note_plan(self.plan.fingerprint)
         return SESExecutor(self.automaton, event_filter=self.event_filter,
                            selection=self.selection,
                            consume_mode=self.consume_mode,
                            obs=self.obs if obs is None else obs,
                            record_history=record_history,
-                           history_max_samples=history_max_samples)
+                           history_max_samples=history_max_samples,
+                           flight=flight)
 
     def __repr__(self) -> str:
         return f"Matcher({self.pattern!r})"

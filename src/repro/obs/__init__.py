@@ -26,7 +26,10 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, Optional
 
-from .exporters import read_jsonl, to_jsonl, to_prometheus, write_jsonl
+from .exporters import (read_jsonl, to_chrome_trace, to_jsonl, to_prometheus,
+                        write_chrome_trace, write_jsonl)
+from .flight import FlightRecorder, install_flight_signal_handler
+from .live import ObsServer, parse_listen
 from .logs import configure_logging, get_logger, verbosity_level
 from .metrics import (LATENCY_BUCKETS, LIFETIME_BUCKETS, NULL_REGISTRY,
                       Counter, Gauge, Histogram, MetricsRegistry, NullRegistry)
@@ -36,8 +39,11 @@ __all__ = [
     "Counter", "Gauge", "Histogram", "MetricsRegistry", "NullRegistry",
     "NULL_REGISTRY", "LATENCY_BUCKETS", "LIFETIME_BUCKETS",
     "Span", "SpanTracer", "StageStats", "Observability",
+    "FlightRecorder", "ObsServer",
     "configure_logging", "get_logger", "verbosity_level",
-    "read_jsonl", "to_jsonl", "to_prometheus", "write_jsonl",
+    "install_flight_signal_handler", "parse_listen",
+    "read_jsonl", "to_chrome_trace", "to_jsonl", "to_prometheus",
+    "write_chrome_trace", "write_jsonl",
 ]
 
 #: The engine's canonical stage names, in pipeline order.

@@ -14,6 +14,10 @@ record carries a ``"type"`` of ``counter``, ``gauge``, ``histogram`` or
   exposition format — counters and gauges verbatim, histograms as
   cumulative ``_bucket{le="..."}`` series plus ``_sum``/``_count``,
   stages as a ``_seconds_total``/``_calls_total`` pair.
+* **Chrome trace event JSON** (:func:`to_chrome_trace` /
+  :func:`write_chrome_trace`): spans as duration events and automaton
+  instance lifecycles as async events, loadable in ``ui.perfetto.dev``
+  or ``chrome://tracing``.
 """
 
 from __future__ import annotations
@@ -23,7 +27,8 @@ import re
 from pathlib import Path
 from typing import Dict, List, Union
 
-__all__ = ["write_jsonl", "read_jsonl", "to_jsonl", "to_prometheus"]
+__all__ = ["write_jsonl", "read_jsonl", "to_jsonl", "to_prometheus",
+           "to_chrome_trace", "write_chrome_trace"]
 
 _NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
 
@@ -34,6 +39,11 @@ def _prom_name(name: str) -> str:
     if not name or name[0].isdigit():
         name = "_" + name
     return name
+
+
+def _prom_help(text: str) -> str:
+    """Escape HELP text per the exposition format (backslash, newline)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
 
 
 def _prom_value(value) -> str:
@@ -84,7 +94,7 @@ def to_prometheus(snapshot: Dict[str, dict]) -> str:
         pname = _prom_name(name)
         help_text = record.get("help", "")
         if help_text:
-            out.append(f"# HELP {pname} {help_text}")
+            out.append(f"# HELP {pname} {_prom_help(help_text)}")
         if kind == "counter":
             out.append(f"# TYPE {pname} counter")
             out.append(f"{pname} {_prom_value(record['value'])}")
@@ -102,9 +112,18 @@ def to_prometheus(snapshot: Dict[str, dict]) -> str:
                 out.append(
                     f'{pname}_bucket{{le="{_prom_value(float(bound))}"}} '
                     f"{cumulative}")
-            out.append(f'{pname}_bucket{{le="+Inf"}} {record["count"]}')
+            # Cumulative invariant: the +Inf bucket must equal _count.
+            # Derive both from the bucket counts (+ the overflow bucket)
+            # so a snapshot whose redundant "count" field disagrees —
+            # e.g. a partial dump from a crashed worker — still renders
+            # a monotonic series instead of +Inf < the last finite le.
+            overflow = record.get("overflow")
+            if overflow is None:
+                overflow = max(record.get("count", cumulative) - cumulative, 0)
+            total = cumulative + overflow
+            out.append(f'{pname}_bucket{{le="+Inf"}} {total}')
             out.append(f"{pname}_sum {_prom_value(record['sum'])}")
-            out.append(f"{pname}_count {record['count']}")
+            out.append(f"{pname}_count {total}")
         elif kind == "stage":
             out.append(f"# TYPE {pname}_seconds_total counter")
             out.append(
@@ -115,3 +134,116 @@ def to_prometheus(snapshot: Dict[str, dict]) -> str:
             out.append(f"# TYPE {pname} untyped")
             out.append(f"{pname} {_prom_value(record.get('value', 0))}")
     return "\n".join(out) + ("\n" if out else "")
+
+
+# ----------------------------------------------------------------------
+# Chrome trace event JSON (Perfetto / chrome://tracing)
+# ----------------------------------------------------------------------
+#: Synthetic process ids used in the trace: wall-clock spans and
+#: event-time instance lifecycles live in different time domains, so
+#: they are rendered as two separate "processes".
+SPAN_PID = 1
+INSTANCE_PID = 2
+
+#: Step kinds that terminate an automaton instance's lifecycle.
+_LIFECYCLE_ENDS = ("expire", "accept", "flush")
+
+
+def _span_records(spans):
+    """Normalise a spans argument: SpanTracer, or iterable of Span."""
+    if spans is None:
+        return []
+    records = getattr(spans, "records", None)
+    return records if records is not None else list(spans)
+
+
+def _lifecycle_records(steps, flight):
+    """``(kind, end_ts, born_ts, label)`` per finished instance.
+
+    ``steps`` is an iterable of :class:`~repro.automaton.trace.TraceStep`
+    (or a Tracer); ``flight`` a FlightRecorder, its :meth:`dump` dict, or
+    a list of step dicts.  Both name the same Algorithm 1 vocabulary, so
+    lifecycles are read uniformly: an instance born at its buffer's
+    ``min_ts`` ends when an expire/accept/flush step records it.
+    """
+    out = []
+    if steps is not None:
+        for step in getattr(steps, "steps", steps):
+            if step.kind not in _LIFECYCLE_ENDS:
+                continue
+            end = step.event.ts if step.event is not None else None
+            born = step.instance.buffer.min_ts
+            label = (step.event.eid or str(step.event.ts)
+                     if step.event is not None else "EOF")
+            out.append((step.kind, end, born, label))
+    if flight is not None:
+        if hasattr(flight, "dump"):
+            flight = flight.dump()
+        records = flight["steps"] if isinstance(flight, dict) else flight
+        for record in records:
+            if record.get("kind") not in _LIFECYCLE_ENDS:
+                continue
+            out.append((record["kind"], record.get("ts"),
+                        record.get("born"), record.get("event") or "EOF"))
+    return out
+
+
+def to_chrome_trace(spans=None, steps=None, flight=None) -> dict:
+    """Render spans and instance lifecycles as a Chrome trace document.
+
+    Parameters
+    ----------
+    spans:
+        A :class:`~repro.obs.tracing.SpanTracer` built with
+        ``keep_records=True`` (or an iterable of its ``Span`` records).
+        Each span becomes a complete duration event (``"ph": "X"``) with
+        microsecond timestamps on the monotonic clock, nested by depth.
+    steps:
+        A :class:`~repro.automaton.trace.Tracer` (or its step list).
+        Every finished instance (spawn → accept/expire/flush) becomes an
+        async event pair (``"ph": "b"``/``"e"``) spanning the instance's
+        event-time lifetime — one event-time unit is rendered as one
+        microsecond.
+    flight:
+        A :class:`~repro.obs.flight.FlightRecorder` (or its dump), read
+        the same way as ``steps``.
+
+    Returns the ``{"traceEvents": [...]}`` document; load it at
+    ``ui.perfetto.dev`` or ``chrome://tracing``.
+    """
+    events: List[dict] = [
+        {"name": "process_name", "ph": "M", "pid": SPAN_PID, "tid": 0,
+         "args": {"name": "repro stages (wall clock)"}},
+        {"name": "process_name", "ph": "M", "pid": INSTANCE_PID, "tid": 0,
+         "args": {"name": "repro instances (event time)"}},
+    ]
+    for span in _span_records(spans):
+        events.append({
+            "name": span.name, "cat": "stage", "ph": "X",
+            "ts": span.start * 1e6, "dur": span.duration * 1e6,
+            "pid": SPAN_PID, "tid": span.depth,
+        })
+    for index, (kind, end, born, label) in enumerate(
+            _lifecycle_records(steps, flight)):
+        if end is None and born is None:
+            continue
+        begin = born if born is not None else end
+        finish = end if end is not None else born
+        name = f"instance {kind} @{label}"
+        common = {"cat": "instance", "id": index, "pid": INSTANCE_PID,
+                  "tid": 0}
+        events.append({"name": name, "ph": "b", "ts": float(begin),
+                       **common})
+        events.append({"name": name, "ph": "e", "ts": float(finish),
+                       **common})
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(path: Union[str, Path], spans=None, steps=None,
+                       flight=None) -> Path:
+    """Write :func:`to_chrome_trace` output to ``path``; returns the path."""
+    path = Path(path)
+    document = to_chrome_trace(spans=spans, steps=steps, flight=flight)
+    path.write_text(json.dumps(document, default=str) + "\n",
+                    encoding="utf-8")
+    return path

@@ -1,0 +1,229 @@
+"""Live runtime introspection over HTTP (stdlib only).
+
+:class:`ObsServer` exposes a running engine's observability state on a
+small ``http.server``-based endpoint — no dependencies, safe to embed in
+the CLI or any host application:
+
+============== =========================================================
+route          payload
+============== =========================================================
+``/metrics``   Prometheus text exposition (via
+               :func:`repro.obs.exporters.to_prometheus`)
+``/varz``      the raw metrics snapshot as JSON
+``/healthz``   liveness JSON — ``200`` when healthy, ``503`` when a
+               health provider reports degradation (dead shards, …)
+``/debug/flight``  the flight-recorder tail as JSON (``404`` when no
+               recorder is attached)
+``/quitquitquit``  ``POST`` only: invoke the ``on_quit`` callback
+               (graceful remote shutdown for ``repro serve``)
+============== =========================================================
+
+The server runs on a daemon thread (:meth:`start` returns the bound
+address immediately); providers are callables evaluated per request, so
+the payloads always reflect live state.  Binding port ``0`` picks an
+ephemeral port — read it back from :attr:`port` / :attr:`url`.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable, Dict, Optional, Tuple
+
+from .exporters import to_prometheus
+
+__all__ = ["ObsServer", "parse_listen"]
+
+logger = logging.getLogger(__name__)
+
+#: ``Content-Type`` of the Prometheus text exposition format.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: ``(healthy, detail)`` returned by a health provider.
+HealthReport = Tuple[bool, dict]
+
+
+def parse_listen(spec: str) -> Tuple[str, int]:
+    """Parse a ``HOST:PORT`` listen spec (``:PORT`` means localhost)."""
+    host, sep, port = spec.rpartition(":")
+    if not sep or not port.isdigit():
+        raise ValueError(
+            f"invalid listen address {spec!r}; expected HOST:PORT")
+    return (host or "127.0.0.1", int(port))
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes requests to the owning :class:`ObsServer`'s providers."""
+
+    server_version = "repro-obs/1.0"
+    protocol_version = "HTTP/1.1"
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        obs_server: "ObsServer" = self.server.obs_server
+        path = self.path.split("?", 1)[0]
+        try:
+            if path == "/metrics":
+                snapshot = obs_server.read_snapshot()
+                self._reply(200, to_prometheus(snapshot),
+                            PROMETHEUS_CONTENT_TYPE)
+            elif path == "/varz":
+                self._reply_json(200, obs_server.read_snapshot())
+            elif path == "/healthz":
+                healthy, detail = obs_server.read_health()
+                self._reply_json(200 if healthy else 503, detail)
+            elif path == "/debug/flight":
+                dump = obs_server.read_flight()
+                if dump is None:
+                    self._reply_json(404,
+                                     {"error": "no flight recorder attached"})
+                else:
+                    self._reply_json(200, dump)
+            elif path == "/":
+                self._reply_json(200, {"routes": sorted(obs_server.routes)})
+            else:
+                self._reply_json(404, {"error": f"unknown route {path!r}"})
+        except Exception as exc:  # a broken provider must not kill the server
+            logger.exception("obs endpoint %s failed", path)
+            self._reply_json(500, {"error": f"{type(exc).__name__}: {exc}"})
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server API)
+        obs_server: "ObsServer" = self.server.obs_server
+        path = self.path.split("?", 1)[0]
+        if path == "/quitquitquit":
+            self._reply_json(200, {"quitting": True})
+            obs_server.request_quit()
+        else:
+            self._reply_json(404, {"error": f"unknown route {path!r}"})
+
+    def _reply_json(self, status: int, payload) -> None:
+        self._reply(status, json.dumps(payload, indent=2, default=str) + "\n",
+                    "application/json")
+
+    def _reply(self, status: int, body: str, content_type: str) -> None:
+        data = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    def log_message(self, format: str, *args) -> None:
+        logger.debug("obs http: %s", format % args)
+
+
+class ObsServer:
+    """Serves live engine state over HTTP from a daemon thread.
+
+    Parameters
+    ----------
+    host / port:
+        Bind address; port ``0`` (default) picks an ephemeral port.
+    snapshot:
+        Callable returning the metrics snapshot dict (e.g.
+        ``obs.snapshot``) backing ``/metrics`` and ``/varz``.
+    health:
+        Callable returning ``(healthy, detail_dict)`` backing
+        ``/healthz``; without one the endpoint reports a plain
+        ``{"status": "ok"}``.
+    flight:
+        A :class:`~repro.obs.flight.FlightRecorder` (or a callable
+        returning a dump dict) backing ``/debug/flight``.
+    on_quit:
+        Callback invoked by ``POST /quitquitquit`` (e.g. an Event's
+        ``set``); the route 404s without one.
+
+    Usable as a context manager (``with ObsServer(...) as server:``);
+    :meth:`stop` is idempotent.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 snapshot: Optional[Callable[[], Dict[str, dict]]] = None,
+                 health: Optional[Callable[[], HealthReport]] = None,
+                 flight=None,
+                 on_quit: Optional[Callable[[], None]] = None):
+        self._snapshot = snapshot
+        self._health = health
+        self._flight = flight
+        self._on_quit = on_quit
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.daemon_threads = True
+        self._httpd.obs_server = self
+        self._thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------
+    # Provider access (called from handler threads)
+    # ------------------------------------------------------------------
+    @property
+    def routes(self) -> Tuple[str, ...]:
+        routes = ["/metrics", "/varz", "/healthz"]
+        if self._flight is not None:
+            routes.append("/debug/flight")
+        if self._on_quit is not None:
+            routes.append("/quitquitquit")
+        return tuple(routes)
+
+    def read_snapshot(self) -> Dict[str, dict]:
+        return {} if self._snapshot is None else self._snapshot()
+
+    def read_health(self) -> HealthReport:
+        if self._health is None:
+            return True, {"status": "ok"}
+        return self._health()
+
+    def read_flight(self) -> Optional[dict]:
+        flight = self._flight
+        if flight is None:
+            return None
+        return flight() if callable(flight) else flight.dump()
+
+    def request_quit(self) -> None:
+        if self._on_quit is not None:
+            self._on_quit()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "ObsServer":
+        """Begin serving on a daemon thread; returns ``self``."""
+        if self._thread is not None:
+            return self
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name=f"repro-obs-http-{self.port}", daemon=True)
+        self._thread.start()
+        logger.info("obs endpoint listening on %s", self.url)
+        return self
+
+    def stop(self) -> None:
+        """Shut the server down and join the serving thread."""
+        if self._thread is None:
+            self._httpd.server_close()
+            return
+        self._httpd.shutdown()
+        self._thread.join(timeout=5.0)
+        self._httpd.server_close()
+        self._thread = None
+
+    def __enter__(self) -> "ObsServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    def __repr__(self) -> str:
+        state = "serving" if self._thread is not None else "stopped"
+        return f"ObsServer({self.url}, {state})"

@@ -244,30 +244,60 @@ class MetricsRegistry:
         with the same per-kind semantics (counters and histograms add,
         gauges add values and high-waters).  Records of unknown type
         (e.g. ``stage`` spans, which belong to the tracer) are ignored.
+
+        Malformed records — e.g. a *partial* snapshot handed back from a
+        crashed worker, with histogram fields missing or truncated —
+        raise :class:`ValueError` **before** any mutation, so a failed
+        merge never leaves this registry's bucket counts corrupted.
         """
         for name, record in snapshot.items():
             kind = record.get("type")
             if kind == "counter":
-                self.counter(name, help=record.get("help", "")).inc(
-                    record["value"])
+                try:
+                    value = record["value"]
+                except KeyError:
+                    raise ValueError(
+                        f"partial counter record {name!r}: missing value")
+                self.counter(name, help=record.get("help", "")).inc(value)
             elif kind == "gauge":
+                try:
+                    value = record["value"]
+                except KeyError:
+                    raise ValueError(
+                        f"partial gauge record {name!r}: missing value")
                 gauge = self.gauge(name, help=record.get("help", ""))
-                gauge.value += record["value"]
-                gauge.max_value += record.get("max", record["value"])
+                gauge.value += value
+                gauge.max_value += record.get("max", value)
             elif kind == "histogram":
-                bounds = tuple(bound for bound, _ in record["buckets"])
+                # Read and validate every field before touching the
+                # live histogram: a record that fails halfway must not
+                # leave counts incremented with sum/count unchanged.
+                try:
+                    buckets = record["buckets"]
+                    incoming_sum = record["sum"]
+                    incoming_count = record["count"]
+                except KeyError as missing:
+                    raise ValueError(
+                        f"partial histogram record {name!r}: missing "
+                        f"{missing}")
+                bounds = tuple(bound for bound, _ in buckets)
+                counts = [count for _, count in buckets]
+                counts.append(record.get("overflow", 0))
                 histogram = self.histogram(name, help=record.get("help", ""),
                                            buckets=bounds)
                 if histogram.bounds != bounds:
                     raise ValueError(
                         f"cannot merge histogram {name!r}: bucket bounds "
                         f"differ")
-                counts = [count for _, count in record["buckets"]]
-                counts.append(record.get("overflow", 0))
+                if len(counts) != len(histogram.counts):
+                    raise ValueError(
+                        f"partial histogram record {name!r}: "
+                        f"{len(counts) - 1} bucket(s), expected "
+                        f"{len(histogram.counts) - 1}")
                 histogram.counts = [a + b for a, b in
                                     zip(histogram.counts, counts)]
-                histogram.sum += record["sum"]
-                histogram.count += record["count"]
+                histogram.sum += incoming_sum
+                histogram.count += incoming_count
         return self
 
     def __repr__(self) -> str:

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from typing import Optional
+
 __all__ = ["WorkerCrashed"]
 
 
@@ -13,4 +15,20 @@ class WorkerCrashed(RuntimeError):
     worker exits abnormally (killed, unhandled low-level crash, lost
     pipe).  The parent cleans up the remaining workers before raising,
     so callers never hang on a dead pool.
+
+    ``flight_dump`` carries the crashing worker's flight-recorder dump
+    (see :class:`repro.obs.flight.FlightRecorder`) — the tail of
+    execution steps and |Ω| samples leading up to the failure — when the
+    worker got the chance to capture one; it is ``None`` for hard
+    crashes (``SIGKILL``, ``os._exit``) where no evidence survives.
     """
+
+    def __init__(self, message: str, flight_dump: Optional[dict] = None):
+        super().__init__(message)
+        self.flight_dump = flight_dump
+
+    def __reduce__(self):
+        # Default exception pickling only keeps args; the dump must
+        # survive the trip from a pool worker back to the parent.
+        return (type(self), (self.args[0] if self.args else "",
+                             self.flight_dump))

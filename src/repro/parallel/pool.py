@@ -105,44 +105,74 @@ def chunk_partitions(items: Sequence, n_chunks: int) -> List[list]:
 # ----------------------------------------------------------------------
 _WORKER_MATCHER: Optional[Matcher] = None
 _WORKER_INSTRUMENT = False
+_WORKER_FLIGHT = None
+
+#: Default per-worker flight-recorder ring size (0 disables recording).
+DEFAULT_FLIGHT_CAPACITY = 512
 
 
 def _init_worker(plan, use_filter: bool, consume: str,
-                 instrument: bool) -> None:
+                 instrument: bool,
+                 flight_capacity: int = DEFAULT_FLIGHT_CAPACITY) -> None:
     """Pool initializer: adopt the parent's pickled plan.
 
     The plan is seeded into the worker's process-global cache, so the
     worker never rebuilds the automaton — neither here nor if anything
-    else in the worker compiles an equal pattern later.
+    else in the worker compiles an equal pattern later.  Each worker
+    also gets its own :class:`~repro.obs.flight.FlightRecorder` (unless
+    ``flight_capacity`` is 0) so a crash can ship the tail of execution
+    back to the parent.
     """
-    global _WORKER_MATCHER, _WORKER_INSTRUMENT
+    global _WORKER_MATCHER, _WORKER_INSTRUMENT, _WORKER_FLIGHT
     from ..plan.cache import plan_cache
     plan = plan_cache().seed(plan)
     _WORKER_MATCHER = Matcher(plan, use_filter=use_filter,
                               selection="accepted", consume=consume)
     _WORKER_INSTRUMENT = instrument
+    if flight_capacity:
+        from ..obs.flight import FlightRecorder
+        _WORKER_FLIGHT = FlightRecorder(capacity=flight_capacity)
+    else:
+        _WORKER_FLIGHT = None
 
 
 def _run_chunk(chunk: Chunk) -> ChunkResult:
-    """Evaluate every partition of one chunk with the worker's matcher."""
+    """Evaluate every partition of one chunk with the worker's matcher.
+
+    An exception while evaluating is re-raised as
+    :class:`~repro.parallel.errors.WorkerCrashed` carrying the worker's
+    flight-recorder dump, so the parent learns *what the worker was
+    doing* — not just that it died.
+    """
     matcher = _WORKER_MATCHER
     if matcher is None:  # pragma: no cover - initializer always ran
         raise RuntimeError("worker pool not initialised")
+    flight = _WORKER_FLIGHT
     obs = None
     if _WORKER_INSTRUMENT:
         from ..obs import Observability
         obs = Observability()
     results: List[PartitionResult] = []
-    for key, wires in chunk:
-        events = decode_events(wires)
-        if obs is None:
-            result = matcher.run(events)
-        else:
-            executor = matcher.executor(obs=obs)
-            result = executor.run(events)
-            executor.publish_stats()
-        results.append((key, [encode_substitution(s) for s in result.accepted],
-                        result.stats))
+    try:
+        for key, wires in chunk:
+            events = decode_events(wires)
+            if obs is None and flight is None:
+                result = matcher.run(events)
+            else:
+                executor = matcher.executor(obs=obs, flight=flight)
+                result = executor.run(events)
+                if obs is not None:
+                    executor.publish_stats()
+            results.append(
+                (key, [encode_substitution(s) for s in result.accepted],
+                 result.stats))
+    except Exception as exc:
+        if flight is None:
+            raise
+        raise WorkerCrashed(
+            f"pool worker {os.getpid()} crashed evaluating a partition "
+            f"chunk: {type(exc).__name__}: {exc}",
+            flight_dump=flight.dump()) from exc
     return (os.getpid(), results, None if obs is None else obs.snapshot())
 
 
@@ -183,6 +213,14 @@ class ParallelPartitionedMatcher:
         ``ses_pool_chunks_total``, ``ses_pool_partitions_total`` and
         per-worker ``ses_pool_worker<i>_events_total`` gauges.
         (``obs=`` is the deprecated spelling.)
+    flight_capacity:
+        Ring size of each worker's
+        :class:`~repro.obs.flight.FlightRecorder` (default 512; ``0``
+        disables).  A worker that crashes with an exception ships its
+        recorder dump back attached to the raised
+        :class:`~repro.parallel.errors.WorkerCrashed` as
+        ``flight_dump``; hard crashes (``SIGKILL``/``os._exit``) leave
+        no dump.
 
     Unlike :class:`PartitionedMatcher`, a pattern with **no** partition
     attribute is accepted: the matcher logs a warning and falls back to
@@ -196,6 +234,7 @@ class ParallelPartitionedMatcher:
                  selection: str = "paper", consume: Optional[str] = None,
                  chunks_per_worker: int = 4,
                  start_method: Optional[str] = None, observability=None,
+                 flight_capacity: int = DEFAULT_FLIGHT_CAPACITY,
                  attribute: Optional[str] = None,
                  consume_mode: Optional[str] = None, obs=None):
         partition_by = resolve_option(
@@ -226,6 +265,7 @@ class ParallelPartitionedMatcher:
         self.chunks_per_worker = chunks_per_worker
         self.start_method = start_method
         self.obs = observability
+        self.flight_capacity = flight_capacity
         self._matcher = Matcher(plan, use_filter=use_filter,
                                 selection="accepted", consume=consume)
         if self.attribute is None:
@@ -297,7 +337,7 @@ class ParallelPartitionedMatcher:
             max_workers=n_workers, mp_context=context,
             initializer=_init_worker,
             initargs=(self.plan, self.use_filter, self.consume_mode,
-                      self.obs is not None))
+                      self.obs is not None, self.flight_capacity))
         futures = []
         try:
             futures = [pool.submit(_run_chunk, chunk) for chunk in chunks]
@@ -310,6 +350,8 @@ class ParallelPartitionedMatcher:
                 future.cancel()
             pool.shutdown(wait=True, cancel_futures=True)
             if isinstance(exc, BrokenProcessPool):
+                # A hard crash (SIGKILL, os._exit) gives the worker no
+                # chance to ship its recorder; flight_dump stays None.
                 raise WorkerCrashed(
                     "a pool worker died while evaluating a partition chunk; "
                     "remaining workers were shut down cleanly"

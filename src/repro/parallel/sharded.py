@@ -58,12 +58,18 @@ _POLL_SECONDS = 0.2
 # ----------------------------------------------------------------------
 def _shard_worker(shard_id: int, plan, attribute: str,
                   use_filter: bool, suppress_overlaps: bool,
-                  instrument: bool, in_queue, out_queue) -> None:
+                  instrument: bool, flight_capacity: int,
+                  in_queue, out_queue) -> None:
     """Shard main loop: consume events until a close message arrives.
 
     Receives the parent's pickled plan, seeds the shard's process-global
-    plan cache with it, and never rebuilds the automaton.
+    plan cache with it, and never rebuilds the automaton.  Runs its own
+    :class:`~repro.obs.flight.FlightRecorder` (shared across the shard's
+    per-key matchers) whose dump rides the error report back to the
+    parent if the shard crashes.
     """
+    flight = None
+    current_event = None
     try:
         from ..plan.cache import plan_cache
         plan = plan_cache().seed(plan)
@@ -71,16 +77,22 @@ def _shard_worker(shard_id: int, plan, attribute: str,
         if instrument:
             from ..obs import Observability
             obs = Observability()
+        if flight_capacity:
+            from ..obs.flight import FlightRecorder
+            flight = FlightRecorder(capacity=flight_capacity)
         matcher = PartitionedContinuousMatcher(
             plan, partition_by=attribute, use_filter=use_filter,
-            suppress_overlaps=suppress_overlaps, observability=obs)
+            suppress_overlaps=suppress_overlaps, observability=obs,
+            flight=flight)
         events_seen = 0
         while True:
             message = in_queue.get()
             kind = message[0]
             if kind == "e":
                 events_seen += 1
-                reported = matcher.push(decode_event(message[1]))
+                current_event = decode_event(message[1])
+                reported = matcher.push(current_event)
+                current_event = None
                 if reported:
                     out_queue.put(("m", shard_id,
                                    [encode_substitution(s) for s in reported]))
@@ -98,7 +110,13 @@ def _shard_worker(shard_id: int, plan, attribute: str,
                 raise RuntimeError(f"unknown shard message {kind!r}")
     except BaseException as exc:  # surface the reason before dying
         try:
-            out_queue.put(("error", shard_id, f"{type(exc).__name__}: {exc}"))
+            dump = None
+            if flight is not None:
+                flight.note_crash(current_event,
+                                  f"{type(exc).__name__}: {exc}")
+                dump = flight.dump()
+            out_queue.put(("error", shard_id,
+                           f"{type(exc).__name__}: {exc}", dump))
         finally:
             raise
 
@@ -137,6 +155,13 @@ class ShardedStreamMatcher:
         the parent additionally tracks ``ses_shard<i>_events_total``
         and ``ses_shard<i>_queue_depth`` per shard.  ``obs=`` is the
         deprecated spelling.
+    flight_capacity:
+        Ring size of each shard's
+        :class:`~repro.obs.flight.FlightRecorder` (default 512; ``0``
+        disables).  A shard that crashes with an exception ships its
+        recorder dump back on the :class:`WorkerCrashed` it raises
+        (``flight_dump`` attribute); :meth:`health` feeds the live
+        ``/healthz`` endpoint.
 
     Routing uses ``hash(key) % workers``, which is stable within one
     process (str hashes are randomised per interpreter, so shard
@@ -147,6 +172,7 @@ class ShardedStreamMatcher:
                  partition_by: Optional[str] = None, use_filter: bool = True,
                  suppress_overlaps: bool = True, queue_size: int = 1024,
                  start_method: Optional[str] = None, observability=None,
+                 flight_capacity: int = 512,
                  shards: Optional[int] = None,
                  attribute: Optional[str] = None, obs=None):
         from ..automaton.optimizations import partition_attribute
@@ -190,6 +216,7 @@ class ShardedStreamMatcher:
                 target=_shard_worker,
                 args=(shard_id, plan, partition_by, use_filter,
                       suppress_overlaps, observability is not None,
+                      flight_capacity,
                       self._in_queues[shard_id], self._out_queue),
                 daemon=True, name=f"ses-shard-{shard_id}")
             process.start()
@@ -325,6 +352,36 @@ class ShardedStreamMatcher:
         """Events routed to each shard so far."""
         return list(self._events_routed)
 
+    def health(self) -> dict:
+        """Liveness report: per-shard worker state and queue depths.
+
+        The payload behind the live ``/healthz`` endpoint
+        (:class:`repro.obs.live.ObsServer`): overall ``status`` is
+        ``"ok"`` while every shard process is alive (or has exited
+        cleanly after :meth:`close`), ``"degraded"`` otherwise.
+        """
+        depths = self.queue_depths
+        shards = []
+        degraded = False
+        for shard_id, process in enumerate(self._processes):
+            alive = process.is_alive()
+            ok = alive or (self._closed and process.exitcode == 0)
+            degraded = degraded or not ok
+            shards.append({
+                "shard": shard_id,
+                "alive": alive,
+                "exitcode": process.exitcode,
+                "queue_depth": depths[shard_id],
+                "events_routed": self._events_routed[shard_id],
+                "events_processed": self._events_processed[shard_id],
+            })
+        return {
+            "status": "degraded" if degraded else "ok",
+            "closed": self._closed,
+            "attribute": self.attribute,
+            "shards": shards,
+        }
+
     def __repr__(self) -> str:
         return (f"ShardedStreamMatcher({self.attribute!r}, "
                 f"{self.n_shards} shards, {len(self._matches)} matches)")
@@ -369,10 +426,12 @@ class ShardedStreamMatcher:
         if kind == "m":
             return self._report(message[2])
         if kind == "error":
-            _, shard_id, reason = message
+            shard_id, reason = message[1], message[2]
+            flight_dump = message[3] if len(message) > 3 else None
             self.stop()
             raise WorkerCrashed(
-                f"stream shard {shard_id} crashed: {reason}")
+                f"stream shard {shard_id} crashed: {reason}",
+                flight_dump=flight_dump)
         if kind == "flushed":  # stale ack from an earlier flush
             self._events_processed[message[1]] = message[3]
             return []

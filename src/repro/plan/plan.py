@@ -212,6 +212,7 @@ class PatternPlan:
                  expire_on_filtered: bool = False, observability=None,
                  record_history: bool = False,
                  history_max_samples: Optional[int] = None, tracer=None,
+                 flight=None,
                  consume_mode: Optional[str] = None, obs=None) -> SESExecutor:
         """A fresh incremental executor over the compiled automaton."""
         consume = resolve_option("PatternPlan.executor", "consume", consume,
@@ -221,17 +222,20 @@ class PatternPlan:
                                        "observability", observability,
                                        "obs", obs)
         event_filter = self.filter_handle(filter_mode) if use_filter else None
+        if flight is not None:
+            flight.note_plan(self._fingerprint)
         return SESExecutor(self._automaton, event_filter=event_filter,
                            selection=selection,
                            expire_on_filtered=expire_on_filtered,
                            consume_mode=consume, tracer=tracer,
                            obs=observability, record_history=record_history,
-                           history_max_samples=history_max_samples)
+                           history_max_samples=history_max_samples,
+                           flight=flight)
 
     def stream(self, *, use_filter: bool = True,
                suppress_overlaps: bool = True,
                partition_by: Optional[str] = None, observability=None,
-               obs=None):
+               flight=None, obs=None):
         """A continuous matcher over this plan.
 
         Returns a :class:`~repro.stream.runner.ContinuousMatcher`, or —
@@ -246,11 +250,11 @@ class PatternPlan:
             return PartitionedContinuousMatcher(
                 self, partition_by=partition_by, use_filter=use_filter,
                 suppress_overlaps=suppress_overlaps,
-                observability=observability)
+                observability=observability, flight=flight)
         from ..stream.runner import ContinuousMatcher
         return ContinuousMatcher(self, use_filter=use_filter,
                                  suppress_overlaps=suppress_overlaps,
-                                 observability=observability)
+                                 observability=observability, flight=flight)
 
     # ------------------------------------------------------------------
     # Introspection and plumbing

@@ -59,8 +59,8 @@ class PartitionedContinuousMatcher:
 
     def __init__(self, pattern, partition_by: Optional[str] = None,
                  use_filter: bool = True, suppress_overlaps: bool = True,
-                 observability=None, attribute: Optional[str] = None,
-                 obs=None):
+                 observability=None, flight=None,
+                 attribute: Optional[str] = None, obs=None):
         partition_by = resolve_option(
             "PartitionedContinuousMatcher", "partition_by", partition_by,
             "attribute", attribute)
@@ -83,6 +83,9 @@ class PartitionedContinuousMatcher:
         self._last_ts: Dict[Hashable, object] = {}
         self._callbacks: List[MatchCallback] = []
         self.obs = obs
+        #: One shared flight recorder across all per-key matchers — a
+        #: single tail of recent execution for the whole partition set.
+        self.flight = flight
         self._partition_gauge = (
             None if obs is None else obs.registry.gauge(
                 "ses_stream_partitions", help="live partition matchers"))
@@ -111,7 +114,7 @@ class PartitionedContinuousMatcher:
             matcher = ContinuousMatcher(
                 self._plan, use_filter=self._use_filter,
                 suppress_overlaps=self._suppress_overlaps,
-                observability=child_obs)
+                observability=child_obs, flight=self.flight)
             self._matchers[key] = matcher
             logger.debug("new partition %r (%d live)", key,
                          len(self._matchers))

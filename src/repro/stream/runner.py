@@ -55,21 +55,26 @@ class ContinuousMatcher:
         the runner counts reported matches
         (``ses_stream_matches_reported_total``).  ``obs=`` is the
         deprecated spelling.
+    flight:
+        Optional :class:`repro.obs.flight.FlightRecorder` attached to
+        the underlying executor: the tail of recent execution steps and
+        |Ω| samples, dumpable on crash or via ``/debug/flight``.
     """
 
     def __init__(self, pattern, use_filter: bool = True,
                  suppress_overlaps: bool = True, observability=None,
-                 obs=None):
+                 flight=None, obs=None):
         obs = resolve_option("ContinuousMatcher", "observability",
                              observability, "obs", obs)
         self.plan = as_plan(pattern)
         self.pattern = self.plan.pattern
         self.obs = obs
+        self.flight = flight
         # Filtered events still advance the expiry clock so emission
         # latency stays bounded (see SESExecutor.expire_on_filtered).
         self._executor: SESExecutor = self.plan.executor(
             use_filter=use_filter, selection="accepted",
-            expire_on_filtered=True, observability=obs)
+            expire_on_filtered=True, observability=obs, flight=flight)
         self._callbacks: List[MatchCallback] = []
         self._reported: List[Substitution] = []
         self._used_events: set = set()

@@ -266,3 +266,130 @@ class TestLintCommand:
         assert "PATTERN PERMUTE(c, d, p+)" in out
         # The closure adds e.g. c.ID = b.ID (implied via d).
         assert out.count(".ID = ") > Q1_TEXT.count(".ID = ")
+
+
+class TestTraceOut:
+    def test_writes_valid_chrome_trace(self, figure1_csv, tmp_path, capsys):
+        import json
+        trace = tmp_path / "trace.json"
+        code = main(["match", "--data", str(figure1_csv), "--query", Q1_TEXT,
+                     "--trace-out", str(trace)])
+        assert code == 0
+        assert "chrome trace" in capsys.readouterr().out
+        doc = json.loads(trace.read_text())
+        assert doc["traceEvents"]
+        phases = {event["ph"] for event in doc["traceEvents"]}
+        assert "X" in phases  # stage spans
+        for event in doc["traceEvents"]:
+            assert "ph" in event and "pid" in event
+            if event["ph"] != "M":
+                assert "ts" in event
+
+    def test_matches_unchanged_under_tracing(self, figure1_csv, tmp_path,
+                                             capsys):
+        main(["match", "--data", str(figure1_csv), "--query", Q1_TEXT,
+              "--trace-out", str(tmp_path / "t.json")])
+        assert "2 match(es) in 14 events" in capsys.readouterr().out
+
+    def test_requires_single_worker(self, figure1_csv, tmp_path, capsys):
+        code = main(["match", "--data", str(figure1_csv), "--query", Q1_TEXT,
+                     "--trace-out", str(tmp_path / "t.json"),
+                     "--workers", "2"])
+        assert code == 1
+        assert "--workers 1" in capsys.readouterr().err
+
+
+class TestListenFlag:
+    def test_match_serves_metrics_during_run(self, figure1_csv, capsys):
+        code = main(["match", "--data", str(figure1_csv), "--query", Q1_TEXT,
+                     "--listen", "127.0.0.1:0"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "serving observability on http://127.0.0.1:" in out
+        assert "2 match(es) in 14 events" in out
+
+
+class TestServeCommand:
+    def serve_in_background(self, argv):
+        """Run ``repro serve`` on a thread; returns (thread, url)."""
+        import io
+        import re
+        import threading
+        import time
+        from contextlib import redirect_stdout
+
+        buffer = io.StringIO()
+
+        def run():
+            with redirect_stdout(buffer):
+                main(argv)
+
+        thread = threading.Thread(target=run, daemon=True)
+        thread.start()
+        deadline = time.monotonic() + 10
+        while time.monotonic() < deadline:
+            found = re.search(r"http://[\d.]+:\d+", buffer.getvalue())
+            if found:
+                return thread, found.group(0)
+            time.sleep(0.02)
+        raise AssertionError(f"serve never bound: {buffer.getvalue()!r}")
+
+    def http(self, url, method="GET"):
+        import urllib.error
+        import urllib.request
+        request = urllib.request.Request(
+            url, data=b"" if method == "POST" else None, method=method)
+        try:
+            with urllib.request.urlopen(request, timeout=5) as resp:
+                return resp.status, resp.read().decode()
+        except urllib.error.HTTPError as err:
+            return err.code, err.read().decode()
+
+    def test_serves_until_quit(self, figure1_csv):
+        import json
+        thread, url = self.serve_in_background(
+            ["serve", "--data", str(figure1_csv), "--query", Q1_TEXT,
+             "--listen", "127.0.0.1:0"])
+        status, health = self.http(url + "/healthz")
+        assert status == 200
+        assert json.loads(health)["status"] == "ok"
+        status, metrics = self.http(url + "/metrics")
+        assert status == 200
+        assert "# TYPE" in metrics
+        status, flight = self.http(url + "/debug/flight")
+        assert status == 200
+        assert json.loads(flight)["steps"]
+        status, _ = self.http(url + "/quitquitquit", method="POST")
+        assert status == 200
+        thread.join(timeout=10)
+        assert not thread.is_alive()
+
+    def test_once_exits_after_replay(self, figure1_csv, capsys):
+        code = main(["serve", "--data", str(figure1_csv), "--query", Q1_TEXT,
+                     "--listen", "127.0.0.1:0", "--once"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "replayed 14 events" in out
+        assert "done: 2 match(es) reported" in out
+
+    def test_once_restores_signal_handlers(self, figure1_csv, capsys):
+        # serve installs SIGTERM/SIGUSR2 handlers when run on the main
+        # thread; leaking them would make any process forked afterwards
+        # (e.g. a stream shard) ignore terminate() and hang its parent.
+        import signal as _signal
+        watched = [_signal.SIGTERM]
+        if hasattr(_signal, "SIGUSR2"):
+            watched.append(_signal.SIGUSR2)
+        before = {signum: _signal.getsignal(signum) for signum in watched}
+        code = main(["serve", "--data", str(figure1_csv), "--query", Q1_TEXT,
+                     "--listen", "127.0.0.1:0", "--once"])
+        capsys.readouterr()
+        assert code == 0
+        for signum in watched:
+            assert _signal.getsignal(signum) is before[signum]
+
+    def test_bad_workers(self, figure1_csv, capsys):
+        code = main(["serve", "--data", str(figure1_csv), "--query", Q1_TEXT,
+                     "--workers", "0", "--once"])
+        assert code == 1
+        assert "--workers" in capsys.readouterr().err

@@ -1,0 +1,263 @@
+"""Tests for the flight recorder (repro.obs.flight)."""
+
+import json
+import os
+import signal
+import threading
+
+import pytest
+
+from repro.core.matcher import Matcher
+from repro.obs import FlightRecorder, install_flight_signal_handler
+
+from conftest import ev, rel
+
+
+class FakeInstance:
+    """Minimal stand-in for an automaton instance in unit tests."""
+
+    def __init__(self, state=0, min_ts=None):
+        self.state = state
+        self.buffer = type("B", (), {"min_ts": min_ts})()
+
+
+def fill(recorder, n, kind="start"):
+    instance = FakeInstance()
+    for i in range(n):
+        recorder.record(kind, ev(i, "A", eid=f"e{i}"), instance)
+
+
+# ----------------------------------------------------------------------
+# Ring-buffer mechanics
+# ----------------------------------------------------------------------
+class TestRing:
+    def test_empty(self):
+        recorder = FlightRecorder(capacity=4)
+        assert len(recorder) == 0
+        assert recorder.tail() == []
+        assert recorder.dropped == 0
+
+    def test_partial_fill_keeps_order(self):
+        recorder = FlightRecorder(capacity=8)
+        fill(recorder, 3)
+        tail = recorder.tail()
+        assert [r["event"] for r in tail] == ["e0", "e1", "e2"]
+        assert [r["seq"] for r in tail] == [0, 1, 2]
+
+    def test_wraps_and_keeps_newest(self):
+        recorder = FlightRecorder(capacity=4)
+        fill(recorder, 10)
+        assert len(recorder) == 4
+        assert recorder.recorded == 10
+        assert recorder.dropped == 6
+        assert [r["event"] for r in recorder.tail()] == [
+            "e6", "e7", "e8", "e9"]
+
+    def test_tail_n_returns_newest(self):
+        recorder = FlightRecorder(capacity=8)
+        fill(recorder, 5)
+        assert [r["event"] for r in recorder.tail(2)] == ["e3", "e4"]
+
+    def test_capacity_one(self):
+        recorder = FlightRecorder(capacity=1, omega_capacity=1)
+        fill(recorder, 3)
+        assert [r["event"] for r in recorder.tail()] == ["e2"]
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(capacity=0)
+        with pytest.raises(ValueError):
+            FlightRecorder(omega_capacity=0)
+
+    def test_clear(self):
+        recorder = FlightRecorder(capacity=4)
+        fill(recorder, 6)
+        recorder.sample_omega(1, 3)
+        recorder.note_plan("abc")
+        recorder.clear()
+        assert len(recorder) == 0
+        dump = recorder.dump()
+        assert dump["steps"] == []
+        assert dump["omega"] == []
+        assert dump["meta"]["plans"] == []
+
+    def test_omega_ring_is_separate(self):
+        recorder = FlightRecorder(capacity=2, omega_capacity=4)
+        fill(recorder, 10)  # a burst of steps must not evict Ω samples
+        recorder.sample_omega(1, 5)
+        assert recorder.dump()["omega"] == [[1, 5]]
+
+    def test_omega_ring_wraps(self):
+        recorder = FlightRecorder(omega_capacity=3)
+        for ts in range(6):
+            recorder.sample_omega(ts, ts * 10)
+        assert recorder.dump()["omega"] == [[3, 30], [4, 40], [5, 50]]
+
+
+# ----------------------------------------------------------------------
+# Dump / JSON export
+# ----------------------------------------------------------------------
+class TestDump:
+    def test_dump_shape(self):
+        recorder = FlightRecorder(capacity=4)
+        fill(recorder, 2)
+        recorder.sample_omega(7, 1)
+        recorder.note_plan("fp1")
+        recorder.note_plan("fp1")  # deduplicated
+        dump = recorder.dump()
+        assert dump["meta"]["capacity"] == 4
+        assert dump["meta"]["recorded"] == 2
+        assert dump["meta"]["plans"] == ["fp1"]
+        assert dump["omega"] == [[7, 1]]
+        assert len(dump["steps"]) == 2
+
+    def test_to_json_round_trips(self):
+        recorder = FlightRecorder(capacity=4)
+        fill(recorder, 3)
+        parsed = json.loads(recorder.to_json())
+        assert [s["event"] for s in parsed["steps"]] == ["e0", "e1", "e2"]
+
+    def test_write(self, tmp_path):
+        recorder = FlightRecorder(capacity=4)
+        fill(recorder, 1)
+        path = tmp_path / "flight.json"
+        recorder.write(path)
+        assert json.loads(path.read_text())["meta"]["recorded"] == 1
+
+    def test_transition_records_variable(self, kind_pattern):
+        flight = FlightRecorder()
+        Matcher(kind_pattern).executor(flight=flight).run(
+            rel(ev(1, "A"), ev(2, "B"), ev(3, "C")))
+        transitions = [r for r in flight.tail() if r["kind"] == "transition"]
+        assert transitions and all("variable" in r for r in transitions)
+
+
+# ----------------------------------------------------------------------
+# Executor integration
+# ----------------------------------------------------------------------
+class TestExecutorIntegration:
+    def test_records_algorithm1_vocabulary(self, kind_pattern):
+        flight = FlightRecorder()
+        result = Matcher(kind_pattern).executor(flight=flight).run(
+            rel(ev(1, "A"), ev(2, "B"), ev(3, "X"), ev(4, "C")))
+        assert len(result) == 1
+        kinds = {r["kind"] for r in flight.tail()}
+        assert "start" in kinds and "transition" in kinds
+
+    def test_omega_samples_track_population(self, kind_pattern):
+        flight = FlightRecorder()
+        executor = Matcher(kind_pattern).executor(flight=flight)
+        executor.run(rel(ev(1, "A"), ev(2, "B"), ev(3, "C")))
+        omega = flight.dump()["omega"]
+        assert [ts for ts, _ in omega] == [1, 2, 3]
+        # Samples are taken after each event settles, so they are bounded
+        # by the mid-event peak the stats record.
+        assert 0 < max(size for _, size in omega) <= \
+            executor.stats.max_simultaneous_instances
+
+    def test_plan_fingerprint_noted(self, kind_pattern):
+        from repro.plan.cache import compile as compile_plan
+        flight = FlightRecorder()
+        plan = compile_plan(kind_pattern)
+        plan.executor(flight=flight).run(rel(ev(1, "A")))
+        assert flight.dump()["meta"]["plans"] == [plan.fingerprint]
+
+    def test_rides_alongside_a_tracer(self, kind_pattern):
+        from repro.automaton.trace import Tracer
+        from repro.plan.cache import compile as compile_plan
+        flight = FlightRecorder()
+        tracer = Tracer()
+        compile_plan(kind_pattern).executor(
+            tracer=tracer, flight=flight).run(
+            rel(ev(1, "A"), ev(2, "B"), ev(3, "C")))
+        assert len(tracer.steps) == len(flight)
+
+    def test_detached_executor_has_no_recorder(self, kind_pattern):
+        executor = Matcher(kind_pattern).executor()
+        assert executor.flight is None
+
+    def test_crash_in_run_attaches_dump(self, kind_pattern):
+        class Boom(Exception):
+            pass
+
+        def poisoned_stream():
+            yield ev(1, "A")
+            yield ev(2, "B")
+            raise Boom("poisoned event")
+
+        flight = FlightRecorder()
+        executor = Matcher(kind_pattern).executor(flight=flight)
+        with pytest.raises(Boom) as excinfo:
+            executor.run(poisoned_stream())
+        dump = excinfo.value.flight_dump
+        assert dump["meta"]["recorded"] == len(flight) > 0
+        assert {s["kind"] for s in dump["steps"]} >= {"start"}
+
+    def test_crash_without_recorder_has_no_dump(self, kind_pattern):
+        def poisoned_stream():
+            yield ev(1, "A")
+            raise RuntimeError("poisoned event")
+
+        executor = Matcher(kind_pattern).executor()
+        with pytest.raises(RuntimeError) as excinfo:
+            executor.run(poisoned_stream())
+        assert not hasattr(excinfo.value, "flight_dump")
+
+
+# ----------------------------------------------------------------------
+# Signal handler
+# ----------------------------------------------------------------------
+@pytest.mark.skipif(not hasattr(signal, "SIGUSR2"),
+                    reason="platform has no SIGUSR2")
+class TestSignalHandler:
+    @pytest.fixture(autouse=True)
+    def restore_handler(self):
+        previous = signal.getsignal(signal.SIGUSR2)
+        yield
+        signal.signal(signal.SIGUSR2, previous)
+
+    def test_dump_to_file_on_signal(self, tmp_path):
+        recorder = FlightRecorder(capacity=4)
+        fill(recorder, 2)
+        path = tmp_path / "flight.json"
+        handler = install_flight_signal_handler(recorder, path=path)
+        assert handler is not None
+        os.kill(os.getpid(), signal.SIGUSR2)
+        assert json.loads(path.read_text())["meta"]["recorded"] == 2
+
+    def test_dump_to_stream_by_default(self):
+        import io
+        recorder = FlightRecorder(capacity=4)
+        fill(recorder, 1)
+        stream = io.StringIO()
+        install_flight_signal_handler(recorder, stream=stream)
+        os.kill(os.getpid(), signal.SIGUSR2)
+        assert json.loads(stream.getvalue())["meta"]["recorded"] == 1
+
+
+# ----------------------------------------------------------------------
+# Concurrency: dumps from another thread while recording
+# ----------------------------------------------------------------------
+class TestConcurrentDump:
+    def test_dump_while_appending(self):
+        recorder = FlightRecorder(capacity=32)
+        stop = threading.Event()
+        errors = []
+
+        def dumper():
+            while not stop.is_set():
+                try:
+                    json.dumps(recorder.dump(), default=str)
+                except Exception as exc:  # pragma: no cover - failure path
+                    errors.append(exc)
+                    return
+
+        thread = threading.Thread(target=dumper)
+        thread.start()
+        try:
+            fill(recorder, 5000)
+        finally:
+            stop.set()
+            thread.join(timeout=10)
+        assert not errors
+        assert len(recorder) == 32

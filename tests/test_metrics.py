@@ -135,6 +135,32 @@ class TestSparkline:
     def test_all_zero_history(self):
         assert set(sparkline([(1, 0), (2, 0)])) <= {" "}
 
+    def test_trailing_samples_never_dropped(self):
+        # len = width + 1: integer bucketing must fold the extra sample
+        # into the last bucket, not round it away — the peak sits at the
+        # very end of the history.
+        width = 10
+        history = [(t, 1) for t in range(width)] + [(width, 100)]
+        line = sparkline(history, width=width)
+        assert len(line) == width
+        assert line[-1] == "█"  # the trailing peak survives bucketing
+
+    def test_width_one_sees_trailing_peak(self):
+        history = [(t, 1) for t in range(7)] + [(7, 50)]
+        assert sparkline(history, width=1) == "█"
+
+    def test_last_bucket_absorbs_remainder(self):
+        # 13 samples over width 5: buckets of 2 plus a final bucket of 5;
+        # a peak anywhere in the tail must land in the last column.
+        history = [(t, 1) for t in range(12)] + [(12, 9)]
+        line = sparkline(history, width=5)
+        assert len(line) == 5
+        assert line[-1] == "█"
+        assert set(line[:-1]) != {"█"}
+
+    def test_empty_history_any_width(self):
+        assert sparkline([], width=1) == ""
+
 
 class TestExecutorHistory:
     def test_record_history_flag(self, kind_pattern):

@@ -12,7 +12,8 @@ from repro.core.matcher import Matcher, match
 from repro.obs import (NULL_REGISTRY, Counter, Gauge, Histogram,
                        MetricsRegistry, NullRegistry, Observability,
                        SpanTracer, configure_logging, get_logger, read_jsonl,
-                       to_jsonl, to_prometheus, verbosity_level, write_jsonl)
+                       to_chrome_trace, to_jsonl, to_prometheus,
+                       verbosity_level, write_chrome_trace, write_jsonl)
 from repro.stream.partitioned import PartitionedContinuousMatcher
 from repro.stream.runner import ContinuousMatcher
 
@@ -295,6 +296,51 @@ class TestPrometheus:
             {"a.b-c": {"type": "counter", "value": 1}})
         assert "a_b_c 1" in text
 
+    def test_histogram_inf_bucket_equals_count(self, sample_snapshot):
+        """The cumulative invariant: +Inf must equal _count exactly."""
+        text = to_prometheus(sample_snapshot)
+        buckets = {}
+        count = None
+        for line in text.splitlines():
+            if line.startswith('latency_bucket{le="'):
+                le = line.split('le="')[1].split('"')[0]
+                buckets[le] = int(line.rsplit(" ", 1)[1])
+            elif line.startswith("latency_count "):
+                count = int(line.rsplit(" ", 1)[1])
+        assert buckets["+Inf"] == count == 3
+        # monotonic cumulative series
+        values = list(buckets.values())
+        assert values == sorted(values)
+
+    def test_histogram_without_overflow_field_stays_consistent(self):
+        """A record lacking "overflow" (e.g. a hand-written or truncated
+        snapshot) must still render +Inf == _count, derived from the
+        bucket counts rather than trusting the redundant "count"."""
+        snap = {"latency": {"type": "histogram",
+                            "buckets": [[0.1, 1], [1.0, 1]],
+                            "sum": 5.0, "count": 7}}
+        text = to_prometheus(snap)
+        assert 'latency_bucket{le="+Inf"} 7' in text
+        assert "latency_count 7" in text
+
+    def test_histogram_count_below_buckets_never_regresses(self):
+        """+Inf is never smaller than the last finite bucket, even when
+        the redundant "count" field disagrees with the bucket counts."""
+        snap = {"latency": {"type": "histogram",
+                            "buckets": [[0.1, 2], [1.0, 3]],
+                            "sum": 5.0, "count": 1}}
+        text = to_prometheus(snap)
+        assert 'latency_bucket{le="1.0"} 5' in text
+        assert 'latency_bucket{le="+Inf"} 5' in text
+        assert "latency_count 5" in text
+
+    def test_help_text_escaped(self):
+        snap = {"weird": {"type": "counter", "value": 1,
+                          "help": "line one\nback\\slash"}}
+        text = to_prometheus(snap)
+        assert "# HELP weird line one\\nback\\\\slash" in text
+        assert "\nline one" not in text  # no raw newline leaks into HELP
+
 
 # ----------------------------------------------------------------------
 # Observability bundle + engine integration
@@ -483,3 +529,70 @@ class TestBenchHarnessObs:
         assert snap["bench_exp1_p1_3_ses_seconds"]["value"] == 0.5
         assert snap["bench_exp1_p1_3_ses_instances"]["value"] == 12
         assert "bench_exp1_p1_3_n_vars" not in snap
+
+
+# ----------------------------------------------------------------------
+# Chrome trace export (Perfetto / chrome://tracing)
+# ----------------------------------------------------------------------
+class TestChromeTrace:
+    def run_traced(self, kind_pattern):
+        from repro.obs import FlightRecorder
+        from repro.plan.cache import compile as compile_plan
+        obs = Observability(spans=SpanTracer(keep_records=True))
+        flight = FlightRecorder()
+        plan = compile_plan(kind_pattern)
+        plan.executor(observability=obs, flight=flight).run(
+            rel(ev(1, "A"), ev(2, "B"), ev(3, "C")))
+        return obs, flight
+
+    def test_spans_become_duration_events(self, kind_pattern):
+        obs, _ = self.run_traced(kind_pattern)
+        doc = to_chrome_trace(spans=obs.spans)
+        xs = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert xs
+        for event in xs:
+            assert {"name", "ph", "ts", "dur", "pid", "tid"} <= set(event)
+            assert event["pid"] == 1
+            assert event["dur"] >= 0
+        assert {"filter", "consume"} <= {e["name"] for e in xs}
+
+    def test_lifecycles_become_async_pairs(self, kind_pattern):
+        _, flight = self.run_traced(kind_pattern)
+        doc = to_chrome_trace(flight=flight)
+        begins = [e for e in doc["traceEvents"] if e["ph"] == "b"]
+        ends = [e for e in doc["traceEvents"] if e["ph"] == "e"]
+        assert len(begins) == len(ends) > 0
+        for b, e in zip(begins, ends):
+            assert b["id"] == e["id"]
+            assert b["pid"] == e["pid"] == 2
+            assert b["ts"] <= e["ts"]
+
+    def test_document_is_json_with_required_fields(self, kind_pattern):
+        obs, flight = self.run_traced(kind_pattern)
+        doc = json.loads(json.dumps(
+            to_chrome_trace(spans=obs.spans, flight=flight)))
+        assert doc["displayTimeUnit"] == "ms"
+        for event in doc["traceEvents"]:
+            assert "ph" in event and "pid" in event
+            if event["ph"] != "M":
+                assert isinstance(event["ts"], (int, float))
+
+    def test_tracer_steps_accepted(self, kind_pattern):
+        from repro.automaton.trace import Tracer
+        from repro.plan.cache import compile as compile_plan
+        tracer = Tracer()
+        compile_plan(kind_pattern).executor(tracer=tracer).run(
+            rel(ev(1, "A"), ev(2, "B"), ev(3, "C")))
+        doc = to_chrome_trace(steps=tracer)
+        assert any(e["ph"] == "b" for e in doc["traceEvents"])
+
+    def test_empty_inputs_yield_metadata_only(self):
+        doc = to_chrome_trace()
+        assert all(e["ph"] == "M" for e in doc["traceEvents"])
+
+    def test_write_chrome_trace(self, kind_pattern, tmp_path):
+        obs, flight = self.run_traced(kind_pattern)
+        path = write_chrome_trace(tmp_path / "trace.json",
+                                  spans=obs.spans, flight=flight)
+        doc = json.loads(path.read_text())
+        assert len(doc["traceEvents"]) > 2

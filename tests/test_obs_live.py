@@ -1,0 +1,160 @@
+"""Tests for the live HTTP observability endpoint (repro.obs.live)."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs import FlightRecorder, Observability, ObsServer, parse_listen
+
+
+def get(url):
+    """GET ``url``, returning ``(status, body)`` even for error codes."""
+    try:
+        with urllib.request.urlopen(url, timeout=5) as resp:
+            return resp.status, resp.read().decode()
+    except urllib.error.HTTPError as err:
+        return err.code, err.read().decode()
+
+
+def post(url):
+    request = urllib.request.Request(url, data=b"", method="POST")
+    try:
+        with urllib.request.urlopen(request, timeout=5) as resp:
+            return resp.status, resp.read().decode()
+    except urllib.error.HTTPError as err:
+        return err.code, err.read().decode()
+
+
+class TestParseListen:
+    def test_host_and_port(self):
+        assert parse_listen("0.0.0.0:9100") == ("0.0.0.0", 9100)
+
+    def test_bare_port_means_localhost(self):
+        assert parse_listen(":8080") == ("127.0.0.1", 8080)
+
+    @pytest.mark.parametrize("spec", ["8080", "host:", "host:abc", ""])
+    def test_rejects_malformed(self, spec):
+        with pytest.raises(ValueError):
+            parse_listen(spec)
+
+
+class TestRoutes:
+    @pytest.fixture
+    def obs(self):
+        bundle = Observability()
+        bundle.registry.counter("ses_events_read_total",
+                                help="events read").inc(42)
+        return bundle
+
+    def test_metrics_is_prometheus_exposition(self, obs):
+        with ObsServer(snapshot=obs.snapshot) as server:
+            status, body = get(server.url + "/metrics")
+        assert status == 200
+        assert "# TYPE ses_events_read_total counter" in body
+        assert "ses_events_read_total 42" in body
+
+    def test_varz_is_the_json_snapshot(self, obs):
+        with ObsServer(snapshot=obs.snapshot) as server:
+            status, body = get(server.url + "/varz")
+        assert status == 200
+        assert json.loads(body)["ses_events_read_total"]["value"] == 42
+
+    def test_healthz_defaults_to_ok(self):
+        with ObsServer() as server:
+            status, body = get(server.url + "/healthz")
+        assert status == 200
+        assert json.loads(body) == {"status": "ok"}
+
+    def test_healthz_503_when_degraded(self):
+        detail = {"status": "degraded", "shards": [{"shard": 0,
+                                                    "alive": False}]}
+        with ObsServer(health=lambda: (False, detail)) as server:
+            status, body = get(server.url + "/healthz")
+        assert status == 503
+        assert json.loads(body)["status"] == "degraded"
+
+    def test_flight_route_serves_the_dump(self):
+        recorder = FlightRecorder(capacity=4)
+        recorder.sample_omega(3, 7)
+        with ObsServer(flight=recorder) as server:
+            status, body = get(server.url + "/debug/flight")
+        assert status == 200
+        assert json.loads(body)["omega"] == [[3, 7]]
+
+    def test_flight_route_accepts_a_callable(self):
+        with ObsServer(flight=lambda: {"steps": []}) as server:
+            status, body = get(server.url + "/debug/flight")
+        assert status == 200
+        assert json.loads(body) == {"steps": []}
+
+    def test_flight_404_without_recorder(self):
+        with ObsServer() as server:
+            status, _ = get(server.url + "/debug/flight")
+        assert status == 404
+
+    def test_root_lists_routes(self):
+        with ObsServer(flight=FlightRecorder()) as server:
+            status, body = get(server.url + "/")
+        assert status == 200
+        routes = json.loads(body)["routes"]
+        assert "/metrics" in routes and "/debug/flight" in routes
+
+    def test_unknown_route_404(self):
+        with ObsServer() as server:
+            status, _ = get(server.url + "/nope")
+        assert status == 404
+
+    def test_broken_provider_returns_500_and_survives(self):
+        def broken():
+            raise RuntimeError("boom")
+
+        with ObsServer(snapshot=broken) as server:
+            status, body = get(server.url + "/metrics")
+            assert status == 500
+            assert "boom" in body
+            # the server must still answer after a provider failure
+            status, _ = get(server.url + "/healthz")
+            assert status == 200
+
+    def test_quit_invokes_callback(self):
+        import threading
+        stop = threading.Event()
+        with ObsServer(on_quit=stop.set) as server:
+            status, body = get(server.url + "/healthz")
+            assert status == 200
+            status, body = post(server.url + "/quitquitquit")
+            assert status == 200
+            assert json.loads(body) == {"quitting": True}
+        assert stop.is_set()
+
+    def test_post_unknown_route_404(self):
+        with ObsServer() as server:
+            status, _ = post(server.url + "/nope")
+        assert status == 404
+
+
+class TestLifecycle:
+    def test_ephemeral_port_bound_and_reported(self):
+        with ObsServer() as server:
+            assert server.port > 0
+            assert str(server.port) in server.url
+
+    def test_stop_is_idempotent(self):
+        server = ObsServer().start()
+        server.stop()
+        server.stop()
+
+    def test_stop_without_start(self):
+        ObsServer().stop()
+
+    def test_snapshot_reflects_live_state(self):
+        obs = Observability()
+        counter = obs.registry.counter("ticks")
+        with ObsServer(snapshot=obs.snapshot) as server:
+            _, before = get(server.url + "/varz")
+            counter.inc(5)
+            _, after = get(server.url + "/varz")
+        assert json.loads(before)["ticks"]["value"] == 0
+        assert json.loads(after)["ticks"]["value"] == 5

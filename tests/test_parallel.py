@@ -297,3 +297,92 @@ class TestPlanShipping:
         before = plan_cache().stats()["misses"]
         assert compile(JOINED) is plan_cache().seed(plan)
         assert plan_cache().stats()["misses"] == before
+
+
+class TestFlightDumpOnCrash:
+    """A soft worker crash must ship the flight-recorder tail back."""
+
+    def test_bomb_crash_carries_flight_dump(self):
+        matcher = ParallelPartitionedMatcher(JOINED, workers=2)
+        with pytest.raises(WorkerCrashed) as excinfo:
+            matcher.run(_relation_with(Bomb()))
+        dump = excinfo.value.flight_dump
+        assert dump is not None
+        assert dump["steps"], "flight dump must retain execution steps"
+        # The dump's last record names the poisoned event.
+        last = dump["steps"][-1]
+        assert last["kind"] == "crash"
+        assert last["event"] == "poison"
+        assert "boom condition" in last["error"]
+
+    def test_hard_crash_has_no_dump(self):
+        # os._exit gives the worker no chance to capture evidence; the
+        # parent must still raise WorkerCrashed, with flight_dump=None.
+        matcher = ParallelPartitionedMatcher(JOINED, workers=2)
+        with pytest.raises(WorkerCrashed) as excinfo:
+            matcher.run(_relation_with(Exiter()))
+        assert excinfo.value.flight_dump is None
+
+    def test_flight_capacity_zero_disables_recording(self):
+        matcher = ParallelPartitionedMatcher(JOINED, workers=2,
+                                             flight_capacity=0)
+        with pytest.raises(RuntimeError, match="boom condition"):
+            matcher.run(_relation_with(Bomb()))
+
+    def test_worker_crashed_pickles_with_dump(self):
+        import pickle
+        original = WorkerCrashed("it died", flight_dump={"steps": [1]})
+        clone = pickle.loads(pickle.dumps(original))
+        assert str(clone) == "it died"
+        assert clone.flight_dump == {"steps": [1]}
+
+
+class TestMergeSnapshotPartial:
+    """A partial snapshot from a crashed worker must not corrupt the
+    parent's aggregated histogram state."""
+
+    def make_obs_with_history(self):
+        from repro.obs import Observability
+        obs = Observability()
+        histogram = obs.registry.histogram("lat", buckets=(1.0, 2.0))
+        histogram.observe(0.5)
+        histogram.observe(1.5)
+        return obs, histogram
+
+    def test_partial_histogram_record_raises_without_mutation(self):
+        obs, histogram = self.make_obs_with_history()
+        partial = {"lat": {"type": "histogram",
+                           "buckets": [[1.0, 4], [2.0, 4]]}}  # no sum/count
+        before = (list(histogram.counts), histogram.sum, histogram.count)
+        with pytest.raises(ValueError, match="partial histogram"):
+            obs.registry.merge_snapshot(partial)
+        assert (list(histogram.counts), histogram.sum,
+                histogram.count) == before
+
+    def test_truncated_buckets_raise_without_mutation(self):
+        obs, histogram = self.make_obs_with_history()
+        partial = {"lat": {"type": "histogram", "buckets": [[1.0, 4]],
+                           "sum": 1.0, "count": 4}}
+        before = (list(histogram.counts), histogram.sum, histogram.count)
+        with pytest.raises(ValueError):
+            obs.registry.merge_snapshot(partial)
+        assert (list(histogram.counts), histogram.sum,
+                histogram.count) == before
+
+    def test_partial_counter_and_gauge_raise(self):
+        from repro.obs import MetricsRegistry
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError, match="partial counter"):
+            registry.merge_snapshot({"c": {"type": "counter"}})
+        with pytest.raises(ValueError, match="partial gauge"):
+            registry.merge_snapshot({"g": {"type": "gauge"}})
+
+    def test_complete_snapshot_still_merges(self):
+        obs, histogram = self.make_obs_with_history()
+        obs.registry.merge_snapshot(
+            {"lat": {"type": "histogram",
+                     "buckets": [[1.0, 3], [2.0, 2]], "overflow": 1,
+                     "sum": 9.0, "count": 6}})
+        assert histogram.counts == [4, 3, 1]
+        assert histogram.count == 8
+        assert histogram.sum == 11.0

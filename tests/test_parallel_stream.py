@@ -173,3 +173,54 @@ class TestShardMetrics:
         assert sum(processed) == len(events)
         assert all(snapshot[f"ses_shard{i}_queue_depth"]["value"] == 0
                    for i in range(2))
+
+
+class TestShardFlightDump:
+    def test_crash_ships_flight_dump(self):
+        matcher = ShardedStreamMatcher(JOINED, shards=2)
+        matcher.push_many(stream_events(n_keys=4, reps=1))
+        matcher.push(Event(ts=90, eid="poison", kind=Bomb(), ID=4))
+        with pytest.raises(WorkerCrashed) as excinfo:
+            matcher.flush()
+        dump = excinfo.value.flight_dump
+        assert dump is not None and dump["steps"]
+        last = dump["steps"][-1]
+        assert last["kind"] == "crash"
+        assert last["event"] == "poison"
+
+    def test_flight_capacity_zero_still_reports_crash(self):
+        matcher = ShardedStreamMatcher(JOINED, shards=2, flight_capacity=0)
+        matcher.push(Event(ts=1, eid="p", kind=Bomb(), ID=4))
+        with pytest.raises(WorkerCrashed) as excinfo:
+            matcher.flush()
+        assert excinfo.value.flight_dump is None
+
+
+class TestHealth:
+    def test_healthy_while_running(self):
+        with ShardedStreamMatcher(JOINED, shards=2) as matcher:
+            matcher.push_many(stream_events(n_keys=2, reps=1))
+            matcher.flush()
+            report = matcher.health()
+            assert report["status"] == "ok"
+            assert report["closed"] is False
+            assert report["attribute"] == "ID"
+            assert len(report["shards"]) == 2
+            for shard in report["shards"]:
+                assert shard["alive"] is True
+                assert shard["events_processed"] >= 0
+
+    def test_ok_after_clean_close(self):
+        matcher = ShardedStreamMatcher(JOINED, shards=2)
+        matcher.push_many(stream_events(n_keys=2, reps=1))
+        matcher.close()
+        report = matcher.health()
+        assert report["status"] == "ok"
+        assert report["closed"] is True
+
+    def test_degraded_after_shard_death(self):
+        matcher = ShardedStreamMatcher(JOINED, shards=2)
+        matcher.push(Event(ts=1, eid="p", kind=Bomb(), ID=4))
+        with pytest.raises(WorkerCrashed):
+            matcher.flush()
+        assert matcher.health()["status"] == "degraded"

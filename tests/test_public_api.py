@@ -25,7 +25,7 @@ EXPECTED_ALL = {
     # Language
     "compile_query", "parse_query",
     # Operations
-    "Observability", "WorkerCrashed",
+    "Observability", "WorkerCrashed", "FlightRecorder", "ObsServer",
     "__version__",
 }
 
