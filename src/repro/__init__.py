@@ -50,6 +50,8 @@ from .parallel import (ParallelPartitionedMatcher, ShardedStreamMatcher,
                        WorkerCrashed)
 from .plan import (PatternPlan, PlanCache, clear_plan_cache, compile,
                    plan_cache, set_plan_cache_size)
+from .resilience import (DeadLetterQueue, FaultPlan, GuardConfig,
+                         ResourceExhausted, RestartPolicy, Supervisor)
 from .stream import ContinuousMatcher, MultiPatternMatcher
 
 __version__ = "1.0.0"
@@ -60,11 +62,14 @@ __all__ = [
     "Condition",
     "Const",
     "ContinuousMatcher",
+    "DeadLetterQueue",
     "Event",
     "EventFilter",
     "EventRelation",
     "EventSchema",
+    "FaultPlan",
     "FlightRecorder",
+    "GuardConfig",
     "MatchResult",
     "Matcher",
     "MultiPatternMatcher",
@@ -74,12 +79,15 @@ __all__ = [
     "PatternError",
     "PatternPlan",
     "PlanCache",
+    "ResourceExhausted",
+    "RestartPolicy",
     "SESAutomaton",
     "SESExecutor",
     "SESPattern",
     "SchemaError",
     "ShardedStreamMatcher",
     "Substitution",
+    "Supervisor",
     "Variable",
     "WorkerCrashed",
     "attr",

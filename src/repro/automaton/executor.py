@@ -28,6 +28,7 @@ results.  ``selection="all-starts"`` keeps one match per start position;
 
 from __future__ import annotations
 
+import copy
 import logging
 import time
 from dataclasses import dataclass, field
@@ -174,7 +175,8 @@ class SESExecutor:
                  record_history: bool = False,
                  history_max_samples: Optional[int] = None,
                  obs=None,
-                 flight=None):
+                 flight=None,
+                 guard=None):
         if selection not in SELECTIONS:
             raise ValueError(
                 f"unknown selection {selection!r}; expected one of {SELECTIONS}"
@@ -220,6 +222,20 @@ class SESExecutor:
         #: the tail of execution survives a crash; detached (the
         #: default) the hot path is unchanged.
         self.flight = flight
+        #: Optional :class:`repro.resilience.guards.ResourceGuard` (or a
+        #: bare :class:`~repro.resilience.guards.GuardConfig`, wrapped
+        #: here) enforcing ceilings on |Ω|, buffer bytes and per-event
+        #: time after every :meth:`feed`.  ``None`` (the default) keeps
+        #: the hot path to a single ``is None`` check, like ``obs``.
+        self.guard = guard
+        if guard is not None and not hasattr(guard, "guarded_feed"):
+            from ..resilience.guards import ResourceGuard
+            self.guard = ResourceGuard(
+                guard, registry=None if obs is None else obs.registry)
+        if self.guard is None:
+            # Branch-free disabled path: shadow the class method with
+            # the unguarded implementation, skipping even the dispatch.
+            self.feed = self._feed
         if flight is not None:
             self.tracer = (flight if tracer is None
                            else _TeeTracer(tracer, flight))
@@ -253,7 +269,17 @@ class SESExecutor:
     # Incremental execution
     # ------------------------------------------------------------------
     def feed(self, event: Event) -> List[Substitution]:
-        """Consume one event; return buffers accepted by window expiry."""
+        """Consume one event; return buffers accepted by window expiry.
+
+        With a resource guard attached, the guard's ceilings are checked
+        (and its breach policy applied) after the event is processed;
+        without one this is a single extra ``is None`` test.
+        """
+        if self.guard is None:
+            return self._feed(event)
+        return self.guard.guarded_feed(self, event)
+
+    def _feed(self, event: Event) -> List[Substitution]:
         stats = self.stats
         stats.events_read += 1
         if self._last_ts is not None and event.ts < self._last_ts:
@@ -420,6 +446,37 @@ class SESExecutor:
         self._omega = []
         self._accepted.extend(accepted_now)
         return accepted_now
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Snapshot the execution state for checkpoint/restore.
+
+        Captures Ω (as ``(state, buffer)`` pairs — both immutable),
+        the accepted buffers, the last-processed timestamp and a deep
+        copy of the counters.  Restoring the snapshot into a fresh
+        executor over the same automaton and then feeding the same
+        suffix of events reproduces the run exactly (execution is
+        deterministic in the event sequence).
+        """
+        return {
+            "omega": [(instance.state, instance.buffer)
+                      for instance in self._omega],
+            "accepted": list(self._accepted),
+            "last_ts": self._last_ts,
+            "stats": copy.deepcopy(self.stats),
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot (inverse of it)."""
+        self._omega = [AutomatonInstance(q, beta)
+                       for q, beta in state["omega"]]
+        self._accepted = list(state["accepted"])
+        self._accepted_during_consume = []
+        self._last_ts = state["last_ts"]
+        self.stats = copy.deepcopy(state["stats"])
+        self._published_stats = {}
 
     # ------------------------------------------------------------------
     # Batch execution and result selection

@@ -38,6 +38,13 @@ DEFAULT_MIN_SECONDS = 0.05
 _LOWER_IS_BETTER = ("_seconds",)
 _HIGHER_IS_BETTER = ("_events_per_second", "_throughput", "_speedup")
 
+#: Resilience metrics never gate regardless of suffix: they count
+#: injected faults and recovery work (``ses_restart_backoff_seconds``
+#: is cumulative sleep, not a run timing), so chaos runs with more
+#: faults would otherwise read as performance regressions.
+_NEVER_GATE_PREFIXES = ("ses_restart", "ses_quarantined", "ses_shed",
+                        "ses_guard", "ses_degraded")
+
 
 @dataclass
 class Delta:
@@ -60,6 +67,8 @@ class Delta:
 
 def metric_direction(name: str) -> Optional[str]:
     """Which way ``name`` should move, or ``None`` if it never gates."""
+    if name.startswith(_NEVER_GATE_PREFIXES):
+        return None
     if name.endswith(_LOWER_IS_BETTER):
         return "lower"
     if name.endswith(_HIGHER_IS_BETTER):

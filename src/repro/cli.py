@@ -13,6 +13,10 @@ Commands
     Replay a relation through the continuous matcher and keep serving
     the observability endpoint until stopped (``POST /quitquitquit``,
     SIGTERM, or Ctrl-C).  ``SIGUSR2`` dumps the flight recorder.
+    ``--supervise`` restarts dead shard workers from their checkpoints
+    and ``--dead-letter`` quarantines poison events instead of failing
+    (see ``docs/resilience.md``); ``--max-instances``/``--max-buffer-mb``
+    put resource-guard ceilings on executor state.
 ``generate``
     Write a synthetic chemotherapy relation to CSV.
 ``explain``
@@ -51,6 +55,7 @@ from .core.rewrite import close_equality_joins
 from .data.chemo import generate_chemo
 from .lang import QueryError, parse_pattern
 from .plan.cache import compile as compile_plan
+from .resilience.guards import ResourceExhausted
 from .obs import (FlightRecorder, ObsServer, Observability, SpanTracer,
                   configure_logging, install_flight_signal_handler,
                   parse_listen, read_jsonl, to_jsonl, to_prometheus,
@@ -114,6 +119,12 @@ def build_parser() -> argparse.ArgumentParser:
                          help="write a Perfetto/Chrome trace of the run "
                               "(open in ui.perfetto.dev; requires "
                               "--workers 1)")
+    p_match.add_argument("--dead-letter", type=Path, metavar="PATH",
+                         help="run supervised (sharded streaming with "
+                              "restart/replay; see docs/resilience.md) "
+                              "and write quarantined poison events to "
+                              "PATH as JSON lines")
+    _add_guard_arguments(p_match)
 
     p_serve = sub.add_parser(
         "serve", help="replay a relation through the streaming matcher "
@@ -138,6 +149,21 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--once", action="store_true",
                          help="exit right after the replay instead of "
                               "serving until stopped")
+    p_serve.add_argument("--supervise", action="store_true",
+                         help="restart dead shard workers from their "
+                              "checkpoints instead of failing the "
+                              "stream (implies sharded execution; "
+                              "/healthz reports 'degraded' while "
+                              "running on the restart budget)")
+    p_serve.add_argument("--restart-budget", type=int, default=5,
+                         metavar="N",
+                         help="restarts allowed per shard before the "
+                              "stream fails hard (default: 5)")
+    p_serve.add_argument("--dead-letter", type=Path, metavar="PATH",
+                         help="write quarantined poison events to PATH "
+                              "as JSON lines on shutdown (implies "
+                              "--supervise)")
+    _add_guard_arguments(p_serve)
 
     p_generate = sub.add_parser(
         "generate", help="write a synthetic chemotherapy relation to CSV")
@@ -193,6 +219,34 @@ def _add_query_arguments(parser: argparse.ArgumentParser) -> None:
                        help="file containing the PERMUTE query")
 
 
+def _add_guard_arguments(parser: argparse.ArgumentParser) -> None:
+    """Resource-guard ceilings (see docs/resilience.md)."""
+    parser.add_argument("--max-instances", type=int, metavar="N",
+                        help="ceiling on live automaton instances per "
+                             "executor (resource guard)")
+    parser.add_argument("--max-buffer-mb", type=float, metavar="MB",
+                        help="ceiling on estimated match-buffer memory "
+                             "per executor (resource guard)")
+    parser.add_argument("--guard-policy", default="raise",
+                        choices=["raise", "shed", "degrade"],
+                        help="what a guard breach does: raise a typed "
+                             "error, shed oldest instances, or degrade "
+                             "group arity (default: raise)")
+
+
+def _guard_from_args(args: argparse.Namespace):
+    """A :class:`~repro.resilience.guards.GuardConfig` from the CLI
+    guard flags, or ``None`` when no ceiling was requested."""
+    if args.max_instances is None and args.max_buffer_mb is None:
+        return None
+    from .resilience import GuardConfig
+    return GuardConfig(
+        max_instances=args.max_instances,
+        max_buffer_bytes=(None if args.max_buffer_mb is None
+                          else int(args.max_buffer_mb * 1024 * 1024)),
+        policy=args.guard_policy)
+
+
 def _load_pattern(args: argparse.Namespace):
     text = args.query
     if text is None:
@@ -211,6 +265,15 @@ def _cmd_match(args: argparse.Namespace) -> int:
     if tracing and args.workers != 1:
         raise ValueError("--trace-out requires --workers 1 (worker "
                          "processes only ship aggregated spans back)")
+    if tracing and args.dead_letter is not None:
+        raise ValueError("--trace-out and --dead-letter are mutually "
+                         "exclusive (supervised runs execute in shard "
+                         "processes)")
+    guard = _guard_from_args(args)
+    if (guard is not None and args.workers != 1
+            and args.dead_letter is None):
+        raise ValueError("guard ceilings require --workers 1 or a "
+                         "supervised run (--dead-letter)")
     obs = None
     if profiling:
         # Individual span records are only needed for the trace export;
@@ -226,11 +289,13 @@ def _cmd_match(args: argparse.Namespace) -> int:
                            flight=flight).start()
         print(f"serving observability on {server.url}")
     try:
-        if profiling and args.workers == 1:
+        if args.dead_letter is not None:
+            result = _run_supervised_match(plan, relation, args, obs, guard)
+        elif args.workers == 1 and (profiling or guard is not None):
             executor = plan.executor(
                 use_filter=not args.no_filter, selection=args.selection,
                 consume=args.mode, observability=obs, flight=flight,
-                record_history=True,
+                guard=guard, record_history=profiling,
                 history_max_samples=PROFILE_HISTORY_SAMPLES)
             result = executor.run(relation)
         else:
@@ -268,6 +333,42 @@ def _cmd_match(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_supervised_match(plan, relation, args: argparse.Namespace,
+                          obs, guard):
+    """``match --dead-letter``: a supervised sharded streaming run.
+
+    Events are replayed through a
+    :class:`~repro.parallel.sharded.ShardedStreamMatcher` under a
+    :class:`~repro.resilience.supervisor.Supervisor` — poison events go
+    to the dead-letter file instead of failing the run.  Result
+    selection follows the streaming semantics (accepted buffers with
+    overlap suppression), not ``--selection``.
+    """
+    from .automaton.executor import MatchResult
+    from .parallel.sharded import ShardedStreamMatcher
+    from .resilience import DeadLetterQueue, Supervisor
+    dead_letter = DeadLetterQueue()
+    supervisor = Supervisor(dead_letter=dead_letter)
+    matcher = ShardedStreamMatcher(
+        plan, workers=args.workers, use_filter=not args.no_filter,
+        observability=obs, supervisor=supervisor, guard=guard)
+    try:
+        with matcher:
+            matcher.push_many(relation)
+    finally:
+        # Always write the file: "exists and empty" is the scriptable
+        # signature of a clean run (CI's chaos smoke relies on it).
+        dead_letter.write_jsonl(args.dead_letter)
+        if len(dead_letter):
+            print(f"{len(dead_letter)} quarantined event(s) written to "
+                  f"{args.dead_letter}")
+        if supervisor.restarts_total:
+            print(f"recovered from {supervisor.restarts_total} shard "
+                  f"crash(es)")
+    matches = matcher.matches
+    return MatchResult(matches=matches, accepted=list(matches))
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     """Replay ``--data`` through a streaming matcher, then serve until
     stopped (POST /quitquitquit, SIGTERM, Ctrl-C, or ``--once``)."""
@@ -275,24 +376,41 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     relation = load_relation(args.data)
     if args.workers < 1:
         raise ValueError("--workers must be >= 1")
+    if args.restart_budget < 0:
+        raise ValueError("--restart-budget must be >= 0")
+    guard = _guard_from_args(args)
     obs = Observability()
     plan = compile_plan(pattern, observability=obs)
     stop = threading.Event()
-    sharded = args.workers > 1
+    supervising = args.supervise or args.dead_letter is not None
+    sharded = args.workers > 1 or supervising
     flight = None if sharded else FlightRecorder()
+    supervisor = None
+    dead_letter = None
 
     if sharded:
         from .parallel.sharded import ShardedStreamMatcher
+        if supervising:
+            from .resilience import (DeadLetterQueue, RestartPolicy,
+                                     Supervisor)
+            dead_letter = DeadLetterQueue()
+            supervisor = Supervisor(
+                restart=RestartPolicy(max_restarts=args.restart_budget),
+                dead_letter=dead_letter)
         matcher = ShardedStreamMatcher(plan, workers=args.workers,
                                        use_filter=not args.no_filter,
-                                       observability=obs)
+                                       observability=obs,
+                                       supervisor=supervisor, guard=guard)
 
         def health():
+            # "degraded" (restart budget in use, guards shedding) still
+            # answers 200 — the stream is alive; only "failed" is a 503.
             report = matcher.health()
-            return report["status"] == "ok", report
+            return report["status"] != "failed", report
     else:
         matcher = plan.stream(use_filter=not args.no_filter,
-                              observability=obs, flight=flight)
+                              observability=obs, flight=flight,
+                              guard=guard)
 
         def health():
             return True, {"status": "ok", "workers": 1,
@@ -332,6 +450,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     finally:
         server.stop()
         restore_signals()
+        if args.dead_letter is not None and dead_letter is not None:
+            dead_letter.write_jsonl(args.dead_letter)
+            if len(dead_letter):
+                print(f"{len(dead_letter)} quarantined event(s) written "
+                      f"to {args.dead_letter}", file=sys.stderr)
+    if supervisor is not None and supervisor.restarts_total:
+        print(f"recovered from {supervisor.restarts_total} shard crash(es)")
     print(f"done: {len(matcher.matches)} match(es) reported")
     return 0
 
@@ -501,6 +626,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     except QueryError as exc:
         print(f"query error: {exc}", file=sys.stderr)
         return 2
+    except ResourceExhausted as exc:
+        print(f"resource guard: {exc}", file=sys.stderr)
+        return 4
     except (OSError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

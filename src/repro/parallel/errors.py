@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional
 
 __all__ = ["WorkerCrashed"]
 
@@ -21,14 +21,26 @@ class WorkerCrashed(RuntimeError):
     execution steps and |Ω| samples leading up to the failure — when the
     worker got the chance to capture one; it is ``None`` for hard
     crashes (``SIGKILL``, ``os._exit``) where no evidence survives.
+
+    ``partial_matches`` carries the matches that other shards had
+    already reported before the crash aborted a
+    :meth:`~repro.parallel.sharded.ShardedStreamMatcher.close` drain —
+    work that was complete and correct, attached instead of discarded.
+    It is an empty list when the crash happened outside a close drain.
     """
 
-    def __init__(self, message: str, flight_dump: Optional[dict] = None):
+    def __init__(self, message: str, flight_dump: Optional[dict] = None,
+                 partial_matches: Optional[List] = None):
         super().__init__(message)
         self.flight_dump = flight_dump
+        self.partial_matches = list(partial_matches or [])
 
     def __reduce__(self):
-        # Default exception pickling only keeps args; the dump must
-        # survive the trip from a pool worker back to the parent.
-        return (type(self), (self.args[0] if self.args else "",
-                             self.flight_dump))
+        # Default exception pickling only keeps args; the dump and the
+        # partial results must survive the trip from a pool worker back
+        # to the parent.
+        return (
+            type(self),
+            (self.args[0] if self.args else "", self.flight_dump,
+             self.partial_matches),
+        )

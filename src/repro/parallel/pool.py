@@ -348,6 +348,16 @@ class ParallelPartitionedMatcher:
             # no child process outlives the call.
             for future in futures:
                 future.cancel()
+            if not isinstance(exc, Exception):
+                # KeyboardInterrupt / SystemExit: a worker may be busy
+                # on a long chunk, and shutdown(wait=True) would block
+                # on it — exactly the window where a second Ctrl-C
+                # leaves orphaned children behind.  Kill the workers
+                # first; the pool then shuts down immediately.
+                for process in list(getattr(pool, "_processes", {})
+                                    .values()):
+                    if process.is_alive():
+                        process.terminate()
             pool.shutdown(wait=True, cancel_futures=True)
             if isinstance(exc, BrokenProcessPool):
                 # A hard crash (SIGKILL, os._exit) gives the worker no

@@ -24,7 +24,21 @@ Operational properties:
 * **crash detection** — a dead worker is detected on the next
   ``push``/``flush``/``close`` and surfaces as
   :class:`~repro.parallel.errors.WorkerCrashed` with the shard id and
-  exit code, instead of a deadlock on a full or forever-empty queue.
+  exit code, instead of a deadlock on a full or forever-empty queue;
+* **crash recovery** — with a
+  :class:`~repro.resilience.supervisor.Supervisor` attached, a dead
+  shard is instead respawned from its last checkpoint, the write-ahead
+  log is replayed, matches are deduplicated by sequence number
+  (exactly-once delivery), and events that keep crashing the worker are
+  quarantined to a dead-letter queue — see ``docs/resilience.md``.
+
+Wire protocol (parent ↔ shard): every routed event carries a per-shard
+1-based sequence number, parent → worker ``("e", seq, wire)``.  The
+worker replies ``("m", shard, seq, wires)`` for matches, acks barriers
+with ``("flushed", shard, flush_seq, last_seq, guard_stats)`` /
+``("closed", shard, wires, obs_snapshot, last_seq, guard_stats)``,
+ships checkpoints as ``("ckpt", shard, seq, payload)`` and crash
+reports as ``("error", shard, reason, flight_dump, seq)``.
 """
 
 from __future__ import annotations
@@ -59,7 +73,7 @@ _POLL_SECONDS = 0.2
 def _shard_worker(shard_id: int, plan, attribute: str,
                   use_filter: bool, suppress_overlaps: bool,
                   instrument: bool, flight_capacity: int,
-                  in_queue, out_queue) -> None:
+                  in_queue, out_queue, runtime=None) -> None:
     """Shard main loop: consume events until a close message arrives.
 
     Receives the parent's pickled plan, seeds the shard's process-global
@@ -67,9 +81,15 @@ def _shard_worker(shard_id: int, plan, attribute: str,
     :class:`~repro.obs.flight.FlightRecorder` (shared across the shard's
     per-key matchers) whose dump rides the error report back to the
     parent if the shard crashes.
+
+    ``runtime`` (a :class:`~repro.resilience.supervisor.ShardRuntime`)
+    switches on the resilience features: restore from a checkpoint
+    payload, periodic checkpoint messages, the shared in-flight sequence
+    cell, injected faults, and resource guards.
     """
     flight = None
     current_event = None
+    current_seq = None
     try:
         from ..plan.cache import plan_cache
         plan = plan_cache().seed(plan)
@@ -80,31 +100,68 @@ def _shard_worker(shard_id: int, plan, attribute: str,
         if flight_capacity:
             from ..obs.flight import FlightRecorder
             flight = FlightRecorder(capacity=flight_capacity)
+        guard = None
+        injector = None
+        checkpoint_every = 0
+        seq_value = None
+        events_seen = 0
+        if runtime is not None:
+            checkpoint_every = runtime.checkpoint_every
+            seq_value = runtime.seq_value
+            events_seen = runtime.start_seq
+            if runtime.guard is not None:
+                # No registry: trip statistics travel in flush/close
+                # acks and the parent owns the counters — binding the
+                # worker registry too would double-count at merge.
+                from ..resilience.guards import ResourceGuard
+                guard = ResourceGuard(runtime.guard)
+            if runtime.faults:
+                from ..resilience.chaos import FaultInjector
+                injector = FaultInjector(runtime.faults, attribute)
         matcher = PartitionedContinuousMatcher(
             plan, partition_by=attribute, use_filter=use_filter,
             suppress_overlaps=suppress_overlaps, observability=obs,
-            flight=flight)
-        events_seen = 0
+            flight=flight, guard=guard)
+        if runtime is not None and runtime.state is not None:
+            from ..resilience.checkpoint import restore_state
+            restore_state(matcher, runtime.state)
+        since_checkpoint = 0
         while True:
             message = in_queue.get()
             kind = message[0]
             if kind == "e":
-                events_seen += 1
-                current_event = decode_event(message[1])
+                seq, wire = message[1], message[2]
+                current_seq = seq
+                if seq_value is not None:
+                    seq_value.value = seq
+                current_event = decode_event(wire)
+                if injector is not None:
+                    current_event = injector.before(seq, current_event)
                 reported = matcher.push(current_event)
                 current_event = None
+                current_seq = None
+                events_seen = seq
                 if reported:
-                    out_queue.put(("m", shard_id,
+                    out_queue.put(("m", shard_id, seq,
                                    [encode_substitution(s) for s in reported]))
+                if checkpoint_every:
+                    since_checkpoint += 1
+                    if since_checkpoint >= checkpoint_every:
+                        since_checkpoint = 0
+                        from ..resilience.checkpoint import snapshot_state
+                        out_queue.put(("ckpt", shard_id, seq,
+                                       snapshot_state(matcher)))
             elif kind == "flush":
-                out_queue.put(("flushed", shard_id, message[1], events_seen))
+                out_queue.put(("flushed", shard_id, message[1], events_seen,
+                               None if guard is None else guard.stats()))
             elif kind == "close":
                 reported = matcher.close()
                 aggregate = matcher.aggregate()
                 snapshot = None if aggregate is None else aggregate.snapshot()
                 out_queue.put(("closed", shard_id,
                                [encode_substitution(s) for s in reported],
-                               snapshot, events_seen))
+                               snapshot, events_seen,
+                               None if guard is None else guard.stats()))
                 break
             else:  # pragma: no cover - protocol violation
                 raise RuntimeError(f"unknown shard message {kind!r}")
@@ -116,7 +173,8 @@ def _shard_worker(shard_id: int, plan, attribute: str,
                                   f"{type(exc).__name__}: {exc}")
                 dump = flight.dump()
             out_queue.put(("error", shard_id,
-                           f"{type(exc).__name__}: {exc}", dump))
+                           f"{type(exc).__name__}: {exc}", dump,
+                           current_seq if current_seq is not None else 0))
         finally:
             raise
 
@@ -153,8 +211,10 @@ class ShardedStreamMatcher:
         Optional :class:`repro.obs.Observability` bundle.  Shards run
         instrumented and their registries merge in at :meth:`close`;
         the parent additionally tracks ``ses_shard<i>_events_total``
-        and ``ses_shard<i>_queue_depth`` per shard.  ``obs=`` is the
-        deprecated spelling.
+        and ``ses_shard<i>_queue_depth`` per shard, plus — with guards
+        or a supervisor — ``ses_shed_instances``, ``ses_restarts_total``
+        and ``ses_quarantined_events``.  ``obs=`` is the deprecated
+        spelling.
     flight_capacity:
         Ring size of each shard's
         :class:`~repro.obs.flight.FlightRecorder` (default 512; ``0``
@@ -162,6 +222,19 @@ class ShardedStreamMatcher:
         recorder dump back on the :class:`WorkerCrashed` it raises
         (``flight_dump`` attribute); :meth:`health` feeds the live
         ``/healthz`` endpoint.
+    supervisor:
+        Optional :class:`~repro.resilience.supervisor.Supervisor`.
+        Attached, a dead shard is restarted from its checkpoint instead
+        of aborting the stream; see ``docs/resilience.md``.
+    guard:
+        Optional :class:`~repro.resilience.guards.GuardConfig` shipped
+        to every shard: each worker enforces the ceilings with its own
+        :class:`~repro.resilience.guards.ResourceGuard`, and trip
+        statistics ride the flush/close acks back to the parent.
+    faults:
+        Optional :class:`~repro.resilience.chaos.FaultPlan` injected
+        into the shard workers (chaos testing); defaults to the
+        supervisor's plan when one is set there.
 
     Routing uses ``hash(key) % workers``, which is stable within one
     process (str hashes are randomised per interpreter, so shard
@@ -173,6 +246,7 @@ class ShardedStreamMatcher:
                  suppress_overlaps: bool = True, queue_size: int = 1024,
                  start_method: Optional[str] = None, observability=None,
                  flight_capacity: int = 512,
+                 supervisor=None, guard=None, faults=None,
                  shards: Optional[int] = None,
                  attribute: Optional[str] = None, obs=None):
         from ..automaton.optimizations import partition_attribute
@@ -200,29 +274,92 @@ class ShardedStreamMatcher:
         self.attribute = partition_by
         self.n_shards = workers if workers is not None else (os.cpu_count() or 1)
         self.obs = observability
+        self.supervisor = supervisor
+        self.guard = guard
+        if faults is None and supervisor is not None:
+            faults = supervisor.faults
+        self.faults = faults
         self._callbacks: List[MatchCallback] = []
         self._matches: List[Substitution] = []
         self._events_routed = [0] * self.n_shards
         self._events_processed = [0] * self.n_shards
         self._flush_seq = 0
         self._closed = False
+        #: In-progress barrier kind (``"flush"``/``"close"``/``None``)
+        #: and the shards still owing an ack — read by the supervisor to
+        #: re-issue a barrier a dead worker never answered.
+        self._barrier: Optional[str] = None
+        self._barrier_pending: set = set()
+        self._guard_stats = [None] * self.n_shards
+        self._guard_carry = [{} for _ in range(self.n_shards)]
+        self._guard_published: dict = {}
+        self._use_filter = use_filter
+        self._suppress_overlaps = suppress_overlaps
+        self._flight_capacity = flight_capacity
+        self._queue_size = queue_size
+        self._shard_faults = {
+            shard: (faults.for_shard(shard) if faults is not None else [])
+            for shard in range(self.n_shards)}
         context = default_context(start_method)
+        self._context = context
         self._in_queues = [context.Queue(maxsize=queue_size)
                            for _ in range(self.n_shards)]
         self._out_queue = context.Queue()
-        self._processes = []
+        if supervisor is not None:
+            self._seq_values = [context.Value("q", 0, lock=False)
+                                for _ in range(self.n_shards)]
+            supervisor.bind(self)
+        else:
+            self._seq_values = [None] * self.n_shards
+        self._processes: List = [None] * self.n_shards
         for shard_id in range(self.n_shards):
-            process = context.Process(
-                target=_shard_worker,
-                args=(shard_id, plan, partition_by, use_filter,
-                      suppress_overlaps, observability is not None,
-                      flight_capacity,
-                      self._in_queues[shard_id], self._out_queue),
-                daemon=True, name=f"ses-shard-{shard_id}")
-            process.start()
-            self._processes.append(process)
-        logger.debug("started %d stream shard(s) on %r", self.n_shards,
-                     partition_by)
+            self._spawn(shard_id)
+        logger.debug("started %d stream shard(s) on %r%s", self.n_shards,
+                     partition_by,
+                     ", supervised" if supervisor is not None else "")
+
+    # ------------------------------------------------------------------
+    # Worker lifecycle
+    # ------------------------------------------------------------------
+    def _spawn(self, shard_id: int, state: Optional[bytes] = None,
+               start_seq: int = 0) -> None:
+        """Start (or restart) one shard worker process."""
+        runtime = None
+        if (self.supervisor is not None or self.guard is not None
+                or self._shard_faults.get(shard_id)):
+            from ..resilience.supervisor import ShardRuntime
+            runtime = ShardRuntime(
+                checkpoint_every=(self.supervisor.checkpoint_every
+                                  if self.supervisor is not None else 0),
+                start_seq=start_seq, state=state,
+                seq_value=self._seq_values[shard_id],
+                faults=list(self._shard_faults.get(shard_id, ())),
+                guard=self.guard)
+        process = self._context.Process(
+            target=_shard_worker,
+            args=(shard_id, self.plan, self.attribute, self._use_filter,
+                  self._suppress_overlaps, self.obs is not None,
+                  self._flight_capacity, self._in_queues[shard_id],
+                  self._out_queue, runtime),
+            daemon=True, name=f"ses-shard-{shard_id}")
+        process.start()
+        self._processes[shard_id] = process
+
+    def _respawn(self, shard_id: int, state: Optional[bytes] = None,
+                 start_seq: int = 0) -> None:
+        """Replace a dead shard: fresh input queue, fresh worker.
+
+        Called by the supervisor after the dead process is joined and
+        its stale messages are drained; the old queue (and anything
+        still buffered in it) is abandoned — the WAL replay re-delivers
+        every event the old worker never finished.
+        """
+        self._fold_guard_stats(shard_id)
+        self._in_queues[shard_id] = self._context.Queue(
+            maxsize=self._queue_size)
+        if self._seq_values[shard_id] is not None:
+            self._seq_values[shard_id].value = 0
+        self._spawn(shard_id, state=state, start_seq=start_seq)
 
     # ------------------------------------------------------------------
     # Subscription
@@ -243,8 +380,13 @@ class ShardedStreamMatcher:
         """
         self._require_open()
         shard = hash(event.get(self.attribute)) % self.n_shards
-        self._put(shard, ("e", encode_event(event)))
-        self._events_routed[shard] += 1
+        seq = self._events_routed[shard] + 1
+        self._events_routed[shard] = seq
+        wire = encode_event(event)
+        if self.supervisor is not None:
+            # Write-ahead: the event is recoverable before it is queued.
+            self.supervisor.record_event(shard, seq, wire)
+        self._put(shard, ("e", seq, wire))
         return self._drain()
 
     def push_many(self, events) -> List[Substitution]:
@@ -262,42 +404,47 @@ class ShardedStreamMatcher:
         """
         self._require_open()
         self._flush_seq += 1
-        for shard in range(self.n_shards):
-            self._put(shard, ("flush", self._flush_seq))
-        pending = set(range(self.n_shards))
+        self._barrier = "flush"
+        self._barrier_pending = set(range(self.n_shards))
         reported: List[Substitution] = []
-        while pending:
-            message = self._get()
-            if message[0] == "flushed":
-                _, shard_id, seq, events_seen = message
-                if seq == self._flush_seq:
-                    pending.discard(shard_id)
-                self._events_processed[shard_id] = events_seen
-            else:
-                reported.extend(self._handle(message))
+        try:
+            for shard in range(self.n_shards):
+                self._put(shard, ("flush", self._flush_seq))
+            while self._barrier_pending:
+                reported.extend(self._handle(self._get()))
+        finally:
+            self._barrier = None
+            self._barrier_pending = set()
         self._publish_shard_metrics()
         return reported
 
     def close(self) -> List[Substitution]:
-        """End-of-stream: flush every shard, join workers, merge metrics."""
+        """End-of-stream: flush every shard, join workers, merge metrics.
+
+        If a shard crashes (unsupervised) while later shards still owe
+        their results, the raised :class:`WorkerCrashed` carries the
+        matches already drained as ``partial_matches`` instead of
+        discarding them.
+        """
         if self._closed:
             return []
         self._closed = True
-        for shard in range(self.n_shards):
-            self._put(shard, ("close",))
-        pending = set(range(self.n_shards))
+        self._barrier = "close"
+        self._barrier_pending = set(range(self.n_shards))
         reported: List[Substitution] = []
-        while pending:
-            message = self._get(closing=True)
-            if message[0] == "closed":
-                _, shard_id, wires, snapshot, events_seen = message
-                pending.discard(shard_id)
-                self._events_processed[shard_id] = events_seen
-                reported.extend(self._report(wires))
-                if snapshot is not None and self.obs is not None:
-                    self.obs.merge_snapshot(snapshot)
-            else:
-                reported.extend(self._handle(message))
+        try:
+            for shard in range(self.n_shards):
+                self._put(shard, ("close",))
+            while self._barrier_pending:
+                reported.extend(self._handle(self._get(closing=True)))
+        except WorkerCrashed as exc:
+            # Don't discard work that other shards completed: hand the
+            # already-drained matches to the caller on the exception.
+            exc.partial_matches = list(reported)
+            raise
+        finally:
+            self._barrier = None
+            self._barrier_pending = set()
         for process in self._processes:
             process.join(timeout=10.0)
         crashed = [p for p in self._processes
@@ -306,7 +453,8 @@ class ShardedStreamMatcher:
             self.stop()
             names = ", ".join(f"{p.name} (exit {p.exitcode})"
                               for p in crashed)
-            raise WorkerCrashed(f"stream shard(s) failed to exit: {names}")
+            raise WorkerCrashed(f"stream shard(s) failed to exit: {names}",
+                                partial_matches=reported)
         self._publish_shard_metrics()
         return reported
 
@@ -314,10 +462,11 @@ class ShardedStreamMatcher:
         """Terminate all shards immediately (no flush, no results)."""
         self._closed = True
         for process in self._processes:
-            if process.is_alive():
+            if process is not None and process.is_alive():
                 process.terminate()
         for process in self._processes:
-            process.join(timeout=5.0)
+            if process is not None:
+                process.join(timeout=5.0)
 
     def __enter__(self) -> "ShardedStreamMatcher":
         return self
@@ -356,31 +505,61 @@ class ShardedStreamMatcher:
         """Liveness report: per-shard worker state and queue depths.
 
         The payload behind the live ``/healthz`` endpoint
-        (:class:`repro.obs.live.ObsServer`): overall ``status`` is
-        ``"ok"`` while every shard process is alive (or has exited
-        cleanly after :meth:`close`), ``"degraded"`` otherwise.
+        (:class:`repro.obs.live.ObsServer`).  ``status`` is three-valued:
+
+        * ``"ok"`` — every shard alive (or cleanly exited after
+          :meth:`close`), no recoveries, no guard activity;
+        * ``"degraded"`` — still serving, but running on a restart
+          budget (supervised restarts or quarantined events) or with
+          guards actively shedding state; a dead-but-supervised shard
+          (recovery pending on the next operation) also reports here;
+        * ``"failed"`` — a shard is dead and nothing will restart it:
+          unsupervised crash, or the supervisor's budget is exhausted.
         """
         depths = self.queue_depths
+        supervised = self.supervisor is not None
         shards = []
-        degraded = False
+        dead = False
         for shard_id, process in enumerate(self._processes):
             alive = process.is_alive()
             ok = alive or (self._closed and process.exitcode == 0)
-            degraded = degraded or not ok
-            shards.append({
+            dead = dead or not ok
+            entry = {
                 "shard": shard_id,
                 "alive": alive,
                 "exitcode": process.exitcode,
                 "queue_depth": depths[shard_id],
                 "events_routed": self._events_routed[shard_id],
                 "events_processed": self._events_processed[shard_id],
-            })
-        return {
-            "status": "degraded" if degraded else "ok",
+            }
+            if supervised:
+                entry["restarts"] = self.supervisor.restarts_of(shard_id)
+            shards.append(entry)
+        guard_totals = (self._guard_totals()
+                        if self.guard is not None else None)
+        shedding = bool(guard_totals) and (guard_totals.get("shed", 0) > 0
+                                           or guard_totals.get("degraded", 0)
+                                           > 0)
+        if supervised and self.supervisor.failed:
+            status = "failed"
+        elif dead and not supervised:
+            status = "failed"
+        elif dead or shedding or (supervised and self.supervisor.degraded):
+            status = "degraded"
+        else:
+            status = "ok"
+        report = {
+            "status": status,
             "closed": self._closed,
             "attribute": self.attribute,
+            "supervised": supervised,
             "shards": shards,
         }
+        if supervised:
+            report["supervisor"] = self.supervisor.report()
+        if guard_totals is not None:
+            report["guard"] = guard_totals
+        return report
 
     def __repr__(self) -> str:
         return (f"ShardedStreamMatcher({self.attribute!r}, "
@@ -394,14 +573,25 @@ class ShardedStreamMatcher:
             raise RuntimeError("stream matcher is closed")
 
     def _put(self, shard: int, message) -> None:
-        """Enqueue with liveness checks so a dead shard cannot hang us."""
-        in_queue = self._in_queues[shard]
+        """Enqueue with liveness checks so a dead shard cannot hang us.
+
+        Supervised, a death observed here hands off to the supervisor
+        and then simply returns: events are covered by the WAL replay
+        and barriers are re-issued by the recovery itself, so the
+        message needs no direct retry (re-sending it would deliver it
+        twice).  The queue is re-read every attempt because recovery
+        swaps in a fresh one.
+        """
         while True:
+            in_queue = self._in_queues[shard]
             try:
                 in_queue.put(message, timeout=_POLL_SECONDS)
                 return
             except queue.Full:
                 if not self._processes[shard].is_alive():
+                    if self.supervisor is not None:
+                        self.supervisor.on_crash(shard)
+                        return
                     self._crashed(shard)
 
     def _get(self, closing: bool = False):
@@ -418,23 +608,53 @@ class ShardedStreamMatcher:
                         try:
                             return self._out_queue.get(timeout=_POLL_SECONDS)
                         except queue.Empty:
+                            if self.supervisor is not None:
+                                self.supervisor.on_crash(shard_id)
+                                break
                             self._crashed(shard_id)
 
     def _handle(self, message) -> List[Substitution]:
         """Process a non-ack message from a shard."""
         kind = message[0]
         if kind == "m":
-            return self._report(message[2])
+            shard_id, seq = message[1], message[2]
+            if (self.supervisor is not None
+                    and not self.supervisor.should_deliver(shard_id, seq)):
+                return []  # replayed duplicate: already delivered
+            return self._report(message[3])
+        if kind == "ckpt":
+            if self.supervisor is not None:
+                self.supervisor.record_checkpoint(
+                    message[1], message[2], message[3])
+            return []
         if kind == "error":
             shard_id, reason = message[1], message[2]
             flight_dump = message[3] if len(message) > 3 else None
+            seq = message[4] if len(message) > 4 else 0
+            if self.supervisor is not None:
+                self.supervisor.on_crash(shard_id, reason, flight_dump, seq)
+                return []
             self.stop()
             raise WorkerCrashed(
                 f"stream shard {shard_id} crashed: {reason}",
                 flight_dump=flight_dump)
-        if kind == "flushed":  # stale ack from an earlier flush
-            self._events_processed[message[1]] = message[3]
+        if kind == "flushed":
+            _, shard_id, seq, events_seen, guard_stats = message
+            if self._barrier == "flush" and seq == self._flush_seq:
+                self._barrier_pending.discard(shard_id)
+            self._events_processed[shard_id] = events_seen
+            self._note_guard_stats(shard_id, guard_stats)
             return []
+        if kind == "closed":
+            (_, shard_id, wires, snapshot, events_seen,
+             guard_stats) = message
+            self._barrier_pending.discard(shard_id)
+            self._events_processed[shard_id] = events_seen
+            self._note_guard_stats(shard_id, guard_stats)
+            reported = self._report(wires)
+            if snapshot is not None and self.obs is not None:
+                self.obs.merge_snapshot(snapshot)
+            return reported
         raise WorkerCrashed(f"unexpected shard message {kind!r}")
 
     def _report(self, wires) -> List[Substitution]:
@@ -462,6 +682,32 @@ class ShardedStreamMatcher:
             f"stream shard {shard_id} died (exit code {exitcode}); "
             f"shutting down the remaining shards")
 
+    # ------------------------------------------------------------------
+    # Guard statistics (workers report plain dicts; parent owns counters)
+    # ------------------------------------------------------------------
+    def _note_guard_stats(self, shard_id: int, stats) -> None:
+        if stats is not None:
+            self._guard_stats[shard_id] = stats
+
+    def _fold_guard_stats(self, shard_id: int) -> None:
+        """Bank a dying worker's last reported stats: its replacement
+        starts counting from zero again."""
+        stats = self._guard_stats[shard_id]
+        if stats:
+            carry = self._guard_carry[shard_id]
+            for key, value in stats.items():
+                carry[key] = carry.get(key, 0) + value
+        self._guard_stats[shard_id] = None
+
+    def _guard_totals(self) -> dict:
+        totals = {"trips": 0, "shed": 0, "degraded": 0}
+        for shard_id in range(self.n_shards):
+            for source in (self._guard_carry[shard_id],
+                           self._guard_stats[shard_id] or {}):
+                for key in totals:
+                    totals[key] += source.get(key, 0)
+        return totals
+
     def _publish_shard_metrics(self) -> None:
         if self.obs is None:
             return
@@ -476,3 +722,17 @@ class ShardedStreamMatcher:
                 f"ses_shard{shard_id}_queue_depth",
                 help="input-queue depth at the last flush/close",
             ).set(depths[shard_id])
+        if self.guard is not None:
+            totals = self._guard_totals()
+            for key, name, help_text in (
+                    ("shed", "ses_shed_instances",
+                     "instances dropped by the shed/degrade guard policy"),
+                    ("degraded", "ses_degraded_instances_total",
+                     "over-arity group instances dropped by the degrade "
+                     "policy"),
+                    ("trips", "ses_guard_trips_total",
+                     "resource-guard ceiling breaches")):
+                delta = totals[key] - self._guard_published.get(key, 0)
+                if delta > 0:
+                    registry.counter(name, help=help_text).inc(delta)
+                    self._guard_published[key] = totals[key]

@@ -212,7 +212,7 @@ class PatternPlan:
                  expire_on_filtered: bool = False, observability=None,
                  record_history: bool = False,
                  history_max_samples: Optional[int] = None, tracer=None,
-                 flight=None,
+                 flight=None, guard=None,
                  consume_mode: Optional[str] = None, obs=None) -> SESExecutor:
         """A fresh incremental executor over the compiled automaton."""
         consume = resolve_option("PatternPlan.executor", "consume", consume,
@@ -230,12 +230,12 @@ class PatternPlan:
                            consume_mode=consume, tracer=tracer,
                            obs=observability, record_history=record_history,
                            history_max_samples=history_max_samples,
-                           flight=flight)
+                           flight=flight, guard=guard)
 
     def stream(self, *, use_filter: bool = True,
                suppress_overlaps: bool = True,
                partition_by: Optional[str] = None, observability=None,
-               flight=None, obs=None):
+               flight=None, guard=None, obs=None):
         """A continuous matcher over this plan.
 
         Returns a :class:`~repro.stream.runner.ContinuousMatcher`, or —
@@ -250,11 +250,12 @@ class PatternPlan:
             return PartitionedContinuousMatcher(
                 self, partition_by=partition_by, use_filter=use_filter,
                 suppress_overlaps=suppress_overlaps,
-                observability=observability, flight=flight)
+                observability=observability, flight=flight, guard=guard)
         from ..stream.runner import ContinuousMatcher
         return ContinuousMatcher(self, use_filter=use_filter,
                                  suppress_overlaps=suppress_overlaps,
-                                 observability=observability, flight=flight)
+                                 observability=observability, flight=flight,
+                                 guard=guard)
 
     # ------------------------------------------------------------------
     # Introspection and plumbing

@@ -1,0 +1,33 @@
+"""Fault tolerance for the streaming runtime.
+
+The paper's Section 4.4 complexity analysis makes unbounded resource
+growth a real failure mode, and process-based sharding
+(:class:`~repro.parallel.sharded.ShardedStreamMatcher`) adds worker
+death to the list.  This package supplies the production answers:
+
+* :class:`Supervisor` / :class:`RestartPolicy` — supervised shard
+  restart with checkpoint/WAL replay and exactly-once match delivery;
+* :class:`DeadLetterQueue` — poison-event quarantine with crash
+  evidence attached;
+* :class:`GuardConfig` / :class:`ResourceGuard` /
+  :class:`ResourceExhausted` — runtime ceilings on executor state,
+  grounded in :mod:`repro.complexity.bounds`;
+* :class:`FaultPlan` — deterministic fault injection for chaos tests.
+
+See ``docs/resilience.md`` for the supervision tree, checkpoint format
+and guard-policy semantics.
+"""
+
+from .chaos import FaultInjector, FaultPlan, InjectedFault
+from .checkpoint import EventLog, ShardCheckpoint, restore_state, snapshot_state
+from .guards import GuardConfig, ResourceExhausted, ResourceGuard
+from .quarantine import DeadLetterQueue, QuarantinedEvent
+from .supervisor import RestartPolicy, ShardRuntime, Supervisor
+
+__all__ = [
+    "Supervisor", "RestartPolicy", "ShardRuntime",
+    "GuardConfig", "ResourceGuard", "ResourceExhausted",
+    "FaultPlan", "FaultInjector", "InjectedFault",
+    "DeadLetterQueue", "QuarantinedEvent",
+    "EventLog", "ShardCheckpoint", "snapshot_state", "restore_state",
+]

@@ -1,0 +1,97 @@
+"""Shard checkpoints and the in-memory write-ahead log.
+
+Recovery state per shard is two complementary pieces:
+
+* a **checkpoint** — the worker pickles its
+  :meth:`~repro.stream.partitioned.PartitionedContinuousMatcher.state_dict`
+  every ``checkpoint_every`` processed events and ships the bytes to the
+  parent (a ``("ckpt", shard, seq, payload)`` message).  The payload
+  captures open automaton instances, match buffers, reported matches /
+  used events (so overlap suppression survives a restart) and the
+  last-processed timestamp;
+* a **write-ahead log** — the parent appends every routed event's wire
+  tuple *before* enqueueing it, and trims the log through ``seq`` when a
+  checkpoint for ``seq`` arrives.  Replaying the log on top of the
+  checkpoint reconstructs the exact pre-crash executor state, because
+  execution is deterministic in the event sequence.
+
+Matches are made exactly-once by sequence-number dedup on the parent
+(see :class:`~repro.resilience.supervisor.Supervisor`), not by anything
+stored here.
+"""
+
+from __future__ import annotations
+
+import pickle
+from collections import deque
+from typing import List, Optional, Tuple
+
+__all__ = ["ShardCheckpoint", "EventLog", "snapshot_state", "restore_state"]
+
+
+def snapshot_state(matcher) -> bytes:
+    """Pickle a matcher's ``state_dict()`` into a checkpoint payload."""
+    return pickle.dumps(matcher.state_dict(), protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def restore_state(matcher, payload: bytes) -> None:
+    """Load a checkpoint payload back into a fresh matcher."""
+    matcher.load_state(pickle.loads(payload))
+
+
+class ShardCheckpoint:
+    """The latest checkpoint of one shard: ``(seq, pickled state)``."""
+
+    __slots__ = ("seq", "payload")
+
+    def __init__(self, seq: int, payload: bytes):
+        self.seq = seq
+        self.payload = payload
+
+    def __repr__(self) -> str:
+        return f"ShardCheckpoint(seq={self.seq}, {len(self.payload)} bytes)"
+
+
+class EventLog:
+    """In-memory WAL of ``(seq, event wire)`` entries for one shard.
+
+    Entries arrive in strictly increasing ``seq`` order (the parent
+    appends under its own routing loop), so trims and range scans are
+    simple deque walks.
+    """
+
+    __slots__ = ("_entries",)
+
+    def __init__(self):
+        self._entries: deque = deque()
+
+    def append(self, seq: int, wire) -> None:
+        self._entries.append((seq, wire))
+
+    def trim_through(self, seq: int) -> None:
+        """Drop entries with ``seq`` at or below the checkpointed seq."""
+        entries = self._entries
+        while entries and entries[0][0] <= seq:
+            entries.popleft()
+
+    def entries_after(self, seq: int) -> List[Tuple[int, object]]:
+        """Entries with sequence number above ``seq``, in order."""
+        return [entry for entry in self._entries if entry[0] > seq]
+
+    def find(self, seq: int) -> Optional[object]:
+        """The wire tuple logged for ``seq`` (``None`` if trimmed)."""
+        for entry_seq, wire in self._entries:
+            if entry_seq == seq:
+                return wire
+            if entry_seq > seq:
+                break
+        return None
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:
+        if not self._entries:
+            return "EventLog(empty)"
+        return (f"EventLog({len(self._entries)} entries, "
+                f"seq {self._entries[0][0]}..{self._entries[-1][0]})")

@@ -1,0 +1,92 @@
+"""Poison-event quarantine: the dead-letter queue.
+
+An event whose processing crashes a shard worker
+:attr:`~repro.resilience.supervisor.Supervisor.quarantine_after` times
+(default twice — once on first sight, once on replay after the restart)
+is *poison*: deterministic input the matcher cannot survive.  Rather
+than burning the whole restart budget on it, the supervisor removes the
+event from the replay log and parks it here, together with the crash
+evidence (the worker's flight-recorder dump, when one survived), and
+the shard continues with the rest of the stream.
+
+Entries serialise to JSON lines (``repro match --dead-letter out.jsonl``)
+so poison events can be inspected, fixed and re-ingested offline.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterator, List, Optional
+
+from ..core.events import Event
+
+__all__ = ["QuarantinedEvent", "DeadLetterQueue"]
+
+
+class QuarantinedEvent:
+    """One poison event plus the evidence of why it was quarantined."""
+
+    __slots__ = ("shard", "seq", "event", "reason", "flight_dump", "crashes")
+
+    def __init__(self, shard: int, seq: int, event: Optional[Event],
+                 reason: str, flight_dump: Optional[dict] = None,
+                 crashes: int = 0):
+        self.shard = shard
+        self.seq = seq
+        self.event = event
+        self.reason = reason
+        self.flight_dump = flight_dump
+        self.crashes = crashes
+
+    def to_json(self) -> dict:
+        """JSON-serialisable form (one dead-letter line)."""
+        event = None
+        if self.event is not None:
+            event = {"ts": self.event.ts, "eid": self.event.eid,
+                     "attrs": dict(self.event.attributes)}
+        return {"shard": self.shard, "seq": self.seq, "event": event,
+                "reason": self.reason, "crashes": self.crashes,
+                "flight_dump": self.flight_dump}
+
+    def __repr__(self) -> str:
+        eid = self.event.eid if self.event is not None else None
+        return (f"QuarantinedEvent(shard={self.shard}, seq={self.seq}, "
+                f"eid={eid!r}, crashes={self.crashes})")
+
+
+class DeadLetterQueue:
+    """An append-only parking lot for quarantined events."""
+
+    __slots__ = ("_entries",)
+
+    def __init__(self):
+        self._entries: List[QuarantinedEvent] = []
+
+    def add(self, entry: QuarantinedEvent) -> None:
+        self._entries.append(entry)
+
+    @property
+    def entries(self) -> List[QuarantinedEvent]:
+        return list(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[QuarantinedEvent]:
+        return iter(self._entries)
+
+    def write_jsonl(self, path) -> int:
+        """Write one JSON line per entry; returns the number written.
+
+        Attribute values that are not JSON types are stringified — the
+        dead-letter file is for human inspection and re-ingestion, not a
+        lossless pickle.
+        """
+        with open(path, "w", encoding="utf-8") as handle:
+            for entry in self._entries:
+                handle.write(json.dumps(entry.to_json(), default=str))
+                handle.write("\n")
+        return len(self._entries)
+
+    def __repr__(self) -> str:
+        return f"DeadLetterQueue({len(self._entries)} entries)"

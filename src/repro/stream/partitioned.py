@@ -59,7 +59,7 @@ class PartitionedContinuousMatcher:
 
     def __init__(self, pattern, partition_by: Optional[str] = None,
                  use_filter: bool = True, suppress_overlaps: bool = True,
-                 observability=None, flight=None,
+                 observability=None, flight=None, guard=None,
                  attribute: Optional[str] = None, obs=None):
         partition_by = resolve_option(
             "PartitionedContinuousMatcher", "partition_by", partition_by,
@@ -86,6 +86,16 @@ class PartitionedContinuousMatcher:
         #: One shared flight recorder across all per-key matchers — a
         #: single tail of recent execution for the whole partition set.
         self.flight = flight
+        #: One shared :class:`~repro.resilience.guards.ResourceGuard`
+        #: across all per-key matchers: ceilings apply per executor (the
+        #: unit the Section 4.4 bounds describe), trip statistics
+        #: accumulate partition-wide.  A bare
+        #: :class:`~repro.resilience.guards.GuardConfig` is wrapped here.
+        self.guard = guard
+        if guard is not None and not hasattr(guard, "guarded_feed"):
+            from ..resilience.guards import ResourceGuard
+            self.guard = ResourceGuard(
+                guard, registry=None if obs is None else obs.registry)
         self._partition_gauge = (
             None if obs is None else obs.registry.gauge(
                 "ses_stream_partitions", help="live partition matchers"))
@@ -102,9 +112,8 @@ class PartitionedContinuousMatcher:
     # ------------------------------------------------------------------
     # Feeding
     # ------------------------------------------------------------------
-    def push(self, event: Event) -> List[Substitution]:
-        """Route one event to its partition; returns new matches."""
-        key = event.get(self.attribute)
+    def _matcher_for(self, key: Hashable) -> ContinuousMatcher:
+        """The per-key matcher, created lazily on first sight of ``key``."""
         matcher = self._matchers.get(key)
         if matcher is None:
             child_obs = None
@@ -114,12 +123,19 @@ class PartitionedContinuousMatcher:
             matcher = ContinuousMatcher(
                 self._plan, use_filter=self._use_filter,
                 suppress_overlaps=self._suppress_overlaps,
-                observability=child_obs, flight=self.flight)
+                observability=child_obs, flight=self.flight,
+                guard=self.guard)
             self._matchers[key] = matcher
             logger.debug("new partition %r (%d live)", key,
                          len(self._matchers))
             if self._partition_gauge is not None:
                 self._partition_gauge.set(len(self._matchers))
+        return matcher
+
+    def push(self, event: Event) -> List[Substitution]:
+        """Route one event to its partition; returns new matches."""
+        key = event.get(self.attribute)
+        matcher = self._matcher_for(key)
         self._last_ts[key] = event.ts
         reported = matcher.push(event)
         for callback in self._callbacks:
@@ -144,6 +160,24 @@ class PartitionedContinuousMatcher:
                 for substitution in flushed:
                     callback(key, substitution)
         return out
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Snapshot every live partition for checkpoint/restore."""
+        return {
+            "partitions": {key: matcher.state_dict()
+                           for key, matcher in self._matchers.items()},
+            "last_ts": dict(self._last_ts),
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot (partitions are
+        created as needed; existing partitions are overwritten)."""
+        for key, sub_state in state["partitions"].items():
+            self._matcher_for(key).load_state(sub_state)
+        self._last_ts.update(state["last_ts"])
 
     # ------------------------------------------------------------------
     # Maintenance and introspection

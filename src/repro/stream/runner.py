@@ -59,11 +59,15 @@ class ContinuousMatcher:
         Optional :class:`repro.obs.flight.FlightRecorder` attached to
         the underlying executor: the tail of recent execution steps and
         |Ω| samples, dumpable on crash or via ``/debug/flight``.
+    guard:
+        Optional :class:`repro.resilience.guards.ResourceGuard` (or
+        :class:`~repro.resilience.guards.GuardConfig`) bounding the
+        executor's live state — see ``docs/resilience.md``.
     """
 
     def __init__(self, pattern, use_filter: bool = True,
                  suppress_overlaps: bool = True, observability=None,
-                 flight=None, obs=None):
+                 flight=None, guard=None, obs=None):
         obs = resolve_option("ContinuousMatcher", "observability",
                              observability, "obs", obs)
         self.plan = as_plan(pattern)
@@ -74,7 +78,8 @@ class ContinuousMatcher:
         # latency stays bounded (see SESExecutor.expire_on_filtered).
         self._executor: SESExecutor = self.plan.executor(
             use_filter=use_filter, selection="accepted",
-            expire_on_filtered=True, observability=obs, flight=flight)
+            expire_on_filtered=True, observability=obs, flight=flight,
+            guard=guard)
         self._callbacks: List[MatchCallback] = []
         self._reported: List[Substitution] = []
         self._used_events: set = set()
@@ -123,6 +128,25 @@ class ContinuousMatcher:
     def publish_stats(self) -> None:
         """Flush execution counters into the obs registry (if any)."""
         self._executor.publish_stats()
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Snapshot for checkpoint/restore: executor state plus the
+        reported matches and used-event set (so overlap suppression
+        behaves identically after a restore)."""
+        return {
+            "executor": self._executor.state_dict(),
+            "reported": list(self._reported),
+            "used_events": set(self._used_events),
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot."""
+        self._executor.load_state(state["executor"])
+        self._reported = list(state["reported"])
+        self._used_events = set(state["used_events"])
 
     def _report(self, accepted: List[Substitution]) -> List[Substitution]:
         if not accepted:

@@ -218,9 +218,11 @@ class TestHealth:
         assert report["status"] == "ok"
         assert report["closed"] is True
 
-    def test_degraded_after_shard_death(self):
+    def test_failed_after_unsupervised_shard_death(self):
+        # Without a supervisor nothing will restart the shard: that is a
+        # hard failure, not a degraded-but-serving state.
         matcher = ShardedStreamMatcher(JOINED, shards=2)
         matcher.push(Event(ts=1, eid="p", kind=Bomb(), ID=4))
         with pytest.raises(WorkerCrashed):
             matcher.flush()
-        assert matcher.health()["status"] == "degraded"
+        assert matcher.health()["status"] == "failed"

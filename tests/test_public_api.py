@@ -26,6 +26,9 @@ EXPECTED_ALL = {
     "compile_query", "parse_query",
     # Operations
     "Observability", "WorkerCrashed", "FlightRecorder", "ObsServer",
+    # Resilience
+    "Supervisor", "RestartPolicy", "GuardConfig", "ResourceExhausted",
+    "FaultPlan", "DeadLetterQueue",
     "__version__",
 }
 
