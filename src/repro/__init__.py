@@ -44,6 +44,8 @@ from .automaton.builder import build_automaton
 from .automaton.executor import MatchResult, SESExecutor, execute
 from .automaton.filtering import EventFilter
 
+from .explain import (ExplainReport, StatsStore, clear_stats_store, explain,
+                      explain_analyze, stats_store)
 from .lang import compile_query, parse_query
 from .obs import FlightRecorder, Observability, ObsServer
 from .parallel import (ParallelPartitionedMatcher, ShardedStreamMatcher,
@@ -67,6 +69,7 @@ __all__ = [
     "EventFilter",
     "EventRelation",
     "EventSchema",
+    "ExplainReport",
     "FaultPlan",
     "FlightRecorder",
     "GuardConfig",
@@ -86,6 +89,7 @@ __all__ = [
     "SESPattern",
     "SchemaError",
     "ShardedStreamMatcher",
+    "StatsStore",
     "Substitution",
     "Supervisor",
     "Variable",
@@ -93,15 +97,19 @@ __all__ = [
     "attr",
     "build_automaton",
     "clear_plan_cache",
+    "clear_stats_store",
     "compile",
     "compile_query",
     "const",
     "execute",
+    "explain",
+    "explain_analyze",
     "group",
     "match",
     "parse_query",
     "plan_cache",
     "set_plan_cache_size",
+    "stats_store",
     "var",
     "__version__",
 ]

@@ -31,6 +31,10 @@ def main(argv=None) -> int:
                         help="scale profile (quick / default / large)")
     parser.add_argument("--metrics-out", metavar="PATH", default=None,
                         help="also write a JSON-lines metrics snapshot")
+    parser.add_argument("--explain-out", metavar="DIR", default=None,
+                        help="also write JSON EXPLAIN reports for the "
+                             "experiment patterns (bench_exp1.json / "
+                             "bench_exp2.json; the CI build artifact)")
     parser.add_argument("--workers", type=int, default=1, metavar="N",
                         help="also run the parallel scaling benchmark with "
                              "pool sizes up to N (default: 1 = skip)")
@@ -75,6 +79,24 @@ def main(argv=None) -> int:
         path = write_jsonl(snapshot, args.metrics_out)
         logger.info("wrote %d metrics to %s", len(snapshot), path)
         print(f"metrics snapshot: {path} ({len(snapshot)} series)")
+
+    if args.explain_out:
+        from pathlib import Path
+
+        from ..data.workloads import experiment1_pattern, pattern_p3
+        from ..explain import explain
+        out_dir = Path(args.explain_out)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        reports = {
+            "bench_exp1.json": explain(
+                experiment1_pattern(profile.exp1_max_vars, exclusive=True),
+                relation=exp1_relation),
+            "bench_exp2.json": explain(pattern_p3(), relation=exp23_base),
+        }
+        for filename, report in reports.items():
+            path = out_dir / filename
+            path.write_text(report.to_json() + "\n", encoding="utf-8")
+            print(f"explain report: {path}")
     return 0
 
 

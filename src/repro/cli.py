@@ -20,7 +20,13 @@ Commands
 ``generate``
     Write a synthetic chemotherapy relation to CSV.
 ``explain``
-    Show the SES automaton a query compiles to (text or Graphviz DOT).
+    EXPLAIN / EXPLAIN ANALYZE for a query: automaton topology, prefilter
+    predicate vectors, complexity bounds, plan-cache provenance and
+    persisted statistics (``--format text|json|dot``).  With
+    ``--analyze`` (requires ``--data``) the query runs over a counting
+    automaton and the report carries observed per-transition /
+    per-condition counters; the observed selectivities feed the
+    statistics store (see ``docs/explain.md``).
 ``analyze``
     Complexity report (Theorems 1–3) for a query and a data set or an
     explicit window size.
@@ -58,7 +64,8 @@ from .plan.cache import compile as compile_plan
 from .resilience.guards import ResourceExhausted
 from .obs import (FlightRecorder, ObsServer, Observability, SpanTracer,
                   configure_logging, install_flight_signal_handler,
-                  parse_listen, read_jsonl, to_jsonl, to_prometheus,
+                  live_snapshot, parse_listen, read_jsonl,
+                  snapshot_quantile, to_jsonl, to_prometheus,
                   write_chrome_trace, write_jsonl)
 from .storage.csvio import load_relation, save_relation
 
@@ -179,10 +186,31 @@ def build_parser() -> argparse.ArgumentParser:
                             help="repeat each event FACTOR times (D2-D5)")
 
     p_explain = sub.add_parser(
-        "explain", help="show the SES automaton a query compiles to")
+        "explain", help="EXPLAIN / EXPLAIN ANALYZE a query (automaton, "
+                        "prefilters, bounds, cache provenance, observed "
+                        "counters)")
     _add_query_arguments(p_explain)
+    p_explain.add_argument("--data", type=Path, metavar="CSV",
+                           help="event relation CSV; enables the "
+                                "complexity section and is required by "
+                                "--analyze")
+    p_explain.add_argument("--analyze", action="store_true",
+                           help="run the query over the data with "
+                                "per-transition counters (EXPLAIN "
+                                "ANALYZE; feeds the statistics store)")
+    p_explain.add_argument("--format", default="text",
+                           choices=["text", "json", "dot"],
+                           help="output format (default: text); dot "
+                                "edges are hotness-annotated after "
+                                "--analyze")
     p_explain.add_argument("--dot", action="store_true",
-                           help="emit Graphviz DOT instead of text")
+                           help="shorthand for --format dot")
+    p_explain.add_argument("--no-filter", action="store_true",
+                           help="disable the pre-filter in the analyzed "
+                                "run")
+    p_explain.add_argument("--out", type=Path, metavar="PATH",
+                           help="write the report to PATH instead of "
+                                "stdout")
 
     p_lint = sub.add_parser(
         "lint", help="static diagnostics for a query")
@@ -284,9 +312,12 @@ def _cmd_match(args: argparse.Namespace) -> int:
     plan = compile_plan(pattern, observability=obs)
     server = None
     if args.listen is not None:
+        from .explain import explain
         host, port = parse_listen(args.listen)
-        server = ObsServer(host=host, port=port, snapshot=obs.snapshot,
-                           flight=flight).start()
+        server = ObsServer(host=host, port=port,
+                           snapshot=lambda: live_snapshot(obs),
+                           flight=flight,
+                           explain=lambda: explain(plan).to_dict()).start()
         print(f"serving observability on {server.url}")
     try:
         if args.dead_letter is not None:
@@ -417,10 +448,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                           "active_instances": matcher.active_instances,
                           "matches": len(matcher.matches)}
 
+    from .explain import explain
     restore_signals = _install_serve_signal_handlers(stop, flight,
                                                      args.flight_dump)
-    server = ObsServer(*parse_listen(args.listen), snapshot=obs.snapshot,
-                       health=health, flight=flight, on_quit=stop.set)
+    server = ObsServer(*parse_listen(args.listen),
+                       snapshot=lambda: live_snapshot(obs),
+                       health=health, flight=flight,
+                       explain=lambda: explain(plan).to_dict(),
+                       on_quit=stop.set)
     try:
         server.start()
         print(f"serving observability on {server.url}", flush=True)
@@ -495,6 +530,11 @@ def _print_profile(obs: Observability, stats) -> None:
         ["stage", "calls", "total s", "self s", "share"],
         obs.stage_rows(),
         title="per-stage timing"))
+    latency_rows = _quantile_rows(obs)
+    if latency_rows:
+        print()
+        print(format_table(["latency", "p50", "p95", "p99", "count"],
+                           latency_rows, title="latency quantiles"))
     worker_rows = _worker_rows(obs)
     if worker_rows:
         print()
@@ -505,6 +545,19 @@ def _print_profile(obs: Observability, stats) -> None:
         print()
         print(f"Ω timeline (peak {stats.max_simultaneous_instances}):")
         print(f"  {sparkline(history)}")
+
+
+def _quantile_rows(obs: Observability) -> List[List[object]]:
+    """p50/p95/p99 rows for every non-empty histogram in the bundle."""
+    rows = []
+    for name, record in sorted(obs.snapshot().items()):
+        if record.get("type") != "histogram" or not record.get("count"):
+            continue
+        quantiles = [snapshot_quantile(record, q)
+                     for q in (0.5, 0.95, 0.99)]
+        rows.append([name] + [f"{value:.3g}" for value in quantiles]
+                    + [record["count"]])
+    return rows
 
 
 def _worker_rows(obs: Observability) -> List[List[object]]:
@@ -532,9 +585,23 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 
 def _cmd_explain(args: argparse.Namespace) -> int:
+    from .explain import explain, explain_analyze
     pattern = _load_pattern(args)
-    automaton = compile_plan(pattern).automaton
-    print(automaton.to_dot() if args.dot else automaton.describe())
+    format = "dot" if args.dot else args.format
+    relation = None if args.data is None else load_relation(args.data)
+    if args.analyze:
+        if relation is None:
+            raise ValueError("--analyze requires --data")
+        report = explain_analyze(pattern, relation,
+                                 use_filter=not args.no_filter)
+    else:
+        report = explain(pattern, relation=relation)
+    rendered = report.render(format)
+    if args.out is not None:
+        args.out.write_text(rendered + "\n", encoding="utf-8")
+        print(f"explain report: {args.out}")
+    else:
+        print(rendered)
     return 0
 
 
@@ -561,7 +628,9 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         sys.stdout.write(to_jsonl(snapshot))
         return 0
     by_type = {}
-    for name, record in snapshot.items():
+    # Sorted by name so the rendering is deterministic whatever order
+    # the snapshot file accumulated records in.
+    for name, record in sorted(snapshot.items()):
         by_type.setdefault(record.get("type", "gauge"), []).append(
             (name, record))
     if "counter" in by_type:
@@ -588,6 +657,10 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         print(f"{name}: n={record['count']}  sum={record['sum']:.6g}  "
               f"mean={mean:.6g}")
         if record["count"]:
+            quantiles = "  ".join(
+                f"p{int(q * 100)}={snapshot_quantile(record, q):.3g}"
+                for q in (0.5, 0.95, 0.99))
+            print(f"  {quantiles}")
             print(f"  {sparkline(record['buckets'])}")
     return 0
 

@@ -29,10 +29,11 @@ from typing import Dict, Iterable, Optional
 from .exporters import (read_jsonl, to_chrome_trace, to_jsonl, to_prometheus,
                         write_chrome_trace, write_jsonl)
 from .flight import FlightRecorder, install_flight_signal_handler
-from .live import ObsServer, parse_listen
+from .live import ObsServer, live_snapshot, parse_listen
 from .logs import configure_logging, get_logger, verbosity_level
 from .metrics import (LATENCY_BUCKETS, LIFETIME_BUCKETS, NULL_REGISTRY,
-                      Counter, Gauge, Histogram, MetricsRegistry, NullRegistry)
+                      Counter, Gauge, Histogram, MetricsRegistry, NullRegistry,
+                      estimate_quantile, snapshot_quantile)
 from .tracing import Span, SpanTracer, StageStats
 
 __all__ = [
@@ -41,7 +42,8 @@ __all__ = [
     "Span", "SpanTracer", "StageStats", "Observability",
     "FlightRecorder", "ObsServer",
     "configure_logging", "get_logger", "verbosity_level",
-    "install_flight_signal_handler", "parse_listen",
+    "estimate_quantile", "snapshot_quantile",
+    "install_flight_signal_handler", "live_snapshot", "parse_listen",
     "read_jsonl", "to_chrome_trace", "to_jsonl", "to_prometheus",
     "write_chrome_trace", "write_jsonl",
 ]

@@ -52,6 +52,29 @@ def _prom_value(value) -> str:
     return repr(value) if isinstance(value, float) else str(value)
 
 
+def _prom_label_value(value) -> str:
+    """Escape a label value per the exposition format.
+
+    Order matters: backslashes first, then quotes and newlines — pattern
+    *names* are user-controlled and may contain any of them.
+    """
+    return (str(value).replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def _prom_labels(record: dict, extra: str = "") -> str:
+    """The ``{k="v",...}`` label block for a record (may be empty).
+
+    ``extra`` is a pre-rendered label pair (the histogram ``le``) merged
+    after the record's own labels.
+    """
+    pairs = [f'{_prom_name(key)}="{_prom_label_value(value)}"'
+             for key, value in sorted(record.get("labels", {}).items())]
+    if extra:
+        pairs.append(extra)
+    return "{" + ",".join(pairs) + "}" if pairs else ""
+
+
 def to_jsonl(snapshot: Dict[str, dict]) -> str:
     """Render a snapshot as JSON lines (one metric per line)."""
     lines = [json.dumps({"name": name, **record}, sort_keys=True)
@@ -87,31 +110,49 @@ def read_jsonl(path: Union[str, Path]) -> Dict[str, dict]:
 
 
 def to_prometheus(snapshot: Dict[str, dict]) -> str:
-    """Render a snapshot in the Prometheus text exposition format."""
+    """Render a snapshot in the Prometheus text exposition format.
+
+    A record may carry a ``"labels"`` dict, rendered as a label block on
+    every sample with values escaped per the format (``\\``, ``"`` and
+    newlines — pattern names are user-controlled).  A labeled record may
+    also carry a ``"metric"`` key naming the real metric when the
+    snapshot key had to stay unique (e.g. ``ses_pattern_runs_total[x]``);
+    ``# TYPE``/``# HELP`` headers are emitted once per metric name.
+    """
     out: List[str] = []
-    for name, record in snapshot.items():
-        kind = record.get("type", "gauge")
-        pname = _prom_name(name)
-        help_text = record.get("help", "")
+    typed: set = set()
+
+    def header(pname: str, kind: str, help_text: str) -> None:
+        if pname in typed:
+            return
+        typed.add(pname)
         if help_text:
             out.append(f"# HELP {pname} {_prom_help(help_text)}")
+        out.append(f"# TYPE {pname} {kind}")
+
+    for name, record in snapshot.items():
+        kind = record.get("type", "gauge")
+        pname = _prom_name(record.get("metric", name))
+        help_text = record.get("help", "")
+        labels = _prom_labels(record)
         if kind == "counter":
-            out.append(f"# TYPE {pname} counter")
-            out.append(f"{pname} {_prom_value(record['value'])}")
+            header(pname, "counter", help_text)
+            out.append(f"{pname}{labels} {_prom_value(record['value'])}")
         elif kind == "gauge":
-            out.append(f"# TYPE {pname} gauge")
-            out.append(f"{pname} {_prom_value(record['value'])}")
+            header(pname, "gauge", help_text)
+            out.append(f"{pname}{labels} {_prom_value(record['value'])}")
             if "max" in record:
-                out.append(f"# TYPE {pname}_max gauge")
-                out.append(f"{pname}_max {_prom_value(record['max'])}")
+                header(f"{pname}_max", "gauge", "")
+                out.append(f"{pname}_max{labels} "
+                           f"{_prom_value(record['max'])}")
         elif kind == "histogram":
-            out.append(f"# TYPE {pname} histogram")
+            header(pname, "histogram", help_text)
             cumulative = 0
             for bound, count in record["buckets"]:
                 cumulative += count
-                out.append(
-                    f'{pname}_bucket{{le="{_prom_value(float(bound))}"}} '
-                    f"{cumulative}")
+                le = f'le="{_prom_value(float(bound))}"'
+                out.append(f"{pname}_bucket{_prom_labels(record, le)} "
+                           f"{cumulative}")
             # Cumulative invariant: the +Inf bucket must equal _count.
             # Derive both from the bucket counts (+ the overflow bucket)
             # so a snapshot whose redundant "count" field disagrees —
@@ -121,18 +162,19 @@ def to_prometheus(snapshot: Dict[str, dict]) -> str:
             if overflow is None:
                 overflow = max(record.get("count", cumulative) - cumulative, 0)
             total = cumulative + overflow
-            out.append(f'{pname}_bucket{{le="+Inf"}} {total}')
-            out.append(f"{pname}_sum {_prom_value(record['sum'])}")
-            out.append(f"{pname}_count {total}")
+            inf_labels = _prom_labels(record, 'le="+Inf"')
+            out.append(f"{pname}_bucket{inf_labels} {total}")
+            out.append(f"{pname}_sum{labels} {_prom_value(record['sum'])}")
+            out.append(f"{pname}_count{labels} {total}")
         elif kind == "stage":
-            out.append(f"# TYPE {pname}_seconds_total counter")
-            out.append(
-                f"{pname}_seconds_total {_prom_value(record['total_seconds'])}")
-            out.append(f"# TYPE {pname}_calls_total counter")
-            out.append(f"{pname}_calls_total {record['count']}")
+            header(f"{pname}_seconds_total", "counter", help_text)
+            out.append(f"{pname}_seconds_total{labels} "
+                       f"{_prom_value(record['total_seconds'])}")
+            header(f"{pname}_calls_total", "counter", "")
+            out.append(f"{pname}_calls_total{labels} {record['count']}")
         else:  # unknown kinds degrade to a gauge with whatever value exists
-            out.append(f"# TYPE {pname} untyped")
-            out.append(f"{pname} {_prom_value(record.get('value', 0))}")
+            header(pname, "untyped", help_text)
+            out.append(f"{pname}{labels} {_prom_value(record.get('value', 0))}")
     return "\n".join(out) + ("\n" if out else "")
 
 

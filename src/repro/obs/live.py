@@ -14,6 +14,8 @@ route          payload
                health provider reports degradation (dead shards, …)
 ``/debug/flight``  the flight-recorder tail as JSON (``404`` when no
                recorder is attached)
+``/debug/explain``  the current pattern's EXPLAIN report as JSON
+               (``404`` when no explain provider is attached)
 ``/quitquitquit``  ``POST`` only: invoke the ``on_quit`` callback
                (graceful remote shutdown for ``repro serve``)
 ============== =========================================================
@@ -34,7 +36,7 @@ from typing import Callable, Dict, Optional, Tuple
 
 from .exporters import to_prometheus
 
-__all__ = ["ObsServer", "parse_listen"]
+__all__ = ["ObsServer", "parse_listen", "live_snapshot"]
 
 logger = logging.getLogger(__name__)
 
@@ -80,6 +82,13 @@ class _Handler(BaseHTTPRequestHandler):
                                      {"error": "no flight recorder attached"})
                 else:
                     self._reply_json(200, dump)
+            elif path == "/debug/explain":
+                report = obs_server.read_explain()
+                if report is None:
+                    self._reply_json(404,
+                                     {"error": "no explain provider attached"})
+                else:
+                    self._reply_json(200, report)
             elif path == "/":
                 self._reply_json(200, {"routes": sorted(obs_server.routes)})
             else:
@@ -130,6 +139,10 @@ class ObsServer:
     flight:
         A :class:`~repro.obs.flight.FlightRecorder` (or a callable
         returning a dump dict) backing ``/debug/flight``.
+    explain:
+        Callable returning the EXPLAIN report dict for the served
+        pattern(s) (e.g. ``lambda: explain(plan).to_dict()``) backing
+        ``/debug/explain``; the route 404s without one.
     on_quit:
         Callback invoked by ``POST /quitquitquit`` (e.g. an Event's
         ``set``); the route 404s without one.
@@ -142,10 +155,12 @@ class ObsServer:
                  snapshot: Optional[Callable[[], Dict[str, dict]]] = None,
                  health: Optional[Callable[[], HealthReport]] = None,
                  flight=None,
+                 explain: Optional[Callable[[], dict]] = None,
                  on_quit: Optional[Callable[[], None]] = None):
         self._snapshot = snapshot
         self._health = health
         self._flight = flight
+        self._explain = explain
         self._on_quit = on_quit
         self._httpd = ThreadingHTTPServer((host, port), _Handler)
         self._httpd.daemon_threads = True
@@ -160,6 +175,8 @@ class ObsServer:
         routes = ["/metrics", "/varz", "/healthz"]
         if self._flight is not None:
             routes.append("/debug/flight")
+        if self._explain is not None:
+            routes.append("/debug/explain")
         if self._on_quit is not None:
             routes.append("/quitquitquit")
         return tuple(routes)
@@ -177,6 +194,9 @@ class ObsServer:
         if flight is None:
             return None
         return flight() if callable(flight) else flight.dump()
+
+    def read_explain(self) -> Optional[dict]:
+        return None if self._explain is None else self._explain()
 
     def request_quit(self) -> None:
         if self._on_quit is not None:
@@ -227,3 +247,72 @@ class ObsServer:
     def __repr__(self) -> str:
         state = "serving" if self._thread is not None else "stopped"
         return f"ObsServer({self.url}, {state})"
+
+
+def live_snapshot(observability=None) -> Dict[str, dict]:
+    """The full live ``/varz`` snapshot: engine metrics plus plan-cache
+    counters, a derived prefilter selectivity, and per-pattern sections
+    from the statistics store.
+
+    The plan cache publishes its counters only at compile time; served
+    endpoints outlive compilation, so this helper re-reads
+    :meth:`~repro.plan.cache.PlanCache.stats` on every call.  Likewise
+    ``ses_prefilter_selectivity`` is only set by the serial batch path —
+    when absent it is derived here from the filtered/read counters so
+    streaming and pooled runs expose it too.  Per-pattern records carry
+    ``labels``/``metric`` keys understood by
+    :func:`~repro.obs.exporters.to_prometheus`.
+    """
+    from ..explain.stats import stats_store
+    from ..plan.cache import plan_cache
+
+    snapshot: Dict[str, dict] = (
+        {} if observability is None else observability.snapshot())
+    cache_stats = plan_cache().stats()
+    snapshot["ses_plan_cache_hits_total"] = {
+        "type": "counter", "value": cache_stats["hits"],
+        "help": "plan cache lookups served from cache"}
+    snapshot["ses_plan_cache_misses_total"] = {
+        "type": "counter", "value": cache_stats["misses"],
+        "help": "plan cache lookups that compiled a new plan"}
+    snapshot["ses_plan_cache_evictions_total"] = {
+        "type": "counter", "value": cache_stats["evictions"],
+        "help": "plans evicted from the cache (LRU)"}
+    snapshot["ses_plan_cache_size"] = {
+        "type": "gauge", "value": cache_stats["size"],
+        "max": cache_stats["maxsize"],
+        "help": "compiled plans currently cached"}
+
+    if "ses_prefilter_selectivity" not in snapshot:
+        read = snapshot.get("ses_events_read_total", {}).get("value", 0)
+        filtered = snapshot.get(
+            "ses_events_filtered_total", {}).get("value", 0)
+        if read:
+            snapshot["ses_prefilter_selectivity"] = {
+                "type": "gauge", "value": filtered / read,
+                "help": "fraction of read events rejected by the "
+                        "pre-filter (derived from counters)"}
+
+    store = stats_store()
+    for fingerprint in store.fingerprints():
+        record = store.get(fingerprint)
+        if record is None:
+            continue
+        labels = {"pattern": fingerprint}
+        for field, help_text in (
+                ("runs", "observed runs for this pattern"),
+                ("events", "events read for this pattern"),
+                ("matches", "matches reported for this pattern")):
+            snapshot[f"ses_pattern_{field}_total[{fingerprint}]"] = {
+                "type": "counter", "value": record.get(field, 0),
+                "metric": f"ses_pattern_{field}_total",
+                "labels": labels, "help": help_text}
+        selectivity = store.prefilter_selectivity(fingerprint)
+        if selectivity is not None:
+            snapshot[f"ses_pattern_prefilter_selectivity[{fingerprint}]"] = {
+                "type": "gauge", "value": selectivity,
+                "metric": "ses_pattern_prefilter_selectivity",
+                "labels": labels,
+                "help": "fraction of events the pre-filter rejected "
+                        "for this pattern (persisted statistics)"}
+    return snapshot

@@ -29,6 +29,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 __all__ = [
     "Counter", "Gauge", "Histogram", "MetricsRegistry", "NullRegistry",
     "NULL_REGISTRY", "LATENCY_BUCKETS", "LIFETIME_BUCKETS",
+    "estimate_quantile", "snapshot_quantile",
 ]
 
 #: Default buckets for per-event feed latency, in seconds.  Pure-Python
@@ -44,16 +45,38 @@ LIFETIME_BUCKETS: Tuple[float, ...] = (
 )
 
 
+def _label_fields(metric) -> dict:
+    """The optional ``labels``/``metric`` snapshot fields of a labeled
+    metric (empty for the common unlabeled case).
+
+    A labeled metric is registered under a unique registry key (e.g.
+    ``ses_pattern_matches_total[checkout]``) while ``metric`` names the
+    real exposition-format metric and ``labels`` its label set; the
+    Prometheus exporter renders them as ``name{k="v"} value`` with label
+    values escaped.
+    """
+    out = {}
+    if metric.labels:
+        out["labels"] = dict(metric.labels)
+    if metric.metric:
+        out["metric"] = metric.metric
+    return out
+
+
 class Counter:
     """A monotonically increasing counter."""
 
-    __slots__ = ("name", "help", "value")
+    __slots__ = ("name", "help", "value", "labels", "metric")
     kind = "counter"
 
-    def __init__(self, name: str, help: str = ""):
+    def __init__(self, name: str, help: str = "",
+                 labels: Optional[dict] = None,
+                 metric: Optional[str] = None):
         self.name = name
         self.help = help
         self.value = 0
+        self.labels = labels
+        self.metric = metric
 
     def inc(self, amount: int = 1) -> None:
         """Add ``amount`` (must be >= 0) to the counter."""
@@ -62,7 +85,8 @@ class Counter:
         self.value += amount
 
     def snapshot(self) -> dict:
-        return {"type": self.kind, "help": self.help, "value": self.value}
+        return {"type": self.kind, "help": self.help, "value": self.value,
+                **_label_fields(self)}
 
     def merge(self, other: "Counter") -> None:
         self.value += other.value
@@ -74,14 +98,18 @@ class Counter:
 class Gauge:
     """A value that rises and falls; remembers its high-water mark."""
 
-    __slots__ = ("name", "help", "value", "max_value")
+    __slots__ = ("name", "help", "value", "max_value", "labels", "metric")
     kind = "gauge"
 
-    def __init__(self, name: str, help: str = ""):
+    def __init__(self, name: str, help: str = "",
+                 labels: Optional[dict] = None,
+                 metric: Optional[str] = None):
         self.name = name
         self.help = help
         self.value = 0
         self.max_value = 0
+        self.labels = labels
+        self.metric = metric
 
     def set(self, value) -> None:
         self.value = value
@@ -96,7 +124,7 @@ class Gauge:
 
     def snapshot(self) -> dict:
         return {"type": self.kind, "help": self.help, "value": self.value,
-                "max": self.max_value}
+                "max": self.max_value, **_label_fields(self)}
 
     def merge(self, other: "Gauge") -> None:
         """Aggregate a sibling gauge: values add, high-waters add.
@@ -148,6 +176,11 @@ class Histogram:
             "sum": self.sum, "count": self.count,
         }
 
+    def quantile(self, q: float) -> Optional[float]:
+        """Estimated ``q``-quantile (see :func:`estimate_quantile`);
+        ``None`` while the histogram is empty."""
+        return estimate_quantile(self.bounds, self.counts, q)
+
     def merge(self, other: "Histogram") -> None:
         if other.bounds != self.bounds:
             raise ValueError(
@@ -158,6 +191,54 @@ class Histogram:
 
     def __repr__(self) -> str:
         return f"Histogram({self.name}, n={self.count}, sum={self.sum:.6g})"
+
+
+def estimate_quantile(bounds: Sequence[float], counts: Sequence[int],
+                      q: float) -> Optional[float]:
+    """Estimate the ``q``-quantile of a fixed-bucket histogram.
+
+    ``bounds`` are the non-overflow upper bounds, ``counts`` the
+    per-bucket tallies including the trailing overflow bucket
+    (``len(counts) == len(bounds) + 1``).  Linear interpolation within
+    the bucket holding the target rank — the same estimator Prometheus's
+    ``histogram_quantile`` uses.  Observations in the overflow bucket
+    have no upper bound, so quantiles landing there clamp to the highest
+    finite bound.  Returns ``None`` for an empty histogram.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    total = sum(counts)
+    if total == 0:
+        return None
+    target = q * total
+    cumulative = 0
+    for index, count in enumerate(counts):
+        previous = cumulative
+        cumulative += count
+        if cumulative >= target:
+            if index >= len(bounds):
+                return float(bounds[-1])
+            lower = bounds[index - 1] if index else 0.0
+            upper = bounds[index]
+            if count == 0:
+                return float(upper)
+            return lower + (upper - lower) * (target - previous) / count
+    return float(bounds[-1])
+
+
+def snapshot_quantile(record: dict, q: float) -> Optional[float]:
+    """:func:`estimate_quantile` over an exported histogram snapshot
+    record (the ``{"buckets": [[bound, count], ...], "overflow": n}``
+    shape produced by :meth:`Histogram.snapshot`)."""
+    if record.get("type") != "histogram":
+        return None
+    buckets = record.get("buckets", ())
+    bounds = [bound for bound, _ in buckets]
+    counts = [count for _, count in buckets]
+    counts.append(record.get("overflow", 0))
+    if not bounds:
+        return None
+    return estimate_quantile(bounds, counts, q)
 
 
 class MetricsRegistry:
@@ -185,11 +266,17 @@ class MetricsRegistry:
                 f"metric {name!r} already registered as {metric.kind}")
         return metric
 
-    def counter(self, name: str, help: str = "") -> Counter:
-        return self._get(Counter, name, help=help)
+    def counter(self, name: str, help: str = "",
+                labels: Optional[dict] = None,
+                metric: Optional[str] = None) -> Counter:
+        return self._get(Counter, name, help=help, labels=labels,
+                         metric=metric)
 
-    def gauge(self, name: str, help: str = "") -> Gauge:
-        return self._get(Gauge, name, help=help)
+    def gauge(self, name: str, help: str = "",
+              labels: Optional[dict] = None,
+              metric: Optional[str] = None) -> Gauge:
+        return self._get(Gauge, name, help=help, labels=labels,
+                         metric=metric)
 
     def histogram(self, name: str, help: str = "",
                   buckets: Sequence[float] = LATENCY_BUCKETS) -> Histogram:
@@ -219,9 +306,11 @@ class MetricsRegistry:
         """
         for name, metric in other._metrics.items():
             if isinstance(metric, Counter):
-                self.counter(name, help=metric.help).merge(metric)
+                self.counter(name, help=metric.help, labels=metric.labels,
+                             metric=metric.metric).merge(metric)
             elif isinstance(metric, Gauge):
-                self.gauge(name, help=metric.help).merge(metric)
+                self.gauge(name, help=metric.help, labels=metric.labels,
+                           metric=metric.metric).merge(metric)
             elif isinstance(metric, Histogram):
                 self.histogram(name, help=metric.help,
                                buckets=metric.bounds).merge(metric)
@@ -258,14 +347,18 @@ class MetricsRegistry:
                 except KeyError:
                     raise ValueError(
                         f"partial counter record {name!r}: missing value")
-                self.counter(name, help=record.get("help", "")).inc(value)
+                self.counter(name, help=record.get("help", ""),
+                             labels=record.get("labels"),
+                             metric=record.get("metric")).inc(value)
             elif kind == "gauge":
                 try:
                     value = record["value"]
                 except KeyError:
                     raise ValueError(
                         f"partial gauge record {name!r}: missing value")
-                gauge = self.gauge(name, help=record.get("help", ""))
+                gauge = self.gauge(name, help=record.get("help", ""),
+                                   labels=record.get("labels"),
+                                   metric=record.get("metric"))
                 gauge.value += value
                 gauge.max_value += record.get("max", value)
             elif kind == "histogram":
@@ -346,10 +439,14 @@ class NullRegistry(MetricsRegistry):
         self._gauge = _NullGauge("null")
         self._histogram = _NullHistogram("null", buckets=(1,))
 
-    def counter(self, name: str, help: str = "") -> Counter:
+    def counter(self, name: str, help: str = "",
+                labels: Optional[dict] = None,
+                metric: Optional[str] = None) -> Counter:
         return self._counter
 
-    def gauge(self, name: str, help: str = "") -> Gauge:
+    def gauge(self, name: str, help: str = "",
+              labels: Optional[dict] = None,
+              metric: Optional[str] = None) -> Gauge:
         return self._gauge
 
     def histogram(self, name: str, help: str = "",

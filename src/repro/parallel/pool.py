@@ -65,8 +65,10 @@ logger = logging.getLogger(__name__)
 Chunk = List[Tuple[Any, List[EventWire]]]
 #: One partition's result: ``(key, [substitution wires], stats)``.
 PartitionResult = Tuple[Any, List[SubstitutionWire], ExecutionStats]
-#: One chunk's result: worker pid, per-partition results, obs snapshot.
-ChunkResult = Tuple[int, List[PartitionResult], Optional[dict]]
+#: One chunk's result: worker pid, per-partition results, obs snapshot,
+#: statistics-store snapshot (both ``None`` when not instrumented).
+ChunkResult = Tuple[int, List[PartitionResult], Optional[dict],
+                    Optional[dict]]
 
 
 def default_context(start_method: Optional[str] = None):
@@ -106,6 +108,7 @@ def chunk_partitions(items: Sequence, n_chunks: int) -> List[list]:
 _WORKER_MATCHER: Optional[Matcher] = None
 _WORKER_INSTRUMENT = False
 _WORKER_FLIGHT = None
+_WORKER_STATS_KEY: Optional[str] = None
 
 #: Default per-worker flight-recorder ring size (0 disables recording).
 DEFAULT_FLIGHT_CAPACITY = 512
@@ -124,11 +127,15 @@ def _init_worker(plan, use_filter: bool, consume: str,
     back to the parent.
     """
     global _WORKER_MATCHER, _WORKER_INSTRUMENT, _WORKER_FLIGHT
+    global _WORKER_STATS_KEY
     from ..plan.cache import plan_cache
     plan = plan_cache().seed(plan)
     _WORKER_MATCHER = Matcher(plan, use_filter=use_filter,
                               selection="accepted", consume=consume)
     _WORKER_INSTRUMENT = instrument
+    if instrument:
+        from ..explain.stats import stats_key
+        _WORKER_STATS_KEY = stats_key(plan.pattern)
     if flight_capacity:
         from ..obs.flight import FlightRecorder
         _WORKER_FLIGHT = FlightRecorder(capacity=flight_capacity)
@@ -173,7 +180,22 @@ def _run_chunk(chunk: Chunk) -> ChunkResult:
             f"pool worker {os.getpid()} crashed evaluating a partition "
             f"chunk: {type(exc).__name__}: {exc}",
             flight_dump=flight.dump()) from exc
-    return (os.getpid(), results, None if obs is None else obs.snapshot())
+    stats_snapshot = None
+    if obs is not None and _WORKER_STATS_KEY is not None:
+        # Ship observed cardinalities to the parent's statistics store
+        # via the same wire-snapshot idiom the metrics registry uses.
+        # Workers see partitions, not the run: runs/matches are counted
+        # once, parent-side, after cross-partition selection.
+        from ..explain.stats import StatsStore
+        local = StatsStore(autosave=False)
+        local.observe(
+            _WORKER_STATS_KEY, runs=0,
+            events=sum(s.events_read for _, _, s in results),
+            filter_seen=sum(s.events_read for _, _, s in results),
+            filter_admitted=sum(s.events_processed for _, _, s in results))
+        stats_snapshot = local.snapshot()
+    return (os.getpid(), results, None if obs is None else obs.snapshot(),
+            stats_snapshot)
 
 
 # ----------------------------------------------------------------------
@@ -301,6 +323,13 @@ class ParallelPartitionedMatcher:
             overlap = "suppress" if self.selection == "paper" else "allow"
             matches = select_matches(accepted, overlap=overlap)
         stats.matches = len(matches)
+        if self.obs is not None:
+            # Workers shipped per-partition event/filter cardinalities;
+            # the run itself and the post-selection match count are known
+            # only here.
+            from ..explain.stats import stats_key, stats_store
+            stats_store().observe(stats_key(self.pattern), runs=1,
+                                  matches=len(matches))
         return MatchResult(matches=matches, accepted=accepted, stats=stats)
 
     def _run_local(self, parts) -> Tuple[List[Substitution], ExecutionStats]:
@@ -322,6 +351,11 @@ class ParallelPartitionedMatcher:
         if obs is not None:
             self._publish_pool_metrics(1, len(parts), len(parts),
                                        {0: events_seen})
+            from ..explain.stats import stats_key, stats_store
+            stats_store().observe(stats_key(self.pattern), runs=0,
+                                  events=stats.events_read,
+                                  filter_seen=stats.events_read,
+                                  filter_admitted=stats.events_processed)
         return accepted, stats
 
     def _run_pool(self, parts) -> Tuple[List[Substitution], ExecutionStats]:
@@ -379,7 +413,7 @@ class ParallelPartitionedMatcher:
         accepted: List[Substitution] = []
         stats = ExecutionStats()
         events_by_pid: dict = {}
-        for pid, partition_results, snapshot in chunk_results:
+        for pid, partition_results, snapshot, stats_snapshot in chunk_results:
             for _, wires, part_stats in partition_results:
                 accepted.extend(decode_substitution(w) for w in wires)
                 stats.merge(part_stats)
@@ -387,6 +421,9 @@ class ParallelPartitionedMatcher:
                                       + part_stats.events_read)
             if snapshot is not None and self.obs is not None:
                 self.obs.merge_snapshot(snapshot)
+            if stats_snapshot is not None:
+                from ..explain.stats import stats_store
+                stats_store().merge_snapshot(stats_snapshot)
         if self.obs is not None:
             events_by_worker = {
                 index: events_by_pid[pid]

@@ -456,6 +456,9 @@ class ShardedStreamMatcher:
             raise WorkerCrashed(f"stream shard(s) failed to exit: {names}",
                                 partial_matches=reported)
         self._publish_shard_metrics()
+        if self.obs is not None:
+            from ..explain.stats import stats_key, stats_store
+            stats_store().observe(stats_key(self.pattern), runs=1)
         return reported
 
     def stop(self) -> None:
@@ -654,6 +657,20 @@ class ShardedStreamMatcher:
             reported = self._report(wires)
             if snapshot is not None and self.obs is not None:
                 self.obs.merge_snapshot(snapshot)
+            if snapshot is not None:
+                # Feed the shard's cardinalities to the statistics store
+                # (per shard with runs=0; close() counts the run once).
+                from ..explain.stats import stats_key, stats_store
+                read = snapshot.get("ses_events_read_total",
+                                    {}).get("value", 0)
+                processed = snapshot.get("ses_events_processed_total",
+                                         {}).get("value", 0)
+                matches = snapshot.get("ses_stream_matches_reported_total",
+                                       {}).get("value", 0)
+                stats_store().observe(
+                    stats_key(self.pattern), runs=0, events=read,
+                    matches=matches, filter_seen=read,
+                    filter_admitted=processed)
             return reported
         raise WorkerCrashed(f"unexpected shard message {kind!r}")
 

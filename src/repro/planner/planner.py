@@ -104,12 +104,18 @@ class QueryPlan:
     rationale: List[str] = field(default_factory=list)
     #: Result selection forwarded to the executor.
     selection: str = "paper"
+    #: Conditions ranked by observed pass rate (statistics store), or
+    #: ``None`` when the pattern has never been observed.
+    condition_order: Optional[List[str]] = None
 
     def execute(self, relation: Union[EventRelation, Iterable[Event]]
                 ) -> MatchResult:
         """Run the plan over ``relation`` (compiled via the plan cache)."""
         from ..plan.cache import as_plan
         plan = as_plan(self.pattern)
+        if self.condition_order is not None and self.executor == "plain":
+            from ..explain.order import ordered_plan
+            plan = ordered_plan(plan)
         if self.executor == "partitioned":
             matcher = PartitionedMatcher(plan,
                                          partition_by=self.partition_on,
@@ -135,6 +141,9 @@ class QueryPlan:
             + (f" on {self.partition_on!r}" if self.partition_on else ""),
             f"  event filter: {'on' if self.use_filter else 'off'}",
         ]
+        if self.condition_order is not None:
+            lines.append("  condition order (by observed selectivity): "
+                         + "; ".join(self.condition_order))
         for line in self.complexity.describe().splitlines():
             lines.append(f"  {line}")
         lines.append("  rationale:")
@@ -212,6 +221,13 @@ def plan_query(pattern: SESPattern,
     if executor == "plain":
         rationale.append("filtered plain Algorithm 1 is the best exact choice")
 
+    from ..explain.order import condition_order_hint
+    condition_order = condition_order_hint(pattern)
+    if condition_order is not None:
+        rationale.append(
+            "statistics store has observed selectivities for this pattern "
+            "-> conditions evaluate most-selective-first")
+
     if not complexity.mutually_exclusive:
         worst = max(complexity.set_bounds)
         if worst > _PARTITION_BOUND_THRESHOLD:
@@ -229,4 +245,5 @@ def plan_query(pattern: SESPattern,
         profile=profile,
         rationale=rationale,
         selection=selection,
+        condition_order=condition_order,
     )

@@ -6,6 +6,11 @@ pattern's matcher separately re-reads the stream once per pattern;
 to every registered pattern's continuous matcher, and callbacks fire per
 pattern.  The per-pattern pre-filters still apply, so an event irrelevant
 to all patterns costs one filter check per pattern and nothing more.
+
+With an :class:`~repro.obs.Observability` attached, per-pattern match
+counts publish as *labeled* series — one ``ses_pattern_matches_total``
+metric with a ``pattern`` label per registered name — so a single
+Prometheus scrape distinguishes which pattern is firing.
 """
 
 from __future__ import annotations
@@ -40,10 +45,14 @@ class MultiPatternMatcher:
     suppress_overlaps:
         Per-pattern overlap suppression (matches of *different* patterns
         may freely share events).
+    observability:
+        Optional :class:`~repro.obs.Observability`; when set, matches
+        publish as labeled ``ses_pattern_matches_total{pattern=...}``
+        counters (one per registered name).
     """
 
     def __init__(self, patterns, use_filter: bool = True,
-                 suppress_overlaps: bool = True):
+                 suppress_overlaps: bool = True, observability=None):
         if not isinstance(patterns, dict):
             patterns = {f"p{i}": p for i, p in enumerate(patterns)}
         if not patterns:
@@ -57,6 +66,20 @@ class MultiPatternMatcher:
             for name, pattern in patterns.items()
         }
         self._callbacks: List[MatchCallback] = []
+        self._obs = observability
+        self._match_counters: Dict[Hashable, object] = {}
+        if observability is not None:
+            for name in self._matchers:
+                self._match_counters[name] = observability.registry.counter(
+                    f"ses_pattern_matches_total[{name}]",
+                    help="Matches reported, per registered pattern.",
+                    labels={"pattern": str(name)},
+                    metric="ses_pattern_matches_total")
+
+    def _count(self, name: Hashable, reported: List[Substitution]) -> None:
+        counter = self._match_counters.get(name)
+        if counter is not None:
+            counter.inc(len(reported))
 
     # ------------------------------------------------------------------
     # Subscription
@@ -76,6 +99,7 @@ class MultiPatternMatcher:
             reported = matcher.push(event)
             if reported:
                 out[name] = reported
+                self._count(name, reported)
                 for callback in self._callbacks:
                     for substitution in reported:
                         callback(name, substitution)
@@ -97,6 +121,7 @@ class MultiPatternMatcher:
             flushed = matcher.close()
             if flushed:
                 out[name] = flushed
+                self._count(name, flushed)
                 for callback in self._callbacks:
                     for substitution in flushed:
                         callback(name, substitution)

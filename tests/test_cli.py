@@ -195,14 +195,25 @@ class TestExplainCommand:
         code = main(["explain", "--query", Q1_TEXT])
         out = capsys.readouterr().out
         assert code == 0
-        assert "SES automaton: 9 states, 17 transitions" in out
+        assert out.startswith("EXPLAIN plan")
+        assert "automaton: 9 states, 17 transitions" in out
         assert "cdp+" in out
+        assert "prefilter[conjunctive]" in out
+        assert "plan cache:" in out
 
     def test_dot_output(self, capsys):
         main(["explain", "--dot", "--query", Q1_TEXT])
         out = capsys.readouterr().out
         assert out.startswith("digraph")
         assert "doublecircle" in out
+
+    def test_analyze_output(self, figure1_csv, capsys):
+        code = main(["explain", "--query", Q1_TEXT, "--analyze",
+                     "--data", str(figure1_csv)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert out.startswith("EXPLAIN ANALYZE")
+        assert "reconciled with executor counters" in out
 
 
 class TestAnalyzeCommand:

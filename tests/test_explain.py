@@ -1,0 +1,272 @@
+"""Tests for EXPLAIN / EXPLAIN ANALYZE (repro.explain).
+
+Covers the static report, the counting-automaton analysis and its exact
+reconciliation with executor metrics under serial, pooled and sharded
+execution, the three renderers, the CLI surface, and the analyze-off
+overhead gate (the production hot path must not pay for the explain
+machinery).
+"""
+
+import json
+import multiprocessing
+import time
+
+import pytest
+
+import repro
+from repro import Event, EventRelation, SESPattern
+from repro.automaton.transitions import Transition
+from repro.core.matcher import Matcher
+from repro.explain import (CountingTransition, clear_stats_store,
+                           counting_automaton, explain, explain_analyze,
+                           stats_store)
+from repro.explain.stats import stats_key
+from repro.obs import Observability
+
+HAS_FORK = "fork" in multiprocessing.get_all_start_methods()
+
+#: Every variable equi-joins on ID, so the pattern partitions/shards.
+JOINED = SESPattern(
+    sets=[["a", "b"], ["c"]],
+    conditions=["a.kind = 'A'", "b.kind = 'B'", "c.kind = 'C'",
+                "a.ID = b.ID", "a.ID = c.ID", "b.ID = c.ID"],
+    tau=50,
+)
+
+
+def make_events(n_keys=6, reps=2):
+    events = []
+    ts = 0
+    for _ in range(reps):
+        for key in range(n_keys):
+            for kind in ("A", "B", "C"):
+                ts += 1
+                events.append(Event(ts=ts, eid=f"e{ts}", kind=kind, ID=key))
+    return events
+
+
+@pytest.fixture
+def relation():
+    return EventRelation(make_events())
+
+
+@pytest.fixture(autouse=True)
+def fresh_stats(monkeypatch):
+    """Isolate the process-global statistics store per test."""
+    monkeypatch.delenv("REPRO_STATS_PATH", raising=False)
+    monkeypatch.delenv("REPRO_STATS_DISABLE", raising=False)
+    clear_stats_store()
+    yield
+    clear_stats_store()
+
+
+def passes_sum(report):
+    return sum(t["passes"] for t in report.analysis["transitions"])
+
+
+class TestStaticExplain:
+    def test_report_sections(self, q1):
+        report = explain(q1)
+        data = report.to_dict()
+        for section in ("fingerprint", "pattern", "automaton", "transitions",
+                        "prefilter", "complexity", "cache"):
+            assert section in data, section
+        assert data["automaton"]["states"] >= 2
+        assert data["transitions"], "no transition entries"
+
+    def test_prefilter_predicates_listed(self, q1):
+        report = explain(q1)
+        conjunctive = report.prefilter["conjunctive"]
+        assert conjunctive["predicates"], "Q1 has constant conditions"
+
+    def test_no_side_effects_on_production_plan(self, q1):
+        explain(q1)
+        plan = repro.compile(q1)
+        for transition in plan.automaton.transitions:
+            assert not isinstance(transition, CountingTransition)
+
+    def test_cache_provenance(self, q1):
+        repro.compile(q1)
+        report = explain(q1)
+        assert report.cache["cached"] is True
+
+
+class TestCountingAutomaton:
+    def test_shadow_counts_production_does_not(self, q1):
+        plan = repro.compile(q1)
+        shadow, counting = counting_automaton(plan.automaton)
+        assert counting and all(isinstance(t, CountingTransition)
+                                for t in counting)
+        # the original automaton's transitions are untouched
+        for transition in plan.automaton.transitions:
+            assert not isinstance(transition, CountingTransition)
+
+    def test_base_admits_is_uninstrumented(self):
+        """Structural half of the overhead gate: the production
+        ``Transition.admits`` must not reference any counting state."""
+        names = Transition.admits.__code__.co_names
+        for counter in ("evaluations", "passes", "seconds",
+                        "condition_evaluations", "condition_passes"):
+            assert counter not in names
+
+
+class TestAnalyzeReconciliation:
+    def test_serial(self, relation):
+        report = explain_analyze(JOINED, relation)
+        analysis = report.analysis
+        assert analysis["reconciles"] is True
+        assert passes_sum(report) == analysis["transitions_fired"]
+        assert analysis["transition_passes"] == analysis["transitions_fired"]
+        # ... and with the live executor metric of an ordinary run
+        obs = Observability()
+        Matcher(JOINED, observability=obs).run(relation)
+        fired = obs.registry.snapshot()["ses_transitions_fired_total"]
+        assert passes_sum(report) == fired["value"]
+
+    @pytest.mark.skipif(not HAS_FORK, reason="needs fork start method")
+    def test_pool_workers(self, relation):
+        from repro.parallel import ParallelPartitionedMatcher
+        report = explain_analyze(JOINED, relation)
+        obs = Observability()
+        ParallelPartitionedMatcher(JOINED, workers=2,
+                                   observability=obs).run(relation)
+        fired = obs.registry.snapshot()["ses_transitions_fired_total"]
+        assert passes_sum(report) == fired["value"]
+
+    @pytest.mark.skipif(not HAS_FORK, reason="needs fork start method")
+    def test_sharded_stream(self, relation):
+        from repro.parallel import ShardedStreamMatcher
+        report = explain_analyze(JOINED, relation)
+        obs = Observability()
+        matcher = ShardedStreamMatcher(JOINED, workers=2, observability=obs)
+        for event in relation:
+            matcher.push(event)
+        matcher.close()
+        fired = obs.registry.snapshot()["ses_transitions_fired_total"]
+        assert passes_sum(report) == fired["value"]
+
+    def test_analysis_event_accounting(self, relation):
+        report = explain_analyze(JOINED, relation)
+        analysis = report.analysis
+        assert analysis["events"] == len(relation)
+        assert (analysis["events_processed"]
+                == analysis["events"] - analysis["events_filtered"])
+
+    def test_records_into_stats_store(self, relation):
+        explain_analyze(JOINED, relation)
+        record = stats_store().get(stats_key(JOINED))
+        assert record is not None
+        assert record["runs"] == 1
+        assert record["events"] == len(relation)
+        assert record["conditions"], "condition tallies missing"
+
+    def test_record_stats_opt_out(self, relation):
+        explain_analyze(JOINED, relation, record_stats=False)
+        assert stats_store().get(stats_key(JOINED)) is None
+
+
+class TestRenderers:
+    @pytest.fixture
+    def analyzed(self, relation):
+        return explain_analyze(JOINED, relation)
+
+    def test_text(self, analyzed):
+        text = analyzed.to_text()
+        assert text.startswith("EXPLAIN ANALYZE")
+        assert "reconciled with executor counters" in text
+        assert "prefilter" in text
+
+    def test_static_text_is_plain_explain(self, q1):
+        assert explain(q1).to_text().startswith("EXPLAIN plan")
+
+    def test_json_round_trips(self, analyzed):
+        data = json.loads(analyzed.to_json())
+        assert data["analysis"]["reconciles"] is True
+
+    def test_dot_is_graphviz_with_hotness(self, analyzed):
+        dot = analyzed.to_dot()
+        assert dot.startswith("digraph EXPLAIN {")
+        assert dot.rstrip().endswith("}")
+        assert "penwidth=" in dot and "color=" in dot
+
+    def test_static_dot_has_no_hotness(self, q1):
+        dot = explain(q1).to_dot()
+        assert dot.startswith("digraph EXPLAIN {")
+        assert "penwidth=" not in dot
+
+    def test_render_rejects_unknown_format(self, analyzed):
+        with pytest.raises(ValueError):
+            analyzed.render("yaml")
+
+
+class TestCli:
+    QUERY = ("PATTERN PERMUTE(a, b) THEN c "
+             "WHERE a.kind = 'A' AND b.kind = 'B' AND c.kind = 'C' "
+             "AND a.ID = b.ID AND a.ID = c.ID WITHIN 50")
+
+    @pytest.fixture
+    def csv_path(self, tmp_path, relation):
+        from repro.storage import save_relation
+        path = tmp_path / "events.csv"
+        save_relation(relation, path)
+        return path
+
+    def test_explain_static(self, capsys):
+        from repro.cli import main
+        assert main(["explain", "--query", self.QUERY]) == 0
+        assert "EXPLAIN plan" in capsys.readouterr().out
+
+    def test_explain_analyze_json(self, csv_path, capsys):
+        from repro.cli import main
+        code = main(["explain", "--query", self.QUERY, "--analyze",
+                     "--data", str(csv_path), "--format", "json"])
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["analysis"]["reconciles"] is True
+        assert data["analysis"]["events"] == 36
+
+    def test_explain_dot_to_file(self, tmp_path, capsys):
+        from repro.cli import main
+        out = tmp_path / "plan.dot"
+        assert main(["explain", "--query", self.QUERY, "--dot",
+                     "--out", str(out)]) == 0
+        assert out.read_text().startswith("digraph EXPLAIN {")
+
+    def test_analyze_requires_data(self, capsys):
+        from repro.cli import main
+        assert main(["explain", "--query", self.QUERY, "--analyze"]) != 0
+
+
+class TestAnalyzeOffOverhead:
+    def test_match_unchanged_after_analyze(self, capsys):
+        """The analyze-off hot path must not pay for EXPLAIN ANALYZE.
+
+        The counting automaton is a *shadow*: running an analysis must
+        leave the shared compiled plan byte-for-byte uninstrumented, so
+        a match timed after ``explain_analyze`` runs within 5 % of one
+        timed before (interleaved min-of-rounds to shrug off scheduler
+        noise).
+        """
+        from repro.data import experiment1_pattern, generate_chemo
+        relation = EventRelation(generate_chemo(patients=25, cycles=4,
+                                                seed=7))
+        pattern = experiment1_pattern(4, exclusive=True)
+        plan = repro.compile(pattern)
+
+        def run_match():
+            start = time.perf_counter()
+            plan.match(relation, selection="accepted")
+            return time.perf_counter() - start
+
+        before = after = float("inf")
+        explain_analyze(pattern, relation)
+        for transition in plan.automaton.transitions:
+            assert not isinstance(transition, CountingTransition)
+        for _ in range(9):  # interleave; min cancels thermal/cache drift
+            before = min(before, run_match())
+            after = min(after, run_match())
+        factor = after / before
+        with capsys.disabled():
+            print(f"\nanalyze-off overhead: before {before:.4f}s, "
+                  f"after {after:.4f}s ({factor:.3f}x)")
+        assert factor < 1.05

@@ -342,6 +342,97 @@ class TestPrometheus:
         assert "\nline one" not in text  # no raw newline leaks into HELP
 
 
+class TestPrometheusLabels:
+    def test_label_values_escaped(self):
+        snap = {"m[x]": {"type": "counter", "value": 3,
+                         "metric": "m",
+                         "labels": {"pattern": 'he said "hi" \\ bye\nend'}}}
+        text = to_prometheus(snap)
+        assert ('m{pattern="he said \\"hi\\" \\\\ bye\\nend"} 3'
+                in text)
+        assert "\nend\"}" not in text  # no raw newline inside the sample
+
+    def test_labeled_series_group_under_one_header(self):
+        snap = {
+            "m[a]": {"type": "counter", "value": 1, "help": "per pattern",
+                     "metric": "m", "labels": {"pattern": "a"}},
+            "m[b]": {"type": "counter", "value": 2,
+                     "metric": "m", "labels": {"pattern": "b"}},
+        }
+        text = to_prometheus(snap)
+        assert text.count("# TYPE m counter") == 1
+        assert 'm{pattern="a"} 1' in text
+        assert 'm{pattern="b"} 2' in text
+
+    def test_labels_sorted_deterministically(self):
+        snap = {"m": {"type": "gauge", "value": 1,
+                      "labels": {"zeta": "z", "alpha": "a"}}}
+        text = to_prometheus(snap)
+        assert 'm{alpha="a",zeta="z"} 1' in text
+
+    def test_labeled_histogram_buckets_merge_le(self):
+        snap = {"h": {"type": "histogram", "help": "",
+                      "buckets": [[0.1, 1], [1.0, 1]], "overflow": 0,
+                      "sum": 0.6, "count": 2,
+                      "labels": {"pattern": "p"}}}
+        text = to_prometheus(snap)
+        assert 'h_bucket{pattern="p",le="0.1"} 1' in text
+        assert 'h_bucket{pattern="p",le="+Inf"} 2' in text
+        assert 'h_count{pattern="p"} 2' in text
+
+    def test_registry_round_trip_keeps_labels(self):
+        registry = MetricsRegistry()
+        registry.counter("m[a]", labels={"pattern": "a"}, metric="m").inc(2)
+        merged = MetricsRegistry()
+        merged.merge_snapshot(registry.snapshot())
+        record = merged.snapshot()["m[a]"]
+        assert record["labels"] == {"pattern": "a"}
+        assert record["metric"] == "m"
+
+
+class TestQuantiles:
+    def test_linear_interpolation_within_bucket(self):
+        h = Histogram("lat", buckets=(10, 20))
+        for _ in range(4):
+            h.observe(5)  # all in the first bucket
+        # rank 2 of 4 -> halfway through [0, 10]
+        assert h.quantile(0.5) == pytest.approx(5.0)
+
+    def test_median_across_buckets(self):
+        h = Histogram("lat", buckets=(1, 2, 3))
+        for value in (0.5, 1.5, 2.5):
+            h.observe(value)
+        assert 1.0 <= h.quantile(0.5) <= 2.0
+        assert h.quantile(1.0) == pytest.approx(3.0)
+
+    def test_overflow_clamps_to_highest_bound(self):
+        h = Histogram("lat", buckets=(1, 2))
+        h.observe(100)
+        assert h.quantile(0.99) == pytest.approx(2.0)
+
+    def test_empty_histogram_is_none(self):
+        assert Histogram("lat", buckets=(1,)).quantile(0.5) is None
+
+    def test_rejects_out_of_range(self):
+        h = Histogram("lat", buckets=(1,))
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+    def test_snapshot_quantile_matches_live(self):
+        from repro.obs import snapshot_quantile
+        h = Histogram("lat", buckets=(1, 2, 5))
+        for value in (0.1, 0.9, 1.1, 3.0, 7.0):
+            h.observe(value)
+        record = h.snapshot()
+        for q in (0.5, 0.95, 0.99):
+            assert snapshot_quantile(record, q) == pytest.approx(
+                h.quantile(q))
+
+    def test_snapshot_quantile_ignores_non_histograms(self):
+        from repro.obs import snapshot_quantile
+        assert snapshot_quantile({"type": "counter", "value": 1}, 0.5) is None
+
+
 # ----------------------------------------------------------------------
 # Observability bundle + engine integration
 # ----------------------------------------------------------------------

@@ -135,6 +135,91 @@ class TestRoutes:
         assert status == 404
 
 
+class TestExplainRoute:
+    def test_debug_explain_serves_the_report(self):
+        provider = lambda: {"fingerprint": "abc123", "pattern": "P"}  # noqa: E731
+        with ObsServer(explain=provider) as server:
+            status, body = get(server.url + "/debug/explain")
+            assert status == 200
+            assert json.loads(body)["fingerprint"] == "abc123"
+            _, root = get(server.url + "/")
+        assert "/debug/explain" in json.loads(root)["routes"]
+
+    def test_debug_explain_404_without_provider(self):
+        with ObsServer() as server:
+            status, body = get(server.url + "/debug/explain")
+        assert status == 404
+        assert "explain" in json.loads(body)["error"]
+
+
+class TestLiveSnapshot:
+    """Regression tests for the enriched /varz snapshot: plan-cache
+    counters, the derived prefilter selectivity, and the per-pattern
+    sections — asserted against the live endpoint, not just the dict."""
+
+    @pytest.fixture(autouse=True)
+    def fresh_state(self, monkeypatch):
+        from repro.explain import clear_stats_store
+        monkeypatch.delenv("REPRO_STATS_PATH", raising=False)
+        monkeypatch.delenv("REPRO_STATS_DISABLE", raising=False)
+        clear_stats_store()
+        yield
+        clear_stats_store()
+
+    def test_plan_cache_counters_on_varz(self):
+        import repro
+        from repro import SESPattern
+        from repro.obs import live_snapshot
+        from repro.plan.cache import plan_cache
+        pattern = SESPattern(sets=[["a"], ["b"]],
+                             conditions=["a.kind = 'A'", "b.kind = 'B'"],
+                             tau=9)
+        before = plan_cache().stats()["hits"]
+        repro.compile(pattern)
+        repro.compile(pattern)  # guaranteed hit
+        with ObsServer(snapshot=live_snapshot) as server:
+            status, body = get(server.url + "/varz")
+        assert status == 200
+        varz = json.loads(body)
+        assert varz["ses_plan_cache_hits_total"]["value"] >= before + 1
+        assert varz["ses_plan_cache_size"]["value"] >= 1
+        for name in ("ses_plan_cache_misses_total",
+                     "ses_plan_cache_evictions_total"):
+            assert varz[name]["type"] == "counter"
+
+    def test_prefilter_selectivity_derived_from_counters(self):
+        from repro.obs import live_snapshot
+        obs = Observability()
+        obs.registry.counter("ses_events_read_total").inc(100)
+        obs.registry.counter("ses_events_filtered_total").inc(25)
+        with ObsServer(snapshot=lambda: live_snapshot(obs)) as server:
+            status, body = get(server.url + "/varz")
+        assert status == 200
+        record = json.loads(body)["ses_prefilter_selectivity"]
+        assert record["type"] == "gauge"
+        assert record["value"] == pytest.approx(0.25)
+
+    def test_per_pattern_sections_from_stats_store(self):
+        from repro.obs import live_snapshot
+        from repro.explain import stats_store
+        stats_store().observe("fp1", runs=2, events=40, matches=3,
+                              filter_seen=40, filter_admitted=10)
+        with ObsServer(snapshot=live_snapshot) as server:
+            _, varz_body = get(server.url + "/varz")
+            _, metrics_body = get(server.url + "/metrics")
+        varz = json.loads(varz_body)
+        runs = varz["ses_pattern_runs_total[fp1]"]
+        assert runs["value"] == 2
+        assert runs["labels"] == {"pattern": "fp1"}
+        assert runs["metric"] == "ses_pattern_runs_total"
+        selectivity = varz["ses_pattern_prefilter_selectivity[fp1]"]
+        assert selectivity["value"] == pytest.approx(0.75)
+        # the Prometheus exposition renders them as one labeled family
+        assert ('ses_pattern_runs_total{pattern="fp1"} 2'
+                in metrics_body)
+        assert "# TYPE ses_pattern_runs_total counter" in metrics_body
+
+
 class TestLifecycle:
     def test_ephemeral_port_bound_and_reported(self):
         with ObsServer() as server:

@@ -26,6 +26,9 @@ EXPECTED_ALL = {
     "compile_query", "parse_query",
     # Operations
     "Observability", "WorkerCrashed", "FlightRecorder", "ObsServer",
+    # Explain + statistics
+    "ExplainReport", "explain", "explain_analyze", "StatsStore",
+    "stats_store", "clear_stats_store",
     # Resilience
     "Supervisor", "RestartPolicy", "GuardConfig", "ResourceExhausted",
     "FaultPlan", "DeadLetterQueue",

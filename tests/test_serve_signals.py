@@ -1,0 +1,80 @@
+"""End-to-end signal-path test for ``repro serve``: SIGUSR2 delivered to
+a real serve process must dump the flight recorder through the installed
+handler (not a direct ``dump()`` call), and the process must still shut
+down cleanly afterwards."""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+import urllib.request
+
+import pytest
+
+import repro
+from repro.data.paper_events import figure1_relation
+from repro.storage import save_relation
+
+SRC_DIR = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+
+QUERY = ("PATTERN PERMUTE(c, p+, d) THEN b "
+         "WHERE c.L = 'C' AND p.L = 'P' AND d.L = 'D' AND b.L = 'B' "
+         "AND c.ID = p.ID AND c.ID = d.ID AND d.ID = b.ID WITHIN 264")
+
+pytestmark = pytest.mark.skipif(not hasattr(signal, "SIGUSR2"),
+                                reason="platform has no SIGUSR2")
+
+
+def wait_for(predicate, timeout=20.0, interval=0.05):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return False
+
+
+def test_sigusr2_dumps_flight_recorder(tmp_path):
+    csv_path = tmp_path / "events.csv"
+    save_relation(figure1_relation(), csv_path)
+    dump_path = tmp_path / "flight.json"
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve",
+         "--data", str(csv_path), "--query", QUERY,
+         "--listen", "127.0.0.1:0", "--flight-dump", str(dump_path)],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+        cwd=str(tmp_path),
+        env={**os.environ,
+             "PYTHONPATH": SRC_DIR + os.pathsep
+             + os.environ.get("PYTHONPATH", "")})
+    try:
+        # scrape the ephemeral endpoint URL from startup output
+        line = process.stdout.readline()
+        assert "serving observability on " in line, line
+        url = line.strip().rsplit(" ", 1)[-1]
+
+        # wait until the replay finished (the serve loop is idle)
+        line = process.stdout.readline()
+        assert "replayed" in line and "match(es)" in line, line
+
+        os.kill(process.pid, signal.SIGUSR2)
+        assert wait_for(dump_path.exists), "SIGUSR2 produced no dump file"
+        dump = json.loads(dump_path.read_text())
+        assert dump.get("steps"), "flight dump has no recorded steps"
+
+        # the endpoint must still be alive after handling the signal
+        with urllib.request.urlopen(url + "/healthz", timeout=5) as resp:
+            assert resp.status == 200
+
+        # clean shutdown through the quit route
+        request = urllib.request.Request(url + "/quitquitquit",
+                                         data=b"", method="POST")
+        with urllib.request.urlopen(request, timeout=5) as resp:
+            assert resp.status == 200
+        assert process.wait(timeout=20) == 0
+    finally:
+        if process.poll() is None:
+            process.kill()
+            process.wait(timeout=10)
