@@ -52,6 +52,7 @@ from .parallel import (ParallelPartitionedMatcher, ShardedStreamMatcher,
                        WorkerCrashed)
 from .plan import (PatternPlan, PlanCache, clear_plan_cache, compile,
                    plan_cache, set_plan_cache_size)
+from .registry import PatternRegistry, TenantQuota
 from .resilience import (DeadLetterQueue, FaultPlan, GuardConfig,
                          ResourceExhausted, RestartPolicy, Supervisor)
 from .stream import ContinuousMatcher, MultiPatternMatcher
@@ -81,6 +82,7 @@ __all__ = [
     "ParallelPartitionedMatcher",
     "PatternError",
     "PatternPlan",
+    "PatternRegistry",
     "PlanCache",
     "ResourceExhausted",
     "RestartPolicy",
@@ -92,6 +94,7 @@ __all__ = [
     "StatsStore",
     "Substitution",
     "Supervisor",
+    "TenantQuota",
     "Variable",
     "WorkerCrashed",
     "attr",

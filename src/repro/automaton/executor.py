@@ -268,18 +268,27 @@ class SESExecutor:
     # ------------------------------------------------------------------
     # Incremental execution
     # ------------------------------------------------------------------
-    def feed(self, event: Event) -> List[Substitution]:
+    def feed(self, event: Event,
+             allow_start: bool = True) -> List[Substitution]:
         """Consume one event; return buffers accepted by window expiry.
 
         With a resource guard attached, the guard's ceilings are checked
         (and its breach policy applied) after the event is processed;
         without one this is a single extra ``is None`` test.
+
+        ``allow_start=False`` skips creating the fresh start-state
+        instance for this event.  A caller may only pass it when it has
+        proven no start transition can fire on the event (the registry's
+        shared start gate does exactly that) — the fresh instance would
+        then be dropped inside the consume loop anyway, so the match set
+        is unchanged.
         """
         if self.guard is None:
-            return self._feed(event)
-        return self.guard.guarded_feed(self, event)
+            return self._feed(event, allow_start)
+        return self.guard.guarded_feed(self, event, allow_start)
 
-    def _feed(self, event: Event) -> List[Substitution]:
+    def _feed(self, event: Event,
+              allow_start: bool = True) -> List[Substitution]:
         stats = self.stats
         stats.events_read += 1
         if self._last_ts is not None and event.ts < self._last_ts:
@@ -298,7 +307,7 @@ class SESExecutor:
                     return self._expire_only(event)
                 return []
             stats.events_processed += 1
-            return self._step(event)
+            return self._step(event, allow_start)
 
         start = time.perf_counter()
         with obs.span("filter"):
@@ -313,12 +322,52 @@ class SESExecutor:
         else:
             stats.events_processed += 1
             with obs.span("consume"):
-                accepted = self._step(event)
+                accepted = self._step(event, allow_start)
         obs.omega(len(self._omega))
         obs.event_seconds(time.perf_counter() - start)
         return accepted
 
-    def _step(self, event: Event) -> List[Substitution]:
+    @property
+    def next_expiry_ts(self):
+        """Latest timestamp the current Ω survives unchanged.
+
+        An event with ``ts`` at or below this value expires nothing (an
+        expiry-only sweep would be a no-op); the first event beyond it
+        expires the oldest instance.  ``None`` when no instance holds
+        buffered events — nothing can expire.  Callers that batch events
+        (the registry's shared admission pass) use this to skip the
+        per-event expiry sweeps that cannot fire.
+        """
+        oldest = None
+        for instance in self._omega:
+            min_ts = instance.buffer.min_ts
+            if min_ts is not None and (oldest is None or min_ts < oldest):
+                oldest = min_ts
+        return None if oldest is None else oldest + self.automaton.tau
+
+    def expire(self, event: Event) -> List[Substitution]:
+        """Advance the expiry clock without offering the event to Ω.
+
+        The bookkeeping twin of the filtered branch of :meth:`feed`: the
+        event counts as read-and-filtered, the chronology check runs, and
+        instances whose window the event's timestamp overruns expire
+        (emitting accepting buffers).  Used by callers that decide
+        admission outside the executor — the registry's shared admission
+        pass calls this for events its merged prefilter rejected.
+        """
+        stats = self.stats
+        stats.events_read += 1
+        if self._last_ts is not None and event.ts < self._last_ts:
+            raise ValueError(
+                f"events must arrive in chronological order; got T={event.ts} "
+                f"after T={self._last_ts}"
+            )
+        self._last_ts = event.ts
+        stats.events_filtered += 1
+        return self._expire_only(event)
+
+    def _step(self, event: Event,
+              allow_start: bool = True) -> List[Substitution]:
         """Algorithm 1's per-event instance loop (post-filter)."""
         stats = self.stats
         obs = self.obs
@@ -328,15 +377,16 @@ class SESExecutor:
         start = automaton.start
 
         omega = self._omega
-        fresh = AutomatonInstance(start, EMPTY_BUFFER)
-        omega.append(fresh)
-        stats.instances_created += 1
+        if allow_start:
+            fresh = AutomatonInstance(start, EMPTY_BUFFER)
+            omega.append(fresh)
+            stats.instances_created += 1
         stats.observe_event(event.ts)
         stats.observe_omega(len(omega))
         if obs is not None:
             obs.omega(len(omega))
         tracer = self.tracer
-        if tracer is not None:
+        if tracer is not None and allow_start:
             tracer.record("start", event, fresh)
 
         accepted_now: List[Substitution] = []

@@ -17,6 +17,7 @@ from .experiments import (print_experiment1, print_experiment2,
                           run_experiment3)
 from .harness import resolve_profile, rows_to_snapshot
 from .plancache import plan_cache_snapshot, print_plan_cache, run_plan_cache
+from .registry import print_registry, registry_snapshot, run_registry
 from .scaling import (print_scaling, run_scaling, scaling_snapshot,
                       workers_ladder)
 
@@ -60,6 +61,8 @@ def main(argv=None) -> int:
     print_experiment3(rows3)
     plan_cache_row = run_plan_cache()
     print_plan_cache(plan_cache_row)
+    registry_row = run_registry()
+    print_registry(registry_row)
     scaling_rows = None
     if args.workers > 1:
         scaling_rows = run_scaling(exp1_relation,
@@ -74,6 +77,7 @@ def main(argv=None) -> int:
         snapshot.update(rows_to_snapshot("exp2", rows2))
         snapshot.update(rows_to_snapshot("exp3", rows3))
         snapshot.update(plan_cache_snapshot(plan_cache_row))
+        snapshot.update(registry_snapshot(registry_row))
         if scaling_rows is not None:
             snapshot.update(scaling_snapshot(scaling_rows))
         path = write_jsonl(snapshot, args.metrics_out)

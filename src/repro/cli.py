@@ -13,10 +13,19 @@ Commands
     Replay a relation through the continuous matcher and keep serving
     the observability endpoint until stopped (``POST /quitquitquit``,
     SIGTERM, or Ctrl-C).  ``SIGUSR2`` dumps the flight recorder.
-    ``--supervise`` restarts dead shard workers from their checkpoints
-    and ``--dead-letter`` quarantines poison events instead of failing
-    (see ``docs/resilience.md``); ``--max-instances``/``--max-buffer-mb``
+    Single-worker serves run on a :class:`~repro.registry.PatternRegistry`
+    — further patterns can be registered and deregistered hot over HTTP
+    (``/patterns``) or via the ``registry`` subcommand, all sharing one
+    admission pass (see ``docs/registry.md``).  ``--supervise`` restarts
+    dead shard workers from their checkpoints and ``--dead-letter``
+    quarantines poison events instead of failing (see
+    ``docs/resilience.md``); ``--max-instances``/``--max-buffer-mb``
     put resource-guard ceilings on executor state.
+``registry``
+    Client for a running serve process: ``registry add --server URL
+    --query ...`` registers a pattern hot, ``registry rm ID`` removes
+    it, ``registry list`` shows what is registered (with predicate-
+    sharing statistics).
 ``generate``
     Write a synthetic chemotherapy relation to CSV.
 ``explain``
@@ -171,6 +180,25 @@ def build_parser() -> argparse.ArgumentParser:
                               "as JSON lines on shutdown (implies "
                               "--supervise)")
     _add_guard_arguments(p_serve)
+
+    p_registry = sub.add_parser(
+        "registry", help="register/deregister/list patterns on a running "
+                         "serve process (hot, over its /patterns route)")
+    rsub = p_registry.add_subparsers(dest="registry_command", required=True)
+    r_add = rsub.add_parser("add", help="register a pattern")
+    _add_query_arguments(r_add)
+    r_add.add_argument("--server", required=True, metavar="URL",
+                       help="base URL of the serve process (printed at "
+                            "its startup)")
+    r_add.add_argument("--id", dest="pattern_id", metavar="ID",
+                       help="pattern id (default: assigned p<N>)")
+    r_add.add_argument("--tenant", default="default",
+                       help="owning tenant (default: 'default')")
+    r_rm = rsub.add_parser("rm", help="deregister a pattern")
+    r_rm.add_argument("pattern_id", metavar="ID")
+    r_rm.add_argument("--server", required=True, metavar="URL")
+    r_list = rsub.add_parser("list", help="list registered patterns")
+    r_list.add_argument("--server", required=True, metavar="URL")
 
     p_generate = sub.add_parser(
         "generate", help="write a synthetic chemotherapy relation to CSV")
@@ -418,6 +446,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     flight = None if sharded else FlightRecorder()
     supervisor = None
     dead_letter = None
+    patterns = None
 
     if sharded:
         from .parallel.sharded import ShardedStreamMatcher
@@ -439,12 +468,22 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             report = matcher.health()
             return report["status"] != "failed", report
     else:
-        matcher = plan.stream(use_filter=not args.no_filter,
-                              observability=obs, flight=flight,
-                              guard=guard)
+        # Single-worker serves run on a PatternRegistry: the replayed
+        # query is the first registered pattern, and further patterns
+        # can be added/removed hot over /patterns while the process
+        # serves (sharded serves keep the fixed single-pattern path —
+        # hot registration is not supported there).
+        from .registry import PatternRegistry, RegistryHTTPAdapter, TenantQuota
+        default_quota = None if guard is None else TenantQuota(guard=guard)
+        matcher = PatternRegistry(use_filter=not args.no_filter,
+                                  observability=obs, flight=flight,
+                                  default_quota=default_quota)
+        matcher.register(plan)
+        patterns = RegistryHTTPAdapter(matcher)
 
         def health():
             return True, {"status": "ok", "workers": 1,
+                          "patterns": len(matcher),
                           "active_instances": matcher.active_instances,
                           "matches": len(matcher.matches)}
 
@@ -455,6 +494,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                        snapshot=lambda: live_snapshot(obs),
                        health=health, flight=flight,
                        explain=lambda: explain(plan).to_dict(),
+                       patterns=patterns,
                        on_quit=stop.set)
     try:
         server.start()
@@ -571,6 +611,67 @@ def _worker_rows(obs: Observability) -> List[List[object]]:
     return rows
 
 
+def _cmd_registry(args: argparse.Namespace) -> int:
+    """HTTP client for a running serve process's ``/patterns`` routes."""
+    import json
+    import urllib.error
+    import urllib.request
+
+    base = args.server.rstrip("/")
+    if not base.startswith(("http://", "https://")):
+        base = "http://" + base
+
+    def call(method: str, path: str, payload=None):
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(base + path, data=data,
+                                         headers=headers, method=method)
+        with urllib.request.urlopen(request, timeout=10) as response:
+            return json.load(response)
+
+    try:
+        if args.registry_command == "list":
+            listing = call("GET", "/patterns")
+            rows = listing["patterns"]
+            for row in rows:
+                print(f"{row['id']}  tenant={row['tenant']}  "
+                      f"matches={row['matches']}  "
+                      f"active={row['active_instances']}  "
+                      f"events={row['events_delivered']}  "
+                      f"plan={row['fingerprint'][:12]}")
+            print(f"{len(rows)} pattern(s), {listing['predicates']} shared "
+                  f"predicate(s), {listing['prefix_groups']} prefix "
+                  f"group(s)")
+        elif args.registry_command == "add":
+            payload = {"query": (args.query if args.query is not None
+                                 else args.query_file.read_text()),
+                       "tenant": args.tenant}
+            if args.pattern_id is not None:
+                payload["id"] = args.pattern_id
+            row = call("POST", "/patterns", payload)
+            print(f"registered {row['id']} "
+                  f"(plan {row.get('fingerprint', '?')[:12]})")
+        else:  # rm
+            row = call("DELETE", f"/patterns/{args.pattern_id}")
+            print(f"deregistered {row['id']} after {row['matches']} "
+                  f"match(es)")
+        return 0
+    except urllib.error.HTTPError as exc:
+        try:
+            detail = json.load(exc).get("error", "")
+        except (ValueError, AttributeError):
+            detail = exc.reason
+        print(f"error: {base} answered {exc.code}: {detail}",
+              file=sys.stderr)
+        return 1
+    except urllib.error.URLError as exc:
+        print(f"error: cannot reach {base}: {exc.reason}", file=sys.stderr)
+        return 1
+
+
 def _cmd_generate(args: argparse.Namespace) -> int:
     relation = generate_chemo(patients=args.patients, cycles=args.cycles,
                               seed=args.seed,
@@ -680,6 +781,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
 _COMMANDS = {
     "match": _cmd_match,
     "serve": _cmd_serve,
+    "registry": _cmd_registry,
     "generate": _cmd_generate,
     "explain": _cmd_explain,
     "analyze": _cmd_analyze,

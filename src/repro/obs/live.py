@@ -16,6 +16,11 @@ route          payload
                recorder is attached)
 ``/debug/explain``  the current pattern's EXPLAIN report as JSON
                (``404`` when no explain provider is attached)
+``/patterns``  the pattern registry: ``GET`` lists registered patterns,
+               ``POST`` registers the query in the JSON body, and
+               ``DELETE /patterns/<id>`` deregisters — hot, against the
+               running process (``404`` when no registry is attached;
+               see ``docs/registry.md``)
 ``/quitquitquit``  ``POST`` only: invoke the ``on_quit`` callback
                (graceful remote shutdown for ``repro serve``)
 ============== =========================================================
@@ -89,6 +94,13 @@ class _Handler(BaseHTTPRequestHandler):
                                      {"error": "no explain provider attached"})
                 else:
                     self._reply_json(200, report)
+            elif path == "/patterns":
+                patterns = obs_server.patterns
+                if patterns is None:
+                    self._reply_json(404,
+                                     {"error": "no pattern registry attached"})
+                else:
+                    self._reply_json(*patterns.list())
             elif path == "/":
                 self._reply_json(200, {"routes": sorted(obs_server.routes)})
             else:
@@ -103,6 +115,43 @@ class _Handler(BaseHTTPRequestHandler):
         if path == "/quitquitquit":
             self._reply_json(200, {"quitting": True})
             obs_server.request_quit()
+        elif path == "/patterns":
+            patterns = obs_server.patterns
+            if patterns is None:
+                self._reply_json(404,
+                                 {"error": "no pattern registry attached"})
+                return
+            try:
+                length = int(self.headers.get("Content-Length") or 0)
+                payload = json.loads(self.rfile.read(length) or b"null")
+            except (ValueError, json.JSONDecodeError) as exc:
+                self._reply_json(400, {"error": f"invalid JSON body: {exc}"})
+                return
+            try:
+                self._reply_json(*patterns.add(payload))
+            except Exception as exc:  # registration must not kill the server
+                logger.exception("pattern registration failed")
+                self._reply_json(500,
+                                 {"error": f"{type(exc).__name__}: {exc}"})
+        else:
+            self._reply_json(404, {"error": f"unknown route {path!r}"})
+
+    def do_DELETE(self) -> None:  # noqa: N802 (http.server API)
+        obs_server: "ObsServer" = self.server.obs_server
+        path = self.path.split("?", 1)[0]
+        prefix = "/patterns/"
+        if path.startswith(prefix) and len(path) > len(prefix):
+            patterns = obs_server.patterns
+            if patterns is None:
+                self._reply_json(404,
+                                 {"error": "no pattern registry attached"})
+                return
+            try:
+                self._reply_json(*patterns.remove(path[len(prefix):]))
+            except Exception as exc:
+                logger.exception("pattern deregistration failed")
+                self._reply_json(500,
+                                 {"error": f"{type(exc).__name__}: {exc}"})
         else:
             self._reply_json(404, {"error": f"unknown route {path!r}"})
 
@@ -143,6 +192,10 @@ class ObsServer:
         Callable returning the EXPLAIN report dict for the served
         pattern(s) (e.g. ``lambda: explain(plan).to_dict()``) backing
         ``/debug/explain``; the route 404s without one.
+    patterns:
+        A :class:`~repro.registry.service.RegistryHTTPAdapter` backing
+        the ``/patterns`` routes (GET list / POST register /
+        DELETE ``/patterns/<id>``); the routes 404 without one.
     on_quit:
         Callback invoked by ``POST /quitquitquit`` (e.g. an Event's
         ``set``); the route 404s without one.
@@ -156,11 +209,13 @@ class ObsServer:
                  health: Optional[Callable[[], HealthReport]] = None,
                  flight=None,
                  explain: Optional[Callable[[], dict]] = None,
+                 patterns=None,
                  on_quit: Optional[Callable[[], None]] = None):
         self._snapshot = snapshot
         self._health = health
         self._flight = flight
         self._explain = explain
+        self.patterns = patterns
         self._on_quit = on_quit
         self._httpd = ThreadingHTTPServer((host, port), _Handler)
         self._httpd.daemon_threads = True
@@ -177,6 +232,8 @@ class ObsServer:
             routes.append("/debug/flight")
         if self._explain is not None:
             routes.append("/debug/explain")
+        if self.patterns is not None:
+            routes.append("/patterns")
         if self._on_quit is not None:
             routes.append("/quitquitquit")
         return tuple(routes)

@@ -281,15 +281,15 @@ class ResourceGuard:
     # ------------------------------------------------------------------
     # Executor entry point (keeps the executor free of timing branches)
     # ------------------------------------------------------------------
-    def guarded_feed(self, executor, event):
+    def guarded_feed(self, executor, event, allow_start=True):
         """Run one ``feed`` under this guard, timing it only when the
         per-event time ceiling is enabled."""
         if self.config.max_event_seconds is None:
-            accepted = executor._feed(event)
+            accepted = executor._feed(event, allow_start)
             self.check(executor, event, None)
             return accepted
         start = time.perf_counter()
-        accepted = executor._feed(event)
+        accepted = executor._feed(event, allow_start)
         self.check(executor, event, time.perf_counter() - start)
         return accepted
 

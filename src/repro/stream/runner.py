@@ -107,10 +107,35 @@ class ContinuousMatcher:
     # ------------------------------------------------------------------
     # Feeding
     # ------------------------------------------------------------------
-    def push(self, event: Event) -> List[Substitution]:
-        """Feed one event; returns the matches reported at this point."""
-        accepted = self._executor.feed(event)
+    def push(self, event: Event,
+             allow_start: bool = True) -> List[Substitution]:
+        """Feed one event; returns the matches reported at this point.
+
+        ``allow_start=False`` skips the fresh start-state instance for
+        this event; only pass it when no start transition can fire (see
+        :meth:`SESExecutor.feed`) — the registry's shared start gate is
+        the intended caller.
+        """
+        accepted = self._executor.feed(event, allow_start)
         return self._report(accepted)
+
+    def tick(self, event: Event) -> List[Substitution]:
+        """Advance the expiry clock without offering the event.
+
+        Equivalent to :meth:`push` for an event the pattern's pre-filter
+        rejects (the executor runs its expiry-only sweep either way);
+        callers that decide admission externally — the registry's merged
+        prefilter — use this to keep emission latency bounded while
+        skipping the per-pattern filter work.
+        """
+        return self._report(self._executor.expire(event))
+
+    @property
+    def next_expiry_ts(self):
+        """Latest timestamp the matcher's Ω survives unchanged (see
+        :attr:`SESExecutor.next_expiry_ts`); ``None`` when nothing can
+        expire."""
+        return self._executor.next_expiry_ts
 
     def push_many(self, events: Iterable[Event]) -> List[Substitution]:
         """Feed a batch of events; returns all matches reported."""

@@ -22,6 +22,7 @@ EXPECTED_ALL = {
     # Matchers
     "Matcher", "match", "ContinuousMatcher", "MultiPatternMatcher",
     "ParallelPartitionedMatcher", "ShardedStreamMatcher",
+    "PatternRegistry", "TenantQuota",
     # Language
     "compile_query", "parse_query",
     # Operations
