@@ -11,25 +11,40 @@ full benchmark harness for the paper's experiments.
 Quickstart::
 
     import repro
-    from repro import Event, EventRelation, SESPattern
+    from repro import Event
 
-    relation = EventRelation([
+    events = [
         Event(ts=1, eid="a1", kind="A"),
         Event(ts=2, eid="b1", kind="B"),
         Event(ts=3, eid="c1", kind="C"),
-    ])
-    pattern = SESPattern(
-        sets=[["a", "b"], ["c"]],
-        conditions=["a.kind = 'A'", "b.kind = 'B'", "c.kind = 'C'"],
-        tau=10,
-    )
-    plan = repro.compile(pattern)       # compile once (process-global cache)
-    for substitution in plan.match(relation):
-        print(substitution)
+    ]
+    result = repro.query(
+        "PATTERN PERMUTE(a, b) THEN c "
+        "WHERE a.kind = 'A' AND b.kind = 'B' AND c.kind = 'C' "
+        "WITHIN 10", events)
+    for match in result:
+        print(match.events())
 
-The one-shot :func:`match` and the :class:`Matcher` class remain as thin
-wrappers over the same plan cache.
+Aggregation queries fold matches incrementally — no match is ever
+materialised::
+
+    series = repro.query(
+        "SELECT count(*) AS n, avg(c.T) "
+        "FROM PATTERN PERMUTE(a, b) THEN c "
+        "WHERE a.kind = 'A' AND b.kind = 'B' AND c.kind = 'C' "
+        "WITHIN 10", events)
+    print(series["n"])
+
+:func:`query` returns the typed :data:`~repro.agg.result.Result` union
+(:class:`MatchSet` | :class:`AggregateSeries`); dispatch on
+``result.kind``.  For repeated runs compile once:
+``repro.compile(pattern).match(relation)`` (process-global plan cache).
+The one-shot :func:`match` and the :class:`Matcher` class remain as
+deprecated thin wrappers over the same plan cache.
 """
+
+from .agg import AggregateSeries, AggregateSpec, Match, MatchSet
+from .api import query
 
 from .core.conditions import Attr, Condition, Const, attr, const
 from .core.events import Attribute, Event, EventSchema, SchemaError
@@ -60,6 +75,8 @@ from .stream import ContinuousMatcher, MultiPatternMatcher
 __version__ = "1.0.0"
 
 __all__ = [
+    "AggregateSeries",
+    "AggregateSpec",
     "Attribute",
     "Attr",
     "Condition",
@@ -74,7 +91,9 @@ __all__ = [
     "FaultPlan",
     "FlightRecorder",
     "GuardConfig",
+    "Match",
     "MatchResult",
+    "MatchSet",
     "Matcher",
     "MultiPatternMatcher",
     "Observability",
@@ -111,6 +130,7 @@ __all__ = [
     "match",
     "parse_query",
     "plan_cache",
+    "query",
     "set_plan_cache_size",
     "stats_store",
     "var",

@@ -1,0 +1,29 @@
+"""Online aggregation without match materialisation (GRETA-style).
+
+``SELECT count(*) | count(v.A) | sum(v.A) | min(v.A) | max(v.A) |
+avg(v.A) FROM PATTERN ... WITHIN ...`` queries are folded incrementally
+inside the executor by :class:`AggregationEngine` — no match is ever
+materialised.  See ``docs/aggregation.md`` for semantics, asymptotics
+and the :func:`repro.query` façade.
+"""
+
+from .engine import (MISSING, AggregationEngine, empty_snapshot,
+                     finalize_snapshot, fold_reference, merge_snapshots)
+from .result import AggregateSeries, Match, MatchSet, Result
+from .spec import AGGREGATE_FUNCS, Aggregate, AggregateSpec
+
+__all__ = [
+    "AGGREGATE_FUNCS",
+    "Aggregate",
+    "AggregateSpec",
+    "AggregateSeries",
+    "AggregationEngine",
+    "Match",
+    "MatchSet",
+    "MISSING",
+    "Result",
+    "empty_snapshot",
+    "finalize_snapshot",
+    "fold_reference",
+    "merge_snapshots",
+]

@@ -1,0 +1,530 @@
+"""Incremental aggregation inside the automaton — no match materialised.
+
+The naive route to ``SELECT count(*) FROM PATTERN ...`` is
+enumerate-then-fold: run the executor, materialise every accepted buffer,
+then fold.  Theorem 3 makes that hopeless — the match set over group
+variables grows as ``O(k^(W·|V1|))``, so enumeration is the asymptotic
+bottleneck even when the caller only wants one number.
+
+:class:`AggregationEngine` instead folds aggregates *online*, GRETA
+style, by replacing the executor's instance set Ω with **coalesced
+instance groups**.  Two automaton instances behave identically forever
+iff they agree on
+
+1. their automaton state (which transitions are reachable),
+2. their buffer's minimum timestamp (when they expire), and
+3. their *projections*: for every ``(partner variable, attribute)`` pair
+   read by some two-variable transition check, the set of that
+   attribute's values over the events bound to the variable (plus a
+   MISSING marker for events lacking the attribute).  Each check is
+   independently universally quantified over the partner's events and
+   reads exactly one partner attribute, so these value sets determine
+   every future ``admits`` outcome.
+
+A group carries a multiplicity ``n`` (how many concrete instances it
+stands for) and one *fold register* per aggregate:
+
+* ``count(v.A)`` — register ``c`` = Σ over the group's buffers of the
+  per-buffer count; extension by an event binding ``v`` does
+  ``c' = c + n·[A present]``; merging groups adds registers.
+* ``sum(v.A)``/``avg(v.A)`` — likewise linear: ``s' = s + n·value``
+  (numeric values only); ``avg`` keeps a ``(sum, count)`` pair.
+* ``min(v.A)``/``max(v.A)`` — a single scalar per group.  Buffers inside
+  a group may hold different values, but min/max are associative,
+  commutative and idempotent, and a group's buffers always accept
+  together, so the scalar is exact for the *total* over all matches.
+* ``count(*)`` needs no register: accepting a group adds ``n`` matches.
+
+When a group reaches the accepting state (window expiry, contiguous
+cut-off, or end-of-input flush — the same three accept points as the
+executor), its registers fold into the running totals and the group is
+dropped.  No buffer, substitution, or match object is ever built: the
+cost per event is ``O(groups × transitions)``, with the group count
+bounded by ``|Q| × |distinct projection sets| × W`` — polynomial where
+enumeration is exponential.
+
+Counter semantics in aggregate mode: ``accepted_buffers`` and
+``expired`` virtual-instance style numbers would overflow usefulness, so
+``accepted_buffers`` counts *virtual* matches folded (Σn — comparable
+with the enumerate-then-fold reference) while ``instances_created``,
+``transitions_fired``, ``branchings``, ``expired_instances`` and the Ω
+peak count *groups* — the work actually done.  ``stats.matches`` stays
+zero: nothing is enumerated.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..core.conditions import OPERATORS
+from .spec import AggregateSpec
+
+__all__ = [
+    "MISSING", "AggregationEngine", "empty_snapshot", "merge_snapshots",
+    "finalize_snapshot", "fold_reference",
+]
+
+
+class _Missing:
+    """Picklable singleton marking an absent attribute in a projection."""
+
+    _instance = None
+
+    def __new__(cls):
+        if cls._instance is None:
+            cls._instance = super(_Missing, cls).__new__(cls)
+        return cls._instance
+
+    def __reduce__(self):
+        return (_Missing, ())
+
+    def __repr__(self):
+        return "<missing>"
+
+
+MISSING = _Missing()
+
+#: Snapshot schema version (bumped on incompatible layout changes).
+SNAPSHOT_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# Mergeable snapshots (the cross-process partial-aggregate wire format)
+# ----------------------------------------------------------------------
+def empty_snapshot(spec: AggregateSpec) -> dict:
+    """The identity element for :func:`merge_snapshots`."""
+    totals: List[Any] = []
+    for aggregate in spec.aggregates:
+        if aggregate.is_star:
+            totals.append(None)
+        elif aggregate.func in ("count", "sum"):
+            totals.append(0)
+        elif aggregate.func == "avg":
+            totals.append([0, 0])
+        else:  # min / max
+            totals.append(None)
+    return {"version": SNAPSHOT_VERSION, "matches": 0, "totals": totals}
+
+
+def _combine_extremum(func: str, a, b):
+    """min/max of two partials, either possibly absent (None)."""
+    if a is None:
+        return b
+    if b is None:
+        return a
+    try:
+        return min(a, b) if func == "min" else max(a, b)
+    except TypeError:
+        # Incomparable partials (mixed types): keep the first — the
+        # same skip rule the fold applies to incomparable raw values.
+        return a
+
+
+def merge_snapshots(spec: AggregateSpec, left: Optional[dict],
+                    right: Optional[dict]) -> Optional[dict]:
+    """Merge two partial-aggregate snapshots (associative, commutative)."""
+    if left is None:
+        return None if right is None else _copy_snapshot(right)
+    if right is None:
+        return _copy_snapshot(left)
+    out = empty_snapshot(spec)
+    out["matches"] = left["matches"] + right["matches"]
+    totals = out["totals"]
+    for i, aggregate in enumerate(spec.aggregates):
+        a, b = left["totals"][i], right["totals"][i]
+        if aggregate.is_star:
+            continue
+        if aggregate.func in ("count", "sum"):
+            totals[i] = a + b
+        elif aggregate.func == "avg":
+            totals[i] = [a[0] + b[0], a[1] + b[1]]
+        else:
+            totals[i] = _combine_extremum(aggregate.func, a, b)
+    return out
+
+
+def _copy_snapshot(snapshot: dict) -> dict:
+    return {
+        "version": snapshot.get("version", SNAPSHOT_VERSION),
+        "matches": snapshot["matches"],
+        "totals": [list(t) if isinstance(t, list) else t
+                   for t in snapshot["totals"]],
+    }
+
+
+def finalize_snapshot(spec: AggregateSpec, snapshot: Optional[dict]) -> dict:
+    """Snapshot → ``{label: value}`` in declaration order.
+
+    SQL-flavoured empties: counts finalise to 0, ``sum``/``min``/``max``
+    /``avg`` to ``None`` when no value was folded.
+    """
+    if snapshot is None:
+        snapshot = empty_snapshot(spec)
+    values = {}
+    for i, aggregate in enumerate(spec.aggregates):
+        total = snapshot["totals"][i]
+        if aggregate.is_star:
+            values[aggregate.label] = snapshot["matches"]
+        elif aggregate.func == "count":
+            values[aggregate.label] = total
+        elif aggregate.func == "sum":
+            values[aggregate.label] = total if snapshot["matches"] else None
+        elif aggregate.func == "avg":
+            s, c = total
+            values[aggregate.label] = s / c if c else None
+        else:
+            values[aggregate.label] = total
+    return values
+
+
+def fold_reference(spec: AggregateSpec, substitutions) -> dict:
+    """Enumerate-then-fold reference: fold materialised matches.
+
+    The ground truth the incremental engine must equal — used by the
+    validation tests and the benchmark.  Returns a snapshot (pass it to
+    :func:`finalize_snapshot` for final values).
+    """
+    snapshot = empty_snapshot(spec)
+    snapshot["matches"] = len(substitutions)
+    totals = snapshot["totals"]
+    for substitution in substitutions:
+        by_name = {v.name: v for v in substitution.variables}
+        for i, aggregate in enumerate(spec.aggregates):
+            if aggregate.is_star:
+                continue
+            variable = by_name.get(aggregate.variable)
+            events = ([] if variable is None
+                      else substitution.events_of(variable))
+            values = [e.get(aggregate.attribute, MISSING) for e in events]
+            present = [v for v in values if v is not MISSING]
+            if aggregate.func == "count":
+                totals[i] += len(present)
+            elif aggregate.func in ("sum", "avg"):
+                numeric = [v for v in present if isinstance(v, (int, float))]
+                if aggregate.func == "sum":
+                    totals[i] += sum(numeric)
+                else:
+                    totals[i] = [totals[i][0] + sum(numeric),
+                                 totals[i][1] + len(numeric)]
+            else:
+                for value in present:
+                    totals[i] = _combine_extremum(
+                        aggregate.func, totals[i], value)
+    return snapshot
+
+
+# ----------------------------------------------------------------------
+# The engine
+# ----------------------------------------------------------------------
+class AggregationEngine:
+    """Coalesced-group fold over a SES automaton (module docstring)."""
+
+    def __init__(self, automaton, spec: AggregateSpec,
+                 consume_mode: str = "greedy"):
+        self.automaton = automaton
+        self.spec = spec
+        self.consume_mode = consume_mode
+        self._tau = automaton.tau
+        self._start = automaton.start
+        self._accepting = automaton.accepting
+
+        # Projected (partner variable, attribute) pairs, harvested from
+        # every two-variable check across the automaton; a projection
+        # tuple holds one value-frozenset per pair.
+        pairs: List[Tuple[Any, str]] = []
+        pair_index: Dict[Tuple[Any, str], int] = {}
+        compiled: Dict[int, list] = {}
+        for transition in automaton.transitions:
+            checks = []
+            for other, anchored in transition.checks:
+                if other is None:
+                    checks.append((None, anchored, None, None))
+                else:
+                    pair = (other, anchored.right.attribute)
+                    if pair not in pair_index:
+                        pair_index[pair] = len(pairs)
+                        pairs.append(pair)
+                    checks.append((pair_index[pair], anchored,
+                                   OPERATORS[anchored.op],
+                                   anchored.left.attribute))
+            compiled[id(transition)] = checks
+        self._pairs = tuple(pairs)
+        self._empty_proj = tuple(frozenset() for _ in pairs)
+
+        # Per state: (transition, compiled checks, projection updates,
+        # register-binding aggregate indices).
+        self._by_state = {}
+        for state in automaton.states:
+            entries = []
+            for transition in automaton.outgoing(state):
+                bound = transition.variable
+                proj_updates = tuple(
+                    (index, attribute)
+                    for index, (variable, attribute) in enumerate(pairs)
+                    if variable == bound)
+                reg_updates = tuple(
+                    i for i, a in enumerate(spec.aggregates)
+                    if a.variable == bound.name)
+                entries.append((transition, compiled[id(transition)],
+                                proj_updates, reg_updates))
+            self._by_state[state] = tuple(entries)
+
+        self._init_regs = self._fresh_registers()
+        self.reset()
+
+    def _fresh_registers(self) -> tuple:
+        regs: List[Any] = []
+        for aggregate in self.spec.aggregates:
+            if aggregate.is_star:
+                regs.append(None)
+            elif aggregate.func in ("count", "sum"):
+                regs.append(0)
+            elif aggregate.func == "avg":
+                regs.append((0, 0))
+            else:
+                regs.append(None)
+        return tuple(regs)
+
+    def reset(self) -> None:
+        """Clear groups and totals for a fresh run."""
+        #: key (state, min_ts, projections) → [multiplicity, registers]
+        self._groups: Dict[tuple, list] = {}
+        self._totals = empty_snapshot(self.spec)["totals"]
+        self.matches_folded = 0
+        self.max_groups = 0
+
+    # -- introspection -------------------------------------------------
+    @property
+    def group_count(self) -> int:
+        """Active coalesced groups (the aggregate-mode |Ω|)."""
+        return len(self._groups)
+
+    @property
+    def next_expiry_ts(self):
+        """Latest timestamp the current groups survive unchanged."""
+        oldest = None
+        for (state, min_ts, proj) in self._groups:
+            if min_ts is not None and (oldest is None or min_ts < oldest):
+                oldest = min_ts
+        return None if oldest is None else oldest + self._tau
+
+    # -- the per-event loop --------------------------------------------
+    def step(self, event, allow_start, stats) -> None:
+        """Aggregate-mode twin of the executor's ``_step``."""
+        ts = event.ts
+        tau = self._tau
+        accepting = self._accepting
+        if allow_start:
+            stats.instances_created += 1
+        stats.observe_event(ts)
+        stats.observe_omega(len(self._groups) + (1 if allow_start else 0))
+        next_groups: Dict[tuple, list] = {}
+        for key, (n, regs) in self._groups.items():
+            min_ts = key[1]
+            if min_ts is not None and ts - min_ts > tau:
+                stats.expired_instances += 1
+                if key[0] == accepting:
+                    self._fold(n, regs, stats)
+                continue
+            self._consume(key, n, regs, event, next_groups, stats)
+        if allow_start:
+            self._consume((self._start, None, self._empty_proj), 1,
+                          self._init_regs, event, next_groups, stats)
+        self._groups = next_groups
+        count = len(next_groups)
+        stats.observe_omega(count)
+        if count > self.max_groups:
+            self.max_groups = count
+
+    def expire_only(self, event, stats) -> None:
+        """Expiry sweep without consumption (filtered events, ticks)."""
+        ts = event.ts
+        tau = self._tau
+        accepting = self._accepting
+        survivors: Dict[tuple, list] = {}
+        for key, (n, regs) in self._groups.items():
+            min_ts = key[1]
+            if min_ts is not None and ts - min_ts > tau:
+                stats.expired_instances += 1
+                if key[0] == accepting:
+                    self._fold(n, regs, stats)
+            else:
+                survivors[key] = [n, regs]
+        self._groups = survivors
+
+    def _consume(self, key, n, regs, event, out, stats) -> None:
+        """Aggregate-mode twin of the executor's ``_consume``."""
+        state, min_ts, proj = key
+        fired = 0
+        for transition, checks, proj_updates, reg_updates in \
+                self._by_state[state]:
+            if not self._admits(checks, proj, event):
+                continue
+            fired += 1
+            new_key = (transition.target,
+                       event.ts if min_ts is None else min_ts,
+                       self._extend_proj(proj, proj_updates, event))
+            new_regs = (self._bind(regs, reg_updates, event, n)
+                        if reg_updates else regs)
+            self._merge_into(out, new_key, n, new_regs)
+        if fired:
+            stats.transitions_fired += fired
+            if fired > 1:
+                stats.branchings += fired - 1
+                stats.instances_created += fired - 1
+            if self.consume_mode == "exhaustive" and state != self._start:
+                self._merge_into(out, key, n, regs)
+                stats.instances_created += 1
+        elif state != self._start:
+            if self.consume_mode == "contiguous":
+                if state == self._accepting:
+                    self._fold(n, regs, stats)
+                return
+            self._merge_into(out, key, n, regs)
+
+    def _admits(self, checks, proj, event) -> bool:
+        """Value-space ``Transition.admits`` over a projection tuple.
+
+        Mirrors ``Condition.evaluate_events`` exactly: a missing
+        attribute on either side fails the check, an incomparable pair
+        fails it, and a check against a variable with no bound events
+        is vacuously true.
+        """
+        for pair_idx, anchored, op, left_attr in checks:
+            if pair_idx is None:
+                if not anchored.evaluate_events(event, event):
+                    return False
+                continue
+            values = proj[pair_idx]
+            if not values:
+                continue
+            left = event.get(left_attr, MISSING)
+            if left is MISSING:
+                return False
+            for value in values:
+                if value is MISSING:
+                    return False
+                try:
+                    if not op(left, value):
+                        return False
+                except TypeError:
+                    return False
+        return True
+
+    @staticmethod
+    def _extend_proj(proj, proj_updates, event):
+        if not proj_updates:
+            return proj
+        out = list(proj)
+        for index, attribute in proj_updates:
+            value = event.get(attribute, MISSING)
+            if value not in out[index]:
+                out[index] = out[index] | frozenset((value,))
+        return tuple(out)
+
+    def _bind(self, regs, reg_updates, event, n) -> tuple:
+        """Extend registers for an event binding an aggregated variable."""
+        out = list(regs)
+        aggregates = self.spec.aggregates
+        for i in reg_updates:
+            aggregate = aggregates[i]
+            value = event.get(aggregate.attribute, MISSING)
+            if value is MISSING:
+                continue
+            func = aggregate.func
+            if func == "count":
+                out[i] = out[i] + n
+            elif func == "sum":
+                if isinstance(value, (int, float)):
+                    out[i] = out[i] + n * value
+            elif func == "avg":
+                if isinstance(value, (int, float)):
+                    s, c = out[i]
+                    out[i] = (s + n * value, c + n)
+            else:
+                out[i] = (value if out[i] is None
+                          else _combine_extremum(func, out[i], value))
+        return tuple(out)
+
+    def _merge_into(self, out, key, n, regs) -> None:
+        """Add a group contribution, coalescing with an equal key."""
+        existing = out.get(key)
+        if existing is None:
+            out[key] = [n, regs]
+            return
+        existing[0] += n
+        existing[1] = self._merge_registers(existing[1], regs)
+
+    def _merge_registers(self, a, b) -> tuple:
+        out = list(a)
+        for i, aggregate in enumerate(self.spec.aggregates):
+            if aggregate.is_star:
+                continue
+            func = aggregate.func
+            if func in ("count", "sum"):
+                out[i] = a[i] + b[i]
+            elif func == "avg":
+                out[i] = (a[i][0] + b[i][0], a[i][1] + b[i][1])
+            else:
+                out[i] = _combine_extremum(func, a[i], b[i])
+        return tuple(out)
+
+    def _fold(self, n, regs, stats) -> None:
+        """Fold an accepting group's registers into the totals."""
+        self.matches_folded += n
+        stats.accepted_buffers += n
+        totals = self._totals
+        for i, aggregate in enumerate(self.spec.aggregates):
+            if aggregate.is_star:
+                continue
+            func = aggregate.func
+            if func in ("count", "sum"):
+                totals[i] += regs[i]
+            elif func == "avg":
+                totals[i] = [totals[i][0] + regs[i][0],
+                             totals[i][1] + regs[i][1]]
+            else:
+                totals[i] = _combine_extremum(func, totals[i], regs[i])
+
+    def finish(self, stats) -> None:
+        """End-of-input flush: fold groups resting in the accepting state."""
+        for key, (n, regs) in self._groups.items():
+            if key[0] == self._accepting:
+                self._fold(n, regs, stats)
+        self._groups = {}
+
+    # -- results -------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Current totals as a mergeable partial-aggregate snapshot."""
+        return {"version": SNAPSHOT_VERSION, "matches": self.matches_folded,
+                "totals": [list(t) if isinstance(t, (list, tuple)) else t
+                           for t in self._totals]}
+
+    def values(self) -> dict:
+        """Current totals finalised to ``{label: value}``."""
+        return finalize_snapshot(self.spec, self.snapshot())
+
+    # -- checkpointing -------------------------------------------------
+    def state_dict(self) -> dict:
+        """Picklable snapshot of groups and totals (values only — no
+        events, buffers, or compiled conditions)."""
+        return {
+            "groups": [(key, n, regs)
+                       for key, (n, regs) in self._groups.items()],
+            "snapshot": self.snapshot(),
+            "max_groups": self.max_groups,
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot."""
+        self._groups = {key: [n, regs]
+                        for key, n, regs in state["groups"]}
+        snapshot = state["snapshot"]
+        self.matches_folded = snapshot["matches"]
+        self._totals = [list(t) if isinstance(t, list) else t
+                        for t in snapshot["totals"]]
+        self.max_groups = state["max_groups"]
+
+    def __repr__(self) -> str:
+        return (f"AggregationEngine({self.spec!r}, groups={len(self._groups)}, "
+                f"folded={self.matches_folded})")

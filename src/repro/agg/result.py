@@ -1,0 +1,168 @@
+"""Typed results for the unified :func:`repro.query` façade.
+
+Seven PRs of growth left result consumption spelled several ways: batch
+matchers returned ``Substitution`` lists, stream runner callbacks got a
+bare substitution, registry fan-out handed back ``(pattern_id,
+substitution)`` tuples.  This module is the one surface replacing them:
+
+* :class:`Match` — one match, wherever it came from.  Wraps the
+  substitution and carries the delivery context (``pattern_id`` for
+  registry fan-out, ``partition`` for partitioned streams).
+* :class:`MatchSet` — an enumeration query's result: a
+  :class:`~repro.automaton.executor.MatchResult` whose iteration yields
+  :class:`Match` objects.
+* :class:`AggregateSeries` — an aggregation query's result: finalised
+  ``{label: value}`` values plus the mergeable snapshot they came from.
+
+``Result = Union[MatchSet, AggregateSeries]`` is what
+:func:`repro.query` returns; dispatch on ``result.kind`` (``"matches"``
+vs ``"aggregates"``) or with ``isinstance``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Optional, Union
+
+from ..automaton.executor import MatchResult
+from ..core.substitution import Substitution
+from .engine import empty_snapshot, finalize_snapshot, merge_snapshots
+from .spec import AggregateSpec
+
+__all__ = ["Match", "MatchSet", "AggregateSeries", "Result"]
+
+
+@dataclass(frozen=True)
+class Match:
+    """One delivered match, uniform across every consumption path.
+
+    ``pattern_id`` is set for registry fan-out, ``partition`` for
+    partitioned stream delivery; both are ``None`` for plain batch and
+    single-pattern stream matches.
+    """
+
+    substitution: Substitution
+    pattern_id: Optional[str] = None
+    partition: Any = None
+
+    def __iter__(self):
+        return iter(self.substitution)
+
+    @property
+    def bindings(self):
+        return self.substitution.bindings
+
+    @property
+    def variables(self):
+        return self.substitution.variables
+
+    def events_of(self, variable):
+        return self.substitution.events_of(variable)
+
+    def events(self):
+        return self.substitution.events()
+
+    def min_ts(self):
+        return self.substitution.min_ts()
+
+    def max_ts(self):
+        return self.substitution.max_ts()
+
+    def __repr__(self) -> str:
+        context = ""
+        if self.pattern_id is not None:
+            context += f", pattern_id={self.pattern_id!r}"
+        if self.partition is not None:
+            context += f", partition={self.partition!r}"
+        return f"Match({self.substitution!r}{context})"
+
+
+class MatchSet(MatchResult):
+    """Enumeration result of :func:`repro.query`.
+
+    Identical to :class:`MatchResult` (``len``, ``to_rows``, ``stats``,
+    ``accepted``) except that iteration yields :class:`Match` wrappers —
+    the unified delivery type.  ``substitutions`` exposes the raw
+    :class:`Substitution` list for callers that want it.
+    """
+
+    kind = "matches"
+
+    def __iter__(self):
+        for substitution in self.matches:
+            yield Match(substitution)
+
+    @property
+    def substitutions(self) -> List[Substitution]:
+        """The raw substitutions (pre-wrap)."""
+        return list(self.matches)
+
+    @classmethod
+    def from_result(cls, result: MatchResult) -> "MatchSet":
+        return cls(matches=result.matches, accepted=result.accepted,
+                   stats=result.stats)
+
+    def __repr__(self) -> str:
+        return (f"MatchSet({len(self.matches)} matches, "
+                f"{len(self.accepted)} accepted)")
+
+
+class AggregateSeries:
+    """Aggregation result of :func:`repro.query`: finalised values.
+
+    Mapping-flavoured: ``series["count(*)"]`` (or the ``AS`` alias)
+    returns a value, iteration yields ``(label, value)`` pairs in
+    declaration order.  ``snapshot`` is the mergeable partial the values
+    were finalised from — worker merging and checkpoint restore operate
+    on snapshots, never on finalised values.
+    """
+
+    kind = "aggregates"
+
+    def __init__(self, spec: AggregateSpec, snapshot: Optional[dict] = None,
+                 stats=None):
+        self.spec = spec
+        self.snapshot = (empty_snapshot(spec) if snapshot is None
+                         else snapshot)
+        self.stats = stats
+        self.values = finalize_snapshot(spec, self.snapshot)
+
+    @property
+    def matches_folded(self) -> int:
+        """Matches folded into the totals (never materialised)."""
+        return self.snapshot["matches"]
+
+    @property
+    def labels(self):
+        return self.spec.labels
+
+    def __getitem__(self, label):
+        if isinstance(label, int):
+            label = self.spec.labels[label]
+        return self.values[label]
+
+    def __iter__(self):
+        for label in self.spec.labels:
+            yield label, self.values[label]
+
+    def __len__(self) -> int:
+        return len(self.spec.labels)
+
+    def merged_with(self, other: "AggregateSeries") -> "AggregateSeries":
+        """A new series folding in another partial (same spec)."""
+        return AggregateSeries(
+            self.spec, merge_snapshots(self.spec, self.snapshot,
+                                       other.snapshot),
+            stats=self.stats)
+
+    def to_rows(self) -> List[dict]:
+        """One row per aggregate (for tabulation/serialisation)."""
+        return [{"aggregate": label, "value": value}
+                for label, value in self]
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{label}={value!r}" for label, value in self)
+        return f"AggregateSeries({inner}; folded={self.matches_folded})"
+
+
+Result = Union[MatchSet, AggregateSeries]

@@ -91,6 +91,9 @@ class MatchResult:
     accepted: List[Substitution]
     #: Execution counters.
     stats: ExecutionStats = field(default_factory=ExecutionStats)
+    #: Finalised :class:`~repro.agg.result.AggregateSeries` when the run
+    #: aggregated instead of enumerating; ``None`` otherwise.
+    aggregates: Optional[object] = None
 
     def __iter__(self):
         return iter(self.matches)
@@ -176,7 +179,8 @@ class SESExecutor:
                  history_max_samples: Optional[int] = None,
                  obs=None,
                  flight=None,
-                 guard=None):
+                 guard=None,
+                 aggregate=None):
         if selection not in SELECTIONS:
             raise ValueError(
                 f"unknown selection {selection!r}; expected one of {SELECTIONS}"
@@ -232,6 +236,25 @@ class SESExecutor:
             from ..resilience.guards import ResourceGuard
             self.guard = ResourceGuard(
                 guard, registry=None if obs is None else obs.registry)
+        #: Optional :class:`~repro.agg.spec.AggregateSpec`.  Set, the
+        #: executor folds aggregates incrementally over coalesced
+        #: instance groups instead of enumerating matches: ``feed``
+        #: returns no substitutions, ``run`` produces an empty match
+        #: list whose :attr:`MatchResult.aggregates` carries the
+        #: finalised values.  Aggregation folds the raw accepted
+        #: buffers, so the selection is forced to ``"accepted"`` —
+        #: the global selection passes would require materialisation.
+        self.aggregate = aggregate
+        self._agg = None
+        if aggregate is not None:
+            from ..agg.engine import AggregationEngine
+            self.selection = "accepted"
+            self._agg = AggregationEngine(
+                automaton, aggregate, consume_mode=consume_mode)
+            # Shadow the instance loop with the group-fold twins; every
+            # shared entry point (feed/expire/run) then aggregates.
+            self._step = self._agg_step
+            self._expire_only = self._agg_expire_only
         if self.guard is None:
             # Branch-free disabled path: shadow the class method with
             # the unguarded implementation, skipping even the dispatch.
@@ -251,13 +274,17 @@ class SESExecutor:
         self._last_ts = None
         self._published_stats = {}
         self.stats = ExecutionStats()
+        if getattr(self, "_agg", None) is not None:
+            self._agg.reset()
         if getattr(self, "record_history", False):
             self.stats.enable_history(
                 max_samples=getattr(self, "history_max_samples", None))
 
     @property
     def active_instances(self) -> int:
-        """Current size of Ω (number of active automaton instances)."""
+        """Current size of Ω (coalesced groups in aggregate mode)."""
+        if self._agg is not None:
+            return self._agg.group_count
         return len(self._omega)
 
     @property
@@ -323,7 +350,7 @@ class SESExecutor:
             stats.events_processed += 1
             with obs.span("consume"):
                 accepted = self._step(event, allow_start)
-        obs.omega(len(self._omega))
+        obs.omega(self.active_instances)
         obs.event_seconds(time.perf_counter() - start)
         return accepted
 
@@ -338,6 +365,8 @@ class SESExecutor:
         (the registry's shared admission pass) use this to skip the
         per-event expiry sweeps that cannot fire.
         """
+        if self._agg is not None:
+            return self._agg.next_expiry_ts
         oldest = None
         for instance in self._omega:
             min_ts = instance.buffer.min_ts
@@ -484,8 +513,47 @@ class SESExecutor:
         elif tracer is not None:
             tracer.record("drop", event, instance)
 
+    # ------------------------------------------------------------------
+    # Aggregate mode (no match materialisation)
+    # ------------------------------------------------------------------
+    def _agg_step(self, event: Event,
+                  allow_start: bool = True) -> List[Substitution]:
+        """Group-fold twin of :meth:`_step`; never emits substitutions."""
+        self._agg.step(event, allow_start, self.stats)
+        flight = self.flight
+        if flight is not None:
+            flight.sample_omega(event.ts, self._agg.group_count)
+        return []
+
+    def _agg_expire_only(self, event: Event) -> List[Substitution]:
+        """Group-fold twin of :meth:`_expire_only`."""
+        self._agg.expire_only(event, self.stats)
+        return []
+
+    @property
+    def matches_folded(self) -> int:
+        """Matches folded into aggregates so far (0 without a spec)."""
+        return 0 if self._agg is None else self._agg.matches_folded
+
+    def aggregate_snapshot(self) -> Optional[dict]:
+        """Mergeable partial-aggregate snapshot (``None`` without a spec)."""
+        return None if self._agg is None else self._agg.snapshot()
+
+    def aggregate_result(self):
+        """Current aggregates as an :class:`~repro.agg.result.AggregateSeries`
+        (``None`` without a spec)."""
+        if self._agg is None:
+            return None
+        from ..agg.result import AggregateSeries
+        return AggregateSeries(self.aggregate, self._agg.snapshot(),
+                               stats=self.stats)
+
     def finish(self) -> List[Substitution]:
         """Flush: accept buffers of instances resting in the accepting state."""
+        if self._agg is not None:
+            self._agg.finish(self.stats)
+            self._omega = []
+            return []
         accepted_now: List[Substitution] = []
         for instance in self._omega:
             if instance.state == self.automaton.accepting:
@@ -510,13 +578,16 @@ class SESExecutor:
         suffix of events reproduces the run exactly (execution is
         deterministic in the event sequence).
         """
-        return {
+        snapshot = {
             "omega": [(instance.state, instance.buffer)
                       for instance in self._omega],
             "accepted": list(self._accepted),
             "last_ts": self._last_ts,
             "stats": copy.deepcopy(self.stats),
         }
+        if self._agg is not None:
+            snapshot["agg"] = self._agg.state_dict()
+        return snapshot
 
     def load_state(self, state: dict) -> None:
         """Restore a :meth:`state_dict` snapshot (inverse of it)."""
@@ -527,6 +598,8 @@ class SESExecutor:
         self._last_ts = state["last_ts"]
         self.stats = copy.deepcopy(state["stats"])
         self._published_stats = {}
+        if self._agg is not None and "agg" in state:
+            self._agg.load_state(state["agg"])
 
     # ------------------------------------------------------------------
     # Batch execution and result selection
@@ -556,6 +629,16 @@ class SESExecutor:
                     "holds %d step(s)", self.stats.events_read,
                     len(self.flight))
             raise
+        if self._agg is not None:
+            # No enumeration: matches stays empty (ses_matches_total does
+            # not grow) and the fold totals ride on the result.
+            self.publish_stats()
+            logger.debug(
+                "aggregate run complete: %d events, %d matches folded, "
+                "max groups=%d", self.stats.events_read,
+                self._agg.matches_folded, self._agg.max_groups)
+            return MatchResult(matches=[], accepted=[], stats=self.stats,
+                               aggregates=self.aggregate_result())
         matches = self.select(self._accepted)
         self.stats.matches = len(matches)
         self.publish_stats()
@@ -600,6 +683,23 @@ class SESExecutor:
             "ses_omega_peak",
             help="max simultaneously active instances this run",
         ).set(self.stats.max_simultaneous_instances)
+        if self._agg is not None:
+            folded = self._agg.matches_folded
+            delta = folded - published.get("_agg_folded", 0)
+            if delta:
+                registry.counter(
+                    "ses_agg_matches_folded_total",
+                    help="matches folded into aggregates (not materialised)",
+                ).inc(delta)
+                published["_agg_folded"] = folded
+            registry.gauge(
+                "ses_agg_groups",
+                help="active coalesced instance groups",
+            ).set(self._agg.group_count)
+            registry.gauge(
+                "ses_agg_groups_peak",
+                help="max coalesced instance groups this run",
+            ).set(self._agg.max_groups)
 
 
 def execute(automaton: SESAutomaton, events: Iterable[Event],

@@ -254,8 +254,6 @@ class PartitionedMatcher:
                  use_filter: bool = True, selection: str = "paper",
                  consume: Optional[str] = None,
                  attribute: Optional[str] = None):
-        # Imported here: core.matcher itself imports this package.
-        from ..core.matcher import Matcher
         from ..core.options import resolve_option
         from ..plan.cache import as_plan
         partition_by = resolve_option(
@@ -273,8 +271,8 @@ class PartitionedMatcher:
         self.attribute = partition_by
         self.pattern = plan.pattern
         self.selection = selection
-        self._matcher = Matcher(plan, use_filter=use_filter,
-                                selection="accepted", consume=consume)
+        self._use_filter = use_filter
+        self._consume = consume
 
     def run(self, relation: Union[EventRelation, Iterable[Event]]) -> MatchResult:
         """Run the pattern over every partition; merge and select results."""
@@ -284,7 +282,10 @@ class PartitionedMatcher:
         stats = ExecutionStats()
         for _, part in sorted(relation.partition_by(self.attribute).items(),
                               key=lambda kv: str(kv[0])):
-            result = self._matcher.run(part)
+            executor = self.plan.executor(use_filter=self._use_filter,
+                                          selection="accepted",
+                                          consume=self._consume)
+            result = executor.run(part)
             accepted.extend(result.accepted)
             stats.merge(result.stats)
         if self.selection == "accepted":

@@ -60,6 +60,18 @@ class Transition:
         return self._target
 
     @property
+    def checks(self) -> Tuple:
+        """The precompiled checks: ``(partner_or_None, anchored)`` pairs.
+
+        ``partner_or_None`` is ``None`` for constant and self-conditions
+        (evaluate on the new event alone); otherwise the partner variable
+        whose bound events the anchored condition is universally
+        quantified over.  The aggregation engine compiles these into
+        value-space checks over projected attribute sets.
+        """
+        return self._checks
+
+    @property
     def is_loop(self) -> bool:
         """True iff the transition loops (group variable already in ``q``)."""
         return self._target == self.source

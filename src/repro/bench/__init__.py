@@ -1,5 +1,7 @@
 """Benchmark harness for the paper's evaluation (Section 5)."""
 
+from .aggregation import (aggregation_snapshot, print_aggregation,
+                          run_aggregation)
 from .experiments import (print_experiment1, print_experiment2,
                           print_experiment3, run_experiment1, run_experiment2,
                           run_experiment3)
@@ -9,8 +11,10 @@ from .plots import bar_chart, series_chart
 from .report import format_table, print_table
 
 __all__ = [
-    "PROFILES", "Profile", "bar_chart", "format_table", "measured",
-    "print_experiment1", "print_experiment2", "print_experiment3",
-    "print_table", "resolve_profile", "rows_to_snapshot", "run_experiment1",
-    "run_experiment2", "run_experiment3", "series_chart", "timed",
+    "PROFILES", "Profile", "aggregation_snapshot", "bar_chart",
+    "format_table", "measured", "print_aggregation", "print_experiment1",
+    "print_experiment2", "print_experiment3", "print_table",
+    "resolve_profile", "rows_to_snapshot", "run_aggregation",
+    "run_experiment1", "run_experiment2", "run_experiment3", "series_chart",
+    "timed",
 ]

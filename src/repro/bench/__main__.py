@@ -12,6 +12,8 @@ import argparse
 import logging
 
 from ..obs import configure_logging, write_jsonl
+from .aggregation import (aggregation_ladder, aggregation_snapshot,
+                          print_aggregation, run_aggregation)
 from .experiments import (print_experiment1, print_experiment2,
                           print_experiment3, run_experiment1, run_experiment2,
                           run_experiment3)
@@ -63,6 +65,8 @@ def main(argv=None) -> int:
     print_plan_cache(plan_cache_row)
     registry_row = run_registry()
     print_registry(registry_row)
+    agg_rows = run_aggregation(aggregation_ladder(profile.name))
+    print_aggregation(agg_rows)
     scaling_rows = None
     if args.workers > 1:
         scaling_rows = run_scaling(exp1_relation,
@@ -78,6 +82,7 @@ def main(argv=None) -> int:
         snapshot.update(rows_to_snapshot("exp3", rows3))
         snapshot.update(plan_cache_snapshot(plan_cache_row))
         snapshot.update(registry_snapshot(registry_row))
+        snapshot.update(aggregation_snapshot(agg_rows))
         if scaling_rows is not None:
             snapshot.update(scaling_snapshot(scaling_rows))
         path = write_jsonl(snapshot, args.metrics_out)

@@ -13,7 +13,6 @@ import math
 from typing import Dict, List, Sequence
 
 from ..baseline.bruteforce import BruteForceMatcher
-from ..core.matcher import Matcher
 from ..core.relation import EventRelation
 from ..data.workloads import (DEFAULT_TAU, duplicated_datasets,
                               experiment1_pattern, pattern_p3, pattern_p4,
@@ -27,6 +26,25 @@ __all__ = [
     "run_experiment2", "print_experiment2",
     "run_experiment3", "print_experiment3",
 ]
+
+
+class _AcceptedRunner:
+    """Cached plan bound to accepted-buffer selection, as the paper's
+    measurements use; avoids routing benchmarks through the deprecated
+    :class:`~repro.core.matcher.Matcher` shim."""
+
+    def __init__(self, pattern, use_filter: bool = True,
+                 filter_mode: str = "conjunctive"):
+        from ..plan.cache import compile as compile_plan
+        self._plan = compile_plan(pattern)
+        self._use_filter = use_filter
+        self._filter_mode = filter_mode
+
+    def run(self, relation):
+        executor = self._plan.executor(use_filter=self._use_filter,
+                                       filter_mode=self._filter_mode,
+                                       selection="accepted")
+        return executor.run(relation)
 
 
 # ----------------------------------------------------------------------
@@ -47,7 +65,7 @@ def run_experiment1(relation: EventRelation,
         for label, exclusive in variants:
             pattern = experiment1_pattern(n, exclusive=exclusive)
             ses_result, ses_seconds = timed(
-                Matcher(pattern, selection="accepted").run, relation)
+                _AcceptedRunner(pattern).run, relation)
             bf = BruteForceMatcher(pattern, use_filter=True,
                                    selection="accepted")
             bf_result, bf_seconds = timed(bf.run, relation)
@@ -104,8 +122,8 @@ def run_experiment2(base: EventRelation,
     """Max simultaneous instances of P3 (group var) and P4 (no group var)
     on the duplicated data sets D1..D5."""
     rows: List[Dict] = []
-    p3 = Matcher(pattern_p3(tau), selection="accepted")
-    p4 = Matcher(pattern_p4(tau), selection="accepted")
+    p3 = _AcceptedRunner(pattern_p3(tau))
+    p4 = _AcceptedRunner(pattern_p4(tau))
     for factor, relation in duplicated_datasets(base, factors).items():
         window = relation.window_size(tau)
         r3, s3 = timed(p3.run, relation)
@@ -155,8 +173,8 @@ def run_experiment3(base: EventRelation,
         ("P6", pattern_p6(tau)),
     ]
     matchers = {
-        (label, filtered): Matcher(pattern, use_filter=filtered,
-                                   filter_mode="paper", selection="accepted")
+        (label, filtered): _AcceptedRunner(pattern, use_filter=filtered,
+                                           filter_mode="paper")
         for label, pattern in configurations
         for filtered in (False, True)
     }

@@ -4,6 +4,9 @@ Commands
 --------
 ``match``
     Run a PERMUTE query over a CSV event relation and print the matches.
+    With a ``SELECT`` aggregation clause (``SELECT count(*), avg(v.a)
+    FROM PATTERN ...``) matches are folded incrementally instead of
+    materialised and the finalised aggregates are printed.
     ``--profile`` adds a per-stage timing table (filter / consume /
     select), an Ω-population sparkline, and — with ``--metrics-out`` — a
     JSON-lines metrics snapshot (see ``docs/observability.md``).
@@ -68,7 +71,7 @@ from .complexity import analyze
 from .core.diagnostics import diagnose
 from .core.rewrite import close_equality_joins
 from .data.chemo import generate_chemo
-from .lang import QueryError, parse_pattern
+from .lang import QueryError, parse_query_spec
 from .plan.cache import compile as compile_plan
 from .resilience.guards import ResourceExhausted
 from .obs import (FlightRecorder, ObsServer, Observability, SpanTracer,
@@ -303,15 +306,24 @@ def _guard_from_args(args: argparse.Namespace):
         policy=args.guard_policy)
 
 
-def _load_pattern(args: argparse.Namespace):
+def _load_query(args: argparse.Namespace):
+    """The query text as ``(pattern, aggregate_spec_or_None)``."""
     text = args.query
     if text is None:
         text = args.query_file.read_text()
-    return parse_pattern(text)
+    return parse_query_spec(text)
+
+
+def _load_pattern(args: argparse.Namespace):
+    # Commands that analyse the pattern itself (explain/analyze/lint)
+    # accept aggregation queries too: the SELECT clause changes what a
+    # run returns, not the automaton being analysed.
+    pattern, _aggregate = _load_query(args)
+    return pattern
 
 
 def _cmd_match(args: argparse.Namespace) -> int:
-    pattern = _load_pattern(args)
+    pattern, aggregate = _load_query(args)
     relation = load_relation(args.data)
     tracing = args.trace_out is not None
     profiling = (args.profile or args.metrics_out is not None
@@ -337,7 +349,7 @@ def _cmd_match(args: argparse.Namespace) -> int:
         obs = Observability(spans=SpanTracer(keep_records=tracing))
     flight = (FlightRecorder() if (tracing or args.listen is not None)
               and args.workers == 1 else None)
-    plan = compile_plan(pattern, observability=obs)
+    plan = compile_plan(pattern, aggregate=aggregate, observability=obs)
     server = None
     if args.listen is not None:
         from .explain import explain
@@ -367,12 +379,19 @@ def _cmd_match(args: argparse.Namespace) -> int:
     finally:
         if server is not None:
             server.stop()
-    print(f"{len(result)} match(es) in {len(relation)} events")
-    for i, substitution in enumerate(result, start=1):
-        bindings = ", ".join(f"{variable!r}/{event.eid or event.ts}"
-                             for variable, event in substitution)
-        print(f"  {i}. {{{bindings}}}  "
-              f"[T={substitution.min_ts()}..{substitution.max_ts()}]")
+    series = getattr(result, "aggregates", None)
+    if series is not None:
+        print(f"{series.matches_folded} match(es) folded over "
+              f"{len(relation)} events (none materialised)")
+        for label, value in series:
+            print(f"  {label} = {value}")
+    else:
+        print(f"{len(result)} match(es) in {len(relation)} events")
+        for i, substitution in enumerate(result, start=1):
+            bindings = ", ".join(f"{variable!r}/{event.eid or event.ts}"
+                                 for variable, event in substitution)
+            print(f"  {i}. {{{bindings}}}  "
+                  f"[T={substitution.min_ts()}..{substitution.max_ts()}]")
     if args.stats:
         stats = result.stats
         print(f"events read:      {stats.events_read}")
@@ -425,13 +444,16 @@ def _run_supervised_match(plan, relation, args: argparse.Namespace,
             print(f"recovered from {supervisor.restarts_total} shard "
                   f"crash(es)")
     matches = matcher.matches
-    return MatchResult(matches=matches, accepted=list(matches))
+    aggregates = (matcher.aggregates() if plan.aggregate is not None
+                  else None)
+    return MatchResult(matches=matches, accepted=list(matches),
+                       aggregates=aggregates)
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     """Replay ``--data`` through a streaming matcher, then serve until
     stopped (POST /quitquitquit, SIGTERM, Ctrl-C, or ``--once``)."""
-    pattern = _load_pattern(args)
+    pattern, aggregate = _load_query(args)
     relation = load_relation(args.data)
     if args.workers < 1:
         raise ValueError("--workers must be >= 1")
@@ -439,7 +461,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         raise ValueError("--restart-budget must be >= 0")
     guard = _guard_from_args(args)
     obs = Observability()
-    plan = compile_plan(pattern, observability=obs)
+    plan = compile_plan(pattern, aggregate=aggregate, observability=obs)
     stop = threading.Event()
     supervising = args.supervise or args.dead_letter is not None
     sharded = args.workers > 1 or supervising

@@ -27,7 +27,7 @@ from ..automaton.executor import MatchResult, SESExecutor
 from ..plan.cache import compile as compile_plan
 from ..plan.plan import PatternPlan
 from .events import Event
-from .options import resolve_option
+from .options import resolve_option, warn_deprecated
 from .pattern import SESPattern
 from .relation import EventRelation
 
@@ -77,6 +77,9 @@ class Matcher:
                  observability=None,
                  consume_mode: Optional[str] = None,
                  obs=None):
+        warn_deprecated(
+            "repro.Matcher",
+            "repro.compile(pattern).match(...) or repro.query(...)")
         consume = resolve_option("Matcher", "consume", consume,
                                  "consume_mode", consume_mode,
                                  default="greedy")
@@ -133,7 +136,12 @@ def match(pattern: Union[SESPattern, PatternPlan],
 
     One-shot convenience over ``repro.compile(pattern).match(relation)``;
     repeated calls with an equal pattern hit the plan cache.
+
+    Deprecated in favour of :func:`repro.query`, which additionally
+    accepts query text (including ``SELECT`` aggregation) and returns
+    the typed :data:`~repro.agg.result.Result` union.
     """
+    warn_deprecated("repro.match", "repro.query(...)")
     consume = resolve_option("match", "consume", consume,
                              "consume_mode", consume_mode, default="greedy")
     observability = resolve_option("match", "observability", observability,

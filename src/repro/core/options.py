@@ -23,7 +23,26 @@ from __future__ import annotations
 
 import warnings
 
-__all__ = ["resolve_option"]
+__all__ = ["resolve_option", "warn_deprecated"]
+
+#: Entry points that already warned this process (one warning per owner,
+#: however many times the deprecated surface is used).
+_WARNED: set = set()
+
+
+def warn_deprecated(owner: str, replacement: str) -> None:
+    """Emit one :class:`DeprecationWarning` per process for ``owner``.
+
+    Used by the legacy entry points (``repro.match``, ``repro.Matcher``)
+    kept as shims over :func:`repro.query`: the first use warns with the
+    suggested replacement, later uses stay silent so a hot loop over the
+    old API does not flood stderr.
+    """
+    if owner in _WARNED:
+        return
+    _WARNED.add(owner)
+    warnings.warn(f"{owner} is deprecated; use {replacement}",
+                  DeprecationWarning, stacklevel=3)
 
 
 def resolve_option(owner: str, name: str, value, deprecated: str,

@@ -12,13 +12,14 @@ A small declarative front end for SES patterns::
     ''')
 """
 
-from .ast import (AttributeNode, ConditionNode, DurationNode, LiteralNode,
-                  QueryNode, SetNode, VariableNode)
-from .compiler import compile_query, parse_pattern
+from .ast import (AggregateNode, AttributeNode, ConditionNode, DurationNode,
+                  LiteralNode, QueryNode, SetNode, VariableNode)
+from .compiler import (compile_aggregates, compile_query, parse_pattern,
+                       parse_query_spec)
 from .errors import CompileError, LexError, ParseError, QueryError
 from .lexer import tokenize
 from .parser import parse
-from .render import render_pattern
+from .render import render_pattern, render_query
 
 
 def parse_query(text):
@@ -32,8 +33,9 @@ def parse_query(text):
 
 
 __all__ = [
-    "AttributeNode", "CompileError", "ConditionNode", "DurationNode",
-    "LexError", "LiteralNode", "ParseError", "QueryError", "QueryNode",
-    "SetNode", "VariableNode", "compile_query", "parse", "parse_pattern",
-    "parse_query", "render_pattern", "tokenize",
+    "AggregateNode", "AttributeNode", "CompileError", "ConditionNode",
+    "DurationNode", "LexError", "LiteralNode", "ParseError", "QueryError",
+    "QueryNode", "SetNode", "VariableNode", "compile_aggregates",
+    "compile_query", "parse", "parse_pattern", "parse_query",
+    "parse_query_spec", "render_pattern", "render_query", "tokenize",
 ]

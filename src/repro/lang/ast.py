@@ -17,7 +17,7 @@ from typing import Any, List, Optional, Union
 
 __all__ = [
     "VariableNode", "SetNode", "AttributeNode", "LiteralNode",
-    "ConditionNode", "DurationNode", "QueryNode",
+    "ConditionNode", "DurationNode", "AggregateNode", "QueryNode",
 ]
 
 
@@ -140,21 +140,53 @@ class DurationNode:
                 else str(self.magnitude))
 
 
-class QueryNode:
-    """A full parsed query."""
+class AggregateNode:
+    """One SELECT-clause aggregate term, e.g. ``sum(p.dose) AS total``.
 
-    __slots__ = ("sets", "conditions", "duration")
+    ``variable``/``attribute`` are ``None`` exactly for ``count(*)``.
+    """
+
+    __slots__ = ("func", "variable", "attribute", "alias", "line", "column")
+
+    def __init__(self, func: str, variable: Optional[str] = None,
+                 attribute: Optional[str] = None, alias: Optional[str] = None,
+                 line: int = 0, column: int = 0):
+        self.func = func
+        self.variable = variable
+        self.attribute = attribute
+        self.alias = alias
+        self.line = line
+        self.column = column
+
+    def __repr__(self) -> str:
+        inner = ("*" if self.variable is None
+                 else f"{self.variable}.{self.attribute}")
+        out = f"{self.func}({inner})"
+        if self.alias is not None:
+            out += f" AS {self.alias}"
+        return out
+
+
+class QueryNode:
+    """A full parsed query (optionally with a SELECT aggregate clause)."""
+
+    __slots__ = ("sets", "conditions", "duration", "aggregates")
 
     def __init__(self, sets: List[SetNode], conditions: List[ConditionNode],
-                 duration: DurationNode):
+                 duration: DurationNode,
+                 aggregates: Optional[List[AggregateNode]] = None):
         self.sets = list(sets)
         self.conditions = list(conditions)
         self.duration = duration
+        self.aggregates = list(aggregates) if aggregates else None
 
     def __repr__(self) -> str:
         sets = " THEN ".join(repr(s) for s in self.sets)
         where = " AND ".join(repr(c) for c in self.conditions)
         out = f"PATTERN {sets}"
+        if self.aggregates:
+            select = ", ".join(repr(a) for a in self.aggregates)
+            out = f"SELECT {select} FROM {out}"
         if where:
             out += f" WHERE {where}"
         return out + f" WITHIN {self.duration!r}"

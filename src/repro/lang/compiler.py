@@ -8,8 +8,9 @@ reported with source positions.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional, Tuple
 
+from ..agg.spec import Aggregate, AggregateSpec
 from ..core.conditions import Attr, Condition, Const
 from ..core.pattern import PatternError, SESPattern
 from ..core.variables import Variable
@@ -17,7 +18,8 @@ from .ast import AttributeNode, LiteralNode, QueryNode
 from .errors import CompileError
 from .parser import parse
 
-__all__ = ["compile_query", "parse_pattern"]
+__all__ = ["compile_query", "compile_aggregates", "parse_pattern",
+           "parse_query_spec"]
 
 
 def compile_query(query: QueryNode) -> SESPattern:
@@ -63,6 +65,39 @@ def _attr(node: AttributeNode, declared: Dict[str, Variable]) -> Attr:
     return Attr(variable, node.attribute)
 
 
+def compile_aggregates(query: QueryNode) -> Optional[AggregateSpec]:
+    """Compile a query's SELECT clause into an :class:`AggregateSpec`.
+
+    ``None`` when the query has no SELECT clause (plain enumeration).
+    Undeclared variables and duplicate output labels are reported as
+    :class:`CompileError` with source positions.
+    """
+    if not query.aggregates:
+        return None
+    declared = {var_node.name
+                for set_node in query.sets
+                for var_node in set_node.variables}
+    aggregates = []
+    seen_labels = set()
+    for node in query.aggregates:
+        if node.variable is not None and node.variable not in declared:
+            raise CompileError(
+                f"aggregate references undeclared variable "
+                f"{node.variable!r}", node.line, node.column)
+        try:
+            aggregate = Aggregate(node.func, node.variable, node.attribute,
+                                  node.alias)
+        except ValueError as exc:
+            raise CompileError(str(exc), node.line, node.column) from exc
+        if aggregate.label in seen_labels:
+            raise CompileError(
+                f"duplicate aggregate output label {aggregate.label!r}; "
+                f"disambiguate with 'AS name'", node.line, node.column)
+        seen_labels.add(aggregate.label)
+        aggregates.append(aggregate)
+    return AggregateSpec(tuple(aggregates))
+
+
 def parse_pattern(text: str) -> SESPattern:
     """Parse and compile query text in one step.
 
@@ -74,5 +109,25 @@ def parse_pattern(text: str) -> SESPattern:
               AND c.ID = p.ID AND c.ID = d.ID AND d.ID = b.ID
             WITHIN 11 DAYS
         ''')
+
+    An aggregation query's SELECT clause is accepted but ignored here —
+    use :func:`parse_query_spec` to get the pattern *and* the aggregate
+    spec.
     """
     return compile_query(parse(text))
+
+
+def parse_query_spec(
+        text: str) -> Tuple[SESPattern, Optional[AggregateSpec]]:
+    """Parse and compile query text, keeping the SELECT clause.
+
+    Returns ``(pattern, aggregate_spec)``; the spec is ``None`` for a
+    plain enumeration query.  This is the entry point the
+    :func:`repro.query` façade, the CLI, and the registry use::
+
+        pattern, spec = parse_query_spec(
+            "SELECT count(*) FROM PATTERN PERMUTE(a+, b) "
+            "WHERE a.L = 'A' AND b.L = 'B' WITHIN 10")
+    """
+    query = parse(text)
+    return compile_query(query), compile_aggregates(query)

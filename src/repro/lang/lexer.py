@@ -21,6 +21,7 @@ _SINGLE = {
     ",": TokenType.COMMA,
     ".": TokenType.DOT,
     "+": TokenType.PLUS,
+    "*": TokenType.STAR,
 }
 
 

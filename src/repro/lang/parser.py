@@ -2,7 +2,11 @@
 
 Grammar (keywords case-insensitive)::
 
-    query      := "PATTERN" sets ["WHERE" conditions] "WITHIN" duration
+    query      := ["SELECT" aggregates "FROM"]
+                  "PATTERN" sets ["WHERE" conditions] "WITHIN" duration
+    aggregates := aggregate ("," aggregate)*
+    aggregate  := FUNC "(" ("*" | IDENT "." IDENT) ")" ["AS" IDENT]
+    FUNC       := "count" | "sum" | "min" | "max" | "avg"
     sets       := set ("THEN" set)*
     set        := "PERMUTE" "(" variables ")" | variable
     variables  := variable ("," variable)*
@@ -12,19 +16,24 @@ Grammar (keywords case-insensitive)::
     operand    := IDENT ["+"] "." IDENT | NUMBER | STRING
     duration   := NUMBER [unit]
     unit       := "HOURS" | "HOUR" | "DAYS" | "DAY" | "MINUTES" | ...
+
+Only ``count`` admits ``*``.  Aggregate function names are ordinary
+identifiers (not reserved), so they stay usable as variable names.
 """
 
 from __future__ import annotations
 
 from typing import List, Union
 
-from .ast import (AttributeNode, ConditionNode, DurationNode, LiteralNode,
-                  QueryNode, SetNode, VariableNode)
+from .ast import (AggregateNode, AttributeNode, ConditionNode, DurationNode,
+                  LiteralNode, QueryNode, SetNode, VariableNode)
 from .errors import ParseError
 from .lexer import tokenize
 from .tokens import Token, TokenType
 
 __all__ = ["parse"]
+
+_AGGREGATE_FUNCS = frozenset({"count", "sum", "min", "max", "avg"})
 
 _UNIT_KEYWORDS = frozenset({
     "HOURS", "HOUR", "DAYS", "DAY", "MINUTES", "MINUTE", "SECONDS", "SECOND",
@@ -71,6 +80,12 @@ class _Parser:
     # Productions
     # ------------------------------------------------------------------
     def query(self) -> QueryNode:
+        aggregates = None
+        if self.accept(TokenType.KEYWORD, "SELECT"):
+            aggregates = [self.aggregate()]
+            while self.accept(TokenType.COMMA):
+                aggregates.append(self.aggregate())
+            self.expect(TokenType.KEYWORD, "FROM")
         self.expect(TokenType.KEYWORD, "PATTERN")
         sets = [self.set_expr()]
         while self.accept(TokenType.KEYWORD, "THEN"):
@@ -86,7 +101,35 @@ class _Parser:
         if eof.type is not TokenType.EOF:
             raise ParseError(f"unexpected trailing input {eof.value!r}",
                              eof.line, eof.column)
-        return QueryNode(sets, conditions, duration)
+        return QueryNode(sets, conditions, duration, aggregates=aggregates)
+
+    def aggregate(self) -> AggregateNode:
+        token = self.expect(TokenType.IDENT)
+        func = token.value.lower()
+        if func not in _AGGREGATE_FUNCS:
+            raise ParseError(
+                f"unknown aggregate function {token.value!r}; expected one "
+                f"of {sorted(_AGGREGATE_FUNCS)}", token.line, token.column)
+        self.expect(TokenType.LPAREN)
+        variable = attribute = None
+        if self.current.type is TokenType.STAR:
+            star = self.advance()
+            if func != "count":
+                raise ParseError(f"{func}(*) is not defined; only count(*) "
+                                 f"may aggregate without an attribute",
+                                 star.line, star.column)
+        else:
+            var_token = self.expect(TokenType.IDENT)
+            self.accept(TokenType.PLUS)  # optional v+ spelling
+            self.expect(TokenType.DOT)
+            attr_token = self.expect(TokenType.IDENT)
+            variable, attribute = var_token.value, attr_token.value
+        self.expect(TokenType.RPAREN)
+        alias = None
+        if self.accept(TokenType.KEYWORD, "AS"):
+            alias = self.expect(TokenType.IDENT).value
+        return AggregateNode(func, variable, attribute, alias,
+                             token.line, token.column)
 
     def set_expr(self) -> SetNode:
         if self.accept(TokenType.KEYWORD, "PERMUTE"):

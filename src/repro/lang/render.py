@@ -7,10 +7,13 @@ to, and for round-trip testing of the language front end.
 
 from __future__ import annotations
 
+from typing import Optional
+
+from ..agg.spec import AggregateSpec
 from ..core.conditions import Attr, Condition
 from ..core.pattern import SESPattern
 
-__all__ = ["render_pattern"]
+__all__ = ["render_pattern", "render_query"]
 
 
 def _render_operand(operand) -> str:
@@ -45,3 +48,17 @@ def render_pattern(pattern: SESPattern) -> str:
                                 for c in pattern.conditions)
         text += f" WHERE {rendered}"
     return f"{text} WITHIN {pattern.tau}"
+
+
+def render_query(pattern: SESPattern,
+                 aggregate: Optional[AggregateSpec] = None) -> str:
+    """Render a pattern (optionally with aggregates) as query text.
+
+    With a spec, prefixes the :func:`render_pattern` output with the
+    SELECT clause; the result round-trips through
+    :func:`~repro.lang.compiler.parse_query_spec`.
+    """
+    text = render_pattern(pattern)
+    if aggregate is None:
+        return text
+    return f"{aggregate.render()} FROM {text}"

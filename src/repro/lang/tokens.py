@@ -21,14 +21,18 @@ class TokenType(Enum):
     COMMA = ","
     DOT = "."
     PLUS = "+"
+    STAR = "*"
     EOF = "end of input"
 
 
 #: Reserved words (case-insensitive).  ``HOURS``/``DAYS``/etc. are duration
-#: units accepted after WITHIN.
+#: units accepted after WITHIN.  ``SELECT``/``FROM``/``AS`` introduce the
+#: aggregate clause; aggregate function names (``count``, ``sum``, ...)
+#: stay ordinary identifiers so they remain usable as variable names.
 KEYWORDS = frozenset({
     "PATTERN", "PERMUTE", "THEN", "WHERE", "AND", "WITHIN",
     "HOURS", "HOUR", "DAYS", "DAY", "MINUTES", "MINUTE", "SECONDS", "SECOND",
+    "SELECT", "FROM", "AS",
 })
 
 

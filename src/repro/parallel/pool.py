@@ -48,7 +48,6 @@ from ..automaton.executor import SELECTIONS, MatchResult
 from ..automaton.metrics import ExecutionStats
 from ..automaton.optimizations import partition_attribute
 from ..core.events import Event
-from ..core.matcher import Matcher
 from ..core.options import resolve_option
 from ..core.relation import EventRelation
 from ..core.semantics import select_matches
@@ -66,9 +65,11 @@ Chunk = List[Tuple[Any, List[EventWire]]]
 #: One partition's result: ``(key, [substitution wires], stats)``.
 PartitionResult = Tuple[Any, List[SubstitutionWire], ExecutionStats]
 #: One chunk's result: worker pid, per-partition results, obs snapshot,
-#: statistics-store snapshot (both ``None`` when not instrumented).
+#: statistics-store snapshot (both ``None`` when not instrumented), and
+#: the chunk's merged partial-aggregate snapshot (``None`` unless the
+#: plan aggregates).
 ChunkResult = Tuple[int, List[PartitionResult], Optional[dict],
-                    Optional[dict]]
+                    Optional[dict], Optional[dict]]
 
 
 def default_context(start_method: Optional[str] = None):
@@ -105,7 +106,9 @@ def chunk_partitions(items: Sequence, n_chunks: int) -> List[list]:
 # ----------------------------------------------------------------------
 # Worker side (runs in the pool processes)
 # ----------------------------------------------------------------------
-_WORKER_MATCHER: Optional[Matcher] = None
+_WORKER_PLAN = None
+_WORKER_USE_FILTER = True
+_WORKER_CONSUME = "greedy"
 _WORKER_INSTRUMENT = False
 _WORKER_FLIGHT = None
 _WORKER_STATS_KEY: Optional[str] = None
@@ -126,12 +129,12 @@ def _init_worker(plan, use_filter: bool, consume: str,
     ``flight_capacity`` is 0) so a crash can ship the tail of execution
     back to the parent.
     """
-    global _WORKER_MATCHER, _WORKER_INSTRUMENT, _WORKER_FLIGHT
-    global _WORKER_STATS_KEY
+    global _WORKER_PLAN, _WORKER_USE_FILTER, _WORKER_CONSUME
+    global _WORKER_INSTRUMENT, _WORKER_FLIGHT, _WORKER_STATS_KEY
     from ..plan.cache import plan_cache
-    plan = plan_cache().seed(plan)
-    _WORKER_MATCHER = Matcher(plan, use_filter=use_filter,
-                              selection="accepted", consume=consume)
+    _WORKER_PLAN = plan_cache().seed(plan)
+    _WORKER_USE_FILTER = use_filter
+    _WORKER_CONSUME = consume
     _WORKER_INSTRUMENT = instrument
     if instrument:
         from ..explain.stats import stats_key
@@ -151,25 +154,31 @@ def _run_chunk(chunk: Chunk) -> ChunkResult:
     flight-recorder dump, so the parent learns *what the worker was
     doing* — not just that it died.
     """
-    matcher = _WORKER_MATCHER
-    if matcher is None:  # pragma: no cover - initializer always ran
+    plan = _WORKER_PLAN
+    if plan is None:  # pragma: no cover - initializer always ran
         raise RuntimeError("worker pool not initialised")
     flight = _WORKER_FLIGHT
     obs = None
     if _WORKER_INSTRUMENT:
         from ..obs import Observability
         obs = Observability()
+    aggregating = plan.aggregate is not None
+    agg_snapshot = None
     results: List[PartitionResult] = []
     try:
         for key, wires in chunk:
             events = decode_events(wires)
-            if obs is None and flight is None:
-                result = matcher.run(events)
-            else:
-                executor = matcher.executor(obs=obs, flight=flight)
-                result = executor.run(events)
-                if obs is not None:
-                    executor.publish_stats()
+            executor = plan.executor(
+                use_filter=_WORKER_USE_FILTER, selection="accepted",
+                consume=_WORKER_CONSUME, observability=obs, flight=flight)
+            result = executor.run(events)
+            if obs is not None:
+                executor.publish_stats()
+            if aggregating:
+                from ..agg.engine import merge_snapshots
+                agg_snapshot = merge_snapshots(
+                    plan.aggregate, agg_snapshot,
+                    executor.aggregate_snapshot())
             results.append(
                 (key, [encode_substitution(s) for s in result.accepted],
                  result.stats))
@@ -195,7 +204,7 @@ def _run_chunk(chunk: Chunk) -> ChunkResult:
             filter_admitted=sum(s.events_processed for _, _, s in results))
         stats_snapshot = local.snapshot()
     return (os.getpid(), results, None if obs is None else obs.snapshot(),
-            stats_snapshot)
+            stats_snapshot, agg_snapshot)
 
 
 # ----------------------------------------------------------------------
@@ -288,8 +297,6 @@ class ParallelPartitionedMatcher:
         self.start_method = start_method
         self.obs = observability
         self.flight_capacity = flight_capacity
-        self._matcher = Matcher(plan, use_filter=use_filter,
-                                selection="accepted", consume=consume)
         if self.attribute is None:
             logger.warning(
                 "pattern does not equi-join all variables on one attribute; "
@@ -310,13 +317,25 @@ class ParallelPartitionedMatcher:
             parts = sorted(relation.partition_by(self.attribute).items(),
                            key=lambda kv: str(kv[0]))
         if self.workers <= 1 or len(parts) <= 1:
-            accepted, stats = self._run_local(parts)
+            accepted, stats, agg_snapshot = self._run_local(parts)
         else:
-            accepted, stats = self._run_pool(parts)
-        return self._finalise(accepted, stats)
+            accepted, stats, agg_snapshot = self._run_pool(parts)
+        return self._finalise(accepted, stats, agg_snapshot)
 
     def _finalise(self, accepted: List[Substitution],
-                  stats: ExecutionStats) -> MatchResult:
+                  stats: ExecutionStats,
+                  agg_snapshot: Optional[dict] = None) -> MatchResult:
+        if self.plan.aggregate is not None:
+            # Aggregation plan: no matches were materialised anywhere —
+            # the merged partial snapshots are the whole result.
+            from ..agg.result import AggregateSeries
+            if self.obs is not None:
+                from ..explain.stats import stats_key, stats_store
+                stats_store().observe(stats_key(self.pattern), runs=1)
+            series = AggregateSeries(self.plan.aggregate, agg_snapshot,
+                                     stats=stats)
+            return MatchResult(matches=[], accepted=[], stats=stats,
+                               aggregates=series)
         if self.selection == "accepted":
             matches = list(accepted)
         else:
@@ -332,19 +351,28 @@ class ParallelPartitionedMatcher:
                                   matches=len(matches))
         return MatchResult(matches=matches, accepted=accepted, stats=stats)
 
-    def _run_local(self, parts) -> Tuple[List[Substitution], ExecutionStats]:
+    def _run_local(self, parts
+                   ) -> Tuple[List[Substitution], ExecutionStats,
+                              Optional[dict]]:
         """Serial fallback: same loop as :class:`PartitionedMatcher`."""
         obs = self.obs
+        aggregating = self.plan.aggregate is not None
+        agg_snapshot: Optional[dict] = None
         accepted: List[Substitution] = []
         stats = ExecutionStats()
         events_seen = 0
         for _, part in parts:
-            if obs is None:
-                result = self._matcher.run(part)
-            else:
-                executor = self._matcher.executor(obs=obs)
-                result = executor.run(part)
+            executor = self.plan.executor(
+                use_filter=self.use_filter, selection="accepted",
+                consume=self.consume_mode, observability=obs)
+            result = executor.run(part)
+            if obs is not None:
                 executor.publish_stats()
+            if aggregating:
+                from ..agg.engine import merge_snapshots
+                agg_snapshot = merge_snapshots(
+                    self.plan.aggregate, agg_snapshot,
+                    executor.aggregate_snapshot())
             accepted.extend(result.accepted)
             stats.merge(result.stats)
             events_seen += result.stats.events_read
@@ -356,9 +384,11 @@ class ParallelPartitionedMatcher:
                                   events=stats.events_read,
                                   filter_seen=stats.events_read,
                                   filter_admitted=stats.events_processed)
-        return accepted, stats
+        return accepted, stats, agg_snapshot
 
-    def _run_pool(self, parts) -> Tuple[List[Substitution], ExecutionStats]:
+    def _run_pool(self, parts
+                  ) -> Tuple[List[Substitution], ExecutionStats,
+                             Optional[dict]]:
         encoded = [(key, encode_events(part)) for key, part in parts]
         n_workers = min(self.workers, len(encoded))
         chunks = chunk_partitions(encoded,
@@ -408,12 +438,17 @@ class ParallelPartitionedMatcher:
 
     def _merge(self, chunk_results: List[ChunkResult], n_workers: int,
                n_partitions: int, n_chunks: int
-               ) -> Tuple[List[Substitution], ExecutionStats]:
+               ) -> Tuple[List[Substitution], ExecutionStats,
+                          Optional[dict]]:
         """Merge chunk results in submission (= partition-sorted) order."""
         accepted: List[Substitution] = []
         stats = ExecutionStats()
+        agg_snapshot: Optional[dict] = None
         events_by_pid: dict = {}
-        for pid, partition_results, snapshot, stats_snapshot in chunk_results:
+        for chunk_result in chunk_results:
+            pid, partition_results, snapshot, stats_snapshot = \
+                chunk_result[:4]
+            chunk_agg = chunk_result[4] if len(chunk_result) > 4 else None
             for _, wires, part_stats in partition_results:
                 accepted.extend(decode_substitution(w) for w in wires)
                 stats.merge(part_stats)
@@ -424,6 +459,10 @@ class ParallelPartitionedMatcher:
             if stats_snapshot is not None:
                 from ..explain.stats import stats_store
                 stats_store().merge_snapshot(stats_snapshot)
+            if chunk_agg is not None:
+                from ..agg.engine import merge_snapshots
+                agg_snapshot = merge_snapshots(self.plan.aggregate,
+                                               agg_snapshot, chunk_agg)
         if self.obs is not None:
             events_by_worker = {
                 index: events_by_pid[pid]
@@ -431,7 +470,7 @@ class ParallelPartitionedMatcher:
             }
             self._publish_pool_metrics(n_workers, n_partitions, n_chunks,
                                        events_by_worker)
-        return accepted, stats
+        return accepted, stats, agg_snapshot
 
     def _publish_pool_metrics(self, n_workers: int, n_partitions: int,
                               n_chunks: int, events_by_worker: dict) -> None:

@@ -36,9 +36,12 @@ Wire protocol (parent ↔ shard): every routed event carries a per-shard
 1-based sequence number, parent → worker ``("e", seq, wire)``.  The
 worker replies ``("m", shard, seq, wires)`` for matches, acks barriers
 with ``("flushed", shard, flush_seq, last_seq, guard_stats)`` /
-``("closed", shard, wires, obs_snapshot, last_seq, guard_stats)``,
-ships checkpoints as ``("ckpt", shard, seq, payload)`` and crash
-reports as ``("error", shard, reason, flight_dump, seq)``.
+``("closed", shard, wires, obs_snapshot, last_seq, guard_stats,
+agg_snapshot)``, ships checkpoints as ``("ckpt", shard, seq, payload)``
+and crash reports as ``("error", shard, reason, flight_dump, seq)``.
+The trailing ``agg_snapshot`` is the shard's mergeable partial-aggregate
+snapshot (``None`` for enumeration plans); the parent folds the shards'
+partials into the cross-shard aggregates.
 """
 
 from __future__ import annotations
@@ -48,6 +51,7 @@ import os
 import queue
 from typing import Callable, List, Optional
 
+from ..agg.result import Match
 from ..core.events import Event
 from ..core.options import resolve_option
 from ..core.substitution import Substitution
@@ -61,7 +65,9 @@ __all__ = ["ShardedStreamMatcher"]
 
 logger = logging.getLogger(__name__)
 
-MatchCallback = Callable[[Substitution], None]
+#: Subscribers receive the unified :class:`~repro.agg.result.Match`
+#: (its ``partition`` field carries the routing key).
+MatchCallback = Callable[[Match], None]
 
 #: Seconds between liveness checks while waiting on a queue.
 _POLL_SECONDS = 0.2
@@ -161,7 +167,8 @@ def _shard_worker(shard_id: int, plan, attribute: str,
                 out_queue.put(("closed", shard_id,
                                [encode_substitution(s) for s in reported],
                                snapshot, events_seen,
-                               None if guard is None else guard.stats()))
+                               None if guard is None else guard.stats(),
+                               matcher.aggregate_snapshot()))
                 break
             else:  # pragma: no cover - protocol violation
                 raise RuntimeError(f"unknown shard message {kind!r}")
@@ -281,6 +288,7 @@ class ShardedStreamMatcher:
         self.faults = faults
         self._callbacks: List[MatchCallback] = []
         self._matches: List[Substitution] = []
+        self._agg_snapshot = None
         self._events_routed = [0] * self.n_shards
         self._events_processed = [0] * self.n_shards
         self._flush_seq = 0
@@ -488,6 +496,27 @@ class ShardedStreamMatcher:
         """All matches reported so far, ordered by start timestamp."""
         return sorted(self._matches, key=lambda s: s.min_ts())
 
+    def aggregate_snapshot(self):
+        """Merged cross-shard partial-aggregate snapshot (``None`` for
+        enumeration plans).  Shards ship their partials on ``close``, so
+        before :meth:`close` this is empty for aggregation plans."""
+        if self.plan.aggregate is None:
+            return None
+        from ..agg.engine import empty_snapshot, merge_snapshots
+        merged = merge_snapshots(self.plan.aggregate, None,
+                                 self._agg_snapshot)
+        return merged if merged is not None else empty_snapshot(
+            self.plan.aggregate)
+
+    def aggregates(self):
+        """Cross-shard aggregates as an
+        :class:`~repro.agg.result.AggregateSeries` (``None`` for
+        enumeration plans); complete only after :meth:`close`."""
+        if self.plan.aggregate is None:
+            return None
+        from ..agg.result import AggregateSeries
+        return AggregateSeries(self.plan.aggregate, self.aggregate_snapshot())
+
     @property
     def queue_depths(self) -> List[int]:
         """Current input-queue depth per shard (-1 where unsupported)."""
@@ -650,10 +679,15 @@ class ShardedStreamMatcher:
             return []
         if kind == "closed":
             (_, shard_id, wires, snapshot, events_seen,
-             guard_stats) = message
+             guard_stats) = message[:6]
+            agg_snapshot = message[6] if len(message) > 6 else None
             self._barrier_pending.discard(shard_id)
             self._events_processed[shard_id] = events_seen
             self._note_guard_stats(shard_id, guard_stats)
+            if agg_snapshot is not None:
+                from ..agg.engine import merge_snapshots
+                self._agg_snapshot = merge_snapshots(
+                    self.plan.aggregate, self._agg_snapshot, agg_snapshot)
             reported = self._report(wires)
             if snapshot is not None and self.obs is not None:
                 self.obs.merge_snapshot(snapshot)
@@ -677,9 +711,13 @@ class ShardedStreamMatcher:
     def _report(self, wires) -> List[Substitution]:
         reported = [decode_substitution(w) for w in wires]
         self._matches.extend(reported)
-        for substitution in reported:
-            for callback in self._callbacks:
-                callback(substitution)
+        if self._callbacks:
+            for substitution in reported:
+                events = substitution.events()
+                key = events[0].get(self.attribute) if events else None
+                delivered = Match(substitution, partition=key)
+                for callback in self._callbacks:
+                    callback(delivered)
         return reported
 
     def _drain(self) -> List[Substitution]:

@@ -22,7 +22,7 @@ from collections import OrderedDict
 from typing import Callable, Dict, Optional, Tuple
 
 from ..core.pattern import SESPattern
-from .fingerprint import pattern_fingerprint
+from .fingerprint import aggregate_fingerprint, pattern_fingerprint
 from .plan import PatternPlan, build_plan, normalise_optimizations
 
 __all__ = ["PlanCache", "compile", "as_plan", "plan_cache",
@@ -171,7 +171,7 @@ def set_plan_cache_size(maxsize: int) -> None:
 
 
 def compile(pattern, *, optimizations=None, cache=True,
-            observability=None) -> PatternPlan:
+            observability=None, aggregate=None) -> PatternPlan:
     """Compile ``pattern`` into a :class:`PatternPlan`.
 
     Parameters
@@ -190,6 +190,12 @@ def compile(pattern, *, optimizations=None, cache=True,
         Optional :class:`repro.obs.Observability` bundle; compilation
         reports ``ses_plan_cache_hits_total`` /
         ``ses_plan_cache_misses_total`` and the cache occupancy gauge.
+    aggregate:
+        Optional :class:`~repro.agg.spec.AggregateSpec`.  Produces an
+        aggregation plan whose executors fold incrementally instead of
+        enumerating matches; the fingerprint (and so the cache key) is
+        suffixed with the spec, keeping aggregate and enumeration plans
+        of the same pattern distinct.
     """
     if isinstance(pattern, PatternPlan):
         return pattern
@@ -199,6 +205,8 @@ def compile(pattern, *, optimizations=None, cache=True,
             f"{type(pattern).__name__}")
     optimizations = normalise_optimizations(optimizations)
     fingerprint = pattern_fingerprint(pattern, optimizations)
+    if aggregate is not None:
+        fingerprint = aggregate_fingerprint(fingerprint, aggregate)
     store: Optional[PlanCache]
     if cache is True:
         store = _GLOBAL_CACHE
@@ -207,11 +215,13 @@ def compile(pattern, *, optimizations=None, cache=True,
     else:
         store = cache
     if store is None:
-        plan, hit = build_plan(pattern, optimizations, fingerprint), False
+        plan, hit = build_plan(pattern, optimizations, fingerprint,
+                               aggregate=aggregate), False
     else:
         plan, hit = store.get_or_build(
             fingerprint,
-            lambda: build_plan(pattern, optimizations, fingerprint))
+            lambda: build_plan(pattern, optimizations, fingerprint,
+                               aggregate=aggregate))
     if observability is not None:
         registry = observability.registry
         hits = registry.counter(

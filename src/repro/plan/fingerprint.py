@@ -31,7 +31,8 @@ from typing import Tuple
 from ..core.conditions import Attr, Condition, Const
 from ..core.pattern import SESPattern
 
-__all__ = ["pattern_fingerprint", "FINGERPRINT_VERSION"]
+__all__ = ["pattern_fingerprint", "aggregate_fingerprint",
+           "FINGERPRINT_VERSION"]
 
 #: Bump when the canonical encoding (or plan layout) changes; old
 #: fingerprints then stop matching, which invalidates stale caches.
@@ -93,3 +94,15 @@ def pattern_fingerprint(pattern: SESPattern,
         cached = hashlib.sha256(payload.encode("utf-8")).hexdigest()
         memo[optimizations] = cached
     return cached
+
+
+def aggregate_fingerprint(base: str, aggregate) -> str:
+    """Suffix a plan fingerprint with an aggregate spec's canonical token.
+
+    Aggregate plans must not collide with enumeration plans of the same
+    pattern in the plan cache (they execute differently), so the base
+    fingerprint is re-digested together with the spec's canonical token.
+    The result stays a 64-hex SHA-256 digest.
+    """
+    payload = f"{base}|agg{FINGERPRINT_VERSION}|{aggregate.canonical()}"
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()

@@ -27,7 +27,7 @@ from ..core.events import Event
 from ..core.options import resolve_option
 from ..core.pattern import SESPattern
 from ..core.relation import EventRelation
-from .fingerprint import pattern_fingerprint
+from .fingerprint import aggregate_fingerprint, pattern_fingerprint
 from .prefilter import FILTER_MODES, VectorizedPrefilter, popcount
 
 __all__ = ["PatternPlan", "OPTIMIZATIONS", "DEFAULT_OPTIMIZATIONS",
@@ -55,13 +55,25 @@ def normalise_optimizations(optimizations) -> Tuple[str, ...]:
 
 def build_plan(pattern: SESPattern,
                optimizations: Optional[Iterable[str]] = None,
-               fingerprint: Optional[str] = None) -> "PatternPlan":
-    """Compile ``pattern`` into a fresh :class:`PatternPlan` (no cache)."""
+               fingerprint: Optional[str] = None,
+               aggregate=None) -> "PatternPlan":
+    """Compile ``pattern`` into a fresh :class:`PatternPlan` (no cache).
+
+    ``aggregate`` (an :class:`~repro.agg.spec.AggregateSpec`) turns the
+    plan into an aggregation plan: its executors fold incrementally
+    instead of enumerating, and the fingerprint is suffixed so the plan
+    cache never conflates it with the enumeration plan of the same
+    pattern.
+    """
     if not isinstance(pattern, SESPattern):
         raise TypeError(f"expected SESPattern, got {type(pattern).__name__}")
     optimizations = normalise_optimizations(optimizations)
     if fingerprint is None:
         fingerprint = pattern_fingerprint(pattern, optimizations)
+        if aggregate is not None:
+            fingerprint = aggregate_fingerprint(fingerprint, aggregate)
+    if aggregate is not None:
+        aggregate.validate(pattern)
     automaton = build_automaton(pattern)
     rewrites = []
     if "trim" in optimizations:
@@ -74,7 +86,8 @@ def build_plan(pattern: SESPattern,
                   for mode in FILTER_MODES}
     return PatternPlan(pattern=pattern, automaton=automaton,
                        fingerprint=fingerprint, optimizations=optimizations,
-                       prefilters=prefilters, rewrites=tuple(rewrites))
+                       prefilters=prefilters, rewrites=tuple(rewrites),
+                       aggregate=aggregate)
 
 
 class PatternPlan:
@@ -93,13 +106,14 @@ class PatternPlan:
     def __init__(self, pattern: SESPattern, automaton: SESAutomaton,
                  fingerprint: str, optimizations: Tuple[str, ...],
                  prefilters: Dict[str, VectorizedPrefilter],
-                 rewrites: Tuple[str, ...] = ()):
+                 rewrites: Tuple[str, ...] = (), aggregate=None):
         self._pattern = pattern
         self._automaton = automaton
         self._fingerprint = fingerprint
         self._optimizations = tuple(optimizations)
         self._prefilters = dict(prefilters)
         self._rewrites = tuple(rewrites)
+        self._aggregate = aggregate
 
     # ------------------------------------------------------------------
     # Compile-time artifacts
@@ -128,6 +142,11 @@ class PatternPlan:
     def rewrites(self) -> Tuple[str, ...]:
         """Human-readable descriptions of applied compile-time rewrites."""
         return self._rewrites
+
+    @property
+    def aggregate(self):
+        """The :class:`~repro.agg.spec.AggregateSpec`, or ``None``."""
+        return self._aggregate
 
     def prefilter(self, filter_mode: str = "conjunctive"
                   ) -> VectorizedPrefilter:
@@ -178,6 +197,10 @@ class PatternPlan:
                 start_method=start_method, observability=observability)
             return matcher.run(relation)
         if partition_by is not None:
+            if self._aggregate is not None:
+                return self._match_agg_partitioned(
+                    relation, partition_by, use_filter=use_filter,
+                    filter_mode=filter_mode, consume=consume)
             from ..automaton.optimizations import PartitionedMatcher
             matcher = PartitionedMatcher(self, partition_by=partition_by,
                                          use_filter=use_filter,
@@ -203,8 +226,35 @@ class PatternPlan:
                                selection=selection, consume_mode=consume,
                                obs=observability,
                                record_history=record_history,
-                               history_max_samples=history_max_samples)
+                               history_max_samples=history_max_samples,
+                               aggregate=self._aggregate)
         return executor.run(events)
+
+    def _match_agg_partitioned(self, relation, partition_by, *,
+                               use_filter: bool, filter_mode: str,
+                               consume: str) -> MatchResult:
+        """Serial per-partition aggregation: fold each partition with a
+        fresh executor and merge the partial snapshots (the same merge
+        the process pool and the sharded runtime use)."""
+        from ..agg.engine import merge_snapshots
+        from ..agg.result import AggregateSeries
+        from ..automaton.metrics import ExecutionStats
+        partitions: Dict = {}
+        for event in relation:
+            partitions.setdefault(event.get(partition_by), []).append(event)
+        total = ExecutionStats()
+        snapshot = None
+        for key in sorted(partitions, key=str):
+            executor = self.executor(use_filter=use_filter,
+                                     filter_mode=filter_mode,
+                                     consume=consume)
+            result = executor.run(partitions[key])
+            total.merge(result.stats)
+            snapshot = merge_snapshots(self._aggregate, snapshot,
+                                       executor.aggregate_snapshot())
+        series = AggregateSeries(self._aggregate, snapshot, stats=total)
+        return MatchResult(matches=[], accepted=[], stats=total,
+                           aggregates=series)
 
     def executor(self, *, use_filter: bool = True,
                  filter_mode: str = "conjunctive", selection: str = "paper",
@@ -230,7 +280,8 @@ class PatternPlan:
                            consume_mode=consume, tracer=tracer,
                            obs=observability, record_history=record_history,
                            history_max_samples=history_max_samples,
-                           flight=flight, guard=guard)
+                           flight=flight, guard=guard,
+                           aggregate=self._aggregate)
 
     def stream(self, *, use_filter: bool = True,
                suppress_overlaps: bool = True,
@@ -266,6 +317,12 @@ class PatternPlan:
         lines = [
             f"plan {self._fingerprint[:12]} for {self._pattern!r}",
             f"  optimizations: {', '.join(self._optimizations) or 'none'}",
+        ]
+        if self._aggregate is not None:
+            lines.append(
+                f"  aggregate: {self._aggregate.render()} "
+                f"(incremental fold, no match materialisation)")
+        lines += [
             f"  automaton: {len(automaton.states)} states, "
             f"{len(automaton.transitions)} transitions",
         ]

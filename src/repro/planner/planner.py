@@ -107,10 +107,23 @@ class QueryPlan:
     #: Conditions ranked by observed pass rate (statistics store), or
     #: ``None`` when the pattern has never been observed.
     condition_order: Optional[List[str]] = None
+    #: Aggregation spec for ``SELECT`` queries; ``None`` enumerates.
+    aggregate: Optional[object] = None
 
     def execute(self, relation: Union[EventRelation, Iterable[Event]]
                 ) -> MatchResult:
         """Run the plan over ``relation`` (compiled via the plan cache)."""
+        if self.aggregate is not None:
+            # Aggregation folds inside the executor, so the indexed /
+            # partitioned choices collapse onto the unified plan.match
+            # dispatch (which merges per-partition partials losslessly).
+            from ..plan.cache import compile as compile_plan
+            plan = compile_plan(self.pattern, aggregate=self.aggregate)
+            return plan.match(
+                relation, use_filter=self.use_filter,
+                selection=self.selection,
+                partition_by=(self.partition_on
+                              if self.executor == "partitioned" else None))
         from ..plan.cache import as_plan
         plan = as_plan(self.pattern)
         if self.condition_order is not None and self.executor == "plain":
@@ -141,6 +154,10 @@ class QueryPlan:
             + (f" on {self.partition_on!r}" if self.partition_on else ""),
             f"  event filter: {'on' if self.use_filter else 'off'}",
         ]
+        if self.aggregate is not None:
+            lines.append("  aggregation: "
+                         + ", ".join(self.aggregate.labels)
+                         + " (folded incrementally, no materialisation)")
         if self.condition_order is not None:
             lines.append("  condition order (by observed selectivity): "
                          + "; ".join(self.condition_order))
@@ -155,7 +172,8 @@ class QueryPlan:
 def plan_query(pattern: SESPattern,
                relation: EventRelation,
                exact: bool = True,
-               selection: str = "paper") -> QueryPlan:
+               selection: str = "paper",
+               aggregate=None) -> QueryPlan:
     """Build a :class:`QueryPlan` for ``pattern`` over ``relation``.
 
     Parameters
@@ -171,6 +189,9 @@ def plan_query(pattern: SESPattern,
         greedy hijacking; see :mod:`repro.automaton.optimizations`).
     selection:
         Result selection forwarded to the chosen executor.
+    aggregate:
+        Optional :class:`~repro.agg.spec.AggregateSpec`; the plan folds
+        matches incrementally instead of enumerating them.
     """
     profile = profile_relation(pattern, relation)
     complexity = analyze(pattern, profile.window)
@@ -221,6 +242,12 @@ def plan_query(pattern: SESPattern,
     if executor == "plain":
         rationale.append("filtered plain Algorithm 1 is the best exact choice")
 
+    if aggregate is not None:
+        rationale.append(
+            "aggregation query -> matches fold into per-instance "
+            "registers, enumeration and materialisation are skipped "
+            "entirely")
+
     from ..explain.order import condition_order_hint
     condition_order = condition_order_hint(pattern)
     if condition_order is not None:
@@ -246,4 +273,5 @@ def plan_query(pattern: SESPattern,
         rationale=rationale,
         selection=selection,
         condition_order=condition_order,
+        aggregate=aggregate,
     )

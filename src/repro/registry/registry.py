@@ -44,8 +44,9 @@ from __future__ import annotations
 import threading
 from bisect import bisect_right
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional
 
+from ..agg.result import Match
 from ..automaton.executor import MatchResult, SESExecutor
 from ..core.events import Event
 from ..core.pattern import SESPattern
@@ -65,7 +66,10 @@ __all__ = ["PatternRegistry", "TenantQuota", "RegistryError",
 #: that a concurrent register/deregister gets the lock promptly.
 CHUNK_SIZE = 256
 
-MatchCallback = Callable[[str, Substitution], None]
+#: Subscribers receive ``(pattern_id, match)`` where ``match`` is the
+#: unified :class:`~repro.agg.result.Match` (its ``pattern_id`` field
+#: carries the id too, for callbacks that only take the match).
+MatchCallback = Callable[[str, Match], None]
 
 
 class RegistryError(Exception):
@@ -127,7 +131,8 @@ class _Entry:
     """One registered pattern: plan, matcher, admission artifacts."""
 
     __slots__ = ("pattern_id", "tenant", "plan", "matcher", "spec", "gate",
-                 "query", "deliveries", "match_counter", "events_counter")
+                 "query", "deliveries", "match_counter", "events_counter",
+                 "agg_counter", "agg_published")
 
     def __init__(self, pattern_id: str, tenant: str, plan: PatternPlan,
                  matcher: ContinuousMatcher, spec: AdmissionSpec,
@@ -142,6 +147,8 @@ class _Entry:
         self.deliveries = 0
         self.match_counter = None
         self.events_counter = None
+        self.agg_counter = None
+        self.agg_published = 0
 
 
 class PatternRegistry:
@@ -186,7 +193,7 @@ class PatternRegistry:
         self._flight = flight
         self._flight_attached = False
         self._auto_id = 0
-        self._reported: List[Tuple[str, Substitution]] = []
+        self._reported: List[Match] = []
         self._callbacks: List[MatchCallback] = []
         self._closed = False
         if observability is None:
@@ -215,23 +222,31 @@ class PatternRegistry:
 
         ``pattern`` may be a :class:`~repro.core.pattern.SESPattern`, a
         compiled :class:`~repro.plan.plan.PatternPlan`, or PERMUTE query
-        text (parsed via :func:`repro.lang.parse_pattern`).  Ids default
-        to ``p0``, ``p1``, …; an explicit duplicate raises
-        :class:`DuplicatePatternError`.  ``quota`` pins the tenant's
-        quota on first use (a tenant's quota is set once; later
-        registrations for the same tenant must not pass a conflicting
-        one).
+        text (parsed via :func:`repro.lang.parse_query_spec`).  Query
+        text with a ``SELECT`` clause registers an **aggregation**
+        pattern: matches fold into live totals instead of materialising
+        (read them via :meth:`aggregates_of`); a plan compiled with an
+        aggregate behaves the same.  Ids default to ``p0``, ``p1``, …;
+        an explicit duplicate raises :class:`DuplicatePatternError`.
+        ``quota`` pins the tenant's quota on first use (a tenant's quota
+        is set once; later registrations for the same tenant must not
+        pass a conflicting one).
         """
         query = None
+        aggregate = None
         if isinstance(pattern, str):
-            from ..lang import parse_pattern
+            from ..lang import parse_query_spec
             query = pattern
-            pattern = parse_pattern(pattern)
+            pattern, aggregate = parse_query_spec(pattern)
         if not isinstance(pattern, (SESPattern, PatternPlan)):
             raise TypeError(
                 f"expected SESPattern, PatternPlan or query text, got "
                 f"{type(pattern).__name__}")
-        plan = as_plan(pattern)
+        if aggregate is not None:
+            from ..plan.cache import compile as compile_plan
+            plan = compile_plan(pattern, aggregate=aggregate)
+        else:
+            plan = as_plan(pattern)
         with self._lock:
             if self._closed:
                 raise RegistryError("registry is closed")
@@ -281,6 +296,13 @@ class PatternRegistry:
                          "registered pattern.",
                     labels={"pattern": pattern_id},
                     metric="ses_pattern_events_total")
+                if plan.aggregate is not None:
+                    entry.agg_counter = registry.counter(
+                        f"ses_agg_matches_folded_total[{pattern_id}]",
+                        help="Matches folded into aggregates without "
+                             "materialisation, per registered pattern.",
+                        labels={"pattern": pattern_id},
+                        metric="ses_agg_matches_folded_total")
             self._entries[pattern_id] = entry
             self._gate_members[gate.key] = (
                 self._gate_members.get(gate.key, 0) + 1)
@@ -313,25 +335,25 @@ class PatternRegistry:
             return self._describe_entry(entry)
 
     def on_match(self, callback: MatchCallback) -> MatchCallback:
-        """Register ``callback(pattern_id, substitution)`` for every
-        reported match (invoked under the registry lock — callbacks must
-        not call back into the registry)."""
+        """Register ``callback(pattern_id, match)`` for every reported
+        match (invoked under the registry lock — callbacks must not call
+        back into the registry)."""
         self._callbacks.append(callback)
         return callback
 
     # ------------------------------------------------------------------
     # Streaming
     # ------------------------------------------------------------------
-    def push(self, event: Event) -> List[Tuple[str, Substitution]]:
+    def push(self, event: Event) -> List[Match]:
         """Push one event through the shared admission pass.
 
-        Returns ``(pattern_id, substitution)`` pairs for every match
-        reported at this point.
+        Returns a :class:`~repro.agg.result.Match` (with its
+        ``pattern_id`` set) for every match reported at this point.
         """
         with self._lock:
             return self._push_chunk([event])
 
-    def push_many(self, events) -> List[Tuple[str, Substitution]]:
+    def push_many(self, events) -> List[Match]:
         """Push a batch, admitting it columnar in chunks.
 
         The lock is released between chunks of :data:`CHUNK_SIZE`
@@ -339,14 +361,13 @@ class PatternRegistry:
         a long replay instead of waiting for it to finish.
         """
         events = list(events)
-        out: List[Tuple[str, Substitution]] = []
+        out: List[Match] = []
         for start in range(0, len(events), CHUNK_SIZE):
             with self._lock:
                 out.extend(self._push_chunk(events[start:start + CHUNK_SIZE]))
         return out
 
-    def _push_chunk(self, events: List[Event]
-                    ) -> List[Tuple[str, Substitution]]:
+    def _push_chunk(self, events: List[Event]) -> List[Match]:
         """One locked chunk: shared columnar admission, then fan-out."""
         n = len(events)
         full = (1 << n) - 1
@@ -354,13 +375,14 @@ class PatternRegistry:
             self._events_counter.inc(n)
         if not self._use_filter:
             # Unfiltered: every pattern sees every event, starts allowed.
-            reported: List[Tuple[str, Substitution]] = []
+            reported: List[Match] = []
             for entry in list(self._entries.values()):
                 entry.deliveries += n
                 if entry.events_counter is not None:
                     entry.events_counter.inc(n)
                 for event in events:
                     self._collect(entry, entry.matcher.push(event), reported)
+                self._publish_agg(entry)
             if self._deliveries_counter is not None:
                 self._deliveries_counter.inc(n * len(self._entries))
             return reported
@@ -413,10 +435,11 @@ class PatternRegistry:
                     entry.events_counter.inc(delivered)
                 if self._deliveries_counter is not None:
                     self._deliveries_counter.inc(delivered)
+            self._publish_agg(entry)
         return reported
 
     def _collect(self, entry: _Entry, matches: List[Substitution],
-                 out: List[Tuple[str, Substitution]]) -> None:
+                 out: List[Match]) -> None:
         if not matches:
             return
         if entry.match_counter is not None:
@@ -424,19 +447,31 @@ class PatternRegistry:
         if self._matches_counter is not None:
             self._matches_counter.inc(len(matches))
         for substitution in matches:
-            pair = (entry.pattern_id, substitution)
-            self._reported.append(pair)
-            out.append(pair)
+            match = Match(substitution, pattern_id=entry.pattern_id)
+            self._reported.append(match)
+            out.append(match)
             for callback in self._callbacks:
-                callback(entry.pattern_id, substitution)
+                callback(entry.pattern_id, match)
 
-    def close(self) -> List[Tuple[str, Substitution]]:
+    def _publish_agg(self, entry: _Entry) -> None:
+        """Publish the entry's fold-counter delta (aggregation patterns
+        registered with observability only)."""
+        if entry.agg_counter is None:
+            return
+        folded = entry.matcher.matches_folded
+        delta = folded - entry.agg_published
+        if delta > 0:
+            entry.agg_counter.inc(delta)
+            entry.agg_published = folded
+
+    def close(self) -> List[Match]:
         """End-of-stream: flush every pattern's matcher."""
         with self._lock:
             self._closed = True
-            reported: List[Tuple[str, Substitution]] = []
+            reported: List[Match] = []
             for entry in self._entries.values():
                 self._collect(entry, entry.matcher.close(), reported)
+                self._publish_agg(entry)
             return reported
 
     # ------------------------------------------------------------------
@@ -468,7 +503,8 @@ class PatternRegistry:
                 executor = SESExecutor(entry.plan.automaton,
                                        event_filter=event_filter,
                                        selection=selection,
-                                       consume_mode=consume)
+                                       consume_mode=consume,
+                                       aggregate=entry.plan.aggregate)
                 results[pattern_id] = executor.run(events)
             return results
 
@@ -490,17 +526,29 @@ class PatternRegistry:
     def matches(self) -> List[Substitution]:
         """All matches reported so far (flat, across patterns)."""
         with self._lock:
-            return [substitution for _, substitution in self._reported]
+            return [match.substitution for match in self._reported]
 
     def matches_of(self, pattern_id: str) -> List[Substitution]:
         """Matches reported so far for one pattern (survives deregister)."""
         with self._lock:
             if (pattern_id not in self._entries
-                    and all(pid != pattern_id for pid, _ in self._reported)):
+                    and all(m.pattern_id != pattern_id
+                            for m in self._reported)):
                 raise UnknownPatternError(
                     f"no pattern registered under id {pattern_id!r}")
-            return [substitution for pid, substitution in self._reported
-                    if pid == pattern_id]
+            return [match.substitution for match in self._reported
+                    if match.pattern_id == pattern_id]
+
+    def aggregates_of(self, pattern_id: str):
+        """Live aggregates of one registered pattern as an
+        :class:`~repro.agg.result.AggregateSeries` (``None`` for
+        enumeration patterns)."""
+        with self._lock:
+            entry = self._entries.get(pattern_id)
+            if entry is None:
+                raise UnknownPatternError(
+                    f"no pattern registered under id {pattern_id!r}")
+            return entry.matcher.aggregates()
 
     @property
     def active_instances(self) -> int:
@@ -528,7 +576,7 @@ class PatternRegistry:
                     for entry in self._entries.values()]
 
     def _describe_entry(self, entry: _Entry) -> dict:
-        return {
+        row = {
             "id": entry.pattern_id,
             "tenant": entry.tenant,
             "fingerprint": entry.plan.fingerprint,
@@ -537,6 +585,11 @@ class PatternRegistry:
             "matches": len(entry.matcher.matches),
             "events_delivered": entry.deliveries,
         }
+        if entry.plan.aggregate is not None:
+            series = entry.matcher.aggregates()
+            row["aggregates"] = dict(series)
+            row["matches_folded"] = series.matches_folded
+        return row
 
     def tenant_stats(self) -> Dict[str, dict]:
         """Per-tenant usage: pattern count, quota, guard counters."""
@@ -560,6 +613,8 @@ class PatternRegistry:
     def publish_stats(self) -> None:
         """Refresh registry gauges and flush matcher counters (if any)."""
         with self._lock:
+            for entry in self._entries.values():
+                self._publish_agg(entry)
             self._publish_gauges()
 
     def _publish_gauges(self) -> None:

@@ -19,6 +19,7 @@ from __future__ import annotations
 import logging
 from typing import Callable, Dict, Hashable, Iterable, List, Optional
 
+from ..agg.result import Match
 from ..automaton.optimizations import partition_attribute
 from ..core.events import Event
 from ..core.options import resolve_option
@@ -30,7 +31,10 @@ __all__ = ["PartitionedContinuousMatcher"]
 
 logger = logging.getLogger(__name__)
 
-MatchCallback = Callable[[Hashable, Substitution], None]
+#: Subscribers receive ``(partition_key, match)`` where ``match`` is the
+#: unified :class:`~repro.agg.result.Match` (its ``partition`` field
+#: carries the key too, for callbacks that only take the match).
+MatchCallback = Callable[[Hashable, Match], None]
 
 
 class PartitionedContinuousMatcher:
@@ -82,6 +86,9 @@ class PartitionedContinuousMatcher:
         self._matchers: Dict[Hashable, ContinuousMatcher] = {}
         self._last_ts: Dict[Hashable, object] = {}
         self._callbacks: List[MatchCallback] = []
+        # Partial aggregates inherited from garbage-collected partitions
+        # (aggregation plans only); merged into aggregate_snapshot().
+        self._agg_carry = None
         self.obs = obs
         #: One shared flight recorder across all per-key matchers — a
         #: single tail of recent execution for the whole partition set.
@@ -105,7 +112,7 @@ class PartitionedContinuousMatcher:
                 help="idle partitions garbage-collected"))
 
     def on_match(self, callback: MatchCallback) -> MatchCallback:
-        """Register ``callback(partition_key, substitution)``."""
+        """Register ``callback(partition_key, match)``."""
         self._callbacks.append(callback)
         return callback
 
@@ -140,7 +147,7 @@ class PartitionedContinuousMatcher:
         reported = matcher.push(event)
         for callback in self._callbacks:
             for substitution in reported:
-                callback(key, substitution)
+                callback(key, Match(substitution, partition=key))
         return reported
 
     def push_many(self, events: Iterable[Event]) -> List[Substitution]:
@@ -158,7 +165,7 @@ class PartitionedContinuousMatcher:
             out.extend(flushed)
             for callback in self._callbacks:
                 for substitution in flushed:
-                    callback(key, substitution)
+                    callback(key, Match(substitution, partition=key))
         return out
 
     # ------------------------------------------------------------------
@@ -170,6 +177,7 @@ class PartitionedContinuousMatcher:
             "partitions": {key: matcher.state_dict()
                            for key, matcher in self._matchers.items()},
             "last_ts": dict(self._last_ts),
+            "agg_carry": self._agg_carry,
         }
 
     def load_state(self, state: dict) -> None:
@@ -178,6 +186,7 @@ class PartitionedContinuousMatcher:
         for key, sub_state in state["partitions"].items():
             self._matcher_for(key).load_state(sub_state)
         self._last_ts.update(state["last_ts"])
+        self._agg_carry = state.get("agg_carry")
 
     # ------------------------------------------------------------------
     # Maintenance and introspection
@@ -195,14 +204,21 @@ class PartitionedContinuousMatcher:
                 if matcher.active_instances == 0
                 and now - self._last_ts[key] > tau]
         obs = self.obs
+        agg_plan = self._plan.aggregate is not None
         for key in dead:
+            matcher = self._matchers[key]
             if obs is not None:
                 # Fold the dying partition's metrics into the root bundle
                 # so aggregate views survive garbage collection.
-                matcher = self._matchers[key]
                 matcher.publish_stats()
                 if matcher.obs is not None:
                     obs.merge(matcher.obs)
+            if agg_plan:
+                # Aggregate partials likewise outlive their partition.
+                from ..agg.engine import merge_snapshots
+                self._agg_carry = merge_snapshots(
+                    self._plan.aggregate, self._agg_carry,
+                    matcher.aggregate_snapshot())
             del self._matchers[key]
             del self._last_ts[key]
         if dead:
@@ -233,6 +249,43 @@ class PartitionedContinuousMatcher:
                 matcher.publish_stats()
                 out.merge(matcher.obs)
         return out
+
+    def aggregate_snapshot(self):
+        """Mergeable cross-partition aggregate snapshot.
+
+        Merges the carry inherited from collected partitions with every
+        live partition's partials; ``None`` for enumeration plans.  For
+        aggregation plans an (empty) snapshot is always returned, even
+        with zero partitions, so shippers need no special casing.
+        """
+        spec = self._plan.aggregate
+        if spec is None:
+            return None
+        from ..agg.engine import empty_snapshot, merge_snapshots
+        snapshot = merge_snapshots(spec, None, self._agg_carry)
+        for matcher in self._matchers.values():
+            snapshot = merge_snapshots(spec, snapshot,
+                                       matcher.aggregate_snapshot())
+        return snapshot if snapshot is not None else empty_snapshot(spec)
+
+    def aggregates(self):
+        """Cross-partition aggregates as an
+        :class:`~repro.agg.result.AggregateSeries` (``None`` for
+        enumeration plans)."""
+        spec = self._plan.aggregate
+        if spec is None:
+            return None
+        from ..agg.result import AggregateSeries
+        return AggregateSeries(spec, self.aggregate_snapshot())
+
+    @property
+    def matches_folded(self) -> int:
+        """Matches folded into aggregates across all partitions (0 for
+        enumeration plans; collected partitions included)."""
+        folded = sum(m.matches_folded for m in self._matchers.values())
+        if self._agg_carry is not None:
+            folded += self._agg_carry.get("matches", 0)
+        return folded
 
     @property
     def partitions(self) -> List[Hashable]:

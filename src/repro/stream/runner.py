@@ -20,6 +20,7 @@ from __future__ import annotations
 import logging
 from typing import Callable, Iterable, List
 
+from ..agg.result import Match
 from ..automaton.executor import SESExecutor
 from ..core.events import Event
 from ..core.options import resolve_option
@@ -31,7 +32,10 @@ __all__ = ["ContinuousMatcher"]
 
 logger = logging.getLogger(__name__)
 
-MatchCallback = Callable[[Substitution], None]
+#: Subscribers receive the unified :class:`~repro.agg.result.Match`
+#: dataclass (it delegates ``events()``/``min_ts()``/iteration to the
+#: wrapped substitution, so most existing callbacks keep working).
+MatchCallback = Callable[[Match], None]
 
 
 class ContinuousMatcher:
@@ -188,8 +192,10 @@ class ContinuousMatcher:
             if self._reported_counter is not None:
                 self._reported_counter.inc()
             logger.debug("match reported: %r", substitution)
-            for callback in self._callbacks:
-                callback(substitution)
+            if self._callbacks:
+                delivered = Match(substitution)
+                for callback in self._callbacks:
+                    callback(delivered)
         return reported
 
     # ------------------------------------------------------------------
@@ -199,6 +205,22 @@ class ContinuousMatcher:
     def matches(self) -> List[Substitution]:
         """All matches reported so far."""
         return list(self._reported)
+
+    @property
+    def matches_folded(self) -> int:
+        """Matches folded into aggregates (0 for enumeration plans)."""
+        return self._executor.matches_folded
+
+    def aggregates(self):
+        """Live aggregates as an :class:`~repro.agg.result.AggregateSeries`
+        (``None`` for enumeration plans).  For an aggregation plan the
+        matcher reports no matches — values accumulate here instead."""
+        return self._executor.aggregate_result()
+
+    def aggregate_snapshot(self):
+        """Mergeable partial-aggregate snapshot (``None`` for
+        enumeration plans); the sharded runtime ships these."""
+        return self._executor.aggregate_snapshot()
 
     @property
     def active_instances(self) -> int:

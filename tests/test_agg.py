@@ -1,0 +1,571 @@
+"""Online aggregation: the incremental fold engine and its surfaces.
+
+The load-bearing property is **enumerate-then-fold equivalence**: for
+any pattern, data set and execution settings, the incremental aggregates
+computed inside the executor (no match ever materialised) equal folding
+the enumerated ``selection="accepted"`` match set through
+:func:`~repro.agg.engine.fold_reference`.  The suites below pin that
+with Hypothesis across consume modes, filter settings and window sizes,
+plus exact equality across every execution path (serial, process pool,
+serial-partitioned, sharded streaming, registry), the snapshot algebra,
+checkpoint/restore, plan-cache fingerprinting, and the typed result
+surfaces of :func:`repro.query`.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro
+from repro import Event, EventRelation, Observability, SESPattern
+from repro.agg import AggregateSeries, Match, MatchSet
+from repro.agg.engine import (empty_snapshot, finalize_snapshot,
+                              fold_reference, merge_snapshots)
+from repro.agg.spec import Aggregate, AggregateSpec
+from repro.lang import (QueryError, parse_query_spec, render_query)
+from repro.plan.cache import compile as compile_plan
+
+from conftest import ev, rel
+
+# ----------------------------------------------------------------------
+# Helpers
+# ----------------------------------------------------------------------
+
+SPEC_ALL = AggregateSpec(aggregates=(
+    Aggregate("count", alias="n"),
+    Aggregate("count", "a", "x"),
+    Aggregate("sum", "a", "x"),
+    Aggregate("min", "a", "x"),
+    Aggregate("max", "b", "x"),
+    Aggregate("avg", "a", "x"),
+))
+
+
+def assert_same_values(spec, left: dict, right: dict):
+    """Finalised value dicts are equal (floats approximately)."""
+    assert set(left) == set(right)
+    for label in left:
+        a, b = left[label], right[label]
+        if isinstance(a, float) or isinstance(b, float):
+            assert a == pytest.approx(b), label
+        else:
+            assert a == b, label
+
+
+def reference_values(pattern, spec, events, *, use_filter=True,
+                     consume="greedy"):
+    """Enumerate accepted buffers, then fold them (the ground truth)."""
+    plan = compile_plan(pattern)
+    result = plan.match(events, use_filter=use_filter,
+                        selection="accepted", consume=consume)
+    snapshot = fold_reference(spec, list(result))
+    return finalize_snapshot(spec, snapshot), snapshot
+
+
+def incremental_series(pattern, spec, events, *, use_filter=True,
+                       consume="greedy", **match_opts):
+    plan = compile_plan(pattern, aggregate=spec)
+    result = plan.match(events, use_filter=use_filter, consume=consume,
+                        **match_opts)
+    return result.aggregates
+
+
+# ----------------------------------------------------------------------
+# Language: SELECT parsing, compilation, rendering
+# ----------------------------------------------------------------------
+
+class TestLang:
+    def test_plain_pattern_text_has_no_spec(self):
+        pattern, spec = parse_query_spec(
+            "PATTERN PERMUTE(a, b) WHERE a.k = 'x' AND b.k = 'y' WITHIN 5")
+        assert spec is None
+        assert isinstance(pattern, SESPattern)
+
+    def test_select_clause_parses(self):
+        pattern, spec = parse_query_spec(
+            "SELECT count(*) AS n, sum(a.x), avg(b.y) AS mean "
+            "FROM PATTERN PERMUTE(a, b) "
+            "WHERE a.k = 'x' AND b.k = 'y' WITHIN 5")
+        assert spec is not None
+        assert spec.labels == ("n", "sum(a.x)", "mean")
+        assert spec.aggregates[0].is_star
+        assert spec.aggregates[1].func == "sum"
+        assert spec.aggregates[2].alias == "mean"
+
+    def test_from_keyword_is_required(self):
+        with pytest.raises(QueryError):
+            parse_query_spec(
+                "SELECT count(*) PATTERN PERMUTE(a) WHERE a.k = 'x' WITHIN 5")
+
+    def test_render_round_trip(self):
+        text = ("SELECT count(*) AS n, min(a.x), avg(b.y) AS mean "
+                "FROM PATTERN PERMUTE(a, b) "
+                "WHERE a.k = 'x' AND b.k = 'y' WITHIN 5")
+        pattern, spec = parse_query_spec(text)
+        rendered = render_query(pattern, spec)
+        pattern2, spec2 = parse_query_spec(rendered)
+        assert pattern == pattern2
+        assert spec.canonical() == spec2.canonical()
+        assert spec.labels == spec2.labels
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(QueryError):
+            parse_query_spec("SELECT median(a.x) FROM PATTERN PERMUTE(a) "
+                             "WHERE a.k = 'x' WITHIN 5")
+
+    def test_star_only_for_count(self):
+        with pytest.raises(QueryError):
+            parse_query_spec("SELECT sum(*) FROM PATTERN PERMUTE(a) "
+                             "WHERE a.k = 'x' WITHIN 5")
+
+    def test_undeclared_variable_rejected_at_compile(self):
+        with pytest.raises(QueryError, match="undeclared"):
+            parse_query_spec("SELECT sum(z.x) FROM PATTERN PERMUTE(a) "
+                             "WHERE a.k = 'x' WITHIN 5")
+        # The same guard fires at plan-build time for hand-built specs.
+        spec = AggregateSpec(aggregates=(Aggregate("sum", "z", "x"),))
+        pattern = SESPattern(sets=[["a"]], conditions=["a.k = 'x'"], tau=5)
+        with pytest.raises(ValueError, match="undeclared"):
+            compile_plan(pattern, aggregate=spec)
+
+    def test_duplicate_labels_rejected(self):
+        with pytest.raises((QueryError, ValueError)):
+            parse_query_spec(
+                "SELECT count(*) AS n, sum(a.x) AS n "
+                "FROM PATTERN PERMUTE(a) WHERE a.k = 'x' WITHIN 5")
+
+
+# ----------------------------------------------------------------------
+# Snapshot algebra
+# ----------------------------------------------------------------------
+
+class TestSnapshots:
+    def test_empty_snapshot_finalises_to_identities(self):
+        values = finalize_snapshot(SPEC_ALL, empty_snapshot(SPEC_ALL))
+        assert values["n"] == 0
+        assert values["count(a.x)"] == 0
+        # SQL-flavoured empties: sum/min/max/avg of nothing is NULL.
+        assert values["sum(a.x)"] is None
+        assert values["min(a.x)"] is None
+        assert values["max(b.x)"] is None
+        assert values["avg(a.x)"] is None
+
+    def test_merge_is_none_tolerant(self):
+        snap = fold_reference(SPEC_ALL, [])
+        assert merge_snapshots(SPEC_ALL, None, None) is None
+        merged = merge_snapshots(SPEC_ALL, snap, None)
+        assert merged["matches"] == 0
+        assert merge_snapshots(SPEC_ALL, None, snap)["matches"] == 0
+
+    def test_merge_associative_on_engine_partials(self):
+        pattern = SESPattern(sets=[["a"], ["b"]],
+                             conditions=["a.kind = 'A'", "b.kind = 'B'"],
+                             tau=10)
+        spec = SPEC_ALL
+        plan = compile_plan(pattern, aggregate=spec)
+        chunks = [
+            [ev(1, "A", x=1.0), ev(2, "B", x=2.0)],
+            [ev(20, "A", x=3.0), ev(21, "B", x=-1.0)],
+            [ev(40, "A", x=0.5), ev(41, "B", x=9.0)],
+        ]
+        snaps = []
+        for chunk in chunks:
+            executor = plan.executor()
+            executor.run(EventRelation(chunk))
+            snaps.append(executor.aggregate_snapshot())
+        left = merge_snapshots(
+            spec, merge_snapshots(spec, snaps[0], snaps[1]), snaps[2])
+        right = merge_snapshots(
+            spec, snaps[0], merge_snapshots(spec, snaps[1], snaps[2]))
+        assert_same_values(spec, finalize_snapshot(spec, left),
+                           finalize_snapshot(spec, right))
+        assert left["matches"] == right["matches"] == 3
+
+
+# ----------------------------------------------------------------------
+# Property: incremental == enumerate-then-fold
+# ----------------------------------------------------------------------
+
+KINDS = ("A", "B", "C")
+
+
+@st.composite
+def agg_relations(draw, max_events: int = 14):
+    """Typed events with a numeric/missing/non-numeric ``x`` attribute."""
+    n = draw(st.integers(min_value=0, max_value=max_events))
+    timestamps = sorted(draw(st.lists(
+        st.integers(min_value=0, max_value=40), min_size=n, max_size=n)))
+    events = []
+    for i, ts in enumerate(timestamps):
+        kind = draw(st.sampled_from(KINDS))
+        shape = draw(st.sampled_from(("int", "float", "missing", "text")))
+        attrs = {}
+        if shape == "int":
+            attrs["x"] = draw(st.integers(min_value=-5, max_value=5))
+        elif shape == "float":
+            attrs["x"] = draw(st.floats(min_value=-4, max_value=4,
+                                        allow_nan=False, width=32))
+        elif shape == "text":
+            attrs["x"] = draw(st.sampled_from(("hi", "lo")))
+        events.append(Event(ts=ts, eid=f"e{i}", kind=kind, **attrs))
+    return EventRelation(events)
+
+
+@st.composite
+def agg_patterns(draw):
+    """One- or two-set patterns, optionally with a group variable."""
+    shapes = (
+        [["a"], ["b"]],
+        [["a", "b"]],
+        [["a+"], ["b"]],
+        [["a", "b+"]],
+        [["a"]],
+        [["a+"]],
+    )
+    sets = draw(st.sampled_from(shapes))
+    conditions = []
+    names = [v.rstrip("+") for vs in sets for v in vs]
+    for name in names:
+        kind = draw(st.sampled_from(KINDS))
+        conditions.append(f"{name}.kind = '{kind}'")
+    tau = draw(st.integers(min_value=0, max_value=50))
+    return SESPattern(sets=sets, conditions=conditions, tau=tau)
+
+
+@st.composite
+def agg_specs(draw):
+    terms = [Aggregate("count", alias="n")]
+    for func in draw(st.sets(st.sampled_from(("count", "sum", "min",
+                                              "max", "avg")),
+                             max_size=3)):
+        variable = draw(st.sampled_from(("a", "b")))
+        terms.append(Aggregate(func, variable, "x",
+                               alias=f"{func}_{variable}"))
+    return AggregateSpec(aggregates=tuple(terms))
+
+
+class TestEnumerateThenFoldEquivalence:
+    @given(pattern=agg_patterns(), relation=agg_relations(),
+           spec=agg_specs(),
+           use_filter=st.booleans(),
+           consume=st.sampled_from(("greedy", "exhaustive")))
+    @settings(max_examples=150, deadline=None)
+    def test_incremental_equals_reference(self, pattern, relation, spec,
+                                          use_filter, consume):
+        try:
+            spec.validate(pattern)
+        except ValueError:
+            return  # spec references a variable this pattern lacks
+        expected, ref_snapshot = reference_values(
+            pattern, spec, relation, use_filter=use_filter, consume=consume)
+        series = incremental_series(
+            pattern, spec, relation, use_filter=use_filter, consume=consume)
+        assert series.matches_folded == ref_snapshot["matches"]
+        assert_same_values(spec, series.values, expected)
+
+    @given(relation=agg_relations(max_events=20))
+    @settings(max_examples=60, deadline=None)
+    def test_group_variables_fold_every_bound_event(self, relation):
+        pattern = SESPattern(sets=[["a+"], ["b"]],
+                             conditions=["a.kind = 'A'", "b.kind = 'B'"],
+                             tau=30)
+        spec = AggregateSpec(aggregates=(
+            Aggregate("count", alias="n"),
+            Aggregate("count", "a", "x", alias="xs"),
+            Aggregate("sum", "a", "x", alias="sx"),
+        ))
+        expected, _ = reference_values(pattern, spec, relation)
+        series = incremental_series(pattern, spec, relation)
+        assert_same_values(spec, series.values, expected)
+
+
+# ----------------------------------------------------------------------
+# Path equality: every execution route produces the same aggregates
+# ----------------------------------------------------------------------
+
+JOIN_PATTERN = SESPattern(
+    sets=[["a"], ["b"]],
+    conditions=["a.kind = 'A'", "b.kind = 'B'", "a.pid = b.pid"],
+    tau=25)
+
+JOIN_SPEC = AggregateSpec(aggregates=(
+    Aggregate("count", alias="n"),
+    Aggregate("sum", "a", "x"),
+    Aggregate("avg", "b", "x"),
+    Aggregate("min", "a", "x"),
+    Aggregate("max", "b", "x"),
+))
+
+
+def join_relation(seed: int = 7, n: int = 300) -> EventRelation:
+    import random
+    rng = random.Random(seed)
+    events = []
+    for i in range(n):
+        events.append(Event(
+            ts=i, eid=f"e{i}", kind=rng.choice(("A", "B", "C")),
+            pid=rng.randrange(6), x=rng.choice(
+                (rng.uniform(-3, 3), rng.randrange(-5, 6)))))
+    return EventRelation(events)
+
+
+class TestPathEquality:
+    def test_serial_equals_serial_fold(self):
+        events = join_relation()
+        expected, _ = reference_values(JOIN_PATTERN, JOIN_SPEC, events)
+        series = incremental_series(JOIN_PATTERN, JOIN_SPEC, events)
+        assert_same_values(JOIN_SPEC, series.values, expected)
+
+    def test_pool_equals_partitioned_equals_partitioned_fold(self):
+        events = join_relation()
+        # The partitioned reference: enumerate per partition, then fold.
+        plan = compile_plan(JOIN_PATTERN)
+        enum = plan.match(events, partition_by="pid", selection="accepted")
+        ref = finalize_snapshot(JOIN_SPEC,
+                                fold_reference(JOIN_SPEC, list(enum)))
+        pooled = incremental_series(JOIN_PATTERN, JOIN_SPEC, events,
+                                    workers=2)
+        partitioned = incremental_series(JOIN_PATTERN, JOIN_SPEC, events,
+                                         partition_by="pid")
+        assert_same_values(JOIN_SPEC, pooled.values, ref)
+        assert_same_values(JOIN_SPEC, partitioned.values, ref)
+        assert pooled.matches_folded == partitioned.matches_folded
+
+    def test_sharded_stream_equals_partitioned(self):
+        from repro.parallel.sharded import ShardedStreamMatcher
+        events = join_relation()
+        plan = compile_plan(JOIN_PATTERN, aggregate=JOIN_SPEC)
+        serial = plan.match(events, partition_by="pid").aggregates
+        matcher = ShardedStreamMatcher(plan, workers=2)
+        with matcher:
+            matcher.push_many(events)
+        sharded = matcher.aggregates()
+        assert sharded.matches_folded == serial.matches_folded
+        assert_same_values(JOIN_SPEC, sharded.values, serial.values)
+
+    def test_partitioned_stream_equals_batch_partitioned(self):
+        events = join_relation()
+        plan = compile_plan(JOIN_PATTERN, aggregate=JOIN_SPEC)
+        batch = plan.match(events, partition_by="pid").aggregates
+        stream = plan.stream(partition_by="pid")
+        for event in events:
+            stream.push(event)
+        stream.close()
+        series = stream.aggregates()
+        assert series.matches_folded == batch.matches_folded
+        assert_same_values(JOIN_SPEC, series.values, batch.values)
+
+
+# ----------------------------------------------------------------------
+# No materialisation: the whole point
+# ----------------------------------------------------------------------
+
+class TestNoMaterialization:
+    def test_agg_result_carries_no_matches(self):
+        events = join_relation()
+        plan = compile_plan(JOIN_PATTERN, aggregate=JOIN_SPEC)
+        result = plan.match(events)
+        assert len(result) == 0
+        assert result.accepted == []
+        assert result.aggregates.matches_folded > 0
+
+    def test_zero_ses_matches_total_on_agg_path(self):
+        obs = Observability()
+        events = join_relation()
+        plan = compile_plan(JOIN_PATTERN, aggregate=JOIN_SPEC,
+                            observability=obs)
+        executor = plan.executor(observability=obs)
+        executor.run(events)
+        snapshot = obs.snapshot()
+        matches = snapshot.get("ses_matches_total")
+        assert matches is None or matches["value"] == 0
+        folded = snapshot["ses_agg_matches_folded_total"]
+        assert folded["value"] == executor.matches_folded > 0
+
+    def test_group_count_stays_far_below_match_count(self):
+        # PERMUTE(a+, b+) with constant conditions: the accepted-buffer
+        # count explodes combinatorially, the coalesced group population
+        # stays linear in the window.
+        pattern = SESPattern(sets=[["a+", "b+"]],
+                             conditions=["a.L = 'A'", "b.L = 'A'"],
+                             tau=100)
+        spec = AggregateSpec(aggregates=(Aggregate("count", alias="n"),))
+        events = EventRelation([Event(ts=i, eid=f"e{i}", L="A")
+                                for i in range(12)])
+        plan = compile_plan(pattern, aggregate=spec)
+        executor = plan.executor()
+        result = executor.run(events)
+        series = result.aggregates
+        expected, _ = reference_values(pattern, spec, events)
+        assert series["n"] == expected["n"]
+        assert series["n"] > 1000
+        assert executor._agg.max_groups < 100
+
+
+# ----------------------------------------------------------------------
+# Checkpoint / restore
+# ----------------------------------------------------------------------
+
+class TestStateRoundtrip:
+    def test_stream_checkpoint_restore_preserves_aggregates(self):
+        events = join_relation(seed=11, n=200)
+        plan = compile_plan(JOIN_PATTERN, aggregate=JOIN_SPEC)
+        straight = plan.stream()
+        for event in events:
+            straight.push(event)
+        straight.close()
+
+        first = plan.stream()
+        for event in events.events[:100]:
+            first.push(event)
+        state = first.state_dict()
+        second = plan.stream()
+        second.load_state(state)
+        for event in events.events[100:]:
+            second.push(event)
+        second.close()
+        assert second.matches_folded == straight.matches_folded
+        assert_same_values(JOIN_SPEC, second.aggregates().values,
+                           straight.aggregates().values)
+
+    def test_partitioned_stream_checkpoint_carries_agg_partials(self):
+        events = join_relation(seed=3, n=200)
+        plan = compile_plan(JOIN_PATTERN, aggregate=JOIN_SPEC)
+        straight = plan.stream(partition_by="pid")
+        for event in events:
+            straight.push(event)
+        straight.close()
+
+        first = plan.stream(partition_by="pid")
+        for event in events.events[:120]:
+            first.push(event)
+        first.collect(now=10**9)  # retire idle partitions into the carry
+        state = first.state_dict()
+        second = plan.stream(partition_by="pid")
+        second.load_state(state)
+        for event in events.events[120:]:
+            second.push(event)
+        second.close()
+        assert second.matches_folded == straight.matches_folded
+        assert_same_values(JOIN_SPEC, second.aggregates().values,
+                           straight.aggregates().values)
+
+
+# ----------------------------------------------------------------------
+# Plan cache fingerprinting
+# ----------------------------------------------------------------------
+
+class TestFingerprints:
+    def test_agg_plan_is_distinct_from_enum_plan(self):
+        enum = compile_plan(JOIN_PATTERN)
+        agg = compile_plan(JOIN_PATTERN, aggregate=JOIN_SPEC)
+        assert enum.fingerprint != agg.fingerprint
+        assert enum is not agg
+        assert agg.aggregate is JOIN_SPEC
+
+    def test_same_spec_hits_the_cache(self):
+        assert (compile_plan(JOIN_PATTERN, aggregate=JOIN_SPEC)
+                is compile_plan(JOIN_PATTERN, aggregate=JOIN_SPEC))
+
+    def test_different_specs_differ(self):
+        other = AggregateSpec(aggregates=(Aggregate("count", alias="n"),))
+        assert (compile_plan(JOIN_PATTERN, aggregate=JOIN_SPEC).fingerprint
+                != compile_plan(JOIN_PATTERN,
+                                aggregate=other).fingerprint)
+
+
+# ----------------------------------------------------------------------
+# Typed results and the query façade
+# ----------------------------------------------------------------------
+
+class TestResultSurfaces:
+    def test_match_delegates_to_substitution(self):
+        events = rel(ev(1, "A", pid=1, x=2), ev(2, "B", pid=1, x=3))
+        matches = repro.query(
+            "PATTERN PERMUTE(a, b) WHERE a.kind = 'A' AND b.kind = 'B' "
+            "WITHIN 10", events)
+        assert isinstance(matches, MatchSet)
+        (match,) = list(matches)
+        assert isinstance(match, Match)
+        assert match.pattern_id is None and match.partition is None
+        assert match.min_ts() == 1 and match.max_ts() == 2
+        assert [e.eid for e in match.events()] == ["a1", "b2"]
+        assert {v.name for v in match.variables} == {"a", "b"}
+        assert len(match.bindings) == 2
+
+    def test_aggregate_series_mapping_surface(self):
+        series = AggregateSeries(
+            JOIN_SPEC, fold_reference(JOIN_SPEC, []))
+        assert len(series) == len(JOIN_SPEC)
+        assert series["n"] == 0 and series[0] == 0
+        assert series.labels == JOIN_SPEC.labels
+        assert dict(series)["sum(a.x)"] is None
+        rows = series.to_rows()
+        assert rows[0] == {"aggregate": "n", "value": 0}
+
+    def test_series_merged_with(self):
+        events = join_relation()
+        plan = compile_plan(JOIN_PATTERN, aggregate=JOIN_SPEC)
+        whole = plan.match(events).aggregates
+        half1 = plan.match(EventRelation(events.events[:150])).aggregates
+        half2 = plan.match(EventRelation(events.events[150:])).aggregates
+        merged = half1.merged_with(half2)
+        # Halving at an event boundary may split an in-flight window,
+        # so only the counting structure is asserted here.
+        assert (merged.matches_folded
+                <= whole.matches_folded)
+        assert merged.matches_folded == (half1.matches_folded
+                                         + half2.matches_folded)
+
+    def test_query_facade_accepts_plan_and_pattern(self):
+        events = join_relation()
+        plan = compile_plan(JOIN_PATTERN, aggregate=JOIN_SPEC)
+        from_plan = repro.query(plan, events)
+        assert isinstance(from_plan, AggregateSeries)
+        from_pattern = repro.query(JOIN_PATTERN, events)
+        assert isinstance(from_pattern, MatchSet)
+        with pytest.raises(TypeError):
+            repro.query(42, events)
+
+
+# ----------------------------------------------------------------------
+# Registry fan-out
+# ----------------------------------------------------------------------
+
+class TestRegistryAggregation:
+    QUERY = ("SELECT count(*) AS n, avg(b.x) FROM PATTERN PERMUTE(a, b) "
+             "WHERE a.kind = 'A' AND b.kind = 'B' AND a.pid = b.pid "
+             "WITHIN 25")
+
+    def test_registry_aggregates_match_standalone_stream(self):
+        from repro.registry import PatternRegistry, UnknownPatternError
+        events = join_relation(seed=5, n=250)
+        obs = Observability()
+        registry = PatternRegistry(observability=obs)
+        registry.register(self.QUERY, pattern_id="agg")
+        registry.register(
+            "PATTERN PERMUTE(a, b) WHERE a.kind = 'A' AND b.kind = 'B' "
+            "WITHIN 25", pattern_id="enum")
+        registry.push_many(events)
+        registry.close()
+
+        pattern, spec = parse_query_spec(self.QUERY)
+        plan = compile_plan(pattern, aggregate=spec)
+        standalone = plan.stream()
+        for event in events:
+            standalone.push(event)
+        standalone.close()
+
+        series = registry.aggregates_of("agg")
+        assert series.matches_folded == standalone.matches_folded > 0
+        assert_same_values(spec, series.values,
+                           standalone.aggregates().values)
+        # Enum siblings still enumerate; the agg entry contributes none.
+        assert registry.matches_of("agg") == []
+        assert len(registry.matches_of("enum")) > 0
+
+        snapshot = obs.snapshot()
+        folded = snapshot["ses_agg_matches_folded_total[agg]"]
+        assert folded["value"] == series.matches_folded
+        with pytest.raises(UnknownPatternError):
+            registry.aggregates_of("nope")

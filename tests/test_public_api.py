@@ -19,6 +19,8 @@ EXPECTED_ALL = {
     # Compile-once façade
     "PatternPlan", "PlanCache", "compile", "plan_cache",
     "clear_plan_cache", "set_plan_cache_size",
+    # Unified query façade + typed results
+    "query", "Match", "MatchSet", "AggregateSeries", "AggregateSpec",
     # Matchers
     "Matcher", "match", "ContinuousMatcher", "MultiPatternMatcher",
     "ParallelPartitionedMatcher", "ShardedStreamMatcher",
@@ -57,9 +59,17 @@ class TestSignatures:
     def test_compile(self):
         params = inspect.signature(repro.compile).parameters
         assert list(params) == ["pattern", "optimizations", "cache",
-                                "observability"]
-        for name in ("optimizations", "cache", "observability"):
+                                "observability", "aggregate"]
+        for name in ("optimizations", "cache", "observability", "aggregate"):
             assert params[name].kind is inspect.Parameter.KEYWORD_ONLY
+
+    def test_query_facade(self):
+        params = inspect.signature(repro.query).parameters
+        assert list(params)[:2] == ["source", "events"]
+        for option in ("use_filter", "selection", "consume", "workers",
+                       "partition_by", "observability", "optimizations"):
+            assert option in params, option
+            assert params[option].kind is inspect.Parameter.KEYWORD_ONLY
 
     def test_plan_match_unified_options(self):
         params = parameter_names(PatternPlan.match)
@@ -124,3 +134,30 @@ class TestFacadeBehaviour:
         pattern = repro.compile_query(repro.parse_query(
             "PATTERN PERMUTE(a, b) WHERE a.k = 'x' AND b.k = 'y' WITHIN 10"))
         assert isinstance(pattern, repro.SESPattern)
+
+    def test_query_returns_typed_result_union(self):
+        events = [repro.Event(ts=1, k="x"), repro.Event(ts=2, k="y")]
+        text = "PATTERN PERMUTE(a, b) WHERE a.k = 'x' AND b.k = 'y' WITHIN 10"
+        matches = repro.query(text, events)
+        assert isinstance(matches, repro.MatchSet)
+        assert matches.kind == "matches"
+        assert all(isinstance(m, repro.Match) for m in matches)
+        series = repro.query("SELECT count(*) AS n FROM " + text, events)
+        assert isinstance(series, repro.AggregateSeries)
+        assert series.kind == "aggregates"
+        assert series["n"] == 1
+
+    def test_match_and_matcher_warn_once(self):
+        import warnings
+
+        from repro.core import options
+        pattern = repro.SESPattern(
+            sets=[["a"]], conditions=["a.kind = 'A'"], tau=5)
+        options._WARNED.discard("repro.match")
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            repro.match(pattern, [repro.Event(ts=1, kind="A")])
+            repro.match(pattern, [repro.Event(ts=1, kind="A")])
+        ours = [w for w in caught
+                if "repro.match is deprecated" in str(w.message)]
+        assert len(ours) == 1
