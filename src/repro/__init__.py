@@ -62,7 +62,8 @@ from .automaton.filtering import EventFilter
 from .explain import (ExplainReport, StatsStore, clear_stats_store, explain,
                       explain_analyze, stats_store)
 from .lang import compile_query, parse_query
-from .obs import FlightRecorder, Observability, ObsServer
+from .obs import (FlightRecorder, LineageRecorder, Observability, ObsServer,
+                  Provenance, TraceConfig)
 from .parallel import (ParallelPartitionedMatcher, ShardedStreamMatcher,
                        WorkerCrashed)
 from .plan import (PatternPlan, PlanCache, clear_plan_cache, compile,
@@ -91,6 +92,7 @@ __all__ = [
     "FaultPlan",
     "FlightRecorder",
     "GuardConfig",
+    "LineageRecorder",
     "Match",
     "MatchResult",
     "MatchSet",
@@ -103,6 +105,7 @@ __all__ = [
     "PatternPlan",
     "PatternRegistry",
     "PlanCache",
+    "Provenance",
     "ResourceExhausted",
     "RestartPolicy",
     "SESAutomaton",
@@ -114,6 +117,7 @@ __all__ = [
     "Substitution",
     "Supervisor",
     "TenantQuota",
+    "TraceConfig",
     "Variable",
     "WorkerCrashed",
     "attr",

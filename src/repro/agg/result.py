@@ -38,12 +38,16 @@ class Match:
 
     ``pattern_id`` is set for registry fan-out, ``partition`` for
     partitioned stream delivery; both are ``None`` for plain batch and
-    single-pattern stream matches.
+    single-pattern stream matches.  ``provenance`` carries the match's
+    :class:`~repro.obs.lineage.Provenance` record — contributing event
+    ids, transition path, per-stage timestamps, delivering site — when a
+    lineage recorder sampled the delivery; ``None`` otherwise.
     """
 
     substitution: Substitution
     pattern_id: Optional[str] = None
     partition: Any = None
+    provenance: Any = None
 
     def __iter__(self):
         return iter(self.substitution)
@@ -74,6 +78,8 @@ class Match:
             context += f", pattern_id={self.pattern_id!r}"
         if self.partition is not None:
             context += f", partition={self.partition!r}"
+        if self.provenance is not None:
+            context += f", provenance={self.provenance.match_id}"
         return f"Match({self.substitution!r}{context})"
 
 
@@ -88,9 +94,24 @@ class MatchSet(MatchResult):
 
     kind = "matches"
 
+    #: Per-match :class:`~repro.obs.lineage.Provenance` records aligned
+    #: with ``matches`` (``None`` entries for unsampled deliveries);
+    #: absent until :meth:`attach_lineage` runs.
+    lineage = None
+
     def __iter__(self):
-        for substitution in self.matches:
-            yield Match(substitution)
+        lineage = self.lineage
+        for index, substitution in enumerate(self.matches):
+            provenance = (lineage[index]
+                          if lineage is not None and index < len(lineage)
+                          else None)
+            yield Match(substitution, provenance=provenance)
+
+    def attach_lineage(self, records) -> "MatchSet":
+        """Attach delivery-time provenance, positionally aligned with
+        ``matches`` (done by :func:`repro.query` after stamping)."""
+        self.lineage = list(records)
+        return self
 
     @property
     def substitutions(self) -> List[Substitution]:
@@ -118,6 +139,12 @@ class AggregateSeries:
     """
 
     kind = "aggregates"
+
+    #: Group-level :class:`~repro.obs.lineage.Provenance` (aggregates
+    #: materialise no matches, so lineage summarises the contributing
+    #: event stream and fold count); attached by :func:`repro.query`
+    #: when tracing is on.
+    provenance = None
 
     def __init__(self, spec: AggregateSpec, snapshot: Optional[dict] = None,
                  stats=None):

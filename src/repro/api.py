@@ -102,6 +102,20 @@ def query(source, events, *, use_filter: bool = True,
                         consume=consume, workers=workers,
                         partition_by=partition_by,
                         observability=observability)
+    lineage = (None if observability is None
+               else getattr(observability, "lineage", None))
     if plan.aggregate is not None:
-        return result.aggregates
-    return MatchSet.from_result(result)
+        series = result.aggregates
+        if lineage is not None:
+            series.provenance = lineage.aggregate_provenance(
+                folded=series.matches_folded)
+        return series
+    matches = MatchSet.from_result(result)
+    if lineage is not None:
+        # Batch delivery happens here: stamp every match and attach the
+        # per-match records (positionally aligned with the match list).
+        by = "serial" if workers <= 1 else f"pool:{workers}"
+        matches.attach_lineage([
+            lineage.deliver(substitution, by=by)
+            for substitution in matches.matches])
+    return matches

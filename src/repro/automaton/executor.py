@@ -262,6 +262,19 @@ class SESExecutor:
         if flight is not None:
             self.tracer = (flight if tracer is None
                            else _TeeTracer(tracer, flight))
+        #: Optional :class:`~repro.obs.lineage.LineageRecorder`, taken
+        #: from the observability bundle.  Attached, it rides the tracer
+        #: hooks (teed with any existing tracer) and the feed entry
+        #: point is re-bound to a thin ingest-stamping wrapper; absent,
+        #: the hot path keeps the exact un-instrumented binding — the
+        #: same zero-dispatch idiom as the disabled resource guard.
+        self.lineage = (None if obs is None
+                        else getattr(obs, "lineage", None))
+        if self.lineage is not None:
+            self.tracer = (self.lineage if self.tracer is None
+                           else _TeeTracer(self.tracer, self.lineage))
+            self._inner_feed = self.feed
+            self.feed = self._traced_feed
         if obs is not None and event_filter is not None:
             event_filter.bind_metrics(obs.registry)
         self.reset()
@@ -313,6 +326,14 @@ class SESExecutor:
         if self.guard is None:
             return self._feed(event, allow_start)
         return self.guard.guarded_feed(self, event, allow_start)
+
+    def _traced_feed(self, event: Event,
+                     allow_start: bool = True) -> List[Substitution]:
+        """Ingest-stamping wrapper bound over :meth:`feed` when a
+        lineage recorder is attached (guarded or not — it captures
+        whichever binding the guard setup left in place)."""
+        self.lineage.note_ingest(event)
+        return self._inner_feed(event, allow_start)
 
     def _feed(self, event: Event,
               allow_start: bool = True) -> List[Substitution]:
@@ -459,6 +480,13 @@ class SESExecutor:
                 if instance.state == accepting:
                     accepted_now.append(instance.buffer.to_substitution())
                     stats.accepted_buffers += 1
+                    # This sweep bypasses the tracer (flight contents
+                    # must not change with streaming expiry), but
+                    # lineage needs every acceptance.
+                    if self.lineage is not None:
+                        self.lineage.record("accept", event, instance)
+                elif self.lineage is not None:
+                    self.lineage.record("expire", event, instance)
             else:
                 survivors.append(instance)
         self._omega = survivors
@@ -520,6 +548,8 @@ class SESExecutor:
                   allow_start: bool = True) -> List[Substitution]:
         """Group-fold twin of :meth:`_step`; never emits substitutions."""
         self._agg.step(event, allow_start, self.stats)
+        if self.lineage is not None:
+            self.lineage.note_fold(event, self._agg.matches_folded)
         flight = self.flight
         if flight is not None:
             flight.sample_omega(event.ts, self._agg.group_count)

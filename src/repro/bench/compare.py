@@ -38,12 +38,17 @@ DEFAULT_MIN_SECONDS = 0.05
 _LOWER_IS_BETTER = ("_seconds",)
 _HIGHER_IS_BETTER = ("_events_per_second", "_throughput", "_speedup")
 
-#: Resilience metrics never gate regardless of suffix: they count
-#: injected faults and recovery work (``ses_restart_backoff_seconds``
-#: is cumulative sleep, not a run timing), so chaos runs with more
-#: faults would otherwise read as performance regressions.
+#: Resilience and lineage metrics never gate regardless of suffix: the
+#: former count injected faults and recovery work
+#: (``ses_restart_backoff_seconds`` is cumulative sleep, not a run
+#: timing); the latter measure the *observed stream* — the
+#: ``ses_event_latency_*_seconds`` histograms track per-event pipeline
+#: residence and the ``ses_lineage_*`` counters sampling volume, both a
+#: function of workload and sample rate, so chaos runs or a raised
+#: sample rate would otherwise read as performance regressions.
 _NEVER_GATE_PREFIXES = ("ses_restart", "ses_quarantined", "ses_shed",
-                        "ses_guard", "ses_degraded")
+                        "ses_guard", "ses_degraded", "ses_event_latency",
+                        "ses_lineage", "ses_backpressure", "ses_queue")
 
 
 @dataclass

@@ -47,6 +47,12 @@ Commands
     graphs, heavy complexity classes).
 ``stats``
     Render a saved metrics snapshot (table, Prometheus text, or JSON).
+``trace``
+    Run a query with lineage sampling on and render every delivered
+    match's provenance — contributing event ids, transition path,
+    per-stage latency breakdown, delivering site
+    (``--format text|json|dot``; see ``docs/tracing.md``).
+    ``--otel-out`` additionally writes the records as OTLP/JSON spans.
 
 Event CSVs use the typed format of :mod:`repro.storage.csvio` (also what
 ``generate`` writes).  Queries may be given inline with ``--query`` or
@@ -74,11 +80,11 @@ from .data.chemo import generate_chemo
 from .lang import QueryError, parse_query_spec
 from .plan.cache import compile as compile_plan
 from .resilience.guards import ResourceExhausted
-from .obs import (FlightRecorder, ObsServer, Observability, SpanTracer,
-                  configure_logging, install_flight_signal_handler,
-                  live_snapshot, parse_listen, read_jsonl,
-                  snapshot_quantile, to_jsonl, to_prometheus,
-                  write_chrome_trace, write_jsonl)
+from .obs import (FlightRecorder, LineageRecorder, ObsServer, Observability,
+                  SpanTracer, TraceConfig, configure_logging,
+                  install_flight_signal_handler, live_snapshot, parse_listen,
+                  read_jsonl, snapshot_quantile, to_jsonl, to_prometheus,
+                  write_chrome_trace, write_jsonl, write_otel_spans)
 from .storage.csvio import load_relation, save_relation
 
 __all__ = ["main", "build_parser"]
@@ -259,6 +265,36 @@ def build_parser() -> argparse.ArgumentParser:
     group.add_argument("--window", type=int,
                        help="use this window size W directly")
 
+    p_trace = sub.add_parser(
+        "trace", help="run a query with lineage sampling on and render "
+                      "match provenance (event-to-delivery causal "
+                      "traces with per-stage latency)")
+    _add_query_arguments(p_trace)
+    p_trace.add_argument("--data", required=True, type=Path,
+                         help="event relation CSV (typed format)")
+    p_trace.add_argument("--sample", type=float, default=1.0,
+                         metavar="RATE",
+                         help="trace sample rate in [0, 1] (default: 1.0 "
+                              "— trace every event)")
+    p_trace.add_argument("--slow-ms", type=float, default=100.0,
+                         metavar="MS",
+                         help="tail-sampling threshold: matches slower "
+                              "end-to-end are always kept (default: 100)")
+    p_trace.add_argument("--workers", type=int, default=1, metavar="N",
+                         help="evaluate partitions on a pool of N worker "
+                              "processes (lineage reconciles across the "
+                              "pool; see docs/tracing.md)")
+    p_trace.add_argument("--format", default="text",
+                         choices=["text", "json", "dot"],
+                         help="output format (default: text)")
+    p_trace.add_argument("--otel-out", type=Path, metavar="PATH",
+                         help="also write the lineage records as "
+                              "OTLP/JSON spans (POST to a collector's "
+                              "/v1/traces)")
+    p_trace.add_argument("--out", type=Path, metavar="PATH",
+                         help="write the rendered report to PATH instead "
+                              "of stdout")
+
     p_stats = sub.add_parser(
         "stats", help="render a saved metrics snapshot")
     p_stats.add_argument("snapshot", type=Path,
@@ -357,7 +393,8 @@ def _cmd_match(args: argparse.Namespace) -> int:
         server = ObsServer(host=host, port=port,
                            snapshot=lambda: live_snapshot(obs),
                            flight=flight,
-                           explain=lambda: explain(plan).to_dict()).start()
+                           explain=lambda: explain(plan).to_dict(),
+                           lineage=lambda: obs.lineage).start()
         print(f"serving observability on {server.url}")
     try:
         if args.dead_letter is not None:
@@ -405,7 +442,8 @@ def _cmd_match(args: argparse.Namespace) -> int:
         path = write_jsonl(obs.snapshot(), args.metrics_out)
         print(f"metrics snapshot: {path}")
     if tracing:
-        write_chrome_trace(args.trace_out, spans=obs.spans, flight=flight)
+        write_chrome_trace(args.trace_out, spans=obs.spans, flight=flight,
+                           lineage=obs.lineage)
         print(f"chrome trace: {args.trace_out} "
               f"(open in ui.perfetto.dev or chrome://tracing)")
     return 0
@@ -517,6 +555,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                        health=health, flight=flight,
                        explain=lambda: explain(plan).to_dict(),
                        patterns=patterns,
+                       lineage=lambda: obs.lineage,
                        on_quit=stop.set)
     try:
         server.start()
@@ -788,6 +827,45 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """``repro trace``: a batch run with lineage sampling forced on,
+    rendering every delivered match's provenance record."""
+    pattern, aggregate = _load_query(args)
+    relation = load_relation(args.data)
+    if args.workers < 1:
+        raise ValueError("--workers must be >= 1")
+    if not 0.0 <= args.sample <= 1.0:
+        raise ValueError("--sample must be in [0, 1]")
+    config = TraceConfig(sample_rate=args.sample,
+                         slow_seconds=args.slow_ms / 1000.0)
+    obs = Observability(lineage=LineageRecorder(config))
+    plan = compile_plan(pattern, aggregate=aggregate, observability=obs)
+    from .api import query as run_query
+    result = run_query(plan, relation, workers=args.workers,
+                       observability=obs)
+    lineage = obs.lineage
+    summary = lineage.summary()
+    if result.kind == "aggregates":
+        print(f"{result.matches_folded} match(es) folded over "
+              f"{len(relation)} events; "
+              f"{summary['records']} lineage record(s)", file=sys.stderr)
+    else:
+        print(f"{len(result)} match(es) in {len(relation)} events; "
+              f"{summary['records']} lineage record(s), "
+              f"{summary['ingested']} traced", file=sys.stderr)
+    rendered = lineage.report().render(args.format)
+    if args.out is not None:
+        args.out.write_text(rendered + "\n", encoding="utf-8")
+        print(f"lineage report: {args.out}", file=sys.stderr)
+    else:
+        print(rendered)
+    if args.otel_out is not None:
+        write_otel_spans(args.otel_out, lineage)
+        # stderr: stdout must stay a clean json/dot document for pipes.
+        print(f"otel spans: {args.otel_out}", file=sys.stderr)
+    return 0
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
     pattern = _load_pattern(args)
     if args.window is not None:
@@ -809,6 +887,7 @@ _COMMANDS = {
     "analyze": _cmd_analyze,
     "lint": _cmd_lint,
     "stats": _cmd_stats,
+    "trace": _cmd_trace,
 }
 
 

@@ -26,14 +26,18 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, Optional
 
-from .exporters import (read_jsonl, to_chrome_trace, to_jsonl, to_prometheus,
-                        write_chrome_trace, write_jsonl)
+from .exporters import (read_jsonl, to_chrome_trace, to_jsonl, to_otel_spans,
+                        to_prometheus, write_chrome_trace, write_jsonl,
+                        write_otel_spans)
 from .flight import FlightRecorder, install_flight_signal_handler
+from .lineage import LineageRecorder, LineageReport, Provenance, match_id
 from .live import ObsServer, live_snapshot, parse_listen
 from .logs import configure_logging, get_logger, verbosity_level
 from .metrics import (LATENCY_BUCKETS, LIFETIME_BUCKETS, NULL_REGISTRY,
                       Counter, Gauge, Histogram, MetricsRegistry, NullRegistry,
                       estimate_quantile, snapshot_quantile)
+from .tracectx import (TraceConfig, TraceContext, sampled, trace_id_for,
+                       TRACE_MAX_ENV, TRACE_SAMPLE_ENV, TRACE_SLOW_MS_ENV)
 from .tracing import Span, SpanTracer, StageStats
 
 __all__ = [
@@ -41,11 +45,15 @@ __all__ = [
     "NULL_REGISTRY", "LATENCY_BUCKETS", "LIFETIME_BUCKETS",
     "Span", "SpanTracer", "StageStats", "Observability",
     "FlightRecorder", "ObsServer",
+    "LineageRecorder", "LineageReport", "Provenance", "TraceConfig",
+    "TraceContext", "match_id", "sampled", "trace_id_for",
+    "TRACE_MAX_ENV", "TRACE_SAMPLE_ENV", "TRACE_SLOW_MS_ENV",
     "configure_logging", "get_logger", "verbosity_level",
     "estimate_quantile", "snapshot_quantile",
     "install_flight_signal_handler", "live_snapshot", "parse_listen",
-    "read_jsonl", "to_chrome_trace", "to_jsonl", "to_prometheus",
-    "write_chrome_trace", "write_jsonl",
+    "read_jsonl", "to_chrome_trace", "to_jsonl", "to_otel_spans",
+    "to_prometheus", "write_chrome_trace", "write_jsonl",
+    "write_otel_spans",
 ]
 
 #: The engine's canonical stage names, in pipeline order.
@@ -62,6 +70,13 @@ class Observability:
         :data:`NULL_REGISTRY` for an explicit no-op bundle.
     spans:
         Backing tracer; fresh by default.
+    lineage:
+        Optional :class:`~repro.obs.lineage.LineageRecorder` for match
+        provenance and causal tracing.  When omitted, one is created
+        automatically iff the ``REPRO_TRACE_SAMPLE`` environment knob
+        enables sampling — worker processes construct plain
+        ``Observability()`` bundles, so tracing propagates across
+        process boundaries through the inherited environment.
 
     The engine-standard instruments (``|Ω|`` gauge, per-event latency and
     instance-lifetime histograms) are created lazily on first use so a
@@ -69,9 +84,19 @@ class Observability:
     """
 
     def __init__(self, registry: Optional[MetricsRegistry] = None,
-                 spans: Optional[SpanTracer] = None):
+                 spans: Optional[SpanTracer] = None,
+                 lineage: Optional[LineageRecorder] = None):
         self.registry = MetricsRegistry() if registry is None else registry
         self.spans = SpanTracer() if spans is None else spans
+        if lineage is None:
+            config = TraceConfig.from_env()
+            lineage = (LineageRecorder(config, registry=self.registry)
+                       if config.enabled else None)
+        elif lineage._registry is NULL_REGISTRY:
+            # An injected recorder built without a registry publishes its
+            # latency histograms and counters through this bundle.
+            lineage.bind_metrics(self.registry)
+        self.lineage = lineage
         r = self.registry
         self._omega = r.gauge(
             "ses_omega_instances",
@@ -116,7 +141,18 @@ class Observability:
         """Fold another bundle's metrics and stage timings into this one."""
         self.registry.merge(other.registry)
         self.spans.merge(other.spans)
+        if (other.lineage is not None
+                and other.lineage is not self.lineage):
+            self.ensure_lineage().absorb(other.lineage.export_record())
         return self
+
+    def ensure_lineage(self) -> LineageRecorder:
+        """The lineage recorder, created on demand (used when worker
+        snapshots arrive carrying lineage the parent did not ask for)."""
+        if self.lineage is None:
+            self.lineage = LineageRecorder(TraceConfig.from_env(),
+                                           registry=self.registry)
+        return self.lineage
 
     @classmethod
     def merged(cls, bundles: Iterable["Observability"]) -> "Observability":
@@ -138,10 +174,13 @@ class Observability:
         stages = {}
         metrics = {}
         for name, record in snapshot.items():
-            if record.get("type") == "stage":
+            kind = record.get("type")
+            if kind == "stage":
                 if name.startswith("repro_stage_"):
                     name = name[len("repro_stage_"):]
                 stages[name] = record
+            elif kind == "lineage":
+                self.ensure_lineage().absorb(record)
             else:
                 metrics[name] = record
         self.registry.merge_snapshot(metrics)
@@ -157,6 +196,8 @@ class Observability:
         snapshot = self.registry.snapshot()
         for name, record in self.spans.snapshot().items():
             snapshot[f"repro_stage_{name}"] = record
+        if self.lineage is not None:
+            snapshot["repro_lineage"] = self.lineage.export_record()
         return snapshot
 
     def stage_rows(self):

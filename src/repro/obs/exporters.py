@@ -18,17 +18,24 @@ record carries a ``"type"`` of ``counter``, ``gauge``, ``histogram`` or
   :func:`write_chrome_trace`): spans as duration events and automaton
   instance lifecycles as async events, loadable in ``ui.perfetto.dev``
   or ``chrome://tracing``.
+* **OTel-flavoured span JSON** (:func:`to_otel_spans` /
+  :func:`write_otel_spans`): lineage records rendered in the
+  OTLP/JSON ``resourceSpans`` shape — one span per match from ingest
+  to delivery plus per-stage child spans — ingestible by any OTLP/HTTP
+  collector without an SDK dependency.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import re
 from pathlib import Path
 from typing import Dict, List, Union
 
 __all__ = ["write_jsonl", "read_jsonl", "to_jsonl", "to_prometheus",
-           "to_chrome_trace", "write_chrome_trace"]
+           "to_chrome_trace", "write_chrome_trace",
+           "to_otel_spans", "write_otel_spans"]
 
 _NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
 
@@ -132,6 +139,10 @@ def to_prometheus(snapshot: Dict[str, dict]) -> str:
 
     for name, record in snapshot.items():
         kind = record.get("type", "gauge")
+        if kind == "lineage":
+            # Lineage rides Observability.snapshot() for cross-process
+            # merging; it is structured data, not a scrapeable sample.
+            continue
         pname = _prom_name(record.get("metric", name))
         help_text = record.get("help", "")
         labels = _prom_labels(record)
@@ -186,6 +197,7 @@ def to_prometheus(snapshot: Dict[str, dict]) -> str:
 #: they are rendered as two separate "processes".
 SPAN_PID = 1
 INSTANCE_PID = 2
+LINEAGE_PID = 3
 
 #: Step kinds that terminate an automaton instance's lifecycle.
 _LIFECYCLE_ENDS = ("expire", "accept", "flush")
@@ -230,7 +242,21 @@ def _lifecycle_records(steps, flight):
     return out
 
 
-def to_chrome_trace(spans=None, steps=None, flight=None) -> dict:
+def _lineage_records(lineage):
+    """Normalise a lineage argument: LineageRecorder, LineageReport, or
+    an iterable of :class:`~repro.obs.lineage.Provenance` records."""
+    if lineage is None:
+        return []
+    records = getattr(lineage, "records", None)
+    if callable(records):
+        return records()
+    if records is not None:
+        return list(records)
+    return list(lineage)
+
+
+def to_chrome_trace(spans=None, steps=None, flight=None,
+                    lineage=None) -> dict:
     """Render spans and instance lifecycles as a Chrome trace document.
 
     Parameters
@@ -249,6 +275,12 @@ def to_chrome_trace(spans=None, steps=None, flight=None) -> dict:
     flight:
         A :class:`~repro.obs.flight.FlightRecorder` (or its dump), read
         the same way as ``steps``.
+    lineage:
+        A :class:`~repro.obs.lineage.LineageRecorder` (or its report, or
+        an iterable of :class:`~repro.obs.lineage.Provenance` records).
+        Each sampled match becomes an async event pair spanning its
+        ingest-to-delivery wall-clock window, with per-stage timestamps
+        in the event args.
 
     Returns the ``{"traceEvents": [...]}`` document; load it at
     ``ui.perfetto.dev`` or ``chrome://tracing``.
@@ -259,6 +291,28 @@ def to_chrome_trace(spans=None, steps=None, flight=None) -> dict:
         {"name": "process_name", "ph": "M", "pid": INSTANCE_PID, "tid": 0,
          "args": {"name": "repro instances (event time)"}},
     ]
+    lineage_records = _lineage_records(lineage)
+    if lineage_records:
+        events.append(
+            {"name": "process_name", "ph": "M", "pid": LINEAGE_PID,
+             "tid": 0, "args": {"name": "repro lineage (wall clock)"}})
+        for index, record in enumerate(lineage_records):
+            stamps = [ts for ts in record.stages.values() if ts is not None]
+            if not stamps:
+                continue
+            begin, finish = min(stamps), max(stamps)
+            name = f"match {record.match_id}"
+            common = {"cat": "lineage", "id": index, "pid": LINEAGE_PID,
+                      "tid": 0}
+            events.append({
+                "name": name, "ph": "b", "ts": begin * 1e6,
+                "args": {"events": list(record.event_ids),
+                         "path": list(record.path),
+                         "delivered_by": record.delivered_by,
+                         "stages": dict(record.stages)},
+                **common})
+            events.append({"name": name, "ph": "e", "ts": finish * 1e6,
+                           **common})
     for span in _span_records(spans):
         events.append({
             "name": span.name, "cat": "stage", "ph": "X",
@@ -282,10 +336,130 @@ def to_chrome_trace(spans=None, steps=None, flight=None) -> dict:
 
 
 def write_chrome_trace(path: Union[str, Path], spans=None, steps=None,
-                       flight=None) -> Path:
+                       flight=None, lineage=None) -> Path:
     """Write :func:`to_chrome_trace` output to ``path``; returns the path."""
     path = Path(path)
-    document = to_chrome_trace(spans=spans, steps=steps, flight=flight)
+    document = to_chrome_trace(spans=spans, steps=steps, flight=flight,
+                               lineage=lineage)
+    path.write_text(json.dumps(document, default=str) + "\n",
+                    encoding="utf-8")
+    return path
+
+
+# ----------------------------------------------------------------------
+# OTel-flavoured span JSON (OTLP/JSON resourceSpans shape)
+# ----------------------------------------------------------------------
+def _otel_trace_id(record) -> str:
+    """A 32-hex OTLP trace id for a lineage record.
+
+    Derived from the first contributing event's trace id (16 hex,
+    zero-padded) so every span of the same causal chain shares it; falls
+    back to hashing the match id for records without contexts.
+    """
+    if record.trace_ids:
+        return record.trace_ids[0].zfill(32)
+    return hashlib.blake2b(record.match_id.encode("utf-8"),
+                           digest_size=16).hexdigest()
+
+
+def _otel_span_id(*parts) -> str:
+    """A 16-hex OTLP span id derived from ``parts``."""
+    return hashlib.blake2b("\x00".join(str(p) for p in parts).encode("utf-8"),
+                           digest_size=8).hexdigest()
+
+
+def _otel_attr(key, value) -> dict:
+    if isinstance(value, bool):
+        return {"key": key, "value": {"boolValue": value}}
+    if isinstance(value, int):
+        return {"key": key, "value": {"intValue": str(value)}}
+    if isinstance(value, float):
+        return {"key": key, "value": {"doubleValue": value}}
+    return {"key": key, "value": {"stringValue": str(value)}}
+
+
+def _otel_nanos(ts) -> str:
+    return str(int(ts * 1e9))
+
+
+def to_otel_spans(lineage, service: str = "repro") -> dict:
+    """Render lineage records in the OTLP/JSON ``resourceSpans`` shape.
+
+    ``lineage`` is a :class:`~repro.obs.lineage.LineageRecorder`, a
+    :class:`~repro.obs.lineage.LineageReport`, or an iterable of
+    :class:`~repro.obs.lineage.Provenance` records.  Each record becomes
+    a root span covering its full ingest-to-delivery window plus one
+    child span per adjacent stage pair (``ingest→recv``,
+    ``accept→deliver``, ...), so collectors show the same per-stage
+    latency breakdown :meth:`Provenance.stage_breakdown` computes.  Ids
+    are content-derived — the trace id extends the first contributing
+    event's trace id, the span id the match id — so spans exported from
+    different processes for the same match coincide instead of
+    duplicating.
+
+    Built by hand against the OTLP/JSON field names (stdlib only; no
+    opentelemetry SDK) — POST the document to an OTLP/HTTP collector's
+    ``/v1/traces`` endpoint as-is.
+    """
+    spans: List[dict] = []
+    for record in _lineage_records(lineage):
+        stamped = sorted(
+            ((stage, ts) for stage, ts in record.stages.items()
+             if ts is not None), key=lambda item: item[1])
+        if not stamped:
+            continue
+        trace_id = _otel_trace_id(record)
+        root_id = (record.match_id.zfill(16)
+                   if not record.match_id.count(":")
+                   else _otel_span_id(record.match_id))
+        begin, finish = stamped[0][1], stamped[-1][1]
+        attributes = [
+            _otel_attr("ses.match_id", record.match_id),
+            _otel_attr("ses.kept", record.kept or "unsampled"),
+            _otel_attr("ses.delivered", record.delivered),
+            _otel_attr("ses.event_ids", ",".join(record.event_ids)),
+            _otel_attr("ses.path", ",".join(record.path)),
+        ]
+        if record.pattern_id is not None:
+            attributes.append(_otel_attr("ses.pattern_id",
+                                         record.pattern_id))
+        if record.partition is not None:
+            attributes.append(_otel_attr("ses.partition", record.partition))
+        if record.delivered_by is not None:
+            attributes.append(_otel_attr("ses.delivered_by",
+                                         record.delivered_by))
+        spans.append({
+            "traceId": trace_id, "spanId": root_id,
+            "name": f"ses.match {record.match_id}", "kind": 1,
+            "startTimeUnixNano": _otel_nanos(begin),
+            "endTimeUnixNano": _otel_nanos(finish),
+            "attributes": attributes,
+        })
+        for (stage, start), (next_stage, end) in zip(stamped, stamped[1:]):
+            spans.append({
+                "traceId": trace_id,
+                "spanId": _otel_span_id(record.match_id, stage, next_stage),
+                "parentSpanId": root_id,
+                "name": f"ses.stage {stage}→{next_stage}", "kind": 1,
+                "startTimeUnixNano": _otel_nanos(start),
+                "endTimeUnixNano": _otel_nanos(end),
+                "attributes": [_otel_attr("ses.stage", next_stage)],
+            })
+    return {
+        "resourceSpans": [{
+            "resource": {"attributes": [
+                _otel_attr("service.name", service)]},
+            "scopeSpans": [{"scope": {"name": "repro.obs.lineage"},
+                            "spans": spans}],
+        }],
+    }
+
+
+def write_otel_spans(path: Union[str, Path], lineage,
+                     service: str = "repro") -> Path:
+    """Write :func:`to_otel_spans` output to ``path``; returns the path."""
+    path = Path(path)
+    document = to_otel_spans(lineage, service=service)
     path.write_text(json.dumps(document, default=str) + "\n",
                     encoding="utf-8")
     return path

@@ -16,6 +16,10 @@ route          payload
                recorder is attached)
 ``/debug/explain``  the current pattern's EXPLAIN report as JSON
                (``404`` when no explain provider is attached)
+``/debug/lineage``  the lineage recorder's summary plus sampled match
+               ids as JSON; ``/debug/lineage/<match_id>`` returns one
+               match's full provenance record (``404`` when no lineage
+               provider is attached or the id is unknown)
 ``/patterns``  the pattern registry: ``GET`` lists registered patterns,
                ``POST`` registers the query in the JSON body, and
                ``DELETE /patterns/<id>`` deregisters — hot, against the
@@ -94,6 +98,11 @@ class _Handler(BaseHTTPRequestHandler):
                                      {"error": "no explain provider attached"})
                 else:
                     self._reply_json(200, report)
+            elif path == "/debug/lineage" or path.startswith("/debug/lineage/"):
+                match_id = (path[len("/debug/lineage/"):]
+                            if path.startswith("/debug/lineage/") else None)
+                status, payload = obs_server.read_lineage(match_id or None)
+                self._reply_json(status, payload)
             elif path == "/patterns":
                 patterns = obs_server.patterns
                 if patterns is None:
@@ -196,6 +205,11 @@ class ObsServer:
         A :class:`~repro.registry.service.RegistryHTTPAdapter` backing
         the ``/patterns`` routes (GET list / POST register /
         DELETE ``/patterns/<id>``); the routes 404 without one.
+    lineage:
+        A :class:`~repro.obs.lineage.LineageRecorder` (or a callable
+        returning one, e.g. ``lambda: obs.lineage``) backing
+        ``/debug/lineage`` and ``/debug/lineage/<match_id>``; the
+        routes 404 without one.
     on_quit:
         Callback invoked by ``POST /quitquitquit`` (e.g. an Event's
         ``set``); the route 404s without one.
@@ -210,12 +224,14 @@ class ObsServer:
                  flight=None,
                  explain: Optional[Callable[[], dict]] = None,
                  patterns=None,
+                 lineage=None,
                  on_quit: Optional[Callable[[], None]] = None):
         self._snapshot = snapshot
         self._health = health
         self._flight = flight
         self._explain = explain
         self.patterns = patterns
+        self._lineage = lineage
         self._on_quit = on_quit
         self._httpd = ThreadingHTTPServer((host, port), _Handler)
         self._httpd.daemon_threads = True
@@ -232,6 +248,8 @@ class ObsServer:
             routes.append("/debug/flight")
         if self._explain is not None:
             routes.append("/debug/explain")
+        if self._lineage is not None:
+            routes.append("/debug/lineage")
         if self.patterns is not None:
             routes.append("/patterns")
         if self._on_quit is not None:
@@ -254,6 +272,26 @@ class ObsServer:
 
     def read_explain(self) -> Optional[dict]:
         return None if self._explain is None else self._explain()
+
+    def read_lineage(self, match_id: Optional[str] = None):
+        """``(status, payload)`` for the lineage routes.
+
+        Without ``match_id``: the recorder summary plus the sampled
+        match ids.  With one: that match's full provenance record.
+        """
+        lineage = self._lineage
+        if callable(lineage):
+            lineage = lineage()
+        if lineage is None:
+            return 404, {"error": "no lineage provider attached"}
+        if match_id is None:
+            return 200, {"summary": lineage.summary(),
+                         "match_ids": [record.match_id
+                                       for record in lineage.records()]}
+        record = lineage.get(match_id)
+        if record is None:
+            return 404, {"error": f"unknown match id {match_id!r}"}
+        return 200, record.to_dict()
 
     def request_quit(self) -> None:
         if self._on_quit is not None:

@@ -1,0 +1,172 @@
+"""Trace contexts: compact causal identity for ingested events.
+
+Every event entering an instrumented pipeline gets a :class:`TraceContext`
+— a deterministic trace id, the wall-clock ingest timestamp, and the list
+of process/shard *hops* it has traversed.  The context is small enough to
+ride the existing wire formats (an optional fourth element on the codec's
+event tuple, see :mod:`repro.parallel.codec`), survives WAL replay after
+supervised restarts unchanged, and is cheap enough to stamp on every
+event even when full lineage retention is sampled down.
+
+Identity is *content-derived*: :func:`trace_id_for` hashes the event's
+timestamp and id (falling back to its attributes when it has no id), so
+the same event yields the same trace id in the parent, in a pool worker,
+in a shard, and during a WAL replay — which is what makes exactly-once
+attribution possible without coordination.
+
+Sampling is equally deterministic: :func:`sampled` maps the trace id onto
+``[0, 1)`` and compares against the configured rate, so every process
+agrees on which traces are kept without exchanging state.  Tail-based
+retention (slow and quarantined traces are always kept) is layered on
+top by :class:`~repro.obs.lineage.LineageRecorder`.
+
+Configuration comes from three environment knobs (read once per
+:meth:`TraceConfig.from_env` call, typically at ``Observability``
+construction):
+
+* ``REPRO_TRACE_SAMPLE`` — sampling rate in ``[0, 1]``; ``0`` (the
+  default) disables tracing entirely and the executor binds the
+  un-instrumented feed, exactly like a disabled ``ResourceGuard``.
+* ``REPRO_TRACE_SLOW_MS`` — end-to-end latency above which an unsampled
+  trace is promoted to "kept" at delivery (default 100 ms).
+* ``REPRO_TRACE_MAX`` — retention bound on lineage records (default
+  1024); trace contexts use a small multiple of this bound.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+__all__ = [
+    "TRACE_SAMPLE_ENV", "TRACE_SLOW_MS_ENV", "TRACE_MAX_ENV",
+    "TraceConfig", "TraceContext", "trace_id_for", "sampled",
+]
+
+#: Environment knob: sampling rate in ``[0, 1]`` (``0`` disables tracing).
+TRACE_SAMPLE_ENV = "REPRO_TRACE_SAMPLE"
+#: Environment knob: slow-trace promotion threshold, milliseconds.
+TRACE_SLOW_MS_ENV = "REPRO_TRACE_SLOW_MS"
+#: Environment knob: lineage-record retention bound.
+TRACE_MAX_ENV = "REPRO_TRACE_MAX"
+
+#: Trace ids are 64-bit blake2b digests rendered as 16 hex chars.
+_ID_BITS = 64
+_ID_SPAN = 2 ** _ID_BITS
+
+
+@dataclass(frozen=True)
+class TraceConfig:
+    """Sampling policy for the lineage layer.
+
+    ``sample_rate == 0`` means tracing is off: ``Observability`` creates
+    no recorder and the executor's feed stays un-instrumented.
+    """
+
+    sample_rate: float = 0.0
+    slow_seconds: float = 0.1
+    max_traces: int = 1024
+
+    def __post_init__(self):
+        if not 0.0 <= self.sample_rate <= 1.0:
+            raise ValueError(
+                f"sample_rate must be in [0, 1], got {self.sample_rate}")
+        if self.max_traces < 1:
+            raise ValueError("max_traces must be positive")
+
+    @property
+    def enabled(self) -> bool:
+        return self.sample_rate > 0.0
+
+    @classmethod
+    def from_env(cls, environ=None) -> "TraceConfig":
+        """Read the ``REPRO_TRACE_*`` knobs (malformed values fall back
+        to the defaults rather than breaking pipeline construction)."""
+        environ = os.environ if environ is None else environ
+
+        def _read(name, default, convert):
+            raw = environ.get(name)
+            if raw is None:
+                return default
+            try:
+                return convert(raw)
+            except (TypeError, ValueError):
+                return default
+
+        rate = _read(TRACE_SAMPLE_ENV, 0.0, float)
+        slow_ms = _read(TRACE_SLOW_MS_ENV, 100.0, float)
+        max_traces = _read(TRACE_MAX_ENV, 1024, int)
+        return cls(sample_rate=min(max(rate, 0.0), 1.0),
+                   slow_seconds=max(slow_ms, 0.0) / 1000.0,
+                   max_traces=max(max_traces, 1))
+
+
+def trace_id_for(event) -> str:
+    """Deterministic 16-hex trace id for ``event``.
+
+    Derived from ``(ts, eid)``; events without an id fall back to their
+    sorted attribute items so distinct anonymous events still diverge.
+    """
+    if event.eid is not None:
+        key = repr((event.ts, event.eid))
+    else:
+        key = repr((event.ts, tuple(sorted(event.attributes.items(),
+                                           key=lambda kv: kv[0]))))
+    return hashlib.blake2b(key.encode("utf-8"), digest_size=8).hexdigest()
+
+
+def sampled(trace_id: str, rate: float) -> bool:
+    """Deterministic sampling decision: maps the id onto ``[0, 1)``."""
+    if rate >= 1.0:
+        return True
+    if rate <= 0.0:
+        return False
+    return int(trace_id, 16) < rate * _ID_SPAN
+
+
+class TraceContext:
+    """A single event's causal identity: id, ingest time, hop list.
+
+    ``hops`` records ``(site, stage, wall_ts)`` triples — e.g.
+    ``("main", "ingest", ...)`` then ``("shard:2", "recv", ...)`` — in
+    the order the event traversed them.
+    """
+
+    __slots__ = ("trace_id", "ingest_ts", "hops")
+
+    def __init__(self, trace_id: str, ingest_ts: float,
+                 hops: Optional[List[Tuple[str, str, float]]] = None):
+        self.trace_id = trace_id
+        self.ingest_ts = ingest_ts
+        self.hops = list(hops) if hops else []
+
+    @classmethod
+    def for_event(cls, event, site: str = "main") -> "TraceContext":
+        now = time.time()
+        ctx = cls(trace_id_for(event), now)
+        ctx.hops.append((site, "ingest", now))
+        return ctx
+
+    def hop(self, site: str, stage: str) -> "TraceContext":
+        self.hops.append((site, stage, time.time()))
+        return self
+
+    # -- wire format (plain tuples, picklable and WAL-safe) ------------
+    def to_wire(self) -> tuple:
+        return (self.trace_id, self.ingest_ts, tuple(self.hops))
+
+    @classmethod
+    def from_wire(cls, wire) -> "TraceContext":
+        trace_id, ingest_ts, hops = wire
+        return cls(trace_id, ingest_ts, [tuple(h) for h in hops])
+
+    def to_dict(self) -> dict:
+        return {"trace_id": self.trace_id, "ingest_ts": self.ingest_ts,
+                "hops": [list(h) for h in self.hops]}
+
+    def __repr__(self) -> str:
+        return (f"TraceContext({self.trace_id}, "
+                f"hops={[f'{s}/{st}' for s, st, _ in self.hops]})")

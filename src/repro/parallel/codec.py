@@ -9,7 +9,10 @@ other side.
 
 Wire formats
 ------------
-* event:          ``(ts, eid, ((attr, value), ...))``
+* event:          ``(ts, eid, ((attr, value), ...))``; a traced event
+  appends the optional fourth element ``trace_ctx`` — the
+  :meth:`~repro.obs.tracectx.TraceContext.to_wire` tuple — which
+  :func:`decode_event` ignores (read it with :func:`event_trace_ctx`).
 * substitution:   ``((name, is_group, event_wire), ...)`` — one entry
   per binding, in the substitution's canonical iteration order.
 
@@ -30,6 +33,7 @@ __all__ = [
     "encode_event", "decode_event",
     "encode_events", "decode_events",
     "encode_substitution", "decode_substitution",
+    "attach_trace_ctx", "event_trace_ctx",
 ]
 
 EventWire = Tuple[Any, Optional[str], Tuple[Tuple[str, Any], ...]]
@@ -42,9 +46,25 @@ def encode_event(event: Event) -> EventWire:
 
 
 def decode_event(wire: EventWire) -> Event:
-    """Rebuild an :class:`Event` from its wire tuple."""
-    ts, eid, attrs = wire
-    return Event(ts=ts, attrs=dict(attrs), eid=eid)
+    """Rebuild an :class:`Event` from its wire tuple.
+
+    Tolerates the traced four-element form: the trailing trace context
+    (anything past the first three elements) is simply not part of the
+    event.  This keeps the WAL replay path format-agnostic — entries
+    recorded with tracing on decode identically with tracing off.
+    """
+    return Event(ts=wire[0], attrs=dict(wire[2]), eid=wire[1])
+
+
+def attach_trace_ctx(wire: EventWire, ctx_wire) -> tuple:
+    """The traced wire form: ``event wire + (trace context,)``."""
+    return (wire[0], wire[1], wire[2], ctx_wire)
+
+
+def event_trace_ctx(wire) -> Optional[tuple]:
+    """The trace-context element of a traced wire (``None`` when the
+    event was shipped untraced)."""
+    return wire[3] if len(wire) > 3 else None
 
 
 def encode_events(events: Iterable[Event]) -> List[EventWire]:

@@ -33,7 +33,10 @@ Operational properties:
   quarantined to a dead-letter queue — see ``docs/resilience.md``.
 
 Wire protocol (parent ↔ shard): every routed event carries a per-shard
-1-based sequence number, parent → worker ``("e", seq, wire)``.  The
+1-based sequence number, parent → worker ``("e", seq, wire)``; with
+tracing on, sampled events ship the four-element traced wire (the
+trace context rides as ``wire[3]``, WAL entries included, so a replay
+after a supervised restart preserves trace identity).  The
 worker replies ``("m", shard, seq, wires)`` for matches, acks barriers
 with ``("flushed", shard, flush_seq, last_seq, guard_stats)`` /
 ``("closed", shard, wires, obs_snapshot, last_seq, guard_stats,
@@ -56,8 +59,9 @@ from ..core.events import Event
 from ..core.options import resolve_option
 from ..core.substitution import Substitution
 from ..stream.partitioned import PartitionedContinuousMatcher
-from .codec import (decode_event, decode_substitution, encode_event,
-                    encode_substitution)
+from ..obs.tracectx import sampled
+from .codec import (attach_trace_ctx, decode_event, decode_substitution,
+                    encode_event, encode_substitution, event_trace_ctx)
 from .errors import WorkerCrashed
 from .pool import default_context
 
@@ -100,9 +104,16 @@ def _shard_worker(shard_id: int, plan, attribute: str,
         from ..plan.cache import plan_cache
         plan = plan_cache().seed(plan)
         obs = None
+        lineage = None
         if instrument:
             from ..obs import Observability
             obs = Observability()
+            lineage = obs.lineage
+            if lineage is not None:
+                # The parent owns delivery accounting; this shard only
+                # contributes detail (paths, hop timestamps).
+                lineage.site = f"shard:{shard_id}"
+                lineage.authoritative = False
         if flight_capacity:
             from ..obs.flight import FlightRecorder
             flight = FlightRecorder(capacity=flight_capacity)
@@ -141,6 +152,10 @@ def _shard_worker(shard_id: int, plan, attribute: str,
                 if seq_value is not None:
                     seq_value.value = seq
                 current_event = decode_event(wire)
+                if lineage is not None:
+                    ctx_wire = event_trace_ctx(wire)
+                    if ctx_wire is not None:
+                        lineage.adopt(ctx_wire)
                 if injector is not None:
                     current_event = injector.before(seq, current_event)
                 reported = matcher.push(current_event)
@@ -301,6 +316,8 @@ class ShardedStreamMatcher:
         self._guard_stats = [None] * self.n_shards
         self._guard_carry = [{} for _ in range(self.n_shards)]
         self._guard_published: dict = {}
+        self._backpressure_waits = 0
+        self._backpressure_published = 0
         self._use_filter = use_filter
         self._suppress_overlaps = suppress_overlaps
         self._flight_capacity = flight_capacity
@@ -391,6 +408,14 @@ class ShardedStreamMatcher:
         seq = self._events_routed[shard] + 1
         self._events_routed[shard] = seq
         wire = encode_event(event)
+        lineage = None if self.obs is None else self.obs.lineage
+        if lineage is not None:
+            # True ingest happens here; sampled events carry their
+            # context on the wire (and hence into the WAL, so replayed
+            # events keep their original trace identity).
+            ctx = lineage.note_ingest(event)
+            if sampled(ctx.trace_id, lineage.config.sample_rate):
+                wire = attach_trace_ctx(wire, ctx.to_wire())
         if self.supervisor is not None:
             # Write-ahead: the event is recoverable before it is queued.
             self.supervisor.record_event(shard, seq, wire)
@@ -620,6 +645,7 @@ class ShardedStreamMatcher:
                 in_queue.put(message, timeout=_POLL_SECONDS)
                 return
             except queue.Full:
+                self._backpressure_waits += 1
                 if not self._processes[shard].is_alive():
                     if self.supervisor is not None:
                         self.supervisor.on_crash(shard)
@@ -653,7 +679,7 @@ class ShardedStreamMatcher:
             if (self.supervisor is not None
                     and not self.supervisor.should_deliver(shard_id, seq)):
                 return []  # replayed duplicate: already delivered
-            return self._report(message[3])
+            return self._report(message[3], shard=shard_id)
         if kind == "ckpt":
             if self.supervisor is not None:
                 self.supervisor.record_checkpoint(
@@ -688,7 +714,7 @@ class ShardedStreamMatcher:
                 from ..agg.engine import merge_snapshots
                 self._agg_snapshot = merge_snapshots(
                     self.plan.aggregate, self._agg_snapshot, agg_snapshot)
-            reported = self._report(wires)
+            reported = self._report(wires, shard=shard_id)
             if snapshot is not None and self.obs is not None:
                 self.obs.merge_snapshot(snapshot)
             if snapshot is not None:
@@ -708,14 +734,26 @@ class ShardedStreamMatcher:
             return reported
         raise WorkerCrashed(f"unexpected shard message {kind!r}")
 
-    def _report(self, wires) -> List[Substitution]:
+    def _report(self, wires,
+                shard: Optional[int] = None) -> List[Substitution]:
         reported = [decode_substitution(w) for w in wires]
         self._matches.extend(reported)
+        lineage = None if self.obs is None else self.obs.lineage
+        provenances = None
+        if lineage is not None:
+            # Parent-side delivery stamp, after the supervisor's
+            # exactly-once gate — a replayed duplicate never reaches
+            # this point, so a delivered count above 1 is a real bug.
+            by = "parent" if shard is None else f"shard:{shard}"
+            provenances = [lineage.deliver(s, by=by) for s in reported]
         if self._callbacks:
-            for substitution in reported:
+            for index, substitution in enumerate(reported):
                 events = substitution.events()
                 key = events[0].get(self.attribute) if events else None
-                delivered = Match(substitution, partition=key)
+                delivered = Match(substitution, partition=key,
+                                  provenance=(provenances[index]
+                                              if provenances is not None
+                                              else None))
                 for callback in self._callbacks:
                     callback(delivered)
         return reported
@@ -777,6 +815,17 @@ class ShardedStreamMatcher:
                 f"ses_shard{shard_id}_queue_depth",
                 help="input-queue depth at the last flush/close",
             ).set(depths[shard_id])
+        registry.gauge(
+            "ses_queue_depth_max",
+            help="deepest shard input queue at the last flush/close",
+        ).set(max((d for d in depths if d >= 0), default=0))
+        delta = self._backpressure_waits - self._backpressure_published
+        if delta > 0:
+            registry.counter(
+                "ses_backpressure_waits_total",
+                help="bounded-queue full waits while routing events",
+            ).inc(delta)
+            self._backpressure_published = self._backpressure_waits
         if self.guard is not None:
             totals = self._guard_totals()
             for key, name, help_text in (

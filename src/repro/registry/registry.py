@@ -373,6 +373,13 @@ class PatternRegistry:
         full = (1 << n) - 1
         if self._events_counter is not None:
             self._events_counter.inc(n)
+        lineage = (None if self._obs is None else self._obs.lineage)
+        if lineage is not None:
+            # Stamp ingest once per event at admission — per-pattern
+            # matchers run observability-free, so this is the only point
+            # that sees every event exactly once.
+            for event in events:
+                lineage.note_ingest(event)
         if not self._use_filter:
             # Unfiltered: every pattern sees every event, starts allowed.
             reported: List[Match] = []
@@ -446,8 +453,17 @@ class PatternRegistry:
             entry.match_counter.inc(len(matches))
         if self._matches_counter is not None:
             self._matches_counter.inc(len(matches))
+        # Registry matchers run observability-free (the shared admission
+        # pass owns the metrics), so delivery is the one stamping point:
+        # the record carries event ids + deliver stage, with the path
+        # reconstructed from the substitution's canonical order.
+        lineage = (None if self._obs is None else self._obs.lineage)
         for substitution in matches:
-            match = Match(substitution, pattern_id=entry.pattern_id)
+            provenance = (lineage.deliver(substitution, by="registry",
+                                          pattern_id=entry.pattern_id)
+                          if lineage is not None else None)
+            match = Match(substitution, pattern_id=entry.pattern_id,
+                          provenance=provenance)
             self._reported.append(match)
             out.append(match)
             for callback in self._callbacks:

@@ -320,6 +320,12 @@ class Supervisor:
                 "ses_quarantined_events",
                 help="poison events routed to the dead-letter queue",
             ).inc()
+            lineage = matcher.obs.lineage
+            if lineage is not None and event is not None:
+                # Quarantined events are tail-sampled unconditionally:
+                # the lineage record survives even at sample rate 0.
+                lineage.note_quarantined(event, shard=shard, seq=seq,
+                                         reason=reason)
         logger.error(
             "shard %d: event seq %d quarantined after %d crash(es): %s",
             shard, seq, count, reason)

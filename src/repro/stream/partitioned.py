@@ -127,6 +127,11 @@ class PartitionedContinuousMatcher:
             if self.obs is not None:
                 from ..obs import Observability
                 child_obs = Observability()
+                # All partitions share the root lineage recorder (match
+                # identity is content-derived, so one recorder serves
+                # every key); assigning even when it is None keeps
+                # children from auto-creating their own from the env.
+                child_obs.lineage = self.obs.lineage
             matcher = ContinuousMatcher(
                 self._plan, use_filter=self._use_filter,
                 suppress_overlaps=self._suppress_overlaps,
@@ -145,9 +150,15 @@ class PartitionedContinuousMatcher:
         matcher = self._matcher_for(key)
         self._last_ts[key] = event.ts
         reported = matcher.push(event)
+        lineage = None if self.obs is None else self.obs.lineage
         for callback in self._callbacks:
             for substitution in reported:
-                callback(key, Match(substitution, partition=key))
+                # The per-key matcher already stamped delivery on the
+                # shared recorder; only look the record up here.
+                provenance = (lineage.provenance_for(substitution)
+                              if lineage is not None else None)
+                callback(key, Match(substitution, partition=key,
+                                    provenance=provenance))
         return reported
 
     def push_many(self, events: Iterable[Event]) -> List[Substitution]:
@@ -160,12 +171,16 @@ class PartitionedContinuousMatcher:
     def close(self) -> List[Substitution]:
         """End-of-stream: flush every partition."""
         out: List[Substitution] = []
+        lineage = None if self.obs is None else self.obs.lineage
         for key, matcher in self._matchers.items():
             flushed = matcher.close()
             out.extend(flushed)
             for callback in self._callbacks:
                 for substitution in flushed:
-                    callback(key, Match(substitution, partition=key))
+                    provenance = (lineage.provenance_for(substitution)
+                                  if lineage is not None else None)
+                    callback(key, Match(substitution, partition=key,
+                                        provenance=provenance))
         return out
 
     # ------------------------------------------------------------------
@@ -243,6 +258,10 @@ class PartitionedContinuousMatcher:
             return None
         from ..obs import Observability
         out = Observability()
+        # Every per-key matcher shares the root lineage recorder, so the
+        # merged view carries it by identity — merge()'s identity guard
+        # then skips re-absorbing the same records once per partition.
+        out.lineage = self.obs.lineage
         out.merge(self.obs)
         for matcher in self._matchers.values():
             if matcher.obs is not None:

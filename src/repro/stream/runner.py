@@ -180,6 +180,7 @@ class ContinuousMatcher:
     def _report(self, accepted: List[Substitution]) -> List[Substitution]:
         if not accepted:
             return []
+        lineage = None if self.obs is None else self.obs.lineage
         batch = select_matches(accepted, overlap="allow")
         reported: List[Substitution] = []
         for substitution in batch:
@@ -191,9 +192,11 @@ class ContinuousMatcher:
             reported.append(substitution)
             if self._reported_counter is not None:
                 self._reported_counter.inc()
+            provenance = (lineage.deliver(substitution, by="stream")
+                          if lineage is not None else None)
             logger.debug("match reported: %r", substitution)
             if self._callbacks:
-                delivered = Match(substitution)
+                delivered = Match(substitution, provenance=provenance)
                 for callback in self._callbacks:
                     callback(delivered)
         return reported

@@ -29,6 +29,8 @@ EXPECTED_ALL = {
     "compile_query", "parse_query",
     # Operations
     "Observability", "WorkerCrashed", "FlightRecorder", "ObsServer",
+    # Lineage / causal tracing
+    "LineageRecorder", "Provenance", "TraceConfig",
     # Explain + statistics
     "ExplainReport", "explain", "explain_analyze", "StatsStore",
     "stats_store", "clear_stats_store",
@@ -109,6 +111,37 @@ class TestSignatures:
         params = parameter_names(repro.ContinuousMatcher.__init__)
         for option in ("use_filter", "suppress_overlaps", "observability"):
             assert option in params, option
+
+    def test_match_carries_provenance_field(self):
+        from dataclasses import fields
+        names = [f.name for f in fields(repro.Match)]
+        assert names == ["substitution", "pattern_id", "partition",
+                         "provenance"]
+
+    def test_obs_server_takes_a_lineage_provider(self):
+        assert "lineage" in parameter_names(repro.ObsServer.__init__)
+
+    def test_trace_config_surface(self):
+        config = repro.TraceConfig(sample_rate=0.5)
+        assert config.enabled
+        assert not repro.TraceConfig().enabled
+        assert "environ" in parameter_names(repro.TraceConfig.from_env)
+
+    def test_trace_env_knobs_are_pinned(self):
+        from repro.obs import (TRACE_MAX_ENV, TRACE_SAMPLE_ENV,
+                               TRACE_SLOW_MS_ENV)
+        assert TRACE_SAMPLE_ENV == "REPRO_TRACE_SAMPLE"
+        assert TRACE_SLOW_MS_ENV == "REPRO_TRACE_SLOW_MS"
+        assert TRACE_MAX_ENV == "REPRO_TRACE_MAX"
+
+    def test_cli_has_a_trace_subcommand(self):
+        from repro.cli import build_parser
+        args = build_parser().parse_args(
+            ["trace", "--query", "PATTERN PERMUTE(a) WHERE a.k = 1 "
+             "WITHIN 5", "--data", "events.csv"])
+        assert args.command == "trace"
+        assert args.sample == 1.0
+        assert args.format == "text"
 
 
 class TestFacadeBehaviour:
