@@ -23,7 +23,21 @@ Commands
     dead shard workers from their checkpoints and ``--dead-letter``
     quarantines poison events instead of failing (see
     ``docs/resilience.md``); ``--max-instances``/``--max-buffer-mb``
-    put resource-guard ceilings on executor state.
+    put resource-guard ceilings on executor state.  ``--subscribe``
+    additionally serves the push endpoint — backpressured event ingest
+    (framed TCP + ``POST /ingest``) and resumable SSE/WebSocket match
+    subscriptions with slow-consumer policies and graceful drain
+    (``--delivery-wal`` makes resume survive restarts; see
+    ``docs/serving.md``).
+``tail``
+    Follow a push endpoint's match stream: one JSON line per delivered
+    event, resumable via ``--resume``/``--resume-file`` (exactly-once
+    across client and server restarts), with ``--patterns``/
+    ``--tenants`` filters and a ``--out`` transcript.
+``push``
+    Send a CSV relation to a push endpoint over the framed protocol
+    (or ``--http``), honouring 429/``slow_down`` backpressure;
+    ``--quit`` asks the server to drain afterwards.
 ``registry``
     Client for a running serve process: ``registry add --server URL
     --query ...`` registers a pattern hot, ``registry rm ID`` removes
@@ -188,7 +202,107 @@ def build_parser() -> argparse.ArgumentParser:
                          help="write quarantined poison events to PATH "
                               "as JSON lines on shutdown (implies "
                               "--supervise)")
+    p_serve.add_argument("--subscribe", nargs="?", const="127.0.0.1:0",
+                         metavar="HOST:PORT",
+                         help="also serve the push endpoint: framed/HTTP "
+                              "event ingest with backpressure plus "
+                              "resumable SSE (/subscribe) and WebSocket "
+                              "(/ws) match subscriptions (default bind: "
+                              "127.0.0.1 on an ephemeral port, printed "
+                              "at startup; see docs/serving.md)")
+    p_serve.add_argument("--delivery-wal", type=Path, metavar="PATH",
+                         help="durable delivery log backing subscriber "
+                              "resume across server restarts (with "
+                              "--subscribe)")
+    p_serve.add_argument("--replay-ring", type=int, default=1024,
+                         metavar="N",
+                         help="in-memory replay ring capacity for "
+                              "subscriber resume (default: 1024)")
+    p_serve.add_argument("--sub-queue", type=int, default=256, metavar="N",
+                         help="default per-subscriber delivery queue "
+                              "bound (default: 256)")
+    p_serve.add_argument("--sub-policy", default="disconnect",
+                         choices=["disconnect", "shed", "degrade"],
+                         help="default slow-consumer policy when a "
+                              "subscriber queue overflows (default: "
+                              "disconnect; subscribers may override per "
+                              "connection)")
+    p_serve.add_argument("--ingest-queue", type=int, default=64,
+                         metavar="N",
+                         help="bound on queued unprocessed ingest "
+                              "batches; beyond it producers get "
+                              "429/slow_down (default: 64)")
+    p_serve.add_argument("--heartbeat", type=float, default=15.0,
+                         metavar="SEC",
+                         help="subscriber keep-alive interval "
+                              "(default: 15)")
+    p_serve.add_argument("--idle-timeout", type=float, default=300.0,
+                         metavar="SEC",
+                         help="disconnect a subscriber whose connection "
+                              "stalls writes for this long "
+                              "(default: 300)")
+    p_serve.add_argument("--drain-grace", type=float, default=5.0,
+                         metavar="SEC",
+                         help="graceful-drain budget for flushing "
+                              "in-flight matches to subscribers "
+                              "(default: 5)")
     _add_guard_arguments(p_serve)
+
+    p_tail = sub.add_parser(
+        "tail", help="follow the match stream of a 'serve --subscribe' "
+                     "process (resumable; exactly-once across "
+                     "reconnects)")
+    p_tail.add_argument("--server", required=True, metavar="HOST:PORT",
+                        help="push endpoint address (printed at serve "
+                             "startup)")
+    p_tail.add_argument("--resume", metavar="CURSOR",
+                        help="resume after this cursor; 'live' starts "
+                             "at the stream tail (default)")
+    p_tail.add_argument("--resume-file", type=Path, metavar="PATH",
+                        help="persist the last received cursor to PATH "
+                             "and resume from it on the next run")
+    p_tail.add_argument("--out", type=Path, metavar="PATH",
+                        help="append every received event to PATH as "
+                             "JSON lines (the subscriber transcript)")
+    p_tail.add_argument("--max", type=int, metavar="N",
+                        help="exit after N delivered matches")
+    p_tail.add_argument("--patterns", metavar="IDS",
+                        help="comma-separated pattern-id filter")
+    p_tail.add_argument("--tenants", metavar="NAMES",
+                        help="comma-separated tenant filter")
+    p_tail.add_argument("--id", dest="subscriber_id", metavar="NAME",
+                        help="stable subscriber id (shows up in lineage "
+                             "push hops and /statz)")
+    p_tail.add_argument("--policy",
+                        choices=["disconnect", "shed", "degrade"],
+                        help="slow-consumer policy for this subscriber")
+    p_tail.add_argument("--queue", type=int, metavar="N",
+                        help="delivery queue bound for this subscriber")
+    p_tail.add_argument("--ws", action="store_true",
+                        help="use a single WebSocket connection instead "
+                             "of resumable SSE")
+    p_tail.add_argument("--follow", action="store_true",
+                        help="keep reconnecting after a graceful drain "
+                             "(ride out server restarts)")
+    p_tail.add_argument("--reconnect-delay", type=float, default=0.2,
+                        metavar="SEC")
+    p_tail.add_argument("--max-reconnects", type=int, default=100,
+                        metavar="N")
+
+    p_push = sub.add_parser(
+        "push", help="send a CSV relation to a 'serve --subscribe' "
+                     "ingest endpoint (honours backpressure)")
+    p_push.add_argument("--server", required=True, metavar="HOST:PORT",
+                        help="push endpoint address")
+    p_push.add_argument("--data", required=True, type=Path,
+                        help="event relation CSV (typed format)")
+    p_push.add_argument("--batch-size", type=int, default=256, metavar="N")
+    p_push.add_argument("--http", action="store_true",
+                        help="use POST /ingest instead of the framed "
+                             "TCP protocol")
+    p_push.add_argument("--quit", action="store_true",
+                        help="ask the server to drain gracefully after "
+                             "the push")
 
     p_registry = sub.add_parser(
         "registry", help="register/deregister/list patterns on a running "
@@ -547,6 +661,44 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                           "active_instances": matcher.active_instances,
                           "matches": len(matcher.matches)}
 
+    # --subscribe: the push front-end (ingest + subscriptions) wraps the
+    # matcher; every reported match is published to the hub, and the
+    # end-of-stream flush happens inside the push server's drain so
+    # subscribers see the final matches before their terminal notice.
+    push = None
+    hub = None
+    matcher_closed = []
+
+    def close_matcher() -> None:
+        if not matcher_closed:
+            matcher_closed.append(True)
+            matcher.close()
+
+    if args.subscribe is not None:
+        from .net import PushServer, SubscriptionHub
+        wal = None
+        if args.delivery_wal is not None:
+            from .resilience import DeliveryLog
+            wal = DeliveryLog(args.delivery_wal)
+        hub = SubscriptionHub(ring_size=args.replay_ring, wal=wal,
+                              observability=obs,
+                              default_queue=args.sub_queue,
+                              default_policy=args.sub_policy,
+                              heartbeat_seconds=args.heartbeat,
+                              idle_timeout_seconds=args.idle_timeout)
+        if sharded:
+            matcher.on_match(lambda match: hub.publish(match))
+        else:
+            matcher.on_match(lambda pid, match: hub.publish(
+                match, pattern_id=pid, tenant=matcher.tenant_of(pid)))
+        push_host, push_port = parse_listen(args.subscribe)
+        push = PushServer(hub, submit=matcher.push_many,
+                          flush=close_matcher,
+                          host=push_host, port=push_port,
+                          ingest_queue=args.ingest_queue,
+                          observability=obs, health=health,
+                          on_quit=stop.set)
+
     from .explain import explain
     restore_signals = _install_serve_signal_handlers(stop, flight,
                                                      args.flight_dump)
@@ -560,19 +712,35 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     try:
         server.start()
         print(f"serving observability on {server.url}", flush=True)
-        matcher.push_many(relation)
-        if sharded:
-            matcher.flush()
+        if push is not None:
+            push.start()
+            print(f"serving push endpoint on {push.url}", flush=True)
+            # Replay through the same bounded ingest queue remote
+            # producers use: one worker owns every matcher call, so
+            # concurrent 'repro push' batches interleave safely.
+            push.submit_events(relation)
+            if sharded:
+                push.submit_call(matcher.flush)
+            else:
+                push.submit_call(matcher.publish_stats)
         else:
-            matcher.publish_stats()
+            matcher.push_many(relation)
+            if sharded:
+                matcher.flush()
+            else:
+                matcher.publish_stats()
         print(f"replayed {len(relation)} events, "
               f"{len(matcher.matches)} match(es) so far", flush=True)
         if not args.once:
             while not stop.wait(0.25):
                 pass
-        matcher.close()
+        if push is not None:
+            push.shutdown(grace=args.drain_grace)
+        close_matcher()
     except KeyboardInterrupt:
-        matcher.close()
+        if push is not None:
+            push.shutdown(grace=args.drain_grace)
+        close_matcher()
     except Exception as exc:
         dump = getattr(exc, "flight_dump", None)
         if dump is None and flight is not None:
@@ -584,6 +752,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             print(f"flight dump: {args.flight_dump}", file=sys.stderr)
         raise
     finally:
+        if push is not None:
+            push.shutdown(grace=args.drain_grace)  # idempotent
         server.stop()
         restore_signals()
         if args.dead_letter is not None and dead_letter is not None:
@@ -731,6 +901,102 @@ def _cmd_registry(args: argparse.Namespace) -> int:
     except urllib.error.URLError as exc:
         print(f"error: cannot reach {base}: {exc.reason}", file=sys.stderr)
         return 1
+
+
+def _cmd_tail(args: argparse.Namespace) -> int:
+    """``repro tail``: follow a push endpoint's match stream.
+
+    Prints one JSON line per received event to stdout (and, with
+    ``--out``, to a transcript file).  The resume cursor survives the
+    process via ``--resume-file``, so re-running the command continues
+    exactly where the last run stopped — combined with the server-side
+    delivery log this gives exactly-once tailing across both client and
+    server restarts.
+    """
+    import json
+    from .net import subscribe_sse, subscribe_ws
+
+    host, port = parse_listen(args.server)
+    resume = None
+    if args.resume is not None and args.resume != "live":
+        resume = int(args.resume)
+    if (resume is None and args.resume_file is not None
+            and args.resume_file.exists()):
+        text = args.resume_file.read_text().strip()
+        if text:
+            resume = int(text)
+    patterns = [p for p in (args.patterns or "").split(",") if p]
+    tenants = [t for t in (args.tenants or "").split(",") if t]
+    if args.ws:
+        source = subscribe_ws(host, port, resume=resume,
+                              patterns=patterns, tenants=tenants,
+                              subscriber_id=args.subscriber_id,
+                              policy=args.policy, queue_size=args.queue)
+        stream = (({"event": payload.get("event", "match"),
+                    "id": payload.get("seq"), "data": payload})
+                  for payload in source)
+    else:
+        stream = subscribe_sse(
+            host, port, resume=resume, patterns=patterns, tenants=tenants,
+            subscriber_id=args.subscriber_id, policy=args.policy,
+            queue_size=args.queue, reconnect=True,
+            reconnect_delay=args.reconnect_delay,
+            max_reconnects=args.max_reconnects,
+            stop_on_drain=not args.follow)
+    out = None if args.out is None else args.out.open("a", encoding="utf-8")
+    matches = 0
+    last_id = resume
+    try:
+        for item in stream:
+            line = json.dumps(item, default=str)
+            print(line, flush=True)
+            if out is not None:
+                out.write(line + "\n")
+                out.flush()
+            if item.get("id") is not None:
+                last_id = int(item["id"])
+                if args.resume_file is not None:
+                    args.resume_file.write_text(f"{last_id}\n")
+            if item.get("event") == "match":
+                matches += 1
+                if args.max is not None and matches >= args.max:
+                    break
+    except KeyboardInterrupt:
+        pass
+    finally:
+        if out is not None:
+            out.close()
+    print(f"received {matches} match(es); resume cursor: "
+          f"{'live' if last_id is None else last_id}", file=sys.stderr)
+    return 0
+
+
+def _cmd_push(args: argparse.Namespace) -> int:
+    """``repro push``: feed a relation to a running push endpoint."""
+    from .net import (PushRejected, ServerDraining, http_push, push_events,
+                      request_quit)
+
+    host, port = parse_listen(args.server)
+    relation = load_relation(args.data)
+    try:
+        if args.http:
+            accepted = 0
+            events = list(relation)
+            for start in range(0, len(events), args.batch_size):
+                response = http_push(host, port,
+                                     events[start:start + args.batch_size])
+                accepted += response.get("accepted", 0)
+        else:
+            accepted = push_events(host, port, relation,
+                                   batch_size=args.batch_size)
+    except (ServerDraining, PushRejected) as exc:
+        print(f"push refused: {exc}", file=sys.stderr)
+        return 1
+    print(f"pushed {accepted} events to {host}:{port}")
+    if args.quit:
+        summary = request_quit(host, port)
+        print(f"server draining (resume cursor {summary.get('resume')})")
+    return 0
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
@@ -882,6 +1148,8 @@ _COMMANDS = {
     "match": _cmd_match,
     "serve": _cmd_serve,
     "registry": _cmd_registry,
+    "tail": _cmd_tail,
+    "push": _cmd_push,
     "generate": _cmd_generate,
     "explain": _cmd_explain,
     "analyze": _cmd_analyze,

@@ -1,0 +1,309 @@
+"""Blocking clients for the push front-end (``repro tail`` / ``repro push``).
+
+Stdlib-only counterparts to :mod:`repro.net.server`:
+
+* :func:`push_events` — the length-framed ingest client.  Sends event
+  batches, honours ``slow_down`` backpressure by sleeping out the
+  hinted delay and resending (bounded retries), and reports a draining
+  server via :exc:`ServerDraining` so callers can fail over.
+* :func:`subscribe_sse` — a resumable SSE tail.  Yields every delivered
+  event and transparently reconnects with ``Last-Event-ID`` after
+  connection loss, so a ``kill -9``'d and restarted server resumes the
+  stream gap-free (the hub's match-id dedup makes redelivery safe).
+* :func:`subscribe_ws` — the same stream over one WebSocket connection
+  (no auto-reconnect; exercise for transports behind SSE-buffering
+  proxies).
+* :func:`http_push` / :func:`request_quit` — one-shot ``POST /ingest``
+  and graceful-drain helpers.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
+from urllib.parse import urlencode
+
+from .protocol import (PROTO_VERSION, FrameDecoder, FrameError, WSFrame,
+                       encode_frame, event_to_json, parse_sse_stream,
+                       ws_decode, ws_encode)
+
+__all__ = ["push_events", "http_push", "subscribe_sse", "subscribe_ws",
+           "request_quit", "ServerDraining", "PushRejected"]
+
+
+class ServerDraining(RuntimeError):
+    """The server refused the batch because it is draining."""
+
+
+class PushRejected(RuntimeError):
+    """The server kept answering ``slow_down`` past the retry budget."""
+
+
+# ----------------------------------------------------------------------
+# Framed ingest client
+# ----------------------------------------------------------------------
+def _next_frame(sock: socket.socket, decoder: FrameDecoder,
+                pending: List[dict]) -> dict:
+    while not pending:
+        data = sock.recv(65536)
+        if not data:
+            raise ConnectionError("server closed the ingest connection")
+        pending.extend(decoder.feed(data))
+    return pending.pop(0)
+
+
+def push_events(host: str, port: int, events: Iterable, *,
+                batch_size: int = 256, timeout: float = 10.0,
+                max_retries: int = 60) -> int:
+    """Send events over the framed protocol; returns events accepted.
+
+    Each batch waits for the server's answer: ``ack`` advances,
+    ``slow_down`` sleeps out ``retry_after_ms`` and resends (up to
+    ``max_retries`` per batch — the producer side of backpressure),
+    ``draining`` raises :exc:`ServerDraining`.  The client speaks first
+    (the server sniffs HTTP vs framed from the opening bytes).
+    """
+    events = list(events)
+    decoder = FrameDecoder()
+    pending: List[dict] = []
+    accepted = 0
+    with socket.create_connection((host, port), timeout=timeout) as sock:
+        sock.sendall(encode_frame({"type": "hello", "proto": PROTO_VERSION}))
+        hello = _next_frame(sock, decoder, pending)
+        if hello.get("type") != "hello":
+            raise FrameError(f"expected server hello, got {hello!r}")
+        seq = 0
+        for start in range(0, len(events), batch_size):
+            batch = [event_to_json(e) for e in events[start:start + batch_size]]
+            seq += 1
+            frame = encode_frame({"type": "batch", "seq": seq,
+                                  "events": batch})
+            for attempt in range(max_retries + 1):
+                sock.sendall(frame)
+                reply = _next_frame(sock, decoder, pending)
+                kind = reply.get("type")
+                if kind == "ack":
+                    accepted += reply.get("accepted", len(batch))
+                    break
+                if kind == "slow_down":
+                    time.sleep(reply.get("retry_after_ms", 250) / 1000.0)
+                    continue
+                if kind == "draining":
+                    raise ServerDraining(
+                        f"server draining after {accepted} events")
+                raise FrameError(f"unexpected reply {reply!r}")
+            else:
+                raise PushRejected(
+                    f"batch {seq} refused {max_retries} times")
+        sock.sendall(encode_frame({"type": "bye"}))
+    return accepted
+
+
+def http_push(host: str, port: int, events: Iterable, *,
+              timeout: float = 10.0) -> Dict[str, Any]:
+    """One ``POST /ingest`` batch; returns the decoded JSON response.
+
+    Raises :exc:`PushRejected` on 429 and :exc:`ServerDraining` on 503
+    so callers see the same backpressure vocabulary as the framed path.
+    """
+    body = json.dumps(
+        {"events": [event_to_json(e) for e in events]}).encode("utf-8")
+    status, _, payload = _http_request(host, port, "POST", "/ingest", body,
+                                       timeout=timeout)
+    decoded = json.loads(payload.decode("utf-8") or "{}")
+    if status == 429:
+        raise PushRejected(f"ingest queue full: {decoded}")
+    if status == 503:
+        raise ServerDraining(str(decoded))
+    if status != 202:
+        raise FrameError(f"ingest failed with HTTP {status}: {decoded}")
+    return decoded
+
+
+def request_quit(host: str, port: int, timeout: float = 5.0) -> Dict[str, Any]:
+    """``POST /quitquitquit`` — ask the server to drain gracefully."""
+    status, _, payload = _http_request(host, port, "POST", "/quitquitquit",
+                                       b"", timeout=timeout)
+    if status != 200:
+        raise RuntimeError(f"quit refused with HTTP {status}")
+    return json.loads(payload.decode("utf-8") or "{}")
+
+
+def _http_request(host: str, port: int, method: str, path: str,
+                  body: bytes, timeout: float) -> Tuple[int, dict, bytes]:
+    with socket.create_connection((host, port), timeout=timeout) as sock:
+        head = (f"{method} {path} HTTP/1.1\r\nHost: {host}:{port}\r\n"
+                f"Content-Length: {len(body)}\r\nConnection: close\r\n\r\n")
+        sock.sendall(head.encode("latin-1") + body)
+        raw = bytearray()
+        while True:
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            raw.extend(chunk)
+    head_bytes, _, payload = bytes(raw).partition(b"\r\n\r\n")
+    lines = head_bytes.decode("latin-1").split("\r\n")
+    status = int(lines[0].split(" ", 2)[1])
+    headers = {}
+    for line in lines[1:]:
+        name, _, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+    return status, headers, payload
+
+
+# ----------------------------------------------------------------------
+# SSE subscription client
+# ----------------------------------------------------------------------
+def _subscribe_query(patterns, tenants, subscriber_id, policy,
+                     queue_size) -> Dict[str, str]:
+    query: Dict[str, str] = {}
+    if patterns:
+        query["patterns"] = ",".join(patterns)
+    if tenants:
+        query["tenants"] = ",".join(tenants)
+    if subscriber_id:
+        query["id"] = subscriber_id
+    if policy:
+        query["policy"] = policy
+    if queue_size:
+        query["queue"] = str(queue_size)
+    return query
+
+
+def subscribe_sse(host: str, port: int, *, resume: Optional[int] = None,
+                  patterns: Iterable[str] = (), tenants: Iterable[str] = (),
+                  subscriber_id: Optional[str] = None,
+                  policy: Optional[str] = None,
+                  queue_size: Optional[int] = None,
+                  reconnect: bool = True, reconnect_delay: float = 0.2,
+                  max_reconnects: int = 100, stop_on_drain: bool = True,
+                  read_timeout: float = 60.0,
+                  connect_timeout: float = 5.0
+                  ) -> Iterator[Dict[str, Any]]:
+    """Tail the match stream; yields ``{"event", "id", "data"}`` dicts.
+
+    Maintains the resume cursor across reconnects: after any connection
+    loss (server killed, idle disconnect, slow-consumer drop) the next
+    attempt carries ``Last-Event-ID`` so no match is lost or repeated.
+    Connection-refused attempts count against ``max_reconnects`` with
+    ``reconnect_delay`` between them, riding out a supervisor restart.
+
+    Terminal events: ``drain`` ends the generator when ``stop_on_drain``
+    (the data carries the resume token); a ``disconnect`` notice
+    triggers a resumed reconnect rather than ending the stream.
+    """
+    last_id: Optional[int] = resume
+    failures = 0
+    while True:
+        try:
+            sock = socket.create_connection((host, port),
+                                            timeout=connect_timeout)
+        except OSError:
+            failures += 1
+            if not reconnect or failures > max_reconnects:
+                return
+            time.sleep(reconnect_delay)
+            continue
+        try:
+            sock.settimeout(read_timeout)
+            query = _subscribe_query(patterns, tenants, subscriber_id,
+                                     policy, queue_size)
+            target = "/subscribe"
+            if query:
+                target += "?" + urlencode(query)
+            head = (f"GET {target} HTTP/1.1\r\nHost: {host}:{port}\r\n"
+                    f"Accept: text/event-stream\r\n")
+            if last_id is not None:
+                head += f"Last-Event-ID: {last_id}\r\n"
+            head += "Connection: close\r\n\r\n"
+            sock.sendall(head.encode("latin-1"))
+            stream = sock.makefile("r", encoding="utf-8", newline="\n")
+            status_line = stream.readline()
+            if "200" not in status_line.split(" ", 2)[1:2]:
+                raise ConnectionError(f"subscribe refused: "
+                                      f"{status_line.strip()!r}")
+            while stream.readline().strip():
+                pass  # drain response headers
+            failures = 0
+            for event_type, event_id, data in parse_sse_stream(stream):
+                if event_id is not None:
+                    last_id = int(event_id)
+                yield {"event": event_type, "id": event_id, "data": data}
+                if event_type == "drain":
+                    if stop_on_drain:
+                        return
+                    break
+        except (OSError, ConnectionError, ValueError):
+            pass
+        finally:
+            try:
+                sock.close()
+            except OSError:
+                pass
+        failures += 1
+        if not reconnect or failures > max_reconnects:
+            return
+        time.sleep(reconnect_delay)
+
+
+# ----------------------------------------------------------------------
+# WebSocket subscription client (single connection, tests + tail --ws)
+# ----------------------------------------------------------------------
+def subscribe_ws(host: str, port: int, *, resume: Optional[int] = None,
+                 patterns: Iterable[str] = (), tenants: Iterable[str] = (),
+                 subscriber_id: Optional[str] = None,
+                 policy: Optional[str] = None,
+                 queue_size: Optional[int] = None,
+                 read_timeout: float = 60.0,
+                 connect_timeout: float = 5.0) -> Iterator[Dict[str, Any]]:
+    """One WebSocket subscription; yields decoded JSON payload dicts.
+
+    Ends when the server closes (drain or disconnect); no reconnect —
+    resumable tailing is :func:`subscribe_sse`'s job.
+    """
+    query = _subscribe_query(patterns, tenants, subscriber_id, policy,
+                             queue_size)
+    if resume is not None:
+        query["resume"] = str(resume)
+    target = "/ws" + ("?" + urlencode(query) if query else "")
+    with socket.create_connection((host, port),
+                                  timeout=connect_timeout) as sock:
+        sock.sendall((
+            f"GET {target} HTTP/1.1\r\nHost: {host}:{port}\r\n"
+            "Upgrade: websocket\r\nConnection: Upgrade\r\n"
+            "Sec-WebSocket-Key: cmVwcm8tdGFpbC1rZXk=\r\n"
+            "Sec-WebSocket-Version: 13\r\n\r\n").encode("latin-1"))
+        sock.settimeout(read_timeout)
+        buffer = bytearray()
+        while b"\r\n\r\n" not in buffer:
+            chunk = sock.recv(4096)
+            if not chunk:
+                raise ConnectionError("websocket handshake failed")
+            buffer.extend(chunk)
+        head, _, rest = bytes(buffer).partition(b"\r\n\r\n")
+        if b" 101 " not in head.split(b"\r\n", 1)[0]:
+            raise ConnectionError(
+                f"websocket refused: {head.splitlines()[0]!r}")
+        buffer = bytearray(rest)
+        while True:
+            frame = ws_decode(buffer)
+            if frame is None:
+                chunk = sock.recv(65536)
+                if not chunk:
+                    return
+                buffer.extend(chunk)
+                continue
+            if frame.opcode == WSFrame.CLOSE:
+                return
+            if frame.opcode == WSFrame.PING:
+                sock.sendall(ws_encode(frame.payload, WSFrame.PONG,
+                                       mask=True))
+                continue
+            if frame.opcode != WSFrame.TEXT:
+                continue
+            payload = json.loads(frame.payload.decode("utf-8"))
+            yield payload
+            if payload.get("event") == "drain":
+                return

@@ -1,0 +1,709 @@
+"""The asyncio push front-end: backpressured ingest + SSE/WS fan-out.
+
+:class:`PushServer` is the network half of ``repro serve --subscribe``.
+One listener speaks two protocols, sniffed from the first bytes of each
+connection:
+
+* **HTTP/1.1** — ``GET /subscribe`` (SSE match stream, resumable via
+  ``Last-Event-ID``), ``GET /ws`` (the same stream over a WebSocket),
+  ``POST /ingest`` (a JSON event batch; answers ``202`` or ``429`` +
+  ``Retry-After`` when the bounded ingest queue is full), ``GET
+  /healthz``, ``GET /statz``, and ``POST /quitquitquit`` (graceful
+  drain);
+* **length-framed ingest** (:mod:`repro.net.protocol`) — the batch
+  protocol ``repro push`` speaks; a full queue answers ``slow_down``
+  frames instead of buffering (explicit backpressure).
+
+The server runs its own event loop on a daemon thread (``start()`` /
+``shutdown()`` from any thread).  Matcher calls are serialised on a
+single worker thread so a slow pattern never blocks heartbeats or
+accept.  Ingested batches flow::
+
+    conn -> bounded asyncio.Queue -> match worker -> matcher.push_many
+         -> (on_match callback wired by the caller) -> hub.publish
+         -> subscriber queues -> SSE/WS writers
+
+Graceful drain (``shutdown()``, SIGTERM via the CLI, or ``POST
+/quitquitquit``): stop admitting batches (``draining`` frames / 503),
+drain the ingest queue through the matcher, flush the matcher's
+still-open windows, then :meth:`SubscriptionHub.drain` — every
+subscriber receives its backlog plus a terminal ``drain`` event
+carrying the cursor to resume from after the restart.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import logging
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, Dict, List, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from .hub import SubscriptionHub, Subscriber
+from .protocol import (PROTO_VERSION, FrameDecoder, FrameError, WSFrame,
+                       encode_frame, event_from_json, sse_format,
+                       ws_accept_key, ws_decode, ws_encode)
+
+__all__ = ["PushServer"]
+
+logger = logging.getLogger(__name__)
+
+#: Request head cap (method + headers) for the HTTP side.
+MAX_HTTP_HEAD = 64 * 1024
+
+#: HTTP methods used to sniff HTTP from framed-ingest connections.
+_HTTP_PREFIXES = (b"GET ", b"POST", b"PUT ", b"HEAD", b"DELE", b"OPTI",
+                  b"PATC")
+
+_CLOSE = object()  # ingest-queue sentinel
+
+
+class PushServer:
+    """Asyncio ingestion + subscription front-end over one port.
+
+    Parameters
+    ----------
+    hub:
+        The :class:`~repro.net.hub.SubscriptionHub` matches are
+        published to (the caller wires the matcher's ``on_match`` to
+        ``hub.publish``).
+    submit:
+        Callable taking a list of events; invoked on the match worker
+        thread for every admitted batch (e.g. ``matcher.push_many``).
+    flush:
+        Optional callable invoked once during drain, after the last
+        batch — close/flush the matcher so end-of-stream matches are
+        published before subscribers get their terminal notice.
+    host / port:
+        Bind address; port 0 picks an ephemeral port (read it back from
+        :attr:`port` after :meth:`start`).
+    ingest_queue:
+        Bound on queued-but-unprocessed batches.  A full queue is the
+        backpressure signal: framed clients get ``slow_down``, HTTP
+        clients ``429``.
+    retry_after_ms:
+        The delay hinted to backpressured producers.
+    observability:
+        Optional :class:`~repro.obs.Observability` for the
+        ``ses_ingest_*`` metrics.
+    health:
+        Optional callable returning ``(healthy, detail)`` for
+        ``/healthz`` (defaults to hub stats, always healthy).
+    on_quit:
+        Callback invoked when a remote peer requests drain via ``POST
+        /quitquitquit`` (typically the serve loop's ``stop.set``); the
+        caller is then expected to call :meth:`shutdown`.  Without one
+        the server schedules its own shutdown.
+    """
+
+    def __init__(self, hub: SubscriptionHub, submit: Callable[[list], Any],
+                 flush: Optional[Callable[[], Any]] = None,
+                 host: str = "127.0.0.1", port: int = 0,
+                 ingest_queue: int = 64, retry_after_ms: int = 250,
+                 observability=None,
+                 health: Optional[Callable[[], Tuple[bool, dict]]] = None,
+                 on_quit: Optional[Callable[[], None]] = None):
+        self.hub = hub
+        self._submit = submit
+        self._flush = flush
+        self._host_arg = host
+        self._port_arg = port
+        self.host = host
+        self.port = port
+        self.ingest_queue_size = ingest_queue
+        self.retry_after_ms = retry_after_ms
+        self._health = health
+        self._on_quit = on_quit
+        self._obs = observability
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._thread: Optional[threading.Thread] = None
+        self._started = threading.Event()
+        self._start_error: Optional[BaseException] = None
+        self._queue: Optional[asyncio.Queue] = None
+        self._matcher_pool = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-push-matcher")
+        self._draining = False
+        self._closed = False
+        self._ingest_errors = 0
+        registry = None if observability is None else observability.registry
+        if registry is not None:
+            self._c_batches = registry.counter(
+                "ses_ingest_batches_total", help="event batches admitted")
+            self._c_events = registry.counter(
+                "ses_ingest_events_total", help="events admitted")
+            self._c_backpressure = registry.counter(
+                "ses_ingest_backpressure_total",
+                help="batches refused with 429/slow_down")
+            self._g_depth = registry.gauge(
+                "ses_ingest_queue_depth", help="queued unprocessed batches")
+        else:
+            self._c_batches = self._c_events = None
+            self._c_backpressure = self._g_depth = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "PushServer":
+        """Bind and serve on a daemon thread; returns once listening."""
+        if self._thread is not None:
+            return self
+        self._thread = threading.Thread(target=self._run, daemon=True,
+                                        name="repro-push-server")
+        self._thread.start()
+        self._started.wait(10.0)
+        if self._start_error is not None:
+            raise self._start_error
+        if not self._started.is_set():
+            raise RuntimeError("push server failed to start in time")
+        return self
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except Exception:  # pragma: no cover - surfaced via _start_error
+            logger.exception("push server loop died")
+        finally:
+            self._started.set()
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._queue = asyncio.Queue(maxsize=self.ingest_queue_size)
+        try:
+            self._server = await asyncio.start_server(
+                self._handle_conn, self._host_arg, self._port_arg)
+        except OSError as exc:
+            self._start_error = exc
+            return
+        sock = self._server.sockets[0].getsockname()
+        self.host, self.port = sock[0], sock[1]
+        self._stopped = asyncio.Event()
+        worker = asyncio.ensure_future(self._match_worker())
+        self._started.set()
+        logger.info("push endpoint listening on %s", self.url)
+        try:
+            await self._stopped.wait()
+        finally:
+            worker.cancel()
+            self._server.close()
+            await self._server.wait_closed()
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def request_drain(self) -> None:
+        """Trigger the drain path from anywhere (thread-safe)."""
+        if self._on_quit is not None:
+            self._on_quit()
+        else:
+            threading.Thread(target=self.shutdown, daemon=True).start()
+
+    def shutdown(self, grace: float = 5.0) -> None:
+        """Graceful drain + stop; safe to call from any thread, once.
+
+        Ordering: refuse new batches -> drain the ingest queue through
+        the matcher -> ``flush`` the matcher (end-of-stream matches
+        publish) -> drain the hub (terminal notices) -> wait up to
+        ``grace`` for subscribers to consume -> tear the loop down.
+        """
+        if self._closed or self._loop is None:
+            return
+        self._closed = True
+        self._draining = True
+        loop = self._loop
+        future = asyncio.run_coroutine_threadsafe(self._drain_ingest(), loop)
+        try:
+            future.result(timeout=max(grace, 1.0) + 30.0)
+        except Exception:
+            logger.exception("ingest drain failed; flushing anyway")
+        try:
+            if self._flush is not None:
+                self._flush()
+        except Exception:
+            logger.exception("matcher flush failed during drain")
+        self.hub.drain()
+        self.hub.wait_drained(timeout=grace)
+        asyncio.run_coroutine_threadsafe(
+            self._finish(grace), loop).result(timeout=grace + 10.0)
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self._matcher_pool.shutdown(wait=False)
+
+    async def _drain_ingest(self) -> None:
+        """Process every already-admitted batch, then stop the worker."""
+        assert self._queue is not None
+        await self._queue.put(_CLOSE)
+        await self._queue.join()
+
+    async def _finish(self, grace: float) -> None:
+        # Give SSE/WS writers a beat to flush their terminal notices.
+        deadline = time.monotonic() + grace
+        while time.monotonic() < deadline:
+            if all(s.idle for s in self.hub.subscribers):
+                break
+            await asyncio.sleep(0.02)
+        self._stopped.set()
+
+    # ------------------------------------------------------------------
+    # Local producer (the CLI replay path)
+    # ------------------------------------------------------------------
+    def submit_events(self, events, batch_size: int = 256,
+                      timeout: Optional[float] = None) -> int:
+        """Feed local events through the same bounded ingest queue.
+
+        Blocks (honouring the queue bound — the local producer gets the
+        same backpressure remote ones do) until every batch is
+        admitted; returns the number of events submitted.
+        """
+        if self._loop is None:
+            raise RuntimeError("push server is not running")
+        events = list(events)
+        for start in range(0, len(events), batch_size):
+            batch = events[start:start + batch_size]
+            future = asyncio.run_coroutine_threadsafe(
+                self._queue.put(batch), self._loop)
+            future.result(timeout=timeout)
+        return len(events)
+
+    def submit_call(self, fn: Callable[[], Any],
+                    timeout: Optional[float] = None) -> Any:
+        """Run ``fn`` on the matcher worker, after everything queued.
+
+        Matchers are not thread-safe; barriers like ``flush()`` must
+        run where the batches do.  Blocks until ``fn`` returns (its
+        exception propagates here, not into the worker).
+        """
+        if self._loop is None:
+            raise RuntimeError("push server is not running")
+        done = threading.Event()
+        box: List[Any] = []
+
+        def call() -> None:
+            try:
+                box.append(("ok", fn()))
+            except BaseException as exc:  # noqa: BLE001 - relayed below
+                box.append(("err", exc))
+            finally:
+                done.set()
+
+        asyncio.run_coroutine_threadsafe(
+            self._queue.put(call), self._loop).result(timeout=timeout)
+        if not done.wait(timeout if timeout is not None else 600.0):
+            raise TimeoutError("matcher worker did not run the call")
+        status, value = box[0]
+        if status == "err":
+            raise value
+        return value
+
+    def wait_idle(self, timeout: Optional[float] = None) -> None:
+        """Block until every admitted batch has been processed."""
+        self.submit_call(lambda: None, timeout=timeout)
+
+    # ------------------------------------------------------------------
+    # Match worker
+    # ------------------------------------------------------------------
+    async def _match_worker(self) -> None:
+        assert self._queue is not None
+        loop = asyncio.get_running_loop()
+        while True:
+            batch = await self._queue.get()
+            if self._g_depth is not None:
+                self._g_depth.set(self._queue.qsize())
+            if batch is _CLOSE:
+                self._queue.task_done()
+                return
+            try:
+                if callable(batch):  # a submit_call barrier, not events
+                    await loop.run_in_executor(self._matcher_pool, batch)
+                else:
+                    await loop.run_in_executor(self._matcher_pool,
+                                               self._submit, batch)
+            except Exception:
+                # A poisoned batch must not kill delivery for everyone;
+                # supervised serves quarantine poison upstream of here.
+                self._ingest_errors += 1
+                logger.exception(
+                    "match worker failed on a batch of %s",
+                    len(batch) if isinstance(batch, list) else "?")
+            finally:
+                self._queue.task_done()
+
+    def _admit(self, events: List) -> bool:
+        """Try to enqueue a decoded batch; False means backpressure."""
+        if self._draining or self._queue is None:
+            return False
+        try:
+            self._queue.put_nowait(events)
+        except asyncio.QueueFull:
+            if self._c_backpressure is not None:
+                self._c_backpressure.inc()
+            return False
+        if self._c_batches is not None:
+            self._c_batches.inc()
+            self._c_events.inc(len(events))
+        if self._g_depth is not None:
+            self._g_depth.set(self._queue.qsize())
+        return True
+
+    # ------------------------------------------------------------------
+    # Connection dispatch
+    # ------------------------------------------------------------------
+    async def _handle_conn(self, reader: asyncio.StreamReader,
+                           writer: asyncio.StreamWriter) -> None:
+        try:
+            first = await reader.read(4)
+            if not first:
+                return
+            if first[:4].ljust(4) in _HTTP_PREFIXES or any(
+                    first.startswith(p.strip()) for p in _HTTP_PREFIXES):
+                await self._handle_http(reader, writer, first)
+            else:
+                await self._handle_framed(reader, writer, first)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        except Exception:
+            logger.exception("connection handler failed")
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except Exception:
+                pass
+
+    # ------------------------------------------------------------------
+    # Framed ingest protocol
+    # ------------------------------------------------------------------
+    async def _handle_framed(self, reader, writer, initial: bytes) -> None:
+        decoder = FrameDecoder()
+        writer.write(encode_frame({"type": "hello", "proto": PROTO_VERSION,
+                                   "server": "repro-push/1"}))
+        await writer.drain()
+        data = initial
+        while data:
+            try:
+                frames = decoder.feed(data)
+            except FrameError as exc:
+                writer.write(encode_frame({"type": "error",
+                                           "error": str(exc)}))
+                await writer.drain()
+                return
+            for frame in frames:
+                if not await self._handle_ingest_frame(frame, writer):
+                    await writer.drain()
+                    return
+            await writer.drain()
+            data = await reader.read(65536)
+
+    async def _handle_ingest_frame(self, frame: Dict[str, Any],
+                                   writer) -> bool:
+        kind = frame.get("type")
+        seq = frame.get("seq")
+        if kind == "hello":
+            return True
+        if kind == "ping":
+            writer.write(encode_frame({"type": "pong"}))
+            return True
+        if kind == "bye":
+            return False
+        if kind != "batch":
+            writer.write(encode_frame(
+                {"type": "error", "seq": seq,
+                 "error": f"unknown frame type {kind!r}"}))
+            return True
+        if self._draining:
+            writer.write(encode_frame({"type": "draining", "seq": seq}))
+            return True
+        try:
+            events = [event_from_json(obj)
+                      for obj in frame.get("events", ())]
+        except FrameError as exc:
+            writer.write(encode_frame({"type": "error", "seq": seq,
+                                       "error": str(exc)}))
+            return True
+        if not self._admit(events):
+            writer.write(encode_frame(
+                {"type": "slow_down", "seq": seq,
+                 "retry_after_ms": self.retry_after_ms,
+                 "queue_depth": self._queue.qsize()}))
+            return True
+        writer.write(encode_frame({"type": "ack", "seq": seq,
+                                   "accepted": len(events),
+                                   "queue_depth": self._queue.qsize()}))
+        return True
+
+    # ------------------------------------------------------------------
+    # HTTP
+    # ------------------------------------------------------------------
+    async def _handle_http(self, reader, writer, initial: bytes) -> None:
+        head = bytearray(initial)
+        while b"\r\n\r\n" not in head:
+            if len(head) > MAX_HTTP_HEAD:
+                await self._respond(writer, 431, {"error": "headers too large"})
+                return
+            chunk = await reader.read(8192)
+            if not chunk:
+                return
+            head.extend(chunk)
+        head_bytes, _, leftover = bytes(head).partition(b"\r\n\r\n")
+        lines = head_bytes.decode("latin-1").split("\r\n")
+        try:
+            method, target, _version = lines[0].split(" ", 2)
+        except ValueError:
+            await self._respond(writer, 400, {"error": "bad request line"})
+            return
+        headers = {}
+        for line in lines[1:]:
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length") or 0)
+        body = bytearray(leftover)
+        while len(body) < length:
+            chunk = await reader.read(length - len(body))
+            if not chunk:
+                break
+            body.extend(chunk)
+        parts = urlsplit(target)
+        path = parts.path
+        query = {key: values[-1]
+                 for key, values in parse_qs(parts.query).items()}
+        if method == "GET" and path == "/subscribe":
+            await self._serve_sse(writer, headers, query)
+        elif method == "GET" and path == "/ws":
+            await self._serve_ws(reader, writer, headers, query)
+        elif method == "POST" and path == "/ingest":
+            await self._serve_ingest(writer, bytes(body))
+        elif method == "POST" and path == "/quitquitquit":
+            await self._respond(writer, 200, {"quitting": True,
+                                              "resume": self.hub.last_seq})
+            self.request_drain()
+        elif method == "GET" and path == "/healthz":
+            healthy, detail = ((True, self.hub.stats())
+                               if self._health is None else self._health())
+            await self._respond(writer, 200 if healthy else 503, detail)
+        elif method == "GET" and path == "/statz":
+            stats = self.hub.stats()
+            stats["ingest"] = {
+                "queue_depth": self._queue.qsize(),
+                "queue_size": self.ingest_queue_size,
+                "draining": self._draining,
+                "errors": self._ingest_errors,
+            }
+            await self._respond(writer, 200, stats)
+        else:
+            await self._respond(writer, 404,
+                                {"error": f"unknown route {path!r}"})
+
+    async def _respond(self, writer, status: int, payload: dict) -> None:
+        reason = {200: "OK", 202: "Accepted", 400: "Bad Request",
+                  404: "Not Found", 429: "Too Many Requests",
+                  431: "Request Header Fields Too Large",
+                  503: "Service Unavailable"}.get(status, "OK")
+        body = (json.dumps(payload, default=str) + "\n").encode("utf-8")
+        head = (f"HTTP/1.1 {status} {reason}\r\n"
+                f"Content-Type: application/json\r\n"
+                f"Content-Length: {len(body)}\r\n")
+        if status == 429:
+            head += f"Retry-After: {self.retry_after_ms / 1000.0:g}\r\n"
+        head += "Connection: close\r\n\r\n"
+        writer.write(head.encode("latin-1") + body)
+        await writer.drain()
+
+    async def _serve_ingest(self, writer, body: bytes) -> None:
+        if self._draining:
+            await self._respond(writer, 503, {"error": "draining"})
+            return
+        try:
+            payload = json.loads(body.decode("utf-8") or "null")
+            events = [event_from_json(obj)
+                      for obj in (payload or {}).get("events", ())]
+        except (ValueError, FrameError, AttributeError) as exc:
+            await self._respond(writer, 400, {"error": f"bad batch: {exc}"})
+            return
+        if not self._admit(events):
+            await self._respond(writer, 429, {
+                "error": "ingest queue full",
+                "retry_after_ms": self.retry_after_ms})
+            return
+        await self._respond(writer, 202, {"accepted": len(events),
+                                          "queue_depth": self._queue.qsize()})
+
+    # ------------------------------------------------------------------
+    # Subscriptions
+    # ------------------------------------------------------------------
+    def _attach_from_query(self, headers: Dict[str, str],
+                           query: Dict[str, str]) -> Subscriber:
+        resume = headers.get("last-event-id", query.get("resume"))
+        resume_after = None
+        if resume not in (None, "", "live"):
+            resume_after = int(resume)
+        patterns = [p for p in (query.get("patterns") or "").split(",") if p]
+        tenants = [t for t in (query.get("tenants") or "").split(",") if t]
+        queue_size = (int(query["queue"]) if "queue" in query else None)
+        return self.hub.attach(
+            subscriber_id=query.get("id"),
+            patterns=patterns or None, tenants=tenants or None,
+            resume_after=resume_after, queue_size=queue_size,
+            policy=query.get("policy"))
+
+    def _wire_wake(self, subscriber: Subscriber) -> asyncio.Event:
+        wake = asyncio.Event()
+        loop = asyncio.get_running_loop()
+
+        def poke() -> None:
+            loop.call_soon_threadsafe(wake.set)
+
+        subscriber.wake = poke
+        return wake
+
+    async def _serve_sse(self, writer, headers: Dict[str, str],
+                         query: Dict[str, str]) -> None:
+        try:
+            subscriber = self._attach_from_query(headers, query)
+        except ValueError as exc:
+            await self._respond(writer, 400, {"error": str(exc)})
+            return
+        wake = self._wire_wake(subscriber)
+        writer.write(b"HTTP/1.1 200 OK\r\n"
+                     b"Content-Type: text/event-stream\r\n"
+                     b"Cache-Control: no-cache\r\n"
+                     b"X-Accel-Buffering: no\r\n"
+                     b"Connection: close\r\n\r\n")
+        writer.write(sse_format(
+            {"subscriber": subscriber.subscriber_id,
+             "cursor": subscriber.cursor,
+             "heartbeat_seconds": self.hub.heartbeat_seconds},
+            event="hello"))
+        await writer.drain()
+        try:
+            await self._pump(subscriber, wake,
+                             lambda kind, payload: self._sse_chunk(
+                                 kind, payload),
+                             writer)
+        finally:
+            self.hub.detach(subscriber, reason=subscriber.close_reason
+                            or "connection closed")
+
+    @staticmethod
+    def _sse_chunk(kind: str, payload) -> bytes:
+        if kind == "match":
+            return sse_format(payload.payload, event_id=payload.seq,
+                              event="match")
+        return sse_format(payload, event=kind)
+
+    async def _pump(self, subscriber: Subscriber, wake: asyncio.Event,
+                    render: Callable[[str, Any], bytes], writer,
+                    pinger: Optional[Callable[[], bytes]] = None) -> None:
+        """The shared delivery loop: pop, render, write, heartbeat."""
+        heartbeat = self.hub.heartbeat_seconds
+        idle_timeout = self.hub.idle_timeout_seconds
+        while True:
+            # Clear-before-pop: a publish landing after an empty pop
+            # still leaves the event set, so the wait returns at once.
+            wake.clear()
+            item = subscriber.pop()
+            if item is None:
+                if subscriber.closed:
+                    writer.write(render(
+                        "disconnect",
+                        {"reason": subscriber.close_reason or "detached",
+                         "resume": subscriber.cursor}))
+                    await writer.drain()
+                    return
+                try:
+                    await asyncio.wait_for(wake.wait(), timeout=heartbeat)
+                except asyncio.TimeoutError:
+                    writer.write(b": hb\n\n" if pinger is None else pinger())
+                    try:
+                        await asyncio.wait_for(writer.drain(), idle_timeout)
+                    except asyncio.TimeoutError:
+                        subscriber.close(reason="idle-timeout")
+                        return
+                continue
+            kind, payload = item
+            writer.write(render(kind, payload))
+            try:
+                await asyncio.wait_for(writer.drain(), idle_timeout)
+            except asyncio.TimeoutError:
+                subscriber.close(reason="idle-timeout")
+                return
+            if kind == "drain":
+                return
+
+    # -- WebSocket -----------------------------------------------------
+    async def _serve_ws(self, reader, writer, headers: Dict[str, str],
+                        query: Dict[str, str]) -> None:
+        key = headers.get("sec-websocket-key")
+        if (headers.get("upgrade", "").lower() != "websocket"
+                or key is None):
+            await self._respond(writer, 400,
+                                {"error": "not a websocket handshake"})
+            return
+        try:
+            subscriber = self._attach_from_query(headers, query)
+        except ValueError as exc:
+            await self._respond(writer, 400, {"error": str(exc)})
+            return
+        wake = self._wire_wake(subscriber)
+        writer.write((
+            "HTTP/1.1 101 Switching Protocols\r\n"
+            "Upgrade: websocket\r\nConnection: Upgrade\r\n"
+            f"Sec-WebSocket-Accept: {ws_accept_key(key)}\r\n\r\n"
+        ).encode("latin-1"))
+        writer.write(ws_encode(json.dumps(
+            {"event": "hello", "subscriber": subscriber.subscriber_id,
+             "cursor": subscriber.cursor}).encode("utf-8")))
+        await writer.drain()
+        read_task = asyncio.ensure_future(
+            self._ws_read(reader, writer, subscriber))
+
+        def render(kind: str, payload) -> bytes:
+            if kind == "match":
+                body = dict(payload.payload)
+                body["event"] = "match"
+            else:
+                body = dict(payload)
+                body["event"] = kind
+            return ws_encode(json.dumps(body, default=str).encode("utf-8"))
+
+        try:
+            await self._pump(subscriber, wake, render, writer,
+                             pinger=lambda: ws_encode(b"", WSFrame.PING))
+            writer.write(ws_encode(b"", WSFrame.CLOSE))
+            await writer.drain()
+        finally:
+            read_task.cancel()
+            self.hub.detach(subscriber, reason=subscriber.close_reason
+                            or "connection closed")
+
+    async def _ws_read(self, reader, writer, subscriber: Subscriber) -> None:
+        """Consume client frames: answer pings, honour close."""
+        buffer = bytearray()
+        try:
+            while True:
+                data = await reader.read(4096)
+                if not data:
+                    subscriber.close(reason="connection closed")
+                    return
+                buffer.extend(data)
+                while True:
+                    frame = ws_decode(buffer)
+                    if frame is None:
+                        break
+                    if frame.opcode == WSFrame.CLOSE:
+                        subscriber.close(reason="client close")
+                        return
+                    if frame.opcode == WSFrame.PING:
+                        writer.write(ws_encode(frame.payload, WSFrame.PONG))
+                        await writer.drain()
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+
+    def __repr__(self) -> str:
+        state = ("draining" if self._draining
+                 else "serving" if self._thread else "stopped")
+        return f"PushServer({self.url}, {state})"

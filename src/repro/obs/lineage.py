@@ -497,6 +497,19 @@ class LineageRecorder:
     def get(self, mid: str) -> Optional[Provenance]:
         return self._records.get(mid)
 
+    def note_push(self, mid: str, subscriber: str) -> None:
+        """Stamp a push-delivery hop naming the subscriber.
+
+        The subscription hub calls this when a retained match leaves
+        through a push channel; the hop lands in the record's stage map
+        as ``push:<subscriber>`` (first delivery wins), so ``repro
+        trace`` and ``/debug/lineage`` show *which* subscriber a match
+        reached and when.  A no-op for records the sampler dropped.
+        """
+        record = self._records.get(mid)
+        if record is not None:
+            record.stages.setdefault(f"push:{subscriber}", time.time())
+
     def records(self) -> List[Provenance]:
         return list(self._records.values())
 

@@ -65,11 +65,21 @@ def parse_listen(spec: str) -> Tuple[str, int]:
     return (host or "127.0.0.1", int(port))
 
 
+#: Default per-connection socket timeout for handler threads.  Keep-alive
+#: (HTTP/1.1) handler threads otherwise block forever in ``readline()``
+#: on a silent client, leaking one thread per abandoned connection.
+DEFAULT_HANDLER_TIMEOUT = 30.0
+
+
 class _Handler(BaseHTTPRequestHandler):
     """Routes requests to the owning :class:`ObsServer`'s providers."""
 
     server_version = "repro-obs/1.0"
     protocol_version = "HTTP/1.1"
+    #: ``BaseHTTPRequestHandler`` applies this as the connection's socket
+    #: timeout; a timeout mid-request sets ``close_connection`` and ends
+    #: the handler thread instead of hanging it.
+    timeout = DEFAULT_HANDLER_TIMEOUT
 
     def do_GET(self) -> None:  # noqa: N802 (http.server API)
         obs_server: "ObsServer" = self.server.obs_server
@@ -213,6 +223,10 @@ class ObsServer:
     on_quit:
         Callback invoked by ``POST /quitquitquit`` (e.g. an Event's
         ``set``); the route 404s without one.
+    handler_timeout:
+        Per-connection socket timeout (seconds) applied to every
+        handler thread; a client that stops sending mid-request is
+        disconnected instead of pinning its thread forever.
 
     Usable as a context manager (``with ObsServer(...) as server:``);
     :meth:`stop` is idempotent.
@@ -225,7 +239,8 @@ class ObsServer:
                  explain: Optional[Callable[[], dict]] = None,
                  patterns=None,
                  lineage=None,
-                 on_quit: Optional[Callable[[], None]] = None):
+                 on_quit: Optional[Callable[[], None]] = None,
+                 handler_timeout: float = DEFAULT_HANDLER_TIMEOUT):
         self._snapshot = snapshot
         self._health = health
         self._flight = flight
@@ -233,7 +248,13 @@ class ObsServer:
         self.patterns = patterns
         self._lineage = lineage
         self._on_quit = on_quit
-        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        # Per-server handler class so a custom timeout does not leak
+        # into other ObsServer instances in the same process.
+        handler = _Handler
+        if handler_timeout != _Handler.timeout:
+            handler = type("_Handler", (_Handler,),
+                           {"timeout": handler_timeout})
+        self._httpd = ThreadingHTTPServer((host, port), handler)
         self._httpd.daemon_threads = True
         self._httpd.obs_server = self
         self._thread: Optional[threading.Thread] = None

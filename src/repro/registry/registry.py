@@ -573,6 +573,14 @@ class PatternRegistry:
             return sum(entry.matcher.active_instances
                        for entry in self._entries.values())
 
+    def tenant_of(self, pattern_id: str) -> Optional[str]:
+        """The owning tenant of a registered pattern (``None`` when the
+        pattern is unknown — e.g. already deregistered).  Safe to call
+        from an ``on_match`` callback (the lock is re-entrant)."""
+        with self._lock:
+            entry = self._entries.get(pattern_id)
+            return None if entry is None else entry.tenant
+
     @property
     def predicate_count(self) -> int:
         """Distinct live predicates in the shared bank."""

@@ -12,16 +12,22 @@ death to the list.  This package supplies the production answers:
 * :class:`GuardConfig` / :class:`ResourceGuard` /
   :class:`ResourceExhausted` — runtime ceilings on executor state,
   grounded in :mod:`repro.complexity.bounds`;
-* :class:`FaultPlan` — deterministic fault injection for chaos tests.
+* :class:`FaultPlan` — deterministic fault injection for chaos tests;
+* :class:`DeliveryLog` — the durable write-ahead log behind resumable
+  push subscriptions (:mod:`repro.net`), sharing the dead-letter
+  queue's line-atomic append and rotation machinery.
 
 See ``docs/resilience.md`` for the supervision tree, checkpoint format
-and guard-policy semantics.
+and guard-policy semantics, and ``docs/serving.md`` for how the
+delivery log backs ``Last-Event-ID`` resume.
 """
 
 from .chaos import FaultInjector, FaultPlan, InjectedFault
 from .checkpoint import EventLog, ShardCheckpoint, restore_state, snapshot_state
+from .delivery import DeliveryLog
 from .guards import GuardConfig, ResourceExhausted, ResourceGuard
-from .quarantine import DeadLetterQueue, QuarantinedEvent
+from .quarantine import (DLQ_MAX_BYTES_ENV, DeadLetterQueue, QuarantinedEvent,
+                         atomic_append_jsonl, rotated_path)
 from .supervisor import RestartPolicy, ShardRuntime, Supervisor
 
 __all__ = [
@@ -29,5 +35,7 @@ __all__ = [
     "GuardConfig", "ResourceGuard", "ResourceExhausted",
     "FaultPlan", "FaultInjector", "InjectedFault",
     "DeadLetterQueue", "QuarantinedEvent",
+    "atomic_append_jsonl", "rotated_path", "DLQ_MAX_BYTES_ENV",
+    "DeliveryLog",
     "EventLog", "ShardCheckpoint", "snapshot_state", "restore_state",
 ]

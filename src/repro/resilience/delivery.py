@@ -1,0 +1,112 @@
+"""Durable delivery log: the WAL behind resumable match subscriptions.
+
+The subscription hub (:mod:`repro.net.hub`) assigns every published
+match a monotonic cursor and keeps a bounded in-memory replay ring.  The
+ring alone cannot survive a process restart, and it cannot serve a
+subscriber that reconnects after more matches than the ring holds — the
+:class:`DeliveryLog` is the spill: every published entry is appended
+here *line-atomically* (via
+:func:`~repro.resilience.quarantine.atomic_append_jsonl` — single
+``write()``, ``flush()`` + ``fsync()``) before delivery, so
+
+* a subscriber resuming from any cursor can be backfilled from disk
+  (``entries_after``), however long it was away;
+* a restarted server reloads the log, continues the cursor sequence
+  where it stopped, and — because entries carry the content-derived
+  :func:`~repro.obs.lineage.match_id` — suppresses re-publication of
+  matches the pre-restart process already delivered (exactly-once
+  across restarts).
+
+Growth is bounded the same way the dead-letter queue is: past
+``max_bytes`` (or the ``REPRO_DLQ_MAX_BYTES`` environment knob) the
+file rotates to ``<path>.1``; readers walk the rotation first, so a
+resume spanning the rotation boundary still sees a gap-free sequence as
+long as the cursor lies within the retained window.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Union
+
+from .quarantine import atomic_append_jsonl, rotated_path
+
+__all__ = ["DeliveryLog"]
+
+
+class DeliveryLog:
+    """Append-only JSON-lines log of published matches, keyed by cursor.
+
+    Records are plain dicts; the only required key is ``"seq"`` (the
+    hub's monotonic cursor).  The log object itself is cheap — it holds
+    no file handle between appends and re-reads the file on scans, so
+    several processes may *read* it concurrently with one writer.
+    """
+
+    def __init__(self, path: Union[str, Path],
+                 max_bytes: Optional[int] = None):
+        self.path = Path(path)
+        self.max_bytes = max_bytes
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def append(self, record: Dict) -> None:
+        """Durably append one published-match record."""
+        if "seq" not in record:
+            raise ValueError("delivery log records must carry a 'seq'")
+        atomic_append_jsonl(self.path, record, max_bytes=self.max_bytes)
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def _files(self) -> List[Path]:
+        files = []
+        rotation = rotated_path(self.path)
+        if rotation.exists():
+            files.append(rotation)
+        if self.path.exists():
+            files.append(self.path)
+        return files
+
+    def __iter__(self) -> Iterator[Dict]:
+        """All retained records in cursor order (rotation first).
+
+        A torn final line — the signature of a crash mid-append — is
+        skipped rather than raised: everything before it was fsynced.
+        """
+        for path in self._files():
+            with open(path, "r", encoding="utf-8") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        yield json.loads(line)
+                    except json.JSONDecodeError:
+                        continue
+
+    def load(self) -> List[Dict]:
+        """All retained records as a list."""
+        return list(self)
+
+    def entries_after(self, cursor: int) -> List[Dict]:
+        """Retained records with ``seq`` strictly above ``cursor``."""
+        return [record for record in self
+                if record.get("seq", -1) > cursor]
+
+    def last_seq(self) -> int:
+        """Highest cursor on disk (``-1`` for an empty/missing log)."""
+        last = -1
+        for record in self:
+            seq = record.get("seq", -1)
+            if seq > last:
+                last = seq
+        return last
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self)
+
+    def __repr__(self) -> str:
+        return f"DeliveryLog({str(self.path)!r})"

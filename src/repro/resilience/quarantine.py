@@ -11,16 +11,91 @@ the shard continues with the rest of the stream.
 
 Entries serialise to JSON lines (``repro match --dead-letter out.jsonl``)
 so poison events can be inspected, fixed and re-ingested offline.
+
+Durability
+----------
+Dead-letter files are evidence — they must survive the very crashes
+they document.  All writes go through :func:`atomic_append_jsonl`:
+
+* **line-atomic** — each record is a single ``write()`` of one complete
+  line followed by ``flush()`` + ``fsync()``, so a crash mid-write can
+  truncate at most the line being written, never interleave two records
+  or leave earlier lines unflushed in a userspace buffer;
+* **bounded** — when the file would grow past a byte cap (the
+  ``REPRO_DLQ_MAX_BYTES`` environment knob, or an explicit
+  ``max_bytes=``), it is rotated to ``<path>.1`` (replacing any
+  previous rotation) instead of growing without bound.  Readers that
+  want the full history read ``<path>.1`` then ``<path>``.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Iterator, List, Optional
+import os
+from pathlib import Path
+from typing import Iterator, List, Optional, Union
 
 from ..core.events import Event
 
-__all__ = ["QuarantinedEvent", "DeadLetterQueue"]
+__all__ = ["QuarantinedEvent", "DeadLetterQueue", "atomic_append_jsonl",
+           "rotated_path", "DLQ_MAX_BYTES_ENV"]
+
+#: Environment knob capping dead-letter (and other jsonl-log) growth in
+#: bytes; unset or empty means unbounded.
+DLQ_MAX_BYTES_ENV = "REPRO_DLQ_MAX_BYTES"
+
+
+def _env_max_bytes() -> Optional[int]:
+    raw = os.environ.get(DLQ_MAX_BYTES_ENV, "").strip()
+    if not raw:
+        return None
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"{DLQ_MAX_BYTES_ENV} must be an integer byte count, "
+            f"got {raw!r}") from None
+    return value if value > 0 else None
+
+
+def rotated_path(path: Union[str, Path]) -> Path:
+    """Where :func:`atomic_append_jsonl` rotates a full log to."""
+    path = Path(path)
+    return path.with_name(path.name + ".1")
+
+
+def atomic_append_jsonl(path: Union[str, Path], record: dict,
+                        max_bytes: Optional[int] = None) -> Path:
+    """Append ``record`` to a JSON-lines file, line-atomically.
+
+    The serialised line is written with a single ``write()`` call and
+    made durable with ``flush()`` + ``fsync()`` before the handle
+    closes.  When ``max_bytes`` (default: the ``REPRO_DLQ_MAX_BYTES``
+    environment knob) is set and the append would push the file past the
+    cap, the current file is first renamed to ``<path>.1`` — replacing
+    any previous rotation — so the log pair never holds more than
+    roughly ``2 * max_bytes``.  Returns the path written to.
+
+    Non-JSON attribute values are stringified (``default=str``): these
+    logs are for inspection and re-ingestion, not lossless pickling.
+    """
+    path = Path(path)
+    if max_bytes is None:
+        max_bytes = _env_max_bytes()
+    line = json.dumps(record, default=str) + "\n"
+    data = line.encode("utf-8")
+    if max_bytes is not None:
+        try:
+            size = path.stat().st_size
+        except OSError:
+            size = 0
+        if size and size + len(data) > max_bytes:
+            os.replace(path, rotated_path(path))
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(line)
+        handle.flush()
+        os.fsync(handle.fileno())
+    return path
 
 
 class QuarantinedEvent:
@@ -75,18 +150,47 @@ class DeadLetterQueue:
     def __iter__(self) -> Iterator[QuarantinedEvent]:
         return iter(self._entries)
 
-    def write_jsonl(self, path) -> int:
+    def write_jsonl(self, path, max_bytes: Optional[int] = None) -> int:
         """Write one JSON line per entry; returns the number written.
 
-        Attribute values that are not JSON types are stringified — the
-        dead-letter file is for human inspection and re-ingestion, not a
-        lossless pickle.
+        The file is rewritten from scratch (shutdown snapshot
+        semantics: "exists and empty" is the scriptable signature of a
+        clean run), each line in a single ``write()`` call, and the
+        result fsynced before close so the evidence survives an
+        immediately following crash.  ``max_bytes`` (default: the
+        ``REPRO_DLQ_MAX_BYTES`` knob) caps the snapshot — when the cap
+        would be crossed, the oldest entries are dropped and a
+        ``truncated`` marker line leads the file.
         """
+        if max_bytes is None:
+            max_bytes = _env_max_bytes()
+        lines = [json.dumps(entry.to_json(), default=str) + "\n"
+                 for entry in self._entries]
+        if max_bytes is not None:
+            kept, budget = [], max_bytes
+            for line in reversed(lines):
+                if budget - len(line.encode("utf-8")) < 0:
+                    break
+                budget -= len(line.encode("utf-8"))
+                kept.append(line)
+            if len(kept) < len(lines):
+                marker = json.dumps(
+                    {"truncated": len(lines) - len(kept),
+                     "reason": f"max_bytes={max_bytes}"}) + "\n"
+                kept.append(marker)
+            lines = list(reversed(kept))
         with open(path, "w", encoding="utf-8") as handle:
-            for entry in self._entries:
-                handle.write(json.dumps(entry.to_json(), default=str))
-                handle.write("\n")
+            for line in lines:
+                handle.write(line)
+            handle.flush()
+            os.fsync(handle.fileno())
         return len(self._entries)
+
+    def append_jsonl(self, path, entry: QuarantinedEvent,
+                     max_bytes: Optional[int] = None) -> None:
+        """Durably append one entry as it is quarantined (incremental
+        spelling of :meth:`write_jsonl`, used by long-running serves)."""
+        atomic_append_jsonl(path, entry.to_json(), max_bytes=max_bytes)
 
     def __repr__(self) -> str:
         return f"DeadLetterQueue({len(self._entries)} entries)"

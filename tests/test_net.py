@@ -1,0 +1,624 @@
+"""Tests for repro.net: wire protocols, subscription hub, push server."""
+
+import json
+import threading
+import time
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Event, Substitution
+from repro.core.variables import var
+from repro.lang import parse_query_spec
+from repro.net import (FrameDecoder, FrameError, PushServer,
+                       SubscriptionHub, WSFrame, decode_frames, encode_frame,
+                       event_from_json, event_to_json, http_push,
+                       parse_sse_stream, push_events, request_quit,
+                       sse_format, subscribe_sse, subscribe_ws,
+                       ws_accept_key, ws_decode, ws_encode)
+from repro.net.client import PushRejected
+from repro.obs import Observability
+from repro.obs.lineage import match_id
+from repro.plan.cache import compile as compile_plan
+from repro.registry import PatternRegistry
+from repro.resilience import DeliveryLog
+
+A, B = var("a"), var("b")
+
+QUERY = ("PATTERN PERMUTE(a, b) WHERE a.L = 'B' AND b.L = 'C' "
+         "WITHIN 10")
+
+
+def make_sub(i):
+    """A distinct two-event substitution (distinct match id per ``i``)."""
+    return Substitution([
+        (A, Event(ts=2 * i, attrs={"L": "B"}, eid=f"a{i}")),
+        (B, Event(ts=2 * i + 1, attrs={"L": "C"}, eid=f"b{i}")),
+    ])
+
+
+def make_events(n, start_ts=0):
+    """An alternating B/C stream producing roughly n//2 matches."""
+    return [Event(ts=start_ts + i,
+                  attrs={"L": "B" if i % 2 == 0 else "C"},
+                  eid=f"e{start_ts + i}")
+            for i in range(n)]
+
+
+# ----------------------------------------------------------------------
+# Wire formats
+# ----------------------------------------------------------------------
+class TestFraming:
+    def test_roundtrip(self):
+        frame = {"type": "batch", "seq": 1,
+                 "events": [event_to_json(Event(ts=1, attrs={"L": "B"},
+                                                eid="e1"))]}
+        assert decode_frames(encode_frame(frame)) == [frame]
+
+    def test_incremental_byte_by_byte(self):
+        data = encode_frame({"type": "ping"}) + encode_frame({"type": "bye"})
+        decoder = FrameDecoder()
+        frames = []
+        for i in range(len(data)):
+            frames.extend(decoder.feed(data[i:i + 1]))
+        assert [f["type"] for f in frames] == ["ping", "bye"]
+
+    def test_oversized_frame_rejected(self):
+        decoder = FrameDecoder(max_frame_bytes=16)
+        with pytest.raises(FrameError, match="exceeds"):
+            decoder.feed(encode_frame({"type": "x" * 64}))
+
+    def test_undecodable_body_rejected(self):
+        import struct
+        with pytest.raises(FrameError, match="undecodable"):
+            decode_frames(struct.pack(">I", 4) + b"\xff\xfe\x00\x01")
+
+    def test_untyped_frame_rejected(self):
+        import struct
+        body = json.dumps([1, 2]).encode()
+        with pytest.raises(FrameError, match="typed"):
+            decode_frames(struct.pack(">I", len(body)) + body)
+
+    def test_event_codec_roundtrip(self):
+        event = Event(ts=7, attrs={"L": "B", "V": 1.5}, eid="e7")
+        back = event_from_json(event_to_json(event))
+        assert back.ts == 7 and back.eid == "e7"
+        assert back.get("V") == 1.5
+
+    def test_event_without_ts_rejected(self):
+        with pytest.raises(FrameError, match="ts"):
+            event_from_json({"eid": "x"})
+
+
+class TestSSE:
+    def test_format_and_parse_roundtrip(self):
+        blocks = (sse_format({"a": 1}, event_id=3, event="match")
+                  + b": heartbeat\n\n"
+                  + sse_format({"resume": 3}, event="drain"))
+        lines = blocks.decode().splitlines(keepends=True)
+        parsed = list(parse_sse_stream(lines))
+        assert parsed == [("match", "3", {"a": 1}),
+                          ("drain", "3", {"resume": 3})]
+
+    def test_default_event_type_is_message(self):
+        parsed = list(parse_sse_stream(["data: {}", ""]))
+        assert parsed == [("message", None, {})]
+
+
+class TestWebSocketCodec:
+    def test_accept_key_rfc_vector(self):
+        # RFC 6455 section 1.3 worked example.
+        assert (ws_accept_key("dGhlIHNhbXBsZSBub25jZQ==")
+                == "s3pPLMBiTxaQ9kYGzzhZRbK+xOo=")
+
+    @pytest.mark.parametrize("mask", [False, True])
+    @pytest.mark.parametrize("size", [0, 5, 126, 70000])
+    def test_encode_decode_roundtrip(self, mask, size):
+        payload = bytes(range(256)) * (size // 256) + bytes(range(size % 256))
+        buffer = bytearray(ws_encode(payload, WSFrame.TEXT, mask=mask))
+        frame = ws_decode(buffer)
+        assert frame.opcode == WSFrame.TEXT
+        assert frame.payload == payload
+        assert not buffer  # fully consumed
+
+    def test_partial_buffer_returns_none(self):
+        data = ws_encode(b"hello")
+        assert ws_decode(bytearray(data[:3])) is None
+
+
+# ----------------------------------------------------------------------
+# Delivery log
+# ----------------------------------------------------------------------
+class TestDeliveryLog:
+    def test_append_requires_seq(self, tmp_path):
+        log = DeliveryLog(tmp_path / "wal.jsonl")
+        with pytest.raises(ValueError):
+            log.append({"match_id": "x"})
+
+    def test_roundtrip_and_cursor_queries(self, tmp_path):
+        log = DeliveryLog(tmp_path / "wal.jsonl")
+        for seq in range(5):
+            log.append({"seq": seq, "match_id": f"m{seq}"})
+        assert log.last_seq() == 4
+        assert [r["seq"] for r in log.entries_after(2)] == [3, 4]
+        assert len(DeliveryLog(tmp_path / "wal.jsonl")) == 5
+
+    def test_torn_final_line_skipped(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        log = DeliveryLog(path)
+        log.append({"seq": 0, "match_id": "m0"})
+        with open(path, "a") as handle:
+            handle.write('{"seq": 1, "match_')  # crash mid-write
+        assert [r["seq"] for r in DeliveryLog(path)] == [0]
+
+    def test_rotation_read_order(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        log = DeliveryLog(path, max_bytes=64)
+        for seq in range(12):
+            log.append({"seq": seq, "match_id": f"m{seq}"})
+        assert (path.with_name(path.name + ".1")).exists()
+        seqs = [r["seq"] for r in DeliveryLog(path, max_bytes=64)]
+        assert seqs == sorted(seqs)
+        assert seqs[-1] == 11
+
+
+# ----------------------------------------------------------------------
+# Subscription hub
+# ----------------------------------------------------------------------
+class TestHubPublish:
+    def test_monotonic_seq_and_payload_shape(self):
+        hub = SubscriptionHub()
+        first = hub.publish(make_sub(0), pattern_id="p1", tenant="t1")
+        second = hub.publish(make_sub(1), pattern_id="p1", tenant="t1")
+        assert (first.seq, second.seq) == (0, 1)
+        assert first.payload["pattern_id"] == "p1"
+        assert first.payload["tenant"] == "t1"
+        assert set(first.payload["bindings"]) == {"a", "b"}
+        assert first.payload["match_id"] == match_id(make_sub(0))
+
+    def test_duplicate_match_suppressed(self):
+        hub = SubscriptionHub()
+        assert hub.publish(make_sub(0)) is not None
+        assert hub.publish(make_sub(0)) is None
+        assert hub.last_seq == 0
+
+    def test_filters(self):
+        hub = SubscriptionHub()
+        only_p1 = hub.attach(patterns=["p1"])
+        only_t2 = hub.attach(tenants=["t2"])
+        everything = hub.attach()
+        hub.publish(make_sub(0), pattern_id="p1", tenant="t1")
+        hub.publish(make_sub(1), pattern_id="p2", tenant="t2")
+        kinds = lambda s: [p.pattern_id for k, p in s.drain_items()
+                           if k == "match"]
+        assert kinds(only_p1) == ["p1"]
+        assert kinds(only_t2) == ["p2"]
+        assert kinds(everything) == ["p1", "p2"]
+
+    def test_delivered_or_persisted_order(self, tmp_path):
+        # The WAL holds the entry even if no subscriber ever consumed it.
+        wal = DeliveryLog(tmp_path / "wal.jsonl")
+        hub = SubscriptionHub(wal=wal)
+        hub.publish(make_sub(0))
+        assert wal.last_seq() == 0
+
+    def test_recovery_restores_cursor_and_dedup(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        hub = SubscriptionHub(wal=DeliveryLog(path))
+        hub.publish(make_sub(0))
+        hub.publish(make_sub(1))
+        # Crash; restart from the same WAL.
+        reborn = SubscriptionHub(wal=DeliveryLog(path))
+        assert reborn.last_seq == 1
+        assert reborn.publish(make_sub(0)) is None  # still a duplicate
+        entry = reborn.publish(make_sub(2))
+        assert entry.seq == 2  # cursors continue, never reused
+
+
+class TestHubResume:
+    def test_resume_from_ring(self):
+        hub = SubscriptionHub(ring_size=16)
+        for i in range(6):
+            hub.publish(make_sub(i))
+        sub = hub.attach(resume_after=2)
+        seqs = [p.seq for k, p in sub.drain_items() if k == "match"]
+        assert seqs == [3, 4, 5]
+
+    def test_resume_spills_to_wal_beyond_ring(self, tmp_path):
+        hub = SubscriptionHub(ring_size=2, wal=DeliveryLog(tmp_path / "w"))
+        for i in range(8):
+            hub.publish(make_sub(i))
+        sub = hub.attach(resume_after=-1)  # everything
+        seqs = [p.seq for k, p in sub.drain_items() if k == "match"]
+        assert seqs == list(range(8))
+
+    def test_live_attach_skips_history(self):
+        hub = SubscriptionHub()
+        hub.publish(make_sub(0))
+        sub = hub.attach()  # no resume cursor: start at the tail
+        assert sub.drain_items() == []
+        hub.publish(make_sub(1))
+        assert [p.seq for k, p in sub.drain_items() if k == "match"] == [1]
+
+    def test_replay_respects_filters(self):
+        hub = SubscriptionHub(ring_size=16)
+        hub.publish(make_sub(0), pattern_id="p1")
+        hub.publish(make_sub(1), pattern_id="p2")
+        sub = hub.attach(patterns=["p2"], resume_after=-1)
+        assert [p.seq for k, p in sub.drain_items()
+                if k == "match"] == [1]
+
+
+class TestSlowConsumerPolicies:
+    def test_disconnect_policy_detaches(self):
+        hub = SubscriptionHub()
+        sub = hub.attach(queue_size=2, policy="disconnect")
+        for i in range(3):
+            hub.publish(make_sub(i))
+        assert sub.closed
+        assert sub.close_reason == "slow-consumer"
+        assert sub.subscriber_id not in [s.subscriber_id
+                                         for s in hub.subscribers]
+
+    def test_shed_policy_emits_gap_notice(self):
+        hub = SubscriptionHub()
+        sub = hub.attach(queue_size=2, policy="shed")
+        for i in range(5):
+            hub.publish(make_sub(i))
+        items = sub.drain_items()
+        kinds = [k for k, _ in items]
+        assert kinds[0] == "gap"
+        gap = items[0][1]
+        assert gap["shed"] == 3  # 5 published, queue of 2
+        assert sub.sheds == 3
+        assert [p.seq for k, p in items if k == "match"] == [3, 4]
+
+    def test_degrade_policy_collapses_to_aggregates(self):
+        hub = SubscriptionHub()
+        sub = hub.attach(queue_size=2, policy="degrade")
+        for i in range(6):
+            hub.publish(make_sub(i), pattern_id="p1")
+        items = sub.drain_items()
+        assert [k for k, _ in items] == ["aggregates"]
+        assert items[0][1]["counts"] == {"p1": 6}
+        # After catching up, matches flow normally again.
+        hub.publish(make_sub(6), pattern_id="p1")
+        assert [k for k, _ in sub.drain_items()] == ["match"]
+
+    def test_unknown_policy_rejected(self):
+        hub = SubscriptionHub()
+        with pytest.raises(ValueError, match="policy"):
+            hub.attach(policy="explode")
+
+
+class TestHubDrain:
+    def test_drain_queues_terminal_notice_with_resume_token(self):
+        hub = SubscriptionHub()
+        sub = hub.attach()
+        hub.publish(make_sub(0))
+        hub.drain()
+        items = sub.drain_items()
+        assert [k for k, _ in items] == ["match", "drain"]
+        assert items[-1][1]["resume"] == 0
+
+    def test_publish_refused_while_draining(self):
+        hub = SubscriptionHub()
+        hub.drain()
+        assert hub.publish(make_sub(0)) is None
+
+    def test_attach_during_drain_gets_immediate_notice(self):
+        hub = SubscriptionHub()
+        hub.drain()
+        sub = hub.attach()
+        assert [k for k, _ in sub.drain_items()] == ["drain"]
+
+    def test_wait_drained(self):
+        hub = SubscriptionHub()
+        sub = hub.attach()
+        hub.publish(make_sub(0))
+        hub.drain()
+        assert not hub.wait_drained(timeout=0.05)  # backlog unconsumed
+        sub.drain_items()
+        assert hub.wait_drained(timeout=0.5)
+
+
+class TestHubObservability:
+    def test_metrics_published(self):
+        obs = Observability()
+        hub = SubscriptionHub(observability=obs)
+        sub = hub.attach(queue_size=1, policy="shed")
+        for i in range(3):
+            hub.publish(make_sub(i))
+        hub.publish(make_sub(0))  # duplicate
+        snapshot = obs.snapshot()
+        assert snapshot["ses_subscribers"]["value"] == 1
+        assert snapshot["ses_push_published_total"]["value"] == 3
+        assert snapshot["ses_push_duplicates_suppressed_total"]["value"] == 1
+        assert snapshot["ses_sub_shed_total"]["value"] == 2
+        sub.drain_items()
+        assert obs.snapshot()[
+            "ses_sub_delivery_latency_seconds"]["count"] == 1
+
+
+# ----------------------------------------------------------------------
+# Push server (integration over loopback)
+# ----------------------------------------------------------------------
+@pytest.fixture
+def stack(tmp_path):
+    """A registry-backed push server; yields (server, hub, registry)."""
+    pattern, aggregate = parse_query_spec(QUERY)
+    plan = compile_plan(pattern, aggregate=aggregate)
+    registry = PatternRegistry()
+    registry.register(plan, pattern_id="p1")
+    hub = SubscriptionHub(ring_size=64,
+                          wal=DeliveryLog(tmp_path / "delivery.jsonl"))
+    registry.on_match(lambda pid, m: hub.publish(
+        m, pattern_id=pid, tenant=registry.tenant_of(pid)))
+    closed = []
+
+    def flush():
+        if not closed:
+            closed.append(True)
+            registry.close()
+
+    server = PushServer(hub, submit=registry.push_many, flush=flush,
+                        ingest_queue=8).start()
+    try:
+        yield server, hub, registry
+    finally:
+        server.shutdown(grace=2.0)
+
+
+def collect_sse(server, out, **kwargs):
+    """Tail in a thread, appending every received event to ``out``."""
+    def run():
+        for item in subscribe_sse(server.host, server.port, **kwargs):
+            out.append(item)
+    thread = threading.Thread(target=run, daemon=True)
+    thread.start()
+    return thread
+
+
+class TestPushServerIngest:
+    def test_framed_push_and_sse_delivery(self, stack):
+        server, hub, _ = stack
+        got = []
+        thread = collect_sse(server, got)
+        time.sleep(0.2)
+        # Long enough that several matches fall out of the WITHIN
+        # window and are reported while the stream is still live.
+        accepted = push_events(server.host, server.port, make_events(40))
+        assert accepted == 40
+        deadline = time.monotonic() + 5
+        while (sum(1 for g in got if g["event"] == "match") < 4
+               and time.monotonic() < deadline):
+            time.sleep(0.02)
+        matches = [g for g in got if g["event"] == "match"]
+        assert len(matches) >= 4
+        seqs = [int(g["id"]) for g in matches]
+        assert seqs == sorted(seqs)
+
+    def test_http_ingest_accepted(self, stack):
+        server, hub, _ = stack
+        response = http_push(server.host, server.port, make_events(40))
+        assert response["accepted"] == 40
+        server.wait_idle(timeout=5)
+        assert hub.last_seq >= 0
+
+    def test_statz_and_healthz(self, stack):
+        server, hub, _ = stack
+        import urllib.request
+        with urllib.request.urlopen(server.url + "/statz", timeout=5) as r:
+            stats = json.load(r)
+        assert "ingest" in stats and stats["ingest"]["draining"] is False
+        with urllib.request.urlopen(server.url + "/healthz", timeout=5) as r:
+            assert r.status == 200
+
+    def test_backpressure_slow_down_and_429(self, tmp_path):
+        release = threading.Event()
+        hub = SubscriptionHub()
+        server = PushServer(hub, submit=lambda batch: release.wait(10),
+                            ingest_queue=1).start()
+        try:
+            # First batch occupies the worker, second fills the queue.
+            http_push(server.host, server.port, make_events(1))
+            deadline = time.monotonic() + 2
+            while server._queue.qsize() and time.monotonic() < deadline:
+                time.sleep(0.01)  # wait for the worker to take batch 1
+            http_push(server.host, server.port, make_events(1))
+            with pytest.raises(PushRejected):
+                http_push(server.host, server.port, make_events(1))
+            with pytest.raises(PushRejected):
+                push_events(server.host, server.port, make_events(1),
+                            max_retries=1)
+        finally:
+            release.set()
+            server.shutdown(grace=1.0)
+
+    def test_poison_batch_does_not_kill_serving(self, stack):
+        server, hub, _ = stack
+        push_events(server.host, server.port, make_events(4, start_ts=100))
+        # Time going backwards is a matcher error, not a server death.
+        push_events(server.host, server.port, make_events(4, start_ts=0))
+        server.wait_idle(timeout=5)
+        response = http_push(server.host, server.port,
+                             make_events(4, start_ts=200))
+        assert response["accepted"] == 4
+
+
+class TestPushServerSubscriptions:
+    def test_sse_resume_via_last_event_id_no_gap_no_dup(self, stack):
+        server, hub, registry = stack
+        push_events(server.host, server.port, make_events(40))
+        server.wait_idle(timeout=5)
+        assert hub.last_seq >= 3
+        first = list(subscribe_sse(server.host, server.port, resume=-1,
+                                   reconnect=False, read_timeout=2,
+                                   stop_on_drain=False))
+        # read_timeout ends the replay once the stream idles
+        seqs = [int(g["id"]) for g in first if g["event"] == "match"]
+        cut = seqs[len(seqs) // 2]
+        second = list(subscribe_sse(server.host, server.port, resume=cut,
+                                    reconnect=False, read_timeout=2,
+                                    stop_on_drain=False))
+        resumed = [int(g["id"]) for g in second if g["event"] == "match"]
+        assert resumed == [s for s in seqs if s > cut]
+
+    def test_ws_subscription_delivers(self, stack):
+        server, hub, _ = stack
+        got = []
+
+        def run():
+            for payload in subscribe_ws(server.host, server.port,
+                                        resume=-1, read_timeout=5):
+                got.append(payload)
+                if len([g for g in got if g.get("event") == "match"]) >= 2:
+                    return
+        thread = threading.Thread(target=run, daemon=True)
+        thread.start()
+        time.sleep(0.2)
+        push_events(server.host, server.port, make_events(40))
+        thread.join(timeout=8)
+        matches = [g for g in got if g.get("event") == "match"]
+        assert len(matches) >= 2
+        assert all("bindings" in m for m in matches)
+
+    def test_quit_drains_and_sends_terminal_resume_token(self, tmp_path):
+        pattern, aggregate = parse_query_spec(QUERY)
+        plan = compile_plan(pattern, aggregate=aggregate)
+        registry = PatternRegistry()
+        registry.register(plan, pattern_id="p1")
+        hub = SubscriptionHub()
+        registry.on_match(lambda pid, m: hub.publish(m, pattern_id=pid))
+        server = PushServer(hub, submit=registry.push_many,
+                            flush=registry.close).start()
+        got = []
+        thread = collect_sse(server, got, stop_on_drain=True)
+        time.sleep(0.2)
+        push_events(server.host, server.port, make_events(10))
+        server.wait_idle(timeout=5)
+        request_quit(server.host, server.port)
+        thread.join(timeout=10)
+        assert got[-1]["event"] == "drain"
+        # The terminal resume token names the last delivered cursor.
+        delivered = [int(g["id"]) for g in got if g["event"] == "match"]
+        assert got[-1]["data"]["resume"] == max(delivered)
+        # End-of-stream matches from the matcher flush were delivered
+        # before the terminal notice (delivered-or-persisted).
+        assert len(delivered) == len(registry.matches)
+
+    def test_subscribe_rejects_bad_policy(self, stack):
+        server, _, _ = stack
+        import urllib.error
+        import urllib.request
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(
+                server.url + "/subscribe?policy=explode", timeout=5)
+        assert err.value.code == 400
+
+
+# ----------------------------------------------------------------------
+# Drain property: accepted => delivered-or-persisted exactly once
+# ----------------------------------------------------------------------
+class TestDrainProperty:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        n_matches=st.integers(min_value=0, max_value=30),
+        duplicates=st.lists(st.integers(min_value=0, max_value=29),
+                            max_size=10),
+        drain_at=st.integers(min_value=0, max_value=30),
+        queue_size=st.integers(min_value=1, max_value=8),
+        policy=st.sampled_from(["disconnect", "shed", "degrade"]),
+    )
+    def test_accepted_is_delivered_or_persisted_exactly_once(
+            self, tmp_path_factory, n_matches, duplicates, drain_at,
+            queue_size, policy):
+        """Every accepted publish lands in the WAL exactly once, and a
+        well-behaved subscriber (unbounded queue) sees each exactly
+        once, whatever a concurrently misbehaving subscriber's policy
+        does — before and across a drain."""
+        tmp_path = tmp_path_factory.mktemp("drain")
+        wal = DeliveryLog(tmp_path / "wal.jsonl")
+        hub = SubscriptionHub(ring_size=4, wal=wal)
+        good = hub.attach(queue_size=10_000, policy="disconnect")
+        hub.attach(queue_size=queue_size, policy=policy)
+        accepted = []
+        schedule = sorted(range(n_matches))
+        for i in schedule:
+            if i == drain_at:
+                hub.drain()
+            entry = hub.publish(make_sub(i))
+            if i in duplicates:  # re-publication: must be suppressed
+                assert hub.publish(make_sub(i)) is None
+            if entry is not None:
+                accepted.append(entry.match_id)
+        if drain_at >= n_matches:
+            hub.drain()
+        items = good.drain_items()
+        delivered = [p.match_id for k, p in items if k == "match"]
+        # Exactly once to the well-behaved subscriber, in cursor order.
+        assert delivered == accepted
+        assert items[-1][0] == "drain" if items else True
+        # Exactly once in the durable log.
+        persisted = [r["match_id"] for r in wal]
+        assert persisted == accepted
+        # A post-crash hub resumes a reconnecting subscriber gap-free.
+        reborn = SubscriptionHub(ring_size=4,
+                                 wal=DeliveryLog(tmp_path / "wal.jsonl"))
+        resumed = reborn.attach(resume_after=-1)
+        replayed = [p.match_id for k, p in resumed.drain_items()
+                    if k == "match"]
+        assert replayed == accepted
+
+
+# ----------------------------------------------------------------------
+# Serial / sharded / supervised serves agree through the hub
+# ----------------------------------------------------------------------
+JOIN_QUERY = ("PATTERN PERMUTE(a, b) WHERE a.L = 'B' AND b.L = 'C' "
+              "AND a.ID = b.ID WITHIN 10")
+
+
+def join_events(n):
+    return [Event(ts=i, attrs={"L": "B" if i % 2 == 0 else "C",
+                               "ID": (i // 2) % 3}, eid=f"e{i}")
+            for i in range(n)]
+
+
+class TestServeModesConverge:
+    def _serial_match_ids(self, events):
+        pattern, aggregate = parse_query_spec(JOIN_QUERY)
+        plan = compile_plan(pattern, aggregate=aggregate)
+        registry = PatternRegistry()
+        registry.register(plan)
+        matches = registry.push_many(events) + registry.close()
+        return {match_id(m.substitution) for m in matches}
+
+    @pytest.mark.parametrize("mode", ["serial", "sharded", "supervised"])
+    def test_hub_sees_the_fault_free_match_set(self, mode, tmp_path):
+        events = join_events(60)
+        expected = self._serial_match_ids(events)
+        assert expected  # the stream must actually produce matches
+        pattern, aggregate = parse_query_spec(JOIN_QUERY)
+        plan = compile_plan(pattern, aggregate=aggregate)
+        hub = SubscriptionHub(ring_size=256,
+                              wal=DeliveryLog(tmp_path / "wal.jsonl"))
+        sub = hub.attach(resume_after=-1, queue_size=10_000)
+        if mode == "serial":
+            matcher = PatternRegistry()
+            matcher.register(plan)
+            matcher.on_match(lambda pid, m: hub.publish(m, pattern_id=pid))
+        else:
+            from repro.parallel.sharded import ShardedStreamMatcher
+            from repro.resilience import Supervisor
+            supervisor = Supervisor() if mode == "supervised" else None
+            matcher = ShardedStreamMatcher(plan, workers=2,
+                                           supervisor=supervisor)
+            matcher.on_match(lambda m: hub.publish(m))
+        matcher.push_many(events)
+        matcher.close()
+        hub.drain()
+        delivered = [p.match_id for k, p in sub.drain_items()
+                     if k == "match"]
+        assert set(delivered) == expected
+        assert len(delivered) == len(expected)  # no duplicates either

@@ -243,3 +243,38 @@ class TestLifecycle:
             _, after = get(server.url + "/varz")
         assert json.loads(before)["ticks"]["value"] == 0
         assert json.loads(after)["ticks"]["value"] == 5
+
+
+class TestHandlerTimeout:
+    """A stalled client must not pin an ObsServer handler thread forever."""
+
+    def test_default_timeout_is_installed(self):
+        from repro.obs.live import DEFAULT_HANDLER_TIMEOUT, _Handler
+        assert _Handler.timeout == DEFAULT_HANDLER_TIMEOUT
+        assert DEFAULT_HANDLER_TIMEOUT == 30.0
+
+    def test_stalled_connection_is_closed_and_serving_continues(self):
+        import socket
+        import time
+
+        with ObsServer(handler_timeout=0.5) as server:
+            sock = socket.create_connection((server.host, server.port),
+                                            timeout=5)
+            try:
+                # A partial request line, then silence: the per-connection
+                # timeout must close the socket rather than wait forever.
+                sock.sendall(b"GET /varz HTT")
+                sock.settimeout(5)
+                start = time.monotonic()
+                assert sock.recv(1024) == b""
+                assert time.monotonic() - start < 4
+            finally:
+                sock.close()
+            # the server itself survives the stalled client
+            status, _ = get(server.url + "/healthz")
+            assert status == 200
+
+    def test_custom_timeout_does_not_leak_to_other_servers(self):
+        from repro.obs.live import DEFAULT_HANDLER_TIMEOUT, _Handler
+        with ObsServer(handler_timeout=0.25):
+            assert _Handler.timeout == DEFAULT_HANDLER_TIMEOUT

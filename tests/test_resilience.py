@@ -692,3 +692,93 @@ class TestDegradedHealth:
             assert json.loads(excinfo.value.read())["status"] == "failed"
         finally:
             server.stop()
+
+
+class TestDeadLetterDurability:
+    """Line-atomic dead-letter appends and the REPRO_DLQ_MAX_BYTES cap."""
+
+    @staticmethod
+    def _entry(i):
+        from repro.resilience import QuarantinedEvent
+        return QuarantinedEvent(
+            shard=0, seq=i, reason="poison",
+            event=Event(ts=i, attrs={"L": "X"}, eid=f"p{i}"), crashes=2)
+
+    def test_atomic_append_accumulates_lines(self, tmp_path):
+        from repro.resilience import atomic_append_jsonl
+        path = tmp_path / "dlq.jsonl"
+        for i in range(5):
+            atomic_append_jsonl(path, {"seq": i})
+        records = [json.loads(line)
+                   for line in path.read_text().splitlines()]
+        assert [r["seq"] for r in records] == [0, 1, 2, 3, 4]
+
+    def test_append_rotates_at_the_byte_cap(self, tmp_path):
+        from repro.resilience import atomic_append_jsonl, rotated_path
+        path = tmp_path / "dlq.jsonl"
+        line_size = len(json.dumps({"seq": 0}) + "\n")
+        cap = 3 * line_size  # room for three lines per generation
+        for i in range(8):
+            atomic_append_jsonl(path, {"seq": i}, max_bytes=cap)
+        current = [json.loads(line)["seq"]
+                   for line in path.read_text().splitlines()]
+        rotated = [json.loads(line)["seq"]
+                   for line in rotated_path(path).read_text().splitlines()]
+        # .1 then current reads the most recent history in order, and
+        # the pair never exceeds ~2x the cap
+        assert rotated + current == list(range(8))[-len(rotated
+                                                       + current):]
+        assert path.stat().st_size <= cap
+        assert rotated_path(path).stat().st_size <= cap
+
+    def test_env_knob_enables_rotation(self, tmp_path, monkeypatch):
+        from repro.resilience import (DLQ_MAX_BYTES_ENV,
+                                      atomic_append_jsonl, rotated_path)
+        path = tmp_path / "dlq.jsonl"
+        line_size = len(json.dumps({"seq": 0}) + "\n")
+        monkeypatch.setenv(DLQ_MAX_BYTES_ENV, str(2 * line_size))
+        for i in range(5):
+            atomic_append_jsonl(path, {"seq": i})
+        assert rotated_path(path).exists()
+
+    def test_env_knob_rejects_garbage(self, tmp_path, monkeypatch):
+        from repro.resilience import DLQ_MAX_BYTES_ENV, atomic_append_jsonl
+        monkeypatch.setenv(DLQ_MAX_BYTES_ENV, "lots")
+        with pytest.raises(ValueError, match="integer byte count"):
+            atomic_append_jsonl(tmp_path / "dlq.jsonl", {"seq": 0})
+
+    def test_snapshot_truncates_oldest_with_marker(self, tmp_path):
+        queue = DeadLetterQueue()
+        for i in range(20):
+            queue.add(self._entry(i))
+        path = tmp_path / "dlq.jsonl"
+        full_size = sum(
+            len(json.dumps(e.to_json(), default=str) + "\n")
+            for e in queue)
+        assert queue.write_jsonl(path, max_bytes=full_size // 2) == 20
+        lines = [json.loads(line)
+                 for line in path.read_text().splitlines()]
+        assert "truncated" in lines[0] and lines[0]["truncated"] > 0
+        kept = [r["seq"] for r in lines[1:]]
+        # the newest entries survive, in order
+        assert kept == list(range(20))[-len(kept):]
+        assert path.stat().st_size <= full_size // 2 + 200
+
+    def test_snapshot_unbounded_keeps_everything(self, tmp_path):
+        queue = DeadLetterQueue()
+        for i in range(6):
+            queue.add(self._entry(i))
+        path = tmp_path / "dlq.jsonl"
+        assert queue.write_jsonl(path) == 6
+        lines = [json.loads(line)
+                 for line in path.read_text().splitlines()]
+        assert [r["seq"] for r in lines] == list(range(6))
+
+    def test_incremental_append_spelling(self, tmp_path):
+        queue = DeadLetterQueue()
+        path = tmp_path / "dlq.jsonl"
+        for i in range(3):
+            queue.append_jsonl(path, self._entry(i))
+        lines = [json.loads(line)
+                 for line in path.read_text().splitlines()]
+        assert [r["seq"] for r in lines] == [0, 1, 2]
